@@ -1,0 +1,162 @@
+//! Least-squares fits: the tool that turns sweeps into scaling exponents.
+
+/// An ordinary least-squares line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points are given or all `x` are identical.
+///
+/// # Examples
+///
+/// ```
+/// use ag_analysis::linear_fit;
+///
+/// let fit = linear_fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least 2 points to fit a line");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// The log-log slope: fits `ln y = a + b·ln x` and returns the full fit;
+/// `slope` is the empirical scaling exponent (`y ~ x^slope`).
+///
+/// This is how the experiments decide "is uniform AG on the barbell
+/// quadratic while TAG is linear": fit the exponent over a geometric sweep
+/// of `n` and compare to 2 and 1.
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive (logs undefined) or fewer than
+/// 2 points are given.
+#[must_use]
+pub fn loglog_slope(points: &[(f64, f64)]) -> LinearFit {
+    assert!(
+        points.iter().all(|p| p.0 > 0.0 && p.1 > 0.0),
+        "log-log fit needs strictly positive coordinates"
+    );
+    let logged: Vec<(f64, f64)> = points.iter().map(|p| (p.0.ln(), p.1.ln())).collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let fit = linear_fit(&[(1.0, 5.0), (2.0, 7.0), (3.0, 9.0), (4.0, 11.0)]);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                // Deterministic "noise".
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 3.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn quadratic_has_loglog_slope_two() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 5.0 * x * x)
+        }).collect();
+        let fit = loglog_slope(&pts);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn linear_has_loglog_slope_one() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
+            let x = (10 * i) as f64;
+            (x, 0.5 * x)
+        }).collect();
+        let fit = loglog_slope(&pts);
+        assert!((fit.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one_by_convention() {
+        let fit = linear_fit(&[(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn one_point_rejected() {
+        let _ = linear_fit(&[(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_data_rejected() {
+        let _ = linear_fit(&[(1.0, 0.0), (1.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn loglog_rejects_nonpositive() {
+        let _ = loglog_slope(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+}

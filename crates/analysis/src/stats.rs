@@ -1,0 +1,208 @@
+//! Summary statistics for repeated-trial measurements.
+
+use std::fmt;
+
+/// Summary of a sample: mean, spread, quantiles, confidence interval.
+///
+/// # Examples
+///
+/// ```
+/// use ag_analysis::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    sd: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = if sorted.len() > 1 {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            sorted,
+            mean,
+            sd: var.sqrt(),
+        }
+    }
+
+    /// Summarizes integer measurements (e.g. round counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let floats: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&floats)
+    }
+
+    /// Sample size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample has exactly one point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty samples
+    }
+
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected); 0 for singletons.
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        self.sd / (self.sorted.len() as f64).sqrt()
+    }
+
+    /// Minimum.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Linear-interpolated quantile, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean.
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.sem();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} ± {:.2} (median {:.2}, n={})",
+            self.mean,
+            1.96 * self.sem(),
+            self.median(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Bessel-corrected sd of this classic sample is sqrt(32/7).
+        assert!((s.sd() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.ci95(), (42.0, 42.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let wide = Summary::of(&[0.0, 10.0]);
+        let narrow = Summary::of(&[0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0]);
+        let w = wide.ci95().1 - wide.ci95().0;
+        let n = narrow.ci95().1 - narrow.ci95().0;
+        assert!(n < w);
+    }
+
+    #[test]
+    fn of_u64_converts() {
+        let s = Summary::of_u64(&[1, 2, 3]);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text table rendering for the experiment harness output.
+
+use std::fmt::Write as _;
+
+/// Builds aligned plain-text tables (the harness prints the paper's tables
+/// to stdout and into `EXPERIMENTS.md`).
+///
+/// # Examples
+///
+/// ```
+/// use ag_analysis::TableBuilder;
+///
+/// let mut t = TableBuilder::new(vec!["graph".into(), "rounds".into()]);
+/// t.row(vec!["line".into(), "42".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("graph"));
+/// assert!(rendered.contains("42"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        TableBuilder {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableBuilder {
+        let mut t = TableBuilder::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn aligned_rendering() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows share column offsets.
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("| a | bbbb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| y | 22 |"));
+    }
+
+    #[test]
+    fn length_tracking() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = TableBuilder::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tiny text visualizations for terminal "figures".
+
+/// Unicode block characters from empty to full.
+const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a unicode sparkline, scaled to `[min, max]` of the
+/// data.
+///
+/// # Examples
+///
+/// ```
+/// use ag_analysis::sparkline;
+///
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by bucket-averaging, so
+/// long traces fit a terminal line.
+///
+/// # Examples
+///
+/// ```
+/// use ag_analysis::downsample;
+///
+/// let long: Vec<f64> = (0..100).map(f64::from).collect();
+/// let short = downsample(&long, 10);
+/// assert_eq!(short.len(), 10);
+/// assert!(short[0] < short[9]);
+/// ```
+#[must_use]
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let per = values.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * per) as usize;
+            let hi = (((i + 1) as f64 * per) as usize).min(values.len()).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[1.0, 1.0, 1.0]);
+        // Flat data maps to the low block everywhere.
+        assert_eq!(s.chars().count(), 3);
+        let ramp = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = ramp.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_monotone_data_monotone_blocks() {
+        let vals: Vec<f64> = (0..9).map(f64::from).collect();
+        let s: Vec<char> = sparkline(&vals).chars().collect();
+        for w in s.windows(2) {
+            let a = BLOCKS.iter().position(|&b| b == w[0]).unwrap();
+            let b = BLOCKS.iter().position(|&b| b == w[1]).unwrap();
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_ends_roughly() {
+        let vals: Vec<f64> = (0..1000).map(f64::from).collect();
+        let d = downsample(&vals, 20);
+        assert_eq!(d.len(), 20);
+        assert!(d[0] < 50.0);
+        assert!(d[19] > 900.0);
+    }
+
+    #[test]
+    fn downsample_short_input_passthrough() {
+        let vals = vec![3.0, 4.0];
+        assert_eq!(downsample(&vals, 10), vals);
+        assert!(downsample(&vals, 0).is_empty());
+    }
+}

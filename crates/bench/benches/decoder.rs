@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: RLNC decoder throughput.
+//!
+//! Measures full-generation decode cost — `k` innovative packet insertions
+//! of `k + r` symbols each — for the generation sizes the simulations use.
+
+use ag_gf::{Gf2, Gf256};
+use ag_gf::Field;
+use ag_rlnc::{Decoder, Generation, Recoder};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_decode<F: Field>(c: &mut Criterion, name: &str, k: usize, r: usize) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let generation = Generation::<F>::random(k, r, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+    // Pre-generate a surplus of coded packets so the iteration only
+    // measures decoding.
+    let packets: Vec<_> = (0..3 * k + 32)
+        .map(|_| Recoder::new(&source).emit(&mut rng).expect("source emits"))
+        .collect();
+    c.bench_function(&format!("{name}/decode_k{k}_r{r}"), |b| {
+        b.iter_batched(
+            || (Decoder::<F>::new(k, r), packets.clone()),
+            |(mut sink, packets)| {
+                for p in packets {
+                    if sink.is_complete() {
+                        break;
+                    }
+                    sink.receive(p);
+                }
+                assert!(sink.is_complete());
+                sink.decode().expect("complete")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn decoder_benches(c: &mut Criterion) {
+    bench_decode::<Gf256>(c, "gf256", 16, 16);
+    bench_decode::<Gf256>(c, "gf256", 64, 16);
+    bench_decode::<Gf256>(c, "gf256", 128, 16);
+    bench_decode::<Gf2>(c, "gf2", 64, 16);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = decoder_benches
+}
+criterion_main!(benches);

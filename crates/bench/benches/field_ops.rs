@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: finite-field arithmetic throughput.
+//!
+//! The decoder hot path is `axpy` over rows of field elements, so `mul`
+//! and `inv` throughput bound the whole simulator.
+
+use ag_gf::{F257, Field, Gf16, Gf2, Gf256, Gf65536};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_field<F: Field>(c: &mut Criterion, name: &str) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<F> = (0..1024).map(|_| F::random(&mut rng)).collect();
+    let ys: Vec<F> = (0..1024).map(|_| F::random(&mut rng)).collect();
+    c.bench_function(&format!("{name}/mul_1024"), |b| {
+        b.iter(|| {
+            let mut acc = F::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc += black_box(x) * black_box(y);
+            }
+            acc
+        })
+    });
+    let nz: Vec<F> = xs.iter().copied().filter(|x| !x.is_zero()).collect();
+    c.bench_function(&format!("{name}/inv_{}", nz.len()), |b| {
+        b.iter(|| {
+            let mut acc = F::ZERO;
+            for &x in &nz {
+                acc += black_box(x).inv().expect("nonzero");
+            }
+            acc
+        })
+    });
+}
+
+fn field_benches(c: &mut Criterion) {
+    bench_field::<Gf2>(c, "gf2");
+    bench_field::<Gf16>(c, "gf16");
+    bench_field::<Gf256>(c, "gf256");
+    bench_field::<Gf65536>(c, "gf65536");
+    bench_field::<F257>(c, "f257");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = field_benches
+}
+criterion_main!(benches);

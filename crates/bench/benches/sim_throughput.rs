@@ -1,0 +1,64 @@
+//! Criterion macro-benchmarks: whole-protocol simulation throughput.
+//!
+//! One iteration = one complete dissemination run (engine + protocol +
+//! decoding), the unit of work every experiment repeats.
+
+use ag_gf::Gf256;
+use ag_graph::builders;
+use ag_sim::EngineConfig;
+use algebraic_gossip::{run_protocol, ProtocolKind, RunSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_once(g: &ag_graph::Graph, kind: ProtocolKind, k: usize, seed: u64, sync: bool) -> u64 {
+    let mut spec = RunSpec::new(kind, k).with_seed(seed);
+    spec.engine = if sync {
+        EngineConfig::synchronous(seed)
+    } else {
+        EngineConfig::asynchronous(seed)
+    }
+    .with_max_rounds(10_000_000);
+    let (stats, ok) = run_protocol::<Gf256>(g, &spec).expect("valid");
+    assert!(stats.completed && ok);
+    stats.rounds
+}
+
+fn sim_benches(c: &mut Criterion) {
+    let grid = builders::grid(6, 6).unwrap();
+    c.bench_function("sim/uniform_ag_grid36_k18_sync", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&grid, ProtocolKind::UniformAg, 18, seed, true)
+        })
+    });
+    c.bench_function("sim/uniform_ag_grid36_k18_async", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&grid, ProtocolKind::UniformAg, 18, seed, false)
+        })
+    });
+    let barbell = builders::barbell(32).unwrap();
+    c.bench_function("sim/tag_brr_barbell32_k32_sync", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&barbell, ProtocolKind::TagBrr(0), 32, seed, true)
+        })
+    });
+    let complete = builders::complete(64).unwrap();
+    c.bench_function("sim/uniform_ag_complete64_k16_sync", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&complete, ProtocolKind::UniformAg, 16, seed, true)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = sim_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! `cargo bench` entry point that regenerates every table and figure at
+//! quick scale (harness = false: this is a driver, not a Criterion bench).
+//!
+//! The full-scale versions are produced by
+//! `AG_BENCH_SCALE=full cargo run --release -p ag-bench --bin all_experiments`.
+
+use std::time::Instant;
+
+use ag_bench::{all_reports, Scale};
+
+fn main() {
+    // Respect `cargo bench -- --test` style filters minimally: any CLI
+    // argument switches to a dry listing (Criterion passes --bench).
+    let list_only = std::env::args().any(|a| a == "--list");
+    if list_only {
+        println!("tables: regenerates all paper tables/figures (quick scale)");
+        return;
+    }
+    let started = Instant::now();
+    for report in all_reports(Scale::Quick) {
+        report.print();
+    }
+    println!(
+        "regenerated all tables/figures at quick scale in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

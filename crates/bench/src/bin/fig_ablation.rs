@@ -1,0 +1,9 @@
+//! Regenerates experiment [ablation] — see DESIGN.md §5.
+//! Usage: `cargo run --release -p ag-bench --bin fig_ablation` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes).
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::ablation::run(Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment [progress_fig] — see DESIGN.md §5.
+//! Usage: `cargo run --release -p ag-bench --bin fig_progress` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes).
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::progress_fig::run(Scale::from_env()).print();
+}

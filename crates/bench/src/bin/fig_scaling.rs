@@ -1,0 +1,9 @@
+//! Regenerates experiment [scaling_fig] — see DESIGN.md §5.
+//! Usage: `cargo run --release -p ag-bench --bin fig_scaling` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes).
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::scaling_fig::run(Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment [table1] — see DESIGN.md §5.
+//! Usage: `cargo run --release -p ag-bench --bin table1` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes).
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::table1::run(Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment [table2] — see DESIGN.md §5.
+//! Usage: `cargo run --release -p ag-bench --bin table2` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes).
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::table2::run(Scale::from_env()).print();
+}

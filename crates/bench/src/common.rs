@@ -1,0 +1,126 @@
+//! Shared experiment plumbing: scales, medians, report formatting.
+
+use ag_gf::Field;
+use ag_graph::Graph;
+use ag_sim::{EngineConfig, TimeModel};
+use algebraic_gossip::{run_protocol, ProtocolKind, RunSpec};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes / few trials — the `cargo bench` configuration.
+    Quick,
+    /// The sizes used for the committed `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Reads `AG_BENCH_SCALE` (`quick` default, `full` to upgrade).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("AG_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Number of trials per measured cell.
+    #[must_use]
+    pub fn trials(self) -> u64 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 7,
+        }
+    }
+}
+
+/// One regenerated table/figure: id, title, rendered text (stdout) and a
+/// Markdown section for `EXPERIMENTS.md`.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// DESIGN.md §5 experiment id (e.g. "T1", "F1").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Plain-text rendering for the terminal.
+    pub text: String,
+    /// Markdown section body for EXPERIMENTS.md.
+    pub markdown: String,
+}
+
+impl ExperimentReport {
+    /// Prints the plain-text rendering with a banner.
+    pub fn print(&self) {
+        println!("==== [{}] {} ====", self.id, self.title);
+        println!("{}", self.text);
+    }
+}
+
+/// Median synchronous/asynchronous rounds of a protocol over trials.
+/// Panics if any trial fails to complete or decode — experiments must be
+/// sized so that completion is certain.
+#[must_use]
+pub fn median_rounds_protocol<F: Field>(
+    graph: &Graph,
+    kind: ProtocolKind,
+    k: usize,
+    time: TimeModel,
+    trials: u64,
+    seed0: u64,
+) -> f64 {
+    let mut rounds: Vec<u64> = (0..trials)
+        .map(|t| {
+            let seed = seed0.wrapping_add(t.wrapping_mul(0x9E37_79B9));
+            let mut spec = RunSpec::new(kind, k).with_seed(seed);
+            spec.engine = match time {
+                TimeModel::Synchronous => EngineConfig::synchronous(seed ^ 0x5EED),
+                TimeModel::Asynchronous => EngineConfig::asynchronous(seed ^ 0x5EED),
+            }
+            .with_max_rounds(20_000_000);
+            let (stats, ok) = run_protocol::<F>(graph, &spec).expect("valid spec");
+            assert!(
+                stats.completed && ok,
+                "experiment run failed: {kind:?} on n={} k={k}",
+                graph.n()
+            );
+            stats.rounds
+        })
+        .collect();
+    rounds.sort_unstable();
+    rounds[rounds.len() / 2] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::Gf256;
+    use ag_graph::builders;
+
+    #[test]
+    fn scale_trials_ordering() {
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+
+    #[test]
+    fn median_is_deterministic() {
+        let g = builders::cycle(8).unwrap();
+        let a = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UniformAg,
+            4,
+            TimeModel::Synchronous,
+            3,
+            1,
+        );
+        let b = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UniformAg,
+            4,
+            TimeModel::Synchronous,
+            3,
+            1,
+        );
+        assert_eq!(a, b);
+        assert!(a >= 2.0, "k/2 lower bound");
+    }
+}

@@ -1,0 +1,278 @@
+//! T1 — Table 1 of the paper: the main stopping-time results, measured.
+//!
+//! | protocol | graph | claim |
+//! |---|---|---|
+//! | Uniform AG | any | `O((k + log n + D)Δ)` (sync + async) |
+//! | Uniform AG | constant Δ | `Θ(k + D)` sync, `O(k + D)` async |
+//! | TAG | any | `O(k + log n + d(S) + t(S))` |
+//! | TAG + B_RR | any, k = Ω(n) | `Θ(n)` |
+//! | TAG + IS | large weak conductance, k = Ω(polylog) | `Θ(k)` sync |
+
+use std::fmt::Write as _;
+
+use ag_analysis::{linear_fit, tag_bound, uniform_ag_bound, TableBuilder};
+use ag_gf::Gf256;
+use ag_graph::{builders, Graph};
+use ag_sim::{EngineConfig, TimeModel};
+use algebraic_gossip::{
+    measure_tree_protocol, BroadcastTree, CommModel, ProtocolKind,
+};
+
+use crate::common::{median_rounds_protocol, ExperimentReport, Scale};
+
+fn families(n: usize) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", builders::path(n).unwrap()),
+        ("grid", builders::grid(4, n / 4).unwrap()),
+        ("binary tree", builders::binary_tree(n).unwrap()),
+        ("barbell", builders::barbell(n).unwrap()),
+        ("complete", builders::complete(n).unwrap()),
+    ]
+}
+
+/// Runs the full Table 1 validation.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let n = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 32,
+    };
+    let trials = scale.trials();
+    let mut text = String::new();
+    let mut md = String::new();
+
+    // ---- Row 1: uniform AG on any graph, both time models. -------------
+    let k = n / 2;
+    let mut t = TableBuilder::new(vec![
+        "graph".into(),
+        "D".into(),
+        "Δ".into(),
+        "sync rounds".into(),
+        "async rounds".into(),
+        "bound".into(),
+        "sync/bound".into(),
+    ]);
+    for (name, g) in families(n) {
+        let sync = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Synchronous,
+            trials,
+            101,
+        );
+        let asyn = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Asynchronous,
+            trials,
+            102,
+        );
+        let bound = uniform_ag_bound(k, g.n(), g.diameter(), g.max_degree());
+        t.row(vec![
+            name.into(),
+            g.diameter().to_string(),
+            g.max_degree().to_string(),
+            format!("{sync:.0}"),
+            format!("{asyn:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.2}", sync / bound),
+        ]);
+    }
+    let _ = writeln!(
+        text,
+        "T1.1  uniform AG vs O((k + ln n + D)·Δ), k = {k}, n = {n}:\n{}",
+        t.render()
+    );
+    let _ = writeln!(
+        md,
+        "### T1.1 Uniform AG: `O((k + log n + D)Δ)` (k = {k}, n = {n})\n\n{}",
+        t.render_markdown()
+    );
+
+    // ---- Row 2: Θ(k + D) on constant-max-degree graphs. ----------------
+    // Sweep k on the path and fit rounds = a + b·(k + D): order-optimality
+    // shows up as a good linear fit with a moderate slope.
+    let g = builders::path(n).unwrap();
+    let d = f64::from(g.diameter());
+    // Sweep k well past D so the k-term dominates the fit.
+    let ks: Vec<usize> = vec![2, n / 2, n, 2 * n, 4 * n];
+    let mut pts = Vec::new();
+    let mut t = TableBuilder::new(vec!["k".into(), "k+D".into(), "sync rounds".into()]);
+    for &kk in &ks {
+        let r = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UniformAg,
+            kk,
+            TimeModel::Synchronous,
+            trials,
+            103,
+        );
+        pts.push((kk as f64 + d, r));
+        t.row(vec![
+            kk.to_string(),
+            format!("{:.0}", kk as f64 + d),
+            format!("{r:.0}"),
+        ]);
+    }
+    let fit = linear_fit(&pts);
+    let _ = writeln!(
+        text,
+        "T1.2  Θ(k+D) on the path (Δ = 2): rounds ≈ {:.2}·(k+D) + {:.1},  R² = {:.3}\n{}",
+        fit.slope,
+        fit.intercept,
+        fit.r_squared,
+        t.render()
+    );
+    let _ = writeln!(
+        md,
+        "### T1.2 Constant max degree: `Θ(k + D)` (path, n = {n})\n\nFit: rounds ≈ {:.2}·(k+D) + {:.1}, R² = {:.3}\n\n{}",
+        fit.slope,
+        fit.intercept,
+        fit.r_squared,
+        t.render_markdown()
+    );
+
+    // ---- Row 3: TAG bound O(k + log n + d(S) + t(S)). ------------------
+    let mut t = TableBuilder::new(vec![
+        "graph".into(),
+        "t(S) BRR".into(),
+        "d(S)".into(),
+        "TAG rounds".into(),
+        "bound".into(),
+        "ratio".into(),
+    ]);
+    for (name, g) in families(n) {
+        let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 11).unwrap();
+        let (tstats, tree) = measure_tree_protocol(
+            brr,
+            EngineConfig::synchronous(11).with_max_rounds(100_000),
+        );
+        let tree = tree.expect("BRR completes");
+        let rounds = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::TagBrr(0),
+            k,
+            TimeModel::Synchronous,
+            trials,
+            104,
+        );
+        // TAG runs Phase 1 on alternate wakeups: charge 2·t(S).
+        let bound = tag_bound(k, g.n(), tree.tree_diameter(), 2.0 * tstats.rounds as f64);
+        t.row(vec![
+            name.into(),
+            tstats.rounds.to_string(),
+            tree.tree_diameter().to_string(),
+            format!("{rounds:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.2}", rounds / bound),
+        ]);
+    }
+    let _ = writeln!(
+        text,
+        "T1.3  TAG vs O(k + ln n + d(S) + 2·t(S)), S = B_RR, k = {k}:\n{}",
+        t.render()
+    );
+    let _ = writeln!(
+        md,
+        "### T1.3 TAG: `O(k + log n + d(S) + t(S))` (k = {k}, n = {n})\n\n{}",
+        t.render_markdown()
+    );
+
+    // ---- Row 4: k = Ω(n) ⇒ TAG+BRR = Θ(n) on any graph. ----------------
+    let ns: Vec<usize> = match scale {
+        Scale::Quick => vec![12, 24, 48],
+        Scale::Full => vec![16, 32, 64, 128],
+    };
+    let mut t = TableBuilder::new(vec![
+        "n".into(),
+        "path t/n".into(),
+        "barbell t/n".into(),
+        "complete t/n".into(),
+    ]);
+    for &nn in &ns {
+        let mut row = vec![nn.to_string()];
+        for g in [
+            builders::path(nn).unwrap(),
+            builders::barbell(nn).unwrap(),
+            builders::complete(nn).unwrap(),
+        ] {
+            let r = median_rounds_protocol::<Gf256>(
+                &g,
+                ProtocolKind::TagBrr(0),
+                nn, // k = n
+                TimeModel::Synchronous,
+                trials,
+                105,
+            );
+            row.push(format!("{:.2}", r / nn as f64));
+        }
+        t.row(row);
+    }
+    let _ = writeln!(
+        text,
+        "T1.4  TAG+B_RR with k = n: rounds/n must stay flat (Θ(n)):\n{}",
+        t.render()
+    );
+    let _ = writeln!(
+        md,
+        "### T1.4 `k = Ω(n)` ⇒ TAG+B_RR finishes in `Θ(n)` on any graph\n\n{}",
+        t.render_markdown()
+    );
+
+    // ---- Row 5: large weak conductance, k = Ω(polylog) ⇒ Θ(k). ---------
+    let mut t = TableBuilder::new(vec![
+        "n".into(),
+        "k=⌈log²n⌉".into(),
+        "oracle t(IS)".into(),
+        "TAG+oracle t/k".into(),
+        "TAG+IS t/k (facsimile)".into(),
+    ]);
+    for &nn in &ns {
+        let g = builders::barbell(nn).unwrap();
+        let lg = (nn as f64).log2();
+        let kk = (lg * lg).ceil() as usize;
+        let t_is = lg.ceil() as u64; // [5]: O(c(log n/Φ_c + c)), c=2, Φ_2=Θ(1)
+        let oracle = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::TagOracle(0, t_is),
+            kk,
+            TimeModel::Synchronous,
+            trials,
+            106,
+        );
+        let is = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::TagIs(0),
+            kk,
+            TimeModel::Synchronous,
+            trials,
+            107,
+        );
+        t.row(vec![
+            nn.to_string(),
+            kk.to_string(),
+            t_is.to_string(),
+            format!("{:.2}", oracle / kk as f64),
+            format!("{:.2}", is / kk as f64),
+        ]);
+    }
+    let _ = writeln!(
+        text,
+        "T1.5  barbell, k = ⌈log²n⌉: TAG+oracle t/k flat ⇒ Θ(k); the honest IS\n      facsimile is Θ(n) on the barbell (documented substitution):\n{}",
+        t.render()
+    );
+    let _ = writeln!(
+        md,
+        "### T1.5 Weak conductance: `Θ(k)` with the IS bound (barbell)\n\nThe oracle charges Phase 1 the `O(c(log n/Φ_c + c))` rounds of [5]; the\nconcrete facsimile (no polylog machinery) is honestly Θ(n) — see DESIGN.md §4.\n\n{}",
+        t.render_markdown()
+    );
+
+    ExperimentReport {
+        id: "T1",
+        title: "Table 1 — main stopping-time results",
+        text,
+        markdown: md,
+    }
+}

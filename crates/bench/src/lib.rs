@@ -1,0 +1,32 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment lives in [`experiments`] and returns an
+//! [`ExperimentReport`]; the `src/bin/*` binaries print single experiments,
+//! and `src/bin/all_experiments` runs the whole suite and rewrites
+//! `EXPERIMENTS.md`. Experiment IDs follow DESIGN.md §5.
+//!
+//! Scale: every experiment takes a [`Scale`]; `Scale::Quick` keeps the
+//! whole suite under ~a minute (and is what `cargo bench` runs inside
+//! `benches/tables.rs`), `Scale::Full` uses larger n and more trials for
+//! the committed EXPERIMENTS.md numbers. Set `AG_BENCH_SCALE=full` to
+//! upgrade the binaries.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{median_rounds_protocol, ExperimentReport, Scale};
+
+/// All experiments in DESIGN.md §5 order.
+#[must_use]
+pub fn all_reports(scale: Scale) -> Vec<ExperimentReport> {
+    vec![
+        experiments::table1::run(scale),
+        experiments::table2::run(scale),
+        experiments::queue_fig::run(scale),
+        experiments::brr_fig::run(scale),
+        experiments::scaling_fig::run(scale),
+        experiments::barbell_fig::run(scale),
+        experiments::progress_fig::run(scale),
+        experiments::ablation::run(scale),
+    ]
+}

@@ -1,0 +1,426 @@
+//! Uniform (and round-robin) algebraic gossip — the protocol of Theorem 1.
+
+use ag_gf::Field;
+use ag_graph::{Graph, GraphError, NodeId};
+use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector, Protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::placement::Placement;
+
+/// Configuration for an [`AlgebraicGossip`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use algebraic_gossip::{Action, AgConfig, CommModel, Placement};
+///
+/// let cfg = AgConfig::new(16)
+///     .with_payload_len(8)
+///     .with_comm_model(CommModel::Uniform)
+///     .with_action(Action::Exchange)
+///     .with_placement(Placement::Spread);
+/// assert_eq!(cfg.k, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgConfig {
+    /// Number of initial messages to disseminate.
+    pub k: usize,
+    /// Symbols per message (`r`); 0 runs pure rank dynamics.
+    pub payload_len: usize,
+    /// Partner-selection model (Definition 1 or 2).
+    pub comm_model: CommModel,
+    /// PUSH / PULL / EXCHANGE (the paper mostly analyzes EXCHANGE).
+    pub action: Action,
+    /// Who initially holds which message.
+    pub placement: Placement,
+    /// Sparse-recoding density in `(0, 1]`; `1.0` (default) is the
+    /// paper's dense combination over all stored rows.
+    pub coding_density: f64,
+}
+
+impl AgConfig {
+    /// A config for `k` messages with the paper's defaults: EXCHANGE,
+    /// uniform gossip, spread placement, payload-free packets.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        AgConfig {
+            k,
+            payload_len: 0,
+            comm_model: CommModel::Uniform,
+            action: Action::Exchange,
+            placement: Placement::Spread,
+            coding_density: 1.0,
+        }
+    }
+
+    /// Sets the payload length in symbols (builder-style).
+    #[must_use]
+    pub fn with_payload_len(mut self, r: usize) -> Self {
+        self.payload_len = r;
+        self
+    }
+
+    /// Sets the communication model (builder-style).
+    #[must_use]
+    pub fn with_comm_model(mut self, m: CommModel) -> Self {
+        self.comm_model = m;
+        self
+    }
+
+    /// Sets the action (builder-style).
+    #[must_use]
+    pub fn with_action(mut self, a: Action) -> Self {
+        self.action = a;
+        self
+    }
+
+    /// Sets the placement (builder-style).
+    #[must_use]
+    pub fn with_placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Sets the sparse-recoding density (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_coding_density(mut self, density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "coding density must be in (0, 1]"
+        );
+        self.coding_density = density;
+        self
+    }
+}
+
+/// The algebraic gossip protocol of Section 3.
+///
+/// Every node keeps an RLNC [`Decoder`]; on wakeup it picks a partner per
+/// the communication model and the contact moves fresh random linear
+/// combinations in the configured direction(s). A node is complete when
+/// its rank reaches `k`, at which point [`AlgebraicGossip::decoded`]
+/// returns all the original messages.
+///
+/// Drive it with [`ag_sim::Engine`] under either time model.
+#[derive(Debug, Clone)]
+pub struct AlgebraicGossip<F: Field> {
+    graph: Graph,
+    generation: Generation<F>,
+    decoders: Vec<Decoder<F>>,
+    selector: PartnerSelector,
+    action: Action,
+    coding_density: f64,
+}
+
+impl<F: Field> AlgebraicGossip<F> {
+    /// Builds the protocol over `graph` with a random generation of
+    /// `cfg.k` messages. `seed` controls the generation content, the
+    /// placement, and round-robin pointer offsets (the engine has its own
+    /// seed for wakeups/coefficients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0` or the graph is
+    /// disconnected (dissemination could never complete).
+    pub fn new(graph: &Graph, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
+        if cfg.k == 0 {
+            return Err(GraphError::InvalidSize("k must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        Self::new_with_generation(graph, cfg, generation, seed)
+    }
+
+    /// Like [`AlgebraicGossip::new`] but disseminating the *given*
+    /// generation (real data, e.g. from [`ag_rlnc::BlockEncoder`]) instead
+    /// of random content. `cfg.k` and `cfg.payload_len` must match the
+    /// generation's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] on shape mismatch or a
+    /// disconnected graph.
+    pub fn new_with_generation(
+        graph: &Graph,
+        cfg: &AgConfig,
+        generation: Generation<F>,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if cfg.k != generation.k() || cfg.payload_len != generation.message_len() {
+            return Err(GraphError::InvalidSize(format!(
+                "config shape (k={}, r={}) does not match generation (k={}, r={})",
+                cfg.k,
+                cfg.payload_len,
+                generation.k(),
+                generation.message_len()
+            )));
+        }
+        if !graph.is_connected() {
+            return Err(GraphError::InvalidSize(
+                "dissemination requires a connected graph".into(),
+            ));
+        }
+        // Advance the RNG identically to `new` so that placement and
+        // round-robin offsets agree between the two constructors.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
+        let mut decoders: Vec<Decoder<F>> =
+            (0..graph.n()).map(|_| Decoder::new(cfg.k, cfg.payload_len)).collect();
+        for (msg, &host) in hosts.iter().enumerate() {
+            decoders[host].seed_message(&generation, msg);
+        }
+        assert!(
+            cfg.coding_density > 0.0 && cfg.coding_density <= 1.0,
+            "coding density must be in (0, 1]"
+        );
+        let selector = PartnerSelector::new(graph, cfg.comm_model, &mut rng);
+        Ok(AlgebraicGossip {
+            graph: graph.clone(),
+            generation,
+            decoders,
+            selector,
+            action: cfg.action,
+            coding_density: cfg.coding_density,
+        })
+    }
+
+    /// The ground-truth generation (for integrity checks).
+    #[must_use]
+    pub fn generation(&self) -> &Generation<F> {
+        &self.generation
+    }
+
+    /// Node `v`'s current rank.
+    #[must_use]
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.decoders[v].rank()
+    }
+
+    /// The sum of all node ranks — a convenient global progress measure.
+    #[must_use]
+    pub fn total_rank(&self) -> usize {
+        self.decoders.iter().map(Decoder::rank).sum()
+    }
+
+    /// Node `v`'s decoded messages once complete.
+    #[must_use]
+    pub fn decoded(&self, v: NodeId) -> Option<Vec<Vec<F>>> {
+        self.decoders[v].decode()
+    }
+
+    /// Total innovative (helpful) receptions across all nodes.
+    #[must_use]
+    pub fn helpful_receptions(&self) -> u64 {
+        self.decoders.iter().map(Decoder::innovative_count).sum()
+    }
+
+    /// Total redundant receptions across all nodes.
+    #[must_use]
+    pub fn redundant_receptions(&self) -> u64 {
+        self.decoders.iter().map(Decoder::redundant_count).sum()
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl<F: Field> Protocol for AlgebraicGossip<F> {
+    type Msg = Packet<F>;
+
+    fn num_nodes(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        Some(ContactIntent {
+            partner,
+            action: self.action,
+            tag: 0,
+        })
+    }
+
+    fn compose(
+        &self,
+        from: NodeId,
+        _to: NodeId,
+        _tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<Packet<F>> {
+        let recoder = Recoder::new(&self.decoders[from]);
+        if self.coding_density < 1.0 {
+            recoder.emit_sparse(self.coding_density, rng)
+        } else {
+            recoder.emit(rng)
+        }
+    }
+
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: Packet<F>) {
+        let _ = self.decoders[to].receive(msg);
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        self.decoders[node].is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::{Gf2, Gf256};
+    use ag_graph::builders;
+    use ag_sim::{Engine, EngineConfig, TimeModel};
+
+    fn run<F: Field>(
+        graph: &Graph,
+        cfg: &AgConfig,
+        time: TimeModel,
+        seed: u64,
+    ) -> (AlgebraicGossip<F>, ag_sim::RunStats) {
+        let mut proto = AlgebraicGossip::<F>::new(graph, cfg, seed).unwrap();
+        let ecfg = match time {
+            TimeModel::Synchronous => EngineConfig::synchronous(seed),
+            TimeModel::Asynchronous => EngineConfig::asynchronous(seed),
+        }
+        .with_max_rounds(200_000);
+        let stats = Engine::new(ecfg).run(&mut proto);
+        (proto, stats)
+    }
+
+    #[test]
+    fn all_to_all_on_cycle_completes_and_decodes() {
+        let g = builders::cycle(8).unwrap();
+        let cfg = AgConfig::new(8).with_payload_len(2);
+        let (proto, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 11);
+        assert!(stats.completed);
+        for v in 0..8 {
+            assert_eq!(proto.decoded(v).unwrap(), proto.generation().messages());
+        }
+        // Exactly n*k helpful receptions are needed in total.
+        assert_eq!(proto.helpful_receptions(), 8 * 8 - 8); // minus k seeds
+    }
+
+    #[test]
+    fn single_source_on_grid_asynchronous() {
+        let g = builders::grid(3, 3).unwrap();
+        let cfg = AgConfig::new(4)
+            .with_placement(Placement::SingleSource(0))
+            .with_payload_len(1);
+        let (proto, stats) = run::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 3);
+        assert!(stats.completed);
+        for v in 0..9 {
+            assert_eq!(proto.decoded(v).unwrap(), proto.generation().messages());
+        }
+    }
+
+    #[test]
+    fn gf2_worst_case_field_still_completes() {
+        let g = builders::path(6).unwrap();
+        let cfg = AgConfig::new(6);
+        let (proto, stats) = run::<Gf2>(&g, &cfg, TimeModel::Synchronous, 5);
+        assert!(stats.completed, "GF(2) run did not finish");
+        assert_eq!(proto.total_rank(), 6 * 6);
+    }
+
+    #[test]
+    fn round_robin_comm_model_completes() {
+        let g = builders::complete(6).unwrap();
+        let cfg = AgConfig::new(6).with_comm_model(CommModel::RoundRobin);
+        let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 2);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn push_and_pull_variants_complete() {
+        let g = builders::cycle(6).unwrap();
+        for action in [Action::Push, Action::Pull] {
+            let cfg = AgConfig::new(3).with_action(action);
+            let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 8);
+            assert!(stats.completed, "{action:?} did not complete");
+        }
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(AlgebraicGossip::<Gf256>::new(&g, &AgConfig::new(2), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let g = builders::path(3).unwrap();
+        assert!(AlgebraicGossip::<Gf256>::new(&g, &AgConfig::new(0), 0).is_err());
+    }
+
+    #[test]
+    fn sync_stopping_respects_k_over_2_lower_bound() {
+        // Theorem 3's lower bound: k-dissemination needs >= k/2 rounds.
+        let g = builders::complete(16).unwrap();
+        let cfg = AgConfig::new(16);
+        let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 4);
+        assert!(stats.completed);
+        assert!(
+            stats.rounds >= 8,
+            "finished in {} rounds, below the k/2 = 8 lower bound",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn sync_stopping_respects_diameter_lower_bound() {
+        // A message can travel one hop per synchronous round.
+        let g = builders::path(20).unwrap();
+        let cfg = AgConfig::new(1).with_placement(Placement::SingleSource(0));
+        let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 4);
+        assert!(stats.completed);
+        assert!(stats.rounds >= 19, "beat the diameter: {} rounds", stats.rounds);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = builders::grid(3, 3).unwrap();
+        let cfg = AgConfig::new(5);
+        let (_, s1) = run::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 77);
+        let (_, s2) = run::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 77);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn stays_within_theorem1_bound_with_margin() {
+        // Theorem 1: O((k + log n + D) * Delta). Check a generous constant
+        // (x12) holds on several families — this is the T1.1 experiment in
+        // miniature.
+        for (g, name) in [
+            (builders::path(16).unwrap(), "path"),
+            (builders::grid(4, 4).unwrap(), "grid"),
+            (builders::binary_tree(15).unwrap(), "tree"),
+            (builders::complete(12).unwrap(), "complete"),
+        ] {
+            let k = 4;
+            let cfg = AgConfig::new(k);
+            let bound = ag_analysis::uniform_ag_bound(
+                k,
+                g.n(),
+                g.diameter(),
+                g.max_degree(),
+            );
+            let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 21);
+            assert!(stats.completed, "{name} incomplete");
+            assert!(
+                (stats.rounds as f64) < 12.0 * bound,
+                "{name}: {} rounds vs bound {bound}",
+                stats.rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # Algebraic Gossip
+//!
+//! A faithful implementation of the protocols from **"Order Optimal
+//! Information Spreading Using Algebraic Gossip"** (Avin, Borokhovich,
+//! Censor-Hillel, Lotker — PODC 2011):
+//!
+//! * [`AlgebraicGossip`] — uniform (or round-robin) algebraic gossip:
+//!   every contact exchanges random-linear-coded packets; Theorem 1 bounds
+//!   its stopping time by `O((k + log n + D)·Δ)` rounds w.h.p., which makes
+//!   it order-optimal (`Θ(k + D)`) on constant-max-degree graphs
+//!   (Theorem 3).
+//! * [`Tag`] — **T**ree-based **A**lgebraic **G**ossip: odd wakeups run a
+//!   pluggable spanning-tree gossip protocol `S`, even wakeups run
+//!   algebraic gossip with the node's tree parent as its fixed partner.
+//!   Theorem 4: `O(k + log n + d(S) + t(S))` rounds w.h.p.
+//! * [`BroadcastTree`] — spanning-tree construction via 1-dissemination:
+//!   with [`CommModel::RoundRobin`] this is the paper's `B_RR`, which
+//!   finishes in at most `3n` synchronous rounds *deterministically*
+//!   (Theorem 5 + Lemma 2), making TAG order-optimal (`Θ(n)`) for
+//!   `k = Ω(n)` on **any** graph.
+//! * [`IsTree`] — a bitstring information-spreading spanning-tree protocol
+//!   in the style of Censor-Hillel & Shachnai (Section 6), with the MSB
+//!   parent rule; and [`OracleTree`] — an oracle standing in for the exact
+//!   IS protocol, delivering a BFS tree after a configurable `t(S)`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ag_gf::Gf256;
+//! use ag_graph::builders;
+//! use ag_sim::{Engine, EngineConfig};
+//! use algebraic_gossip::{AgConfig, AlgebraicGossip, Placement};
+//!
+//! // Disseminate k = 8 messages over a 4x4 grid, synchronous EXCHANGE.
+//! let graph = builders::grid(4, 4).unwrap();
+//! let cfg = AgConfig::new(8).with_payload_len(4);
+//! let mut proto = AlgebraicGossip::<Gf256>::new(&graph, &cfg, 7).unwrap();
+//! let stats = Engine::new(EngineConfig::synchronous(7)).run(&mut proto);
+//! assert!(stats.completed);
+//! // Every node decoded every message:
+//! for v in 0..16 {
+//!     assert_eq!(proto.decoded(v).unwrap(), proto.generation().messages());
+//! }
+//! ```
+
+mod ag;
+mod baseline;
+mod broadcast;
+mod crash;
+mod is_tree;
+mod oracle;
+mod placement;
+mod runner;
+mod tag;
+mod tree_ag;
+mod tree_protocol;
+
+pub use ag::{AgConfig, AlgebraicGossip};
+pub use ag_sim::{Action, CommModel, TimeModel};
+pub use baseline::{RandomMessageGossip, RawMsg};
+pub use broadcast::BroadcastTree;
+pub use crash::{CrashPlan, WithCrashes};
+pub use is_tree::{HeardSet, IsTree};
+pub use oracle::OracleTree;
+pub use placement::Placement;
+pub use runner::{measure_tree_protocol, run_protocol, ProtocolKind, RunSpec};
+pub use tag::{Tag, TagMsg};
+pub use tree_ag::TreeAg;
+pub use tree_protocol::{TreeProtocol, TreeRunner};

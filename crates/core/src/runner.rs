@@ -1,0 +1,281 @@
+//! High-level experiment runner: one call from (graph, spec) to stats.
+//!
+//! The bench harness, the examples and the integration tests all drive the
+//! protocols through this module so that every experiment applies identical
+//! seeding, verification and accounting rules.
+
+use ag_gf::Field;
+use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
+use ag_sim::{Engine, EngineConfig, RunStats};
+
+use crate::ag::{AgConfig, AlgebraicGossip};
+use crate::baseline::RandomMessageGossip;
+use crate::broadcast::BroadcastTree;
+use crate::is_tree::IsTree;
+use crate::oracle::OracleTree;
+use crate::tag::Tag;
+use crate::tree_protocol::{TreeProtocol, TreeRunner};
+use crate::CommModel;
+
+/// Which protocol configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Uniform algebraic gossip (Theorem 1 / 3).
+    UniformAg,
+    /// Algebraic gossip with round-robin partner selection (ablation A3).
+    RoundRobinAg,
+    /// TAG with the round-robin broadcast `B_RR` rooted at the node
+    /// (Theorem 5 / Section 5).
+    TagBrr(NodeId),
+    /// TAG with uniform-gossip broadcast as the tree protocol.
+    TagUniformBroadcast(NodeId),
+    /// TAG with the IS-style bitstring tree protocol (Section 6 facsimile).
+    TagIs(NodeId),
+    /// TAG with the oracle tree revealing after the given per-node wakeup
+    /// count (the [5]-bound stand-in; Theorems 7/8).
+    TagOracle(NodeId, u64),
+    /// The uncoded store-and-forward baseline (random message selection) —
+    /// the comparator that quantifies the coding gain.
+    UncodedRandom,
+}
+
+/// A complete run specification: protocol, AG parameters, engine settings.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Protocol selection.
+    pub kind: ProtocolKind,
+    /// Generation size, payload, placement, action.
+    pub ag: AgConfig,
+    /// Time model, budget, loss, dedup, engine seed.
+    pub engine: EngineConfig,
+    /// Protocol seed (generation content, placement, RR offsets).
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with sane defaults for the given protocol and `k`.
+    #[must_use]
+    pub fn new(kind: ProtocolKind, k: usize) -> Self {
+        RunSpec {
+            kind,
+            ag: AgConfig::new(k),
+            engine: EngineConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets both seeds (protocol and engine) from one value.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.engine.seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self
+    }
+}
+
+/// Runs the specified protocol on `graph` and verifies decoding.
+///
+/// Returns the run statistics and whether every node decoded the exact
+/// generation (`false` when the run hit the round budget first; decoding
+/// success is always checked when the run completes and a failure is a
+/// **panic**, because it would mean the codec is wrong, not the protocol
+/// slow).
+///
+/// # Errors
+///
+/// Propagates construction errors (disconnected graph, bad root, `k = 0`).
+///
+/// # Panics
+///
+/// Panics if a completed run fails to decode — that is a correctness bug,
+/// never a performance artifact.
+pub fn run_protocol<F: Field>(
+    graph: &Graph,
+    spec: &RunSpec,
+) -> Result<(RunStats, bool), GraphError> {
+    let mut engine = Engine::new(spec.engine);
+    match spec.kind {
+        ProtocolKind::UniformAg => {
+            let cfg = spec.ag.clone().with_comm_model(CommModel::Uniform);
+            let mut proto = AlgebraicGossip::<F>::new(graph, &cfg, spec.seed)?;
+            let stats = engine.run(&mut proto);
+            let ok = verify_ag(&proto, &stats);
+            Ok((stats, ok))
+        }
+        ProtocolKind::RoundRobinAg => {
+            let cfg = spec.ag.clone().with_comm_model(CommModel::RoundRobin);
+            let mut proto = AlgebraicGossip::<F>::new(graph, &cfg, spec.seed)?;
+            let stats = engine.run(&mut proto);
+            let ok = verify_ag(&proto, &stats);
+            Ok((stats, ok))
+        }
+        ProtocolKind::TagBrr(root) => {
+            let tree = BroadcastTree::new(graph, root, CommModel::RoundRobin, spec.seed)?;
+            run_tag::<F, _>(graph, tree, spec, &mut engine)
+        }
+        ProtocolKind::TagUniformBroadcast(root) => {
+            let tree = BroadcastTree::new(graph, root, CommModel::Uniform, spec.seed)?;
+            run_tag::<F, _>(graph, tree, spec, &mut engine)
+        }
+        ProtocolKind::TagIs(root) => {
+            let tree = IsTree::new(graph, root, spec.seed)?;
+            run_tag::<F, _>(graph, tree, spec, &mut engine)
+        }
+        ProtocolKind::TagOracle(root, reveal_after) => {
+            let tree = OracleTree::new(graph, root, reveal_after)?;
+            run_tag::<F, _>(graph, tree, spec, &mut engine)
+        }
+        ProtocolKind::UncodedRandom => {
+            let mut proto = RandomMessageGossip::<F>::new(graph, &spec.ag, spec.seed)?;
+            let stats = engine.run(&mut proto);
+            let ok = if stats.completed {
+                for v in 0..graph.n() {
+                    let held = proto.messages_of(v);
+                    assert_eq!(held.len(), spec.ag.k, "node {v} missing messages");
+                    for m in held {
+                        assert_eq!(
+                            m.payload,
+                            proto.generation().message(m.index),
+                            "node {v} holds corrupted message {}",
+                            m.index
+                        );
+                    }
+                }
+                true
+            } else {
+                false
+            };
+            Ok((stats, ok))
+        }
+    }
+}
+
+fn run_tag<F: Field, S: TreeProtocol>(
+    graph: &Graph,
+    tree: S,
+    spec: &RunSpec,
+    engine: &mut Engine,
+) -> Result<(RunStats, bool), GraphError> {
+    let mut proto = Tag::<F, S>::new(graph, tree, &spec.ag, spec.seed)?;
+    let stats = engine.run(&mut proto);
+    let ok = if stats.completed {
+        let want = proto.generation().messages();
+        for v in 0..graph.n() {
+            let got = proto.decoded(v).expect("completed node must decode");
+            assert_eq!(got, want, "node {v} decoded wrong data — codec bug");
+        }
+        true
+    } else {
+        false
+    };
+    Ok((stats, ok))
+}
+
+fn verify_ag<F: Field>(proto: &AlgebraicGossip<F>, stats: &RunStats) -> bool {
+    if !stats.completed {
+        return false;
+    }
+    let want = proto.generation().messages();
+    for v in 0..proto.graph().n() {
+        let got = proto.decoded(v).expect("completed node must decode");
+        assert_eq!(got, want, "node {v} decoded wrong data — codec bug");
+    }
+    true
+}
+
+/// Runs a spanning-tree protocol standalone and reports `(t(S), d(S),
+/// depth)` together with the run stats — the quantities in Theorem 4's
+/// bound.
+///
+/// # Panics
+///
+/// Panics if the protocol completes without producing a valid tree (a
+/// protocol bug).
+pub fn measure_tree_protocol<S: TreeProtocol>(
+    tree: S,
+    engine_cfg: EngineConfig,
+) -> (RunStats, Option<SpanningTree>) {
+    let mut runner = TreeRunner::new(tree);
+    let stats = Engine::new(engine_cfg).run(&mut runner);
+    let tree = if stats.completed {
+        Some(
+            runner
+                .inner()
+                .spanning_tree()
+                .expect("completed tree protocol must yield a tree"),
+        )
+    } else {
+        None
+    };
+    (stats, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::Gf256;
+    use ag_graph::builders;
+    use ag_sim::TimeModel;
+
+    #[test]
+    fn every_protocol_kind_completes_on_barbell() {
+        let g = builders::barbell(10).unwrap();
+        for kind in [
+            ProtocolKind::UniformAg,
+            ProtocolKind::RoundRobinAg,
+            ProtocolKind::TagBrr(0),
+            ProtocolKind::TagUniformBroadcast(0),
+            ProtocolKind::TagIs(0),
+            ProtocolKind::TagOracle(0, 3),
+            ProtocolKind::UncodedRandom,
+        ] {
+            let mut spec = RunSpec::new(kind, 5).with_seed(11);
+            spec.engine.max_rounds = 500_000;
+            let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+            assert!(stats.completed, "{kind:?} incomplete");
+            assert!(ok, "{kind:?} failed verification");
+        }
+    }
+
+    #[test]
+    fn asynchronous_runs_work_through_runner() {
+        let g = builders::grid(3, 3).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::TagBrr(4), 9).with_seed(5);
+        spec.engine.time_model = TimeModel::Asynchronous;
+        spec.engine.max_rounds = 500_000;
+        let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        assert!(stats.completed && ok);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_ok() {
+        let g = builders::barbell(20).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::UniformAg, 20).with_seed(3);
+        spec.engine.max_rounds = 2; // hopeless budget
+        let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        assert!(!stats.completed);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn measure_tree_protocol_reports_tree() {
+        let g = builders::lollipop(6, 4).unwrap();
+        let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 7).unwrap();
+        let (stats, tree) = measure_tree_protocol(
+            brr,
+            EngineConfig::synchronous(7).with_max_rounds(10_000),
+        );
+        assert!(stats.completed);
+        let tree = tree.unwrap();
+        assert!(tree.is_spanning_tree_of(&g));
+        assert!(u64::from(tree.tree_diameter()) <= stats.rounds * 2);
+    }
+
+    #[test]
+    fn with_seed_decorrelates_engine_seed() {
+        let a = RunSpec::new(ProtocolKind::UniformAg, 2).with_seed(1);
+        let b = RunSpec::new(ProtocolKind::UniformAg, 2).with_seed(2);
+        assert_ne!(a.engine.seed, b.engine.seed);
+        assert_ne!(a.engine.seed, a.seed);
+    }
+}

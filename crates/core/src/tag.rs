@@ -1,0 +1,340 @@
+//! TAG: Tree-based Algebraic Gossip (Section 4).
+
+use ag_gf::Field;
+use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
+use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use ag_sim::{Action, ContactIntent, Protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ag::AgConfig;
+use crate::tree_protocol::TreeProtocol;
+
+/// The message type of [`Tag`]: Phase-1 (spanning tree) or Phase-2 (RLNC).
+#[derive(Debug, Clone)]
+pub enum TagMsg<M, F> {
+    /// A spanning-tree protocol message.
+    Tree(M),
+    /// An algebraic-gossip coded packet.
+    Ag(Packet<F>),
+}
+
+/// Contact tags distinguishing TAG's phases inside the engine.
+const TAG_PHASE1: u32 = 1;
+const TAG_PHASE2: u32 = 2;
+
+/// The TAG protocol: "if a node wakes up when the total number of its
+/// wakeups until now is odd, it acts according to Phase 1 [the spanning
+/// tree protocol S]. If … even, it acts according to Phase 2 [EXCHANGE
+/// algebraic gossip with its parent]."
+///
+/// Phase 2 is idle until the node obtains a parent, after which its fixed
+/// communication partner is that parent — which removes the `Δ` factor
+/// from the uniform-gossip bound and yields Theorem 4:
+/// `t(TAG) = O(k + log n + d(S) + t(S))` w.h.p.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::Gf256;
+/// use ag_graph::builders;
+/// use ag_sim::{CommModel, Engine, EngineConfig};
+/// use algebraic_gossip::{AgConfig, BroadcastTree, Tag};
+///
+/// // TAG with B_RR on the barbell: the paper's headline configuration.
+/// let g = builders::barbell(12).unwrap();
+/// let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 5).unwrap();
+/// let cfg = AgConfig::new(12); // k = n: all-to-all
+/// let mut tag = Tag::<Gf256, _>::new(&g, brr, &cfg, 5).unwrap();
+/// let stats = Engine::new(EngineConfig::synchronous(5).with_max_rounds(100_000))
+///     .run(&mut tag);
+/// assert!(stats.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tag<F: Field, S> {
+    graph: Graph,
+    tree: S,
+    generation: Generation<F>,
+    decoders: Vec<Decoder<F>>,
+    wakeups: Vec<u64>,
+}
+
+impl<F: Field, S: TreeProtocol> Tag<F, S> {
+    /// Builds TAG over `graph` using `tree` as the Phase-1 protocol `S`.
+    ///
+    /// `cfg.comm_model` is ignored (Phase 2's partner is always the
+    /// parent; Phase 1 uses `S`'s own rule); `cfg.action` is ignored in
+    /// Phase 2, which is EXCHANGE per the paper's pseudo-code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0`, the graph is
+    /// disconnected, or `tree` is for a different node count.
+    pub fn new(graph: &Graph, tree: S, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
+        if cfg.k == 0 {
+            return Err(GraphError::InvalidSize("k must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        Self::new_with_generation(graph, tree, cfg, generation, seed)
+    }
+
+    /// Like [`Tag::new`] but disseminating the *given* generation (real
+    /// data, e.g. from [`ag_rlnc::BlockEncoder`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] on shape mismatch, disconnected
+    /// graph, or tree-size mismatch.
+    pub fn new_with_generation(
+        graph: &Graph,
+        tree: S,
+        cfg: &AgConfig,
+        generation: Generation<F>,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if cfg.k != generation.k() || cfg.payload_len != generation.message_len() {
+            return Err(GraphError::InvalidSize(format!(
+                "config shape (k={}, r={}) does not match generation (k={}, r={})",
+                cfg.k,
+                cfg.payload_len,
+                generation.k(),
+                generation.message_len()
+            )));
+        }
+        if !graph.is_connected() {
+            return Err(GraphError::InvalidSize(
+                "dissemination requires a connected graph".into(),
+            ));
+        }
+        if tree.num_nodes() != graph.n() {
+            return Err(GraphError::InvalidSize(format!(
+                "tree protocol covers {} nodes but graph has {}",
+                tree.num_nodes(),
+                graph.n()
+            )));
+        }
+        // Advance the RNG identically to `new` so placement agrees.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
+        let mut decoders: Vec<Decoder<F>> = (0..graph.n())
+            .map(|_| Decoder::new(cfg.k, cfg.payload_len))
+            .collect();
+        for (msg, &host) in hosts.iter().enumerate() {
+            decoders[host].seed_message(&generation, msg);
+        }
+        Ok(Tag {
+            graph: graph.clone(),
+            tree,
+            generation,
+            decoders,
+            wakeups: vec![0; graph.n()],
+        })
+    }
+
+    /// The Phase-1 protocol.
+    #[must_use]
+    pub fn tree_protocol(&self) -> &S {
+        &self.tree
+    }
+
+    /// The finished spanning tree, once Phase 1 completes.
+    #[must_use]
+    pub fn spanning_tree(&self) -> Option<SpanningTree> {
+        self.tree.spanning_tree()
+    }
+
+    /// The ground-truth generation.
+    #[must_use]
+    pub fn generation(&self) -> &Generation<F> {
+        &self.generation
+    }
+
+    /// Node `v`'s current rank.
+    #[must_use]
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.decoders[v].rank()
+    }
+
+    /// Node `v`'s decoded messages once complete.
+    #[must_use]
+    pub fn decoded(&self, v: NodeId) -> Option<Vec<Vec<F>>> {
+        self.decoders[v].decode()
+    }
+}
+
+impl<F: Field, S: TreeProtocol> Protocol for Tag<F, S> {
+    type Msg = TagMsg<S::Msg, F>;
+
+    fn num_nodes(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+        self.wakeups[node] += 1;
+        if self.wakeups[node] % 2 == 1 {
+            // Phase 1: one step of the spanning-tree protocol S.
+            let mut intent = self.tree.on_wakeup(node, rng)?;
+            intent.tag = TAG_PHASE1;
+            Some(intent)
+        } else {
+            // Phase 2: EXCHANGE algebraic gossip with the parent, if any.
+            let parent = self.tree.parent(node)?;
+            Some(ContactIntent {
+                partner: parent,
+                action: Action::Exchange,
+                tag: TAG_PHASE2,
+            })
+        }
+    }
+
+    fn compose(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<Self::Msg> {
+        match tag {
+            TAG_PHASE1 => self.tree.compose(from, to, rng).map(TagMsg::Tree),
+            TAG_PHASE2 => Recoder::new(&self.decoders[from]).emit(rng).map(TagMsg::Ag),
+            other => unreachable!("unknown TAG contact tag {other}"),
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, _tag: u32, msg: Self::Msg) {
+        // "On contact from other node w: if w performs Phase 1, exchange
+        // according to S; else exchange according to algebraic gossip."
+        // The message variant itself carries the phase.
+        match msg {
+            TagMsg::Tree(m) => self.tree.deliver(from, to, m),
+            TagMsg::Ag(p) => {
+                let _ = self.decoders[to].receive(p);
+            }
+        }
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        self.decoders[node].is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::BroadcastTree;
+    use crate::oracle::OracleTree;
+    use crate::placement::Placement;
+    use ag_gf::{Gf2, Gf256};
+    use ag_graph::builders;
+    use ag_sim::{CommModel, Engine, EngineConfig, TimeModel};
+
+    fn run_tag_brr<F: Field>(
+        g: &Graph,
+        cfg: &AgConfig,
+        time: TimeModel,
+        seed: u64,
+    ) -> (Tag<F, BroadcastTree>, ag_sim::RunStats) {
+        let brr = BroadcastTree::new(g, 0, CommModel::RoundRobin, seed).unwrap();
+        let mut tag = Tag::<F, _>::new(g, brr, cfg, seed).unwrap();
+        let ecfg = match time {
+            TimeModel::Synchronous => EngineConfig::synchronous(seed),
+            TimeModel::Asynchronous => EngineConfig::asynchronous(seed),
+        }
+        .with_max_rounds(500_000);
+        let stats = Engine::new(ecfg).run(&mut tag);
+        (tag, stats)
+    }
+
+    #[test]
+    fn tag_brr_completes_and_decodes_on_barbell() {
+        let g = builders::barbell(12).unwrap();
+        let cfg = AgConfig::new(12).with_payload_len(2);
+        let (tag, stats) = run_tag_brr::<Gf256>(&g, &cfg, TimeModel::Synchronous, 3);
+        assert!(stats.completed);
+        for v in 0..12 {
+            assert_eq!(tag.decoded(v).unwrap(), tag.generation().messages());
+        }
+        // Phase 1 finished too, and the tree is genuine.
+        let tree = tag.spanning_tree().unwrap();
+        assert!(tree.is_spanning_tree_of(&g));
+    }
+
+    #[test]
+    fn tag_completes_asynchronously() {
+        let g = builders::grid(3, 4).unwrap();
+        let cfg = AgConfig::new(6);
+        let (_, stats) = run_tag_brr::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 9);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn tag_with_gf2_on_path() {
+        let g = builders::path(8).unwrap();
+        let cfg = AgConfig::new(8);
+        let (_, stats) = run_tag_brr::<Gf2>(&g, &cfg, TimeModel::Synchronous, 1);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn tag_with_oracle_tree() {
+        let g = builders::barbell(16).unwrap();
+        let oracle = OracleTree::new(&g, 0, 4).unwrap();
+        let cfg = AgConfig::new(8).with_placement(Placement::Random);
+        let mut tag = Tag::<Gf256, _>::new(&g, oracle, &cfg, 2).unwrap();
+        let stats =
+            Engine::new(EngineConfig::synchronous(2).with_max_rounds(100_000)).run(&mut tag);
+        assert!(stats.completed);
+        let tree = tag.spanning_tree().unwrap();
+        assert!(tree.is_spanning_tree_of(&g));
+    }
+
+    #[test]
+    fn tag_beats_theorem4_bound_with_margin() {
+        // t(TAG) = O(k + log n + d(S) + t(S)); with BRR, t(S) <= 3n and
+        // the TAG interleaving doubles it. Check a x16 constant.
+        let g = builders::barbell(16).unwrap();
+        let k = 16;
+        let cfg = AgConfig::new(k);
+        let (_, stats) = run_tag_brr::<Gf256>(&g, &cfg, TimeModel::Synchronous, 13);
+        assert!(stats.completed);
+        let bound = ag_analysis::tag_bound(k, g.n(), g.n() as u32, 6.0 * g.n() as f64);
+        assert!(
+            (stats.rounds as f64) < 16.0 * bound,
+            "{} rounds vs bound {bound}",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_tree_size() {
+        let g = builders::path(6).unwrap();
+        let other = builders::path(5).unwrap();
+        let brr = BroadcastTree::new(&other, 0, CommModel::RoundRobin, 0).unwrap();
+        assert!(Tag::<Gf256, _>::new(&g, brr, &AgConfig::new(2), 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = builders::barbell(10).unwrap();
+        let cfg = AgConfig::new(5);
+        let (_, a) = run_tag_brr::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 42);
+        let (_, b) = run_tag_brr::<Gf256>(&g, &cfg, TimeModel::Asynchronous, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase2_idle_until_parent_known() {
+        // With an oracle that reveals very late, no AG packets flow early:
+        // after a few rounds every rank is still the seeded value.
+        let g = builders::cycle(8).unwrap();
+        let oracle = OracleTree::new(&g, 0, 1_000).unwrap();
+        let cfg = AgConfig::new(8);
+        let mut tag = Tag::<Gf256, _>::new(&g, oracle, &cfg, 3).unwrap();
+        let _ = Engine::new(EngineConfig::synchronous(3).with_max_rounds(10)).run(&mut tag);
+        for v in 0..8 {
+            assert_eq!(tag.rank(v), 1, "node {v} gained rank before Phase 1 ended");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Algebraic gossip on a fixed tree (the setting of Lemma 1).
+//!
+//! "Consider algebraic gossip EXCHANGE protocol with the following
+//! communication model: the communication partner of a node is fixed to be
+//! its parent in `T_n` during the whole protocol. Then, the time needed for
+//! all the nodes to learn all the k messages is `O(k + log n + l_max)`
+//! rounds…" — this is TAG's Phase 2 in isolation, and the experiment that
+//! isolates the queueing bound from tree-construction time.
+
+use ag_gf::Field;
+use ag_graph::{GraphError, NodeId, SpanningTree};
+use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use ag_sim::{Action, ContactIntent, Protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ag::AgConfig;
+
+/// EXCHANGE algebraic gossip where every node's partner is its tree parent.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::Gf256;
+/// use ag_graph::builders;
+/// use ag_sim::{Engine, EngineConfig};
+/// use algebraic_gossip::{AgConfig, TreeAg};
+///
+/// let g = builders::binary_tree(15).unwrap();
+/// let tree = g.bfs_tree(0).into_spanning_tree();
+/// let mut proto = TreeAg::<Gf256>::new(&tree, &AgConfig::new(15), 4).unwrap();
+/// let stats = Engine::new(EngineConfig::synchronous(4).with_max_rounds(100_000))
+///     .run(&mut proto);
+/// assert!(stats.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeAg<F: Field> {
+    tree: SpanningTree,
+    generation: Generation<F>,
+    decoders: Vec<Decoder<F>>,
+}
+
+impl<F: Field> TreeAg<F> {
+    /// Builds the protocol on a spanning tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0`.
+    pub fn new(tree: &SpanningTree, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
+        if cfg.k == 0 {
+            return Err(GraphError::InvalidSize("k must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        let hosts = cfg.placement.assign(tree.n(), cfg.k, &mut rng);
+        let mut decoders: Vec<Decoder<F>> = (0..tree.n())
+            .map(|_| Decoder::new(cfg.k, cfg.payload_len))
+            .collect();
+        for (msg, &host) in hosts.iter().enumerate() {
+            decoders[host].seed_message(&generation, msg);
+        }
+        Ok(TreeAg {
+            tree: tree.clone(),
+            generation,
+            decoders,
+        })
+    }
+
+    /// The ground-truth generation.
+    #[must_use]
+    pub fn generation(&self) -> &Generation<F> {
+        &self.generation
+    }
+
+    /// Node `v`'s decoded messages once complete.
+    #[must_use]
+    pub fn decoded(&self, v: NodeId) -> Option<Vec<Vec<F>>> {
+        self.decoders[v].decode()
+    }
+
+    /// Node `v`'s current rank.
+    #[must_use]
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.decoders[v].rank()
+    }
+}
+
+impl<F: Field> Protocol for TreeAg<F> {
+    type Msg = Packet<F>;
+
+    fn num_nodes(&self) -> usize {
+        self.tree.n()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+        let parent = self.tree.parent(node)?;
+        Some(ContactIntent {
+            partner: parent,
+            action: Action::Exchange,
+            tag: 0,
+        })
+    }
+
+    fn compose(
+        &self,
+        from: NodeId,
+        _to: NodeId,
+        _tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<Packet<F>> {
+        Recoder::new(&self.decoders[from]).emit(rng)
+    }
+
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: Packet<F>) {
+        let _ = self.decoders[to].receive(msg);
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        self.decoders[node].is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use ag_gf::Gf256;
+    use ag_graph::builders;
+    use ag_sim::{Engine, EngineConfig};
+
+    fn run(tree: &SpanningTree, cfg: &AgConfig, seed: u64) -> (TreeAg<Gf256>, ag_sim::RunStats) {
+        let mut proto = TreeAg::<Gf256>::new(tree, cfg, seed).unwrap();
+        let stats = Engine::new(
+            EngineConfig::synchronous(seed).with_max_rounds(200_000),
+        )
+        .run(&mut proto);
+        (proto, stats)
+    }
+
+    #[test]
+    fn all_to_all_on_path_tree() {
+        let tree = builders::path(10).unwrap().bfs_tree(0).into_spanning_tree();
+        let (proto, stats) = run(&tree, &AgConfig::new(10).with_payload_len(1), 5);
+        assert!(stats.completed);
+        for v in 0..10 {
+            assert_eq!(proto.decoded(v).unwrap(), proto.generation().messages());
+        }
+    }
+
+    #[test]
+    fn lemma1_scaling_k_dominates_on_shallow_trees() {
+        // On a star (depth 1), time is Θ(k): doubling k roughly doubles
+        // rounds.
+        let tree = builders::star(16).unwrap().bfs_tree(0).into_spanning_tree();
+        let (_, s1) = run(&tree, &AgConfig::new(8).with_placement(Placement::Random), 7);
+        let (_, s2) = run(&tree, &AgConfig::new(32).with_placement(Placement::Random), 7);
+        assert!(s1.completed && s2.completed);
+        let ratio = s2.rounds as f64 / s1.rounds as f64;
+        assert!(
+            (1.5..10.0).contains(&ratio),
+            "4x k scaled rounds by {ratio} ({} -> {})",
+            s1.rounds,
+            s2.rounds
+        );
+    }
+
+    #[test]
+    fn bidirectional_flow_reaches_leaves() {
+        // Seed everything at a leaf: messages must flow up AND back down.
+        let tree = builders::path(6).unwrap().bfs_tree(0).into_spanning_tree();
+        let cfg = AgConfig::new(3).with_placement(Placement::SingleSource(5));
+        let (proto, stats) = run(&tree, &cfg, 3);
+        assert!(stats.completed);
+        assert_eq!(proto.decoded(0).unwrap(), proto.generation().messages());
+    }
+
+    #[test]
+    fn root_only_node_is_trivially_special() {
+        // Single-node tree with k messages at the root: complete at t=0.
+        let tree = SpanningTree::from_parents(0, vec![None]).unwrap();
+        let (_, stats) = run(&tree, &AgConfig::new(3), 1);
+        assert!(stats.completed);
+        assert_eq!(stats.rounds, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The [`TreeProtocol`] trait: spanning-tree gossip protocols `S`.
+
+use ag_graph::{NodeId, SpanningTree};
+use ag_sim::{ContactIntent, Protocol};
+use rand::rngs::StdRng;
+
+/// A *gossip STP protocol* (Section 2): a gossip protocol whose goal is
+/// that "every node, except a node which is the root, will have a single
+/// neighbor called the parent."
+///
+/// Implementors plug into [`crate::Tag`] as Phase 1 and can also be run
+/// standalone (to measure `t(S)` and `d(S)`) via [`TreeRunner`].
+///
+/// The wakeup/compose/deliver split mirrors [`ag_sim::Protocol`] so the
+/// same synchronous-snapshot discipline applies when TAG interleaves the
+/// phases.
+pub trait TreeProtocol {
+    /// Message type exchanged during tree construction.
+    type Msg;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// The designated root (the node that never obtains a parent).
+    fn root(&self) -> NodeId;
+
+    /// Node `node` takes a Phase-1 step; `None` = idle this wakeup.
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent>;
+
+    /// Composes the Phase-1 message `from → to` from committed state.
+    fn compose(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<Self::Msg>;
+
+    /// Delivers a Phase-1 message.
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: Self::Msg);
+
+    /// The parent `node` has obtained so far (always `None` for the root).
+    fn parent(&self, node: NodeId) -> Option<NodeId>;
+
+    /// True once every non-root node has a parent.
+    fn is_tree_complete(&self) -> bool {
+        let root = self.root();
+        (0..self.num_nodes()).all(|v| v == root || self.parent(v).is_some())
+    }
+
+    /// The finished spanning tree, or `None` before completion.
+    fn spanning_tree(&self) -> Option<SpanningTree> {
+        if !self.is_tree_complete() {
+            return None;
+        }
+        let parents = (0..self.num_nodes()).map(|v| self.parent(v)).collect();
+        SpanningTree::from_parents(self.root(), parents).ok()
+    }
+}
+
+/// Adapter that runs a [`TreeProtocol`] standalone under the simulation
+/// engine — this is how the experiments measure `t(S)` and `d(S)` before
+/// plugging `S` into TAG.
+///
+/// # Examples
+///
+/// ```
+/// use ag_graph::builders;
+/// use ag_sim::{CommModel, Engine, EngineConfig};
+/// use algebraic_gossip::{BroadcastTree, TreeProtocol, TreeRunner};
+///
+/// let g = builders::cycle(8).unwrap();
+/// let bcast = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 1).unwrap();
+/// let mut runner = TreeRunner::new(bcast);
+/// let stats = Engine::new(EngineConfig::synchronous(1)).run(&mut runner);
+/// assert!(stats.completed);
+/// let tree = runner.inner().spanning_tree().unwrap();
+/// assert!(tree.is_spanning_tree_of(&g));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeRunner<S> {
+    inner: S,
+}
+
+impl<S: TreeProtocol> TreeRunner<S> {
+    /// Wraps a tree protocol for standalone execution.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        TreeRunner { inner }
+    }
+
+    /// The wrapped protocol.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the protocol.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TreeProtocol> Protocol for TreeRunner<S> {
+    type Msg = S::Msg;
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+        self.inner.on_wakeup(node, rng)
+    }
+
+    fn compose(&self, from: NodeId, to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<S::Msg> {
+        self.inner.compose(from, to, rng)
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, _tag: u32, msg: S::Msg) {
+        self.inner.deliver(from, to, msg);
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        node == self.inner.root() || self.inner.parent(node).is_some()
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests across the protocol layer.
+
+use ag_gf::{Gf2, Gf256};
+use ag_graph::builders;
+use ag_sim::{EngineConfig, TimeModel};
+use algebraic_gossip::{
+    run_protocol, Placement, ProtocolKind, RunSpec,
+};
+use proptest::prelude::*;
+
+/// Small connected graphs drawn from the evaluation families.
+fn small_graph(idx: usize, n: usize) -> ag_graph::Graph {
+    let n = n.max(4);
+    match idx % 5 {
+        0 => builders::path(n).unwrap(),
+        1 => builders::cycle(n).unwrap(),
+        2 => builders::grid(2, n / 2).unwrap(),
+        3 => builders::barbell(n).unwrap(),
+        _ => builders::complete(n).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform AG completes and decodes on every family, any seed, any k,
+    /// both time models.
+    #[test]
+    fn uniform_ag_always_completes(
+        seed in any::<u64>(),
+        gidx in 0usize..5,
+        n in 4usize..12,
+        k in 1usize..8,
+        sync in any::<bool>(),
+    ) {
+        let g = small_graph(gidx, n);
+        let mut spec = RunSpec::new(ProtocolKind::UniformAg, k).with_seed(seed);
+        spec.engine = if sync {
+            EngineConfig::synchronous(seed)
+        } else {
+            EngineConfig::asynchronous(seed)
+        }
+        .with_max_rounds(1_000_000);
+        let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        prop_assert!(stats.completed, "incomplete on graph {gidx}, n={n}, k={k}");
+        prop_assert!(ok);
+        // Trivial lower bound: >= k/2 rounds in the synchronous model.
+        if sync {
+            prop_assert!(stats.rounds >= (k as u64) / 2);
+        }
+    }
+
+    /// TAG with BRR completes and its Phase-1 tree is a spanning tree.
+    #[test]
+    fn tag_brr_always_completes(
+        seed in any::<u64>(),
+        gidx in 0usize..5,
+        n in 4usize..12,
+        k in 1usize..8,
+    ) {
+        let g = small_graph(gidx, n);
+        let root = seed as usize % g.n();
+        let mut spec = RunSpec::new(ProtocolKind::TagBrr(root), k).with_seed(seed);
+        spec.engine = EngineConfig::synchronous(seed).with_max_rounds(1_000_000);
+        let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        prop_assert!(stats.completed);
+        prop_assert!(ok);
+    }
+
+    /// GF(2) — the worst-case field — still always decodes correctly.
+    #[test]
+    fn gf2_decodes_exactly(
+        seed in any::<u64>(),
+        n in 4usize..10,
+        k in 1usize..6,
+    ) {
+        let g = builders::cycle(n).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::UniformAg, k).with_seed(seed);
+        spec.ag = spec.ag.with_payload_len(3).with_placement(Placement::Random);
+        spec.engine = EngineConfig::synchronous(seed).with_max_rounds(1_000_000);
+        let (stats, ok) = run_protocol::<Gf2>(&g, &spec).unwrap();
+        prop_assert!(stats.completed && ok);
+    }
+
+    /// Determinism: the same spec gives bit-identical stats.
+    #[test]
+    fn seeded_runs_are_reproducible(seed in any::<u64>(), k in 1usize..6) {
+        let g = builders::grid(3, 3).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::TagBrr(0), k).with_seed(seed);
+        spec.engine = EngineConfig::asynchronous(seed).with_max_rounds(1_000_000);
+        let (a, _) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        let (b, _) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Moderate message loss slows but does not break dissemination.
+    #[test]
+    fn lossy_channels_still_complete(seed in any::<u64>(), loss in 0.05f64..0.4) {
+        let g = builders::cycle(8).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::UniformAg, 4).with_seed(seed);
+        spec.engine = EngineConfig::synchronous(seed)
+            .with_loss(loss)
+            .with_max_rounds(1_000_000);
+        let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        prop_assert!(stats.completed && ok, "loss {loss} broke the run");
+        prop_assert!(stats.messages_dropped > 0);
+    }
+
+    /// The asynchronous model is never *slower in timeslots* than
+    /// max_rounds * n, and rounds accounting is consistent.
+    #[test]
+    fn async_accounting_consistent(seed in any::<u64>()) {
+        let g = builders::path(6).unwrap();
+        let mut spec = RunSpec::new(ProtocolKind::UniformAg, 3).with_seed(seed);
+        spec.engine = EngineConfig {
+            time_model: TimeModel::Asynchronous,
+            ..EngineConfig::asynchronous(seed)
+        }
+        .with_max_rounds(1_000_000);
+        let (stats, _) = run_protocol::<Gf256>(&g, &spec).unwrap();
+        prop_assert_eq!(stats.rounds, stats.timeslots.div_ceil(6));
+    }
+}

@@ -1,0 +1,187 @@
+//! Finite-field arithmetic for algebraic gossip.
+//!
+//! Random linear network coding (RLNC) — the message format used by the
+//! algebraic gossip protocols of Avin, Borokhovich, Censor-Hillel and Lotker
+//! (PODC 2011) — draws coefficients uniformly at random from a finite field
+//! `F_q`. The probability that a coded message emitted by a *helpful* node is
+//! itself helpful is at least `1 − 1/q` (Deb et al., Lemma 2.1), so the field
+//! size is a first-class experimental parameter. This crate provides:
+//!
+//! * [`Field`] — the trait every coefficient type implements,
+//! * [`Gf2`] — the binary field (q = 2, the paper's worst case),
+//! * [`Gf16`] — GF(2⁴), nibble-sized symbols,
+//! * [`Gf256`] — GF(2⁸) with log/exp tables (the practical RLNC default),
+//! * [`Gf65536`] — GF(2¹⁶) via carry-less multiplication,
+//! * [`Fp`] — prime fields GF(p) for any prime `p < 2³²`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_gf::{Field, Gf256};
+//!
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! // Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+//! assert_eq!(a * b, Gf256::new(0xc1));
+//! // Every nonzero element has a multiplicative inverse.
+//! let inv = a.inv().unwrap();
+//! assert_eq!(a * inv, Gf256::ONE);
+//! ```
+
+// In characteristic-2 fields XOR *is* addition and AND-style carry-less
+// products *are* multiplication; clippy's heuristic flags them as suspicious.
+#![allow(clippy::suspicious_arithmetic_impl)]
+#![allow(clippy::suspicious_op_assign_impl)]
+
+mod field;
+mod fp;
+mod gf2;
+mod gf16;
+mod gf256;
+mod gf65536;
+pub mod symbols;
+
+pub use field::Field;
+pub use fp::{Fp, F13, F257, F65537, F7};
+pub use gf2::Gf2;
+pub use gf16::Gf16;
+pub use gf256::Gf256;
+pub use gf65536::Gf65536;
+
+#[cfg(test)]
+mod axiom_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exercise the full field-axiom battery on a sample of elements.
+    fn check_axioms_sample<F: Field>(elems: &[F]) {
+        for &a in elems {
+            // Additive identity / inverse.
+            assert_eq!(a + F::ZERO, a);
+            assert_eq!(a + (-a), F::ZERO);
+            // Multiplicative identity.
+            assert_eq!(a * F::ONE, a);
+            assert_eq!(a * F::ZERO, F::ZERO);
+            // Inverse (nonzero only).
+            if a != F::ZERO {
+                let ai = a.inv().expect("nonzero element must be invertible");
+                assert_eq!(a * ai, F::ONE, "a * a^-1 != 1");
+            } else {
+                assert!(a.inv().is_none(), "zero must not be invertible");
+            }
+            for &b in elems {
+                // Commutativity.
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                // Subtraction is the inverse of addition.
+                assert_eq!((a + b) - b, a);
+                for &c in elems {
+                    // Associativity.
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                    // Distributivity.
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    fn sample<F: Field>(count: usize, seed: u64) -> Vec<F> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![F::ZERO, F::ONE];
+        while v.len() < count {
+            v.push(F::random(&mut rng));
+        }
+        v
+    }
+
+    #[test]
+    fn gf2_axioms_exhaustive() {
+        check_axioms_sample::<Gf2>(&[Gf2::ZERO, Gf2::ONE]);
+    }
+
+    #[test]
+    fn gf16_axioms_exhaustive() {
+        let all: Vec<Gf16> = (0..16u8).map(Gf16::new).collect();
+        check_axioms_sample(&all);
+    }
+
+    #[test]
+    fn gf256_axioms_sampled() {
+        check_axioms_sample::<Gf256>(&sample(12, 0xA11CE));
+    }
+
+    #[test]
+    fn gf65536_axioms_sampled() {
+        check_axioms_sample::<Gf65536>(&sample(10, 0xB0B));
+    }
+
+    #[test]
+    fn f257_axioms_sampled() {
+        check_axioms_sample::<F257>(&sample(12, 0xCAFE));
+    }
+
+    #[test]
+    fn f65537_axioms_sampled() {
+        check_axioms_sample::<F65537>(&sample(10, 0xD00D));
+    }
+
+    #[test]
+    fn f7_axioms_exhaustive() {
+        let all: Vec<F7> = (0..7u64).map(F7::from_u64).collect();
+        check_axioms_sample(&all);
+    }
+
+    #[test]
+    fn field_sizes_are_correct() {
+        assert_eq!(Gf2::SIZE, 2);
+        assert_eq!(Gf16::SIZE, 16);
+        assert_eq!(Gf256::SIZE, 256);
+        assert_eq!(Gf65536::SIZE, 65536);
+        assert_eq!(F257::SIZE, 257);
+        assert_eq!(F65537::SIZE, 65537);
+    }
+
+    #[test]
+    fn random_nonzero_is_nonzero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_ne!(Gf2::random_nonzero(&mut rng), Gf2::ZERO);
+            assert_ne!(Gf256::random_nonzero(&mut rng), Gf256::ZERO);
+            assert_ne!(F257::random_nonzero(&mut rng), F257::ZERO);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let a = Gf256::random(&mut rng);
+            let mut acc = Gf256::ONE;
+            for e in 0..10u64 {
+                assert_eq!(a.pow(e), acc);
+                acc *= a;
+            }
+        }
+    }
+
+    #[test]
+    fn from_u64_round_trips_small_values() {
+        for v in 0..2 {
+            assert_eq!(Gf2::from_u64(v).to_u64(), v);
+        }
+        for v in 0..16 {
+            assert_eq!(Gf16::from_u64(v).to_u64(), v);
+        }
+        for v in [0u64, 1, 17, 200, 255] {
+            assert_eq!(Gf256::from_u64(v).to_u64(), v);
+        }
+        for v in [0u64, 1, 65535] {
+            assert_eq!(Gf65536::from_u64(v).to_u64(), v);
+        }
+        for v in [0u64, 1, 256] {
+            assert_eq!(F257::from_u64(v).to_u64(), v);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The core undirected graph type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node in a [`Graph`] (`0..n`).
+pub type NodeId = usize;
+
+/// Error constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The graph size.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied.
+    SelfLoop(NodeId),
+    /// The same undirected edge appeared twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// A builder was asked for an impossible size (e.g. `n = 0`).
+    InvalidSize(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph of {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::InvalidSize(msg) => write!(f, "invalid size: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A simple undirected graph `G_n = (V, E)` with sorted adjacency lists.
+///
+/// Invariants (enforced at construction): no self-loops, no parallel edges,
+/// neighbor lists sorted ascending. Gossip protocols rely on the sorted
+/// order for deterministic round-robin neighbor cycling (Definition 2 of
+/// the paper: "a fixed, cyclic list of the node's neighbors").
+///
+/// # Examples
+///
+/// ```
+/// use ag_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops,
+    /// duplicate edges, or `n == 0`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::InvalidSize("graph needs at least 1 node".into()));
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for (u, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0] == w[1]) {
+                let dup = list
+                    .windows(2)
+                    .find(|w| w[0] == w[1])
+                    .map(|w| w[0])
+                    .expect("just checked");
+                return Err(GraphError::DuplicateEdge(u, dup));
+            }
+        }
+        Ok(Graph {
+            adj,
+            num_edges: edges.len(),
+        })
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The sorted neighbor list `N(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v]
+    }
+
+    /// The degree `d_v = |N(v)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The maximum degree `Δ`.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The minimum degree.
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// True when `(u, v)` is an edge.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.n() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// All node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_basic() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        assert!(matches!(
+            Graph::from_edges(0, &[]),
+            Err(GraphError::InvalidSize(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_either_orientation() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+    }
+
+    #[test]
+    fn edges_iterator_visits_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn isolated_node_has_degree_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(GraphError::SelfLoop(3).to_string().contains("self-loop"));
+        assert!(GraphError::NodeOutOfRange { node: 5, n: 2 }
+            .to_string()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Graph topologies and metrics for gossip analysis.
+//!
+//! The paper's bounds are parameterized by the number of nodes `n`, the
+//! diameter `D` and the maximum degree `Δ`; its evaluation families are the
+//! line, grid, binary tree, barbell and complete graphs (Tables 1 and 2).
+//! This crate provides:
+//!
+//! * [`Graph`] — a compact undirected graph with sorted adjacency lists,
+//! * [`builders`] — every topology used in the paper plus random families,
+//! * BFS / distance machinery ([`Graph::bfs_tree`], [`Graph::diameter`]),
+//! * [`SpanningTree`] — rooted parent-pointer trees as produced by the
+//!   paper's spanning-tree gossip protocols,
+//! * [`metrics`] — degree sums along shortest paths (Lemma 2), cut
+//!   boundaries and cut conductance.
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_graph::builders;
+//!
+//! let g = builders::barbell(10).unwrap(); // two 5-cliques + bridge
+//! assert_eq!(g.n(), 10);
+//! assert_eq!(g.diameter(), 3);
+//! assert_eq!(g.max_degree(), 5);
+//! assert!(g.is_connected());
+//! ```
+
+pub mod builders;
+mod graph;
+pub mod metrics;
+mod traversal;
+mod tree;
+
+pub use graph::{Graph, GraphError, NodeId};
+pub use traversal::BfsResult;
+pub use tree::{SpanningTree, TreeError};

@@ -1,0 +1,108 @@
+//! Property-based tests over random graph families.
+
+use ag_graph::{builders, metrics, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 2 of the paper: for any connected graph, the degree sum along
+    /// any shortest path is at most 3n.
+    #[test]
+    fn lemma2_degree_sum_at_most_3n(seed in any::<u64>(), n in 5usize..30, p in 0.15f64..0.6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(g) = builders::erdos_renyi_connected(n, p, &mut rng) {
+            prop_assert!(metrics::max_shortest_path_degree_sum(&g) <= 3 * g.n());
+        }
+    }
+
+    /// BFS depth from any root is at most the diameter; distances satisfy
+    /// the triangle property along tree edges.
+    #[test]
+    fn bfs_depth_le_diameter(seed in any::<u64>(), n in 4usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(g) = builders::erdos_renyi_connected(n, 0.3, &mut rng) {
+            let d = g.diameter();
+            for v in 0..g.n() {
+                let bfs = g.bfs_tree(v);
+                prop_assert!(bfs.depth() <= d);
+                for u in 0..g.n() {
+                    if let Some(p) = bfs.parent(u) {
+                        prop_assert_eq!(bfs.dist(u).unwrap(), bfs.dist(p).unwrap() + 1);
+                        prop_assert!(g.has_edge(u, p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Any BFS tree of a connected graph is a valid spanning tree of it,
+    /// with depth <= tree diameter <= 2 * depth.
+    #[test]
+    fn bfs_spanning_tree_valid(seed in any::<u64>(), n in 2usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(g) = builders::erdos_renyi_connected(n, 0.35, &mut rng) {
+            let tree = g.bfs_tree(0).into_spanning_tree();
+            prop_assert!(tree.is_spanning_tree_of(&g));
+            let depth = tree.depth();
+            let diam = tree.tree_diameter();
+            prop_assert!(depth <= diam || depth == 0);
+            prop_assert!(diam <= 2 * depth.max(1));
+        }
+    }
+
+    /// Random regular graphs are d-regular, simple and connected.
+    #[test]
+    fn random_regular_invariants(seed in any::<u64>(), half_n in 4usize..12, d in 2usize..5) {
+        let n = 2 * half_n; // even so n*d is always even
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(g) = builders::random_regular(n, d, &mut rng) {
+            prop_assert_eq!(g.min_degree(), d);
+            prop_assert_eq!(g.max_degree(), d);
+            prop_assert!(g.is_connected());
+            prop_assert_eq!(g.num_edges(), n * d / 2);
+        }
+    }
+
+    /// Handshake lemma: sum of degrees = 2|E|, for arbitrary edge sets.
+    #[test]
+    fn handshake_lemma(n in 2usize..20, edge_bits in any::<u64>()) {
+        let mut edges = Vec::new();
+        let mut bit = 0;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                if edge_bits & (1 << (bit % 64)) != 0 {
+                    edges.push((u, v));
+                }
+                bit += 1;
+                if bit > 200 { break 'outer; }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let degree_sum: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Grid diameter is exactly (rows-1)+(cols-1).
+    #[test]
+    fn grid_diameter_formula(rows in 1usize..7, cols in 1usize..7) {
+        let g = builders::grid(rows, cols).unwrap();
+        prop_assert_eq!(g.diameter() as usize, rows + cols - 2);
+    }
+
+    /// Claim 1 of the paper: constant-max-degree graphs have diameter
+    /// Omega(log n); check the explicit form D + 2 >= log_Delta(n).
+    #[test]
+    fn claim1_diameter_lower_bound(n in 4usize..64) {
+        for g in [builders::path(n).unwrap(), builders::binary_tree(n).unwrap()] {
+            let delta = g.max_degree() as f64;
+            let d = g.diameter() as f64;
+            if delta > 1.0 {
+                prop_assert!(d + 2.0 >= (n as f64).ln() / delta.ln() - 1e-9,
+                    "Claim 1 violated: D={d}, Delta={delta}, n={n}");
+            }
+        }
+    }
+}

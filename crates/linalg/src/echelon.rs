@@ -1,0 +1,419 @@
+//! Incremental row-echelon basis: the RLNC decoder hot path.
+
+use ag_gf::Field;
+
+/// Outcome of inserting one equation into an [`EchelonBasis`].
+///
+/// In the paper's vocabulary (Definition 3), an [`Insertion::Innovative`]
+/// row is a *helpful message*: it increased the rank of the node that
+/// received it. A [`Insertion::Redundant`] row was already in the span and
+/// is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insertion {
+    /// The row increased the rank of the basis.
+    Innovative,
+    /// The row was linearly dependent on the existing basis and was dropped.
+    Redundant,
+}
+
+impl Insertion {
+    /// True for [`Insertion::Innovative`].
+    #[must_use]
+    pub fn is_innovative(self) -> bool {
+        matches!(self, Insertion::Innovative)
+    }
+}
+
+/// A growing row-echelon basis of vectors of fixed width over `F`.
+///
+/// Rows may carry an *augmented tail* (e.g. RLNC payload symbols) beyond the
+/// `pivot_width` leading coefficients: only the leading `pivot_width`
+/// entries participate in pivot selection, but eliminations are applied to
+/// entire rows, so the tail stays consistent with the coefficient part.
+/// This is exactly Gauss–Jordan decoding of a network-coded generation.
+///
+/// Inserting a row costs `O(rank · width)`.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::{Field, Gf256};
+/// use ag_linalg::{EchelonBasis, Insertion};
+///
+/// let mut basis = EchelonBasis::<Gf256>::new(3);
+/// let e0 = vec![Gf256::ONE, Gf256::ZERO, Gf256::ZERO];
+/// assert_eq!(basis.insert(e0.clone()), Insertion::Innovative);
+/// assert_eq!(basis.insert(e0), Insertion::Redundant);
+/// assert_eq!(basis.rank(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EchelonBasis<F> {
+    /// Width of the pivot (coefficient) prefix of every row.
+    pivot_width: usize,
+    /// `pivots[c]` = index into `rows` of the row whose pivot is column `c`.
+    pivots: Vec<Option<usize>>,
+    /// Rows in reduced form. Row lengths are `pivot_width + tail` where the
+    /// tail length is fixed by the first inserted row.
+    rows: Vec<Vec<F>>,
+}
+
+impl<F: Field> EchelonBasis<F> {
+    /// Creates an empty basis whose rows have `pivot_width` leading
+    /// coefficient entries.
+    #[must_use]
+    pub fn new(pivot_width: usize) -> Self {
+        EchelonBasis {
+            pivot_width,
+            pivots: vec![None; pivot_width],
+            rows: Vec::new(),
+        }
+    }
+
+    /// The number of independent rows stored so far.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The pivot (coefficient) width rows must have at minimum.
+    #[must_use]
+    pub fn pivot_width(&self) -> usize {
+        self.pivot_width
+    }
+
+    /// True once the basis spans the full coefficient space.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.rank() == self.pivot_width
+    }
+
+    /// The stored (reduced) rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<F>] {
+        &self.rows
+    }
+
+    /// Reduces `row` against the basis in place, stopping at the first
+    /// nonzero coefficient in a pivot-free column. Returns that column, or
+    /// `None` if the row is annihilated (i.e. is in the span). Cheap check
+    /// used by [`EchelonBasis::would_be_innovative`].
+    fn reduce(&self, row: &mut [F]) -> Option<usize> {
+        for c in 0..self.pivot_width {
+            if row[c].is_zero() {
+                continue;
+            }
+            match self.pivots[c] {
+                Some(ri) => {
+                    // Eliminate column c using the stored (normalized) row.
+                    let factor = row[c];
+                    let stored = &self.rows[ri];
+                    for (x, &s) in row.iter_mut().zip(stored) {
+                        *x -= factor * s;
+                    }
+                    debug_assert!(row[c].is_zero());
+                }
+                None => return Some(c),
+            }
+        }
+        None
+    }
+
+    /// Fully reduces `row` against *every* pivot column (not just those up
+    /// to the leading one), returning the leading pivot-free column if the
+    /// row survives. Required before storing a row so the basis remains in
+    /// reduced (Gauss–Jordan) form.
+    fn reduce_full(&self, row: &mut [F]) -> Option<usize> {
+        let mut lead = None;
+        for c in 0..self.pivot_width {
+            if row[c].is_zero() {
+                continue;
+            }
+            match self.pivots[c] {
+                Some(ri) => {
+                    let factor = row[c];
+                    let stored = &self.rows[ri];
+                    for (x, &s) in row.iter_mut().zip(stored) {
+                        *x -= factor * s;
+                    }
+                    debug_assert!(row[c].is_zero());
+                }
+                None => {
+                    if lead.is_none() {
+                        lead = Some(c);
+                    }
+                }
+            }
+        }
+        lead
+    }
+
+    /// Inserts an equation. Returns whether it was innovative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() < pivot_width`, or if its length differs from
+    /// previously inserted rows.
+    pub fn insert(&mut self, mut row: Vec<F>) -> Insertion {
+        assert!(
+            row.len() >= self.pivot_width,
+            "row of length {} shorter than pivot width {}",
+            row.len(),
+            self.pivot_width
+        );
+        if let Some(first) = self.rows.first() {
+            assert_eq!(
+                row.len(),
+                first.len(),
+                "all rows in a basis must have equal length"
+            );
+        }
+        let Some(pivot_col) = self.reduce_full(&mut row) else {
+            return Insertion::Redundant;
+        };
+        // Normalize so the pivot entry is 1.
+        let pinv = row[pivot_col].inv().expect("pivot is nonzero");
+        for x in &mut row {
+            *x *= pinv;
+        }
+        // Back-substitute into existing rows to keep the basis fully reduced.
+        for r in &mut self.rows {
+            let factor = r[pivot_col];
+            if !factor.is_zero() {
+                for (x, &s) in r.iter_mut().zip(&row) {
+                    *x -= factor * s;
+                }
+            }
+        }
+        self.pivots[pivot_col] = Some(self.rows.len());
+        self.rows.push(row);
+        Insertion::Innovative
+    }
+
+    /// Would `row` be innovative, without mutating the basis?
+    ///
+    /// This implements the paper's helpfulness check: node `x` is a
+    /// *helpful node* for node `y` iff some vector in `x`'s subspace is
+    /// independent of `y`'s subspace.
+    #[must_use]
+    pub fn would_be_innovative(&self, row: &[F]) -> bool {
+        assert!(row.len() >= self.pivot_width);
+        let mut tmp = row.to_vec();
+        self.reduce(&mut tmp).is_some()
+    }
+
+    /// True iff `other`'s span contains a vector outside `self`'s span,
+    /// i.e. `other` (as a node) is helpful to `self`.
+    #[must_use]
+    pub fn is_helped_by(&self, other: &EchelonBasis<F>) -> bool {
+        other
+            .rows
+            .iter()
+            .any(|r| self.would_be_innovative(&r[..self.pivot_width.min(r.len())]))
+    }
+
+    /// Once full, extracts the solution: row `i` of the result is the tail
+    /// (augmented part) of the equation whose coefficient vector is the
+    /// `i`-th unit vector. Returns `None` while rank < pivot width.
+    ///
+    /// With RLNC augmentation the tails are exactly the decoded source
+    /// messages.
+    #[must_use]
+    pub fn solution(&self) -> Option<Vec<Vec<F>>> {
+        if !self.is_full() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.pivot_width);
+        for c in 0..self.pivot_width {
+            let ri = self.pivots[c].expect("full basis has all pivots");
+            let row = &self.rows[ri];
+            debug_assert!(
+                row[..self.pivot_width]
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &v)| if j == c { v == F::ONE } else { v.is_zero() }),
+                "fully reduced basis rows must be unit vectors"
+            );
+            out.push(row[self.pivot_width..].to_vec());
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::{Gf2, Gf256};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(width: usize, i: usize) -> Vec<Gf256> {
+        let mut v = vec![Gf256::ZERO; width];
+        v[i] = Gf256::ONE;
+        v
+    }
+
+    #[test]
+    fn unit_vectors_fill_basis() {
+        let mut b = EchelonBasis::<Gf256>::new(4);
+        for i in 0..4 {
+            assert!(!b.is_full());
+            assert_eq!(b.insert(unit(4, i)), Insertion::Innovative);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.rank(), 4);
+    }
+
+    #[test]
+    fn dependent_row_is_redundant() {
+        let mut b = EchelonBasis::<Gf256>::new(3);
+        b.insert(vec![Gf256::new(1), Gf256::new(2), Gf256::new(3)]);
+        b.insert(vec![Gf256::new(0), Gf256::new(1), Gf256::new(1)]);
+        // Sum of the two inserted rows (GF(2^8) addition = XOR of bytes).
+        let dep = vec![Gf256::new(1), Gf256::new(3), Gf256::new(2)];
+        assert_eq!(b.insert(dep), Insertion::Redundant);
+        assert_eq!(b.rank(), 2);
+    }
+
+    #[test]
+    fn zero_row_is_redundant() {
+        let mut b = EchelonBasis::<Gf256>::new(3);
+        assert_eq!(b.insert(vec![Gf256::ZERO; 3]), Insertion::Redundant);
+        assert_eq!(b.rank(), 0);
+    }
+
+    #[test]
+    fn rank_never_exceeds_width_under_random_inserts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = EchelonBasis::<Gf2>::new(6);
+        for _ in 0..100 {
+            let row: Vec<Gf2> = (0..6).map(|_| Gf2::random(&mut rng)).collect();
+            b.insert(row);
+            assert!(b.rank() <= 6);
+        }
+        assert!(b.is_full(), "100 random GF(2) rows fill rank 6 w.h.p.");
+    }
+
+    #[test]
+    fn would_be_innovative_matches_insert() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut b = EchelonBasis::<Gf256>::new(5);
+        for _ in 0..30 {
+            let row: Vec<Gf256> = (0..5).map(|_| Gf256::random(&mut rng)).collect();
+            let predicted = b.would_be_innovative(&row);
+            let actual = b.insert(row).is_innovative();
+            assert_eq!(predicted, actual);
+        }
+    }
+
+    #[test]
+    fn augmented_solution_decodes_messages() {
+        // 3 source messages of 2 symbols each; feed random combinations.
+        let mut rng = StdRng::seed_from_u64(13);
+        let k = 3;
+        let r = 2;
+        let msgs: Vec<Vec<Gf256>> = (0..k)
+            .map(|_| (0..r).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let mut b = EchelonBasis::<Gf256>::new(k);
+        while !b.is_full() {
+            // Random combination: coeffs + combined payload.
+            let coeffs: Vec<Gf256> = (0..k).map(|_| Gf256::random(&mut rng)).collect();
+            let mut row = coeffs.clone();
+            for j in 0..r {
+                let mut acc = Gf256::ZERO;
+                for (i, m) in msgs.iter().enumerate() {
+                    acc += coeffs[i] * m[j];
+                }
+                row.push(acc);
+            }
+            b.insert(row);
+        }
+        assert_eq!(b.solution().unwrap(), msgs);
+    }
+
+    #[test]
+    fn solution_none_until_full() {
+        let mut b = EchelonBasis::<Gf256>::new(2);
+        assert!(b.solution().is_none());
+        b.insert(vec![Gf256::ONE, Gf256::ZERO]);
+        assert!(b.solution().is_none());
+    }
+
+    #[test]
+    fn helpfulness_between_bases() {
+        let mut x = EchelonBasis::<Gf256>::new(3);
+        let mut y = EchelonBasis::<Gf256>::new(3);
+        x.insert(unit(3, 0));
+        y.insert(unit(3, 0));
+        // Equal subspaces: not helpful.
+        assert!(!y.is_helped_by(&x));
+        x.insert(unit(3, 1));
+        // x now strictly larger: helpful to y but not vice versa.
+        assert!(y.is_helped_by(&x));
+        assert!(!x.is_helped_by(&y));
+    }
+
+    #[test]
+    fn insert_keeps_rows_reduced() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut b = EchelonBasis::<Gf256>::new(8);
+        for _ in 0..40 {
+            let row: Vec<Gf256> = (0..8).map(|_| Gf256::random(&mut rng)).collect();
+            b.insert(row);
+        }
+        // Every pivot column must be zero in all other rows (Gauss-Jordan).
+        for (c, &p) in b.pivots.iter().enumerate() {
+            if let Some(ri) = p {
+                for (j, row) in b.rows().iter().enumerate() {
+                    if j != ri {
+                        assert!(row[c].is_zero(), "column {c} not eliminated in row {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than pivot width")]
+    fn short_row_panics() {
+        let mut b = EchelonBasis::<Gf256>::new(3);
+        b.insert(vec![Gf256::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn inconsistent_row_length_panics() {
+        let mut b = EchelonBasis::<Gf256>::new(2);
+        b.insert(vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]);
+        b.insert(vec![Gf256::ONE, Gf256::ZERO]);
+    }
+
+    #[test]
+    fn gf2_dense_decode() {
+        // Full decode over GF(2) with payloads.
+        let mut rng = StdRng::seed_from_u64(15);
+        let k = 8;
+        let msgs: Vec<Vec<Gf2>> = (0..k)
+            .map(|_| (0..4).map(|_| Gf2::random(&mut rng)).collect())
+            .collect();
+        let mut b = EchelonBasis::<Gf2>::new(k);
+        let mut inserted = 0;
+        while !b.is_full() && inserted < 1000 {
+            let coeffs: Vec<Gf2> = (0..k).map(|_| Gf2::random(&mut rng)).collect();
+            let mut row = coeffs.clone();
+            for j in 0..4 {
+                let mut acc = Gf2::ZERO;
+                for (i, m) in msgs.iter().enumerate() {
+                    acc += coeffs[i] * m[j];
+                }
+                row.push(acc);
+            }
+            b.insert(row);
+            inserted += 1;
+        }
+        assert_eq!(b.solution().unwrap(), msgs);
+        // Expected insertions to fill GF(2) rank k is about k + 1.6.
+        assert!(inserted < 100, "took {inserted} inserts");
+        let _ = rng.gen::<u8>();
+    }
+}

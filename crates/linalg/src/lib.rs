@@ -1,0 +1,33 @@
+//! Dense linear algebra over finite fields.
+//!
+//! Algebraic gossip nodes "store messages (linear equations) in a matrix
+//! form and once the dimension (or rank) of the matrix becomes k, a node can
+//! solve the linear system and discover all the k messages" (Avin et al.,
+//! Section 2). This crate provides exactly that machinery:
+//!
+//! * [`Matrix`] — a dense row-major matrix over any [`ag_gf::Field`], with
+//!   Gaussian elimination, rank, inversion and solving,
+//! * [`EchelonBasis`] — an *incremental* row-echelon basis: the decoder hot
+//!   path that inserts one received equation at a time and reports whether
+//!   it was innovative (a "helpful message" in the paper's terminology).
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_gf::{Field, Gf256};
+//! use ag_linalg::Matrix;
+//!
+//! let m = Matrix::from_rows(vec![
+//!     vec![Gf256::new(1), Gf256::new(2)],
+//!     vec![Gf256::new(3), Gf256::new(4)],
+//! ]).unwrap();
+//! assert_eq!(m.rank(), 2);
+//! let inv = m.inverse().unwrap();
+//! assert!(m.matmul(&inv).unwrap().is_identity());
+//! ```
+
+mod echelon;
+mod matrix;
+
+pub use echelon::{EchelonBasis, Insertion};
+pub use matrix::{Matrix, ShapeError};

@@ -1,0 +1,528 @@
+//! Dense row-major matrices over a finite field.
+
+use std::error::Error;
+use std::fmt;
+
+use ag_gf::Field;
+use rand::Rng;
+
+/// Error returned when matrix dimensions do not line up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    detail: String,
+}
+
+impl ShapeError {
+    fn new(detail: impl Into<String>) -> Self {
+        ShapeError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix shape mismatch: {}", self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// A dense matrix over the field `F`, stored row-major.
+///
+/// This is the node-state representation of the paper: each row is one
+/// stored linear equation over the k unknown messages (possibly augmented
+/// with payload symbols). Sizes in gossip simulations are small (k ≤ a few
+/// thousand), so a flat dense layout beats anything sparse.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::{Field, Gf256};
+/// use ag_linalg::Matrix;
+///
+/// let id = Matrix::<Gf256>::identity(3);
+/// assert_eq!(id.rank(), 3);
+/// assert!(id.is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// Creates a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, F::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<F>>) -> Result<Self, ShapeError> {
+        let ncols = rows.first().map_or(0, Vec::len);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(ShapeError::new(format!(
+                    "row 0 has {ncols} columns but row {i} has {}",
+                    r.len()
+                )));
+            }
+        }
+        let nrows = rows.len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// A matrix with entries drawn uniformly at random.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| F::random(rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// The entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> F {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: F) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[F] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[F]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `v.len() != self.ncols()`.
+    pub fn matvec(&self, v: &[F]) -> Result<Vec<F>, ShapeError> {
+        if v.len() != self.cols {
+            return Err(ShapeError::new(format!(
+                "matvec: {} columns vs vector of length {}",
+                self.cols,
+                v.len()
+            )));
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| dot(row, v))
+            .collect())
+    }
+
+    /// Matrix × matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.ncols() != rhs.nrows()`.
+    pub fn matmul(&self, rhs: &Matrix<F>) -> Result<Matrix<F>, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new(format!(
+                "matmul: lhs is {}x{}, rhs is {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * rhs.get(l, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix<F> {
+        let mut out = Matrix::zero(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// True if the matrix is square and equal to the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let want = if i == j { F::ONE } else { F::ZERO };
+                if self.get(i, j) != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// In-place reduction to *reduced row echelon form*; returns the rank.
+    pub fn rref(&mut self) -> usize {
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row == self.rows {
+                break;
+            }
+            // Find a nonzero pivot in this column at or below pivot_row.
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self.get(r, col).is_zero())
+            else {
+                continue;
+            };
+            self.swap_rows(pivot_row, src);
+            // Normalize the pivot row.
+            let p = self.get(pivot_row, col);
+            let pinv = p.inv().expect("pivot is nonzero");
+            self.scale_row(pivot_row, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..self.rows {
+                if r != pivot_row {
+                    let factor = self.get(r, col);
+                    if !factor.is_zero() {
+                        self.row_axpy(r, pivot_row, factor);
+                    }
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+
+    /// The rank, computed on a scratch copy.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.clone().rref()
+    }
+
+    /// The inverse of a square matrix, or `None` if singular.
+    #[must_use]
+    pub fn inverse(&self) -> Option<Matrix<F>> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        // Augment [self | I] and reduce.
+        let mut aug = Matrix::zero(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug.set(i, j, self.get(i, j));
+            }
+            aug.set(i, n + i, F::ONE);
+        }
+        aug.rref();
+        // `self` is invertible iff the left block reduced to the identity.
+        // (The rank of the *augmented* matrix is always n, so it proves
+        // nothing on its own.)
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { F::ONE } else { F::ZERO };
+                if aug.get(i, j) != want {
+                    return None;
+                }
+            }
+        }
+        let mut out = Matrix::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(i, j, aug.get(i, n + j));
+            }
+        }
+        Some(out)
+    }
+
+    /// Solves `self · x = b` for square, full-rank `self`.
+    ///
+    /// Returns `None` when the system is singular (or inconsistent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `b.len() != self.nrows()`.
+    pub fn solve(&self, b: &[F]) -> Result<Option<Vec<F>>, ShapeError> {
+        if b.len() != self.rows {
+            return Err(ShapeError::new(format!(
+                "solve: matrix has {} rows, b has {}",
+                self.rows,
+                b.len()
+            )));
+        }
+        if self.rows != self.cols {
+            return Err(ShapeError::new("solve requires a square matrix"));
+        }
+        let n = self.rows;
+        let mut aug = Matrix::zero(n, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                aug.set(i, j, self.get(i, j));
+            }
+            aug.set(i, n, b[i]);
+        }
+        aug.rref();
+        // Solvable (uniquely) iff the left block reduced to the identity;
+        // otherwise the system is singular or a pivot landed in column n
+        // (inconsistent).
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { F::ONE } else { F::ZERO };
+                if aug.get(i, j) != want {
+                    return Ok(None);
+                }
+            }
+        }
+        Ok(Some((0..n).map(|i| aug.get(i, n)).collect()))
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (first, second) = self.data.split_at_mut(b * self.cols);
+        first[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut second[..self.cols]);
+    }
+
+    fn scale_row(&mut self, r: usize, factor: F) {
+        for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+            *v *= factor;
+        }
+    }
+
+    /// `row[dst] -= factor * row[src]`.
+    fn row_axpy(&mut self, dst: usize, src: usize, factor: F) {
+        for c in 0..self.cols {
+            let s = self.get(src, c);
+            let d = self.get(dst, c);
+            self.set(dst, c, d - factor * s);
+        }
+    }
+}
+
+impl<F: Field> fmt::Display for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:?}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub(crate) fn dot<F: Field>(xs: &[F], ys: &[F]) -> F {
+    debug_assert_eq!(xs.len(), ys.len());
+    xs.iter()
+        .zip(ys)
+        .fold(F::ZERO, |acc, (&x, &y)| acc + x * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::{F257, Gf2, Gf256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_properties() {
+        let id = Matrix::<Gf256>::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.rank(), 4);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(vec![
+            vec![Gf256::new(1)],
+            vec![Gf256::new(1), Gf256::new(2)],
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("row 1 has 2"));
+    }
+
+    #[test]
+    fn rref_known_example_f257() {
+        // [1 2; 3 4] over F257 has rank 2.
+        let mut m = Matrix::from_rows(vec![
+            vec![F257::from_u64(1), F257::from_u64(2)],
+            vec![F257::from_u64(3), F257::from_u64(4)],
+        ])
+        .unwrap();
+        assert_eq!(m.rref(), 2);
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second row is 2x the first over F257.
+        let m = Matrix::from_rows(vec![
+            vec![F257::from_u64(1), F257::from_u64(2)],
+            vec![F257::from_u64(2), F257::from_u64(4)],
+        ])
+        .unwrap();
+        assert_eq!(m.rank(), 1);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_round_trip_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut found_invertible = 0;
+        for _ in 0..20 {
+            let m = Matrix::<Gf256>::random(5, 5, &mut rng);
+            if let Some(inv) = m.inverse() {
+                found_invertible += 1;
+                assert!(m.matmul(&inv).unwrap().is_identity());
+                assert!(inv.matmul(&m).unwrap().is_identity());
+            }
+        }
+        // Over GF(256) a random 5x5 matrix is invertible w.p. ~0.996.
+        assert!(found_invertible >= 15);
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let m = Matrix::<F257>::random(6, 6, &mut rng);
+            if m.rank() < 6 {
+                continue;
+            }
+            let x: Vec<F257> = (0..6).map(|i| F257::from_u64(i as u64 + 3)).collect();
+            let b = m.matvec(&x).unwrap();
+            let solved = m.solve(&b).unwrap().expect("full rank");
+            assert_eq!(solved, x);
+        }
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let m = Matrix::from_rows(vec![
+            vec![Gf256::new(1), Gf256::new(1)],
+            vec![Gf256::new(1), Gf256::new(1)],
+        ])
+        .unwrap();
+        let b = vec![Gf256::new(1), Gf256::new(2)];
+        assert_eq!(m.solve(&b).unwrap(), None);
+    }
+
+    #[test]
+    fn matvec_shape_error() {
+        let m = Matrix::<Gf256>::identity(3);
+        assert!(m.matvec(&[Gf256::ONE]).is_err());
+    }
+
+    #[test]
+    fn matmul_associative_spot_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::<Gf256>::random(3, 4, &mut rng);
+        let b = Matrix::<Gf256>::random(4, 2, &mut rng);
+        let c = Matrix::<Gf256>::random(2, 5, &mut rng);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Matrix::<Gf2>::random(4, 7, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rank_bounded_by_dims_gf2() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let m = Matrix::<Gf2>::random(5, 9, &mut rng);
+            assert!(m.rank() <= 5);
+        }
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Matrix::<Gf2>::identity(2);
+        let s = m.to_string();
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for matrices and the incremental echelon basis.
+
+use ag_gf::{Field, Gf2, Gf256};
+use ag_linalg::{EchelonBasis, Matrix};
+use proptest::prelude::*;
+
+fn gf256_vec(len: usize) -> impl Strategy<Value = Vec<Gf256>> {
+    proptest::collection::vec(any::<u8>().prop_map(Gf256::new), len)
+}
+
+fn gf256_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Gf256>> {
+    proptest::collection::vec(gf256_vec(cols), rows)
+        .prop_map(|rows| Matrix::from_rows(rows).expect("equal-length rows"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rref_is_idempotent_on_rank(m in gf256_matrix(4, 6)) {
+        let mut a = m.clone();
+        let rank1 = a.rref();
+        let mut b = a.clone();
+        let rank2 = b.rref();
+        prop_assert_eq!(rank1, rank2);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_bounded_by_min_dim(m in gf256_matrix(5, 3)) {
+        prop_assert!(m.rank() <= 3);
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(m in gf256_matrix(4, 7)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn inverse_agrees_with_solve(m in gf256_matrix(4, 4), b in gf256_vec(4)) {
+        match m.inverse() {
+            Some(inv) => {
+                let x1 = inv.matvec(&b).unwrap();
+                let x2 = m.solve(&b).unwrap().expect("invertible => solvable");
+                prop_assert_eq!(x1, x2);
+            }
+            None => prop_assert!(m.rank() < 4),
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_rank(m in gf256_matrix(3, 3)) {
+        // rank(M * M) <= rank(M)
+        let sq = m.matmul(&m).unwrap();
+        prop_assert!(sq.rank() <= m.rank());
+    }
+
+    #[test]
+    fn echelon_rank_matches_matrix_rank(rows in proptest::collection::vec(gf256_vec(5), 1..10)) {
+        let m = Matrix::from_rows(rows.clone()).unwrap();
+        let mut basis = EchelonBasis::<Gf256>::new(5);
+        for r in rows {
+            basis.insert(r);
+        }
+        prop_assert_eq!(basis.rank(), m.rank());
+    }
+
+    #[test]
+    fn echelon_insert_innovative_iff_rank_grows(rows in proptest::collection::vec(gf256_vec(4), 1..12)) {
+        let mut basis = EchelonBasis::<Gf256>::new(4);
+        for r in rows {
+            let before = basis.rank();
+            let innovative = basis.insert(r).is_innovative();
+            let after = basis.rank();
+            prop_assert_eq!(innovative, after == before + 1);
+        }
+    }
+
+    #[test]
+    fn gf2_echelon_rank_matches(rows in proptest::collection::vec(
+        proptest::collection::vec(any::<bool>().prop_map(Gf2::from), 6), 1..15)) {
+        let m = Matrix::from_rows(rows.clone()).unwrap();
+        let mut basis = EchelonBasis::<Gf2>::new(6);
+        for r in rows {
+            basis.insert(r);
+        }
+        prop_assert_eq!(basis.rank(), m.rank());
+    }
+
+    #[test]
+    fn solution_reproduces_random_messages(
+        seed_rows in proptest::collection::vec(gf256_vec(3), 3),
+        payload in proptest::collection::vec(gf256_vec(2), 3),
+    ) {
+        // Treat `payload` as the 3 source messages; build augmented unit rows
+        // and random combinations; decoding must return the messages.
+        let mut basis = EchelonBasis::<Gf256>::new(3);
+        for (i, p) in payload.iter().enumerate() {
+            let mut row = vec![Gf256::ZERO; 3];
+            row[i] = Gf256::ONE;
+            row.extend(p.iter().copied());
+            basis.insert(row);
+        }
+        // Extra dependent rows from seed_rows-combinations must not corrupt.
+        for coeffs in &seed_rows {
+            let mut row = coeffs.clone();
+            for j in 0..2 {
+                let mut acc = Gf256::ZERO;
+                for (i, p) in payload.iter().enumerate() {
+                    acc += coeffs[i] * p[j];
+                }
+                row.push(acc);
+            }
+            basis.insert(row);
+        }
+        prop_assert_eq!(basis.solution().unwrap(), payload);
+    }
+}

@@ -1,0 +1,121 @@
+//! Empirical stochastic-dominance checks.
+//!
+//! The paper's Theorem 2 chain rests on stochastic ordering (Definition 4):
+//! `X ⪯ Y` iff `Pr(X ≤ t) ≥ Pr(Y ≤ t)` for all `t`. For simulated systems
+//! we verify the *empirical* version: sample both, build empirical CDFs,
+//! and report the worst violation `max_t [ F̂_Y(t) − F̂_X(t) ]` — which
+//! should be statistically indistinguishable from ≤ 0 when `X ⪯ Y`
+//! (a one-sided two-sample Kolmogorov–Smirnov statistic).
+
+/// Evaluation points and empirical CDF values for a sample.
+///
+/// Returns the sorted sample; `F̂(sample[i]) = (i + 1) / len`.
+#[must_use]
+pub fn empirical_cdf_points(samples: &[f64]) -> Vec<f64> {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    s
+}
+
+/// The one-sided KS statistic `sup_t [ F̂_y(t) − F̂_x(t) ]`.
+///
+/// When the hypothesis `X ⪯ Y` holds this converges to ≤ 0 in probability;
+/// values above `~1.36·√((n+m)/(n·m))` (the 5% KS critical value) are
+/// evidence *against* dominance.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+#[must_use]
+pub fn dominance_violation(x: &[f64], y: &[f64]) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "samples must be non-empty");
+    let xs = empirical_cdf_points(x);
+    let ys = empirical_cdf_points(y);
+    // Sweep the merged support; at each point compute F_y - F_x.
+    let mut worst = f64::NEG_INFINITY;
+    let mut xi = 0usize;
+    let mut yi = 0usize;
+    let nx = xs.len() as f64;
+    let ny = ys.len() as f64;
+    while xi < xs.len() || yi < ys.len() {
+        let t = match (xs.get(xi), ys.get(yi)) {
+            (Some(&a), Some(&b)) => a.min(b),
+            (Some(&a), None) => a,
+            (None, Some(&b)) => b,
+            (None, None) => break,
+        };
+        while xi < xs.len() && xs[xi] <= t {
+            xi += 1;
+        }
+        while yi < ys.len() && ys[yi] <= t {
+            yi += 1;
+        }
+        let fx = xi as f64 / nx;
+        let fy = yi as f64 / ny;
+        worst = worst.max(fy - fx);
+    }
+    worst
+}
+
+/// The 5% one-sided KS critical value for sample sizes `n` and `m`.
+#[must_use]
+pub fn ks_critical_5pct(n: usize, m: usize) -> f64 {
+    1.36 * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_exp, LineSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_points_sorted() {
+        let pts = empirical_cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identical_distributions_have_small_violation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..2000).map(|_| sample_exp(1.0, &mut rng)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| sample_exp(1.0, &mut rng)).collect();
+        let v = dominance_violation(&a, &b);
+        assert!(v < ks_critical_5pct(2000, 2000), "violation {v}");
+    }
+
+    #[test]
+    fn clearly_dominated_pair_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // X ~ Exp(2) is stochastically smaller than Y ~ Exp(1)... X <= Y.
+        let x: Vec<f64> = (0..2000).map(|_| sample_exp(2.0, &mut rng)).collect();
+        let y: Vec<f64> = (0..2000).map(|_| sample_exp(1.0, &mut rng)).collect();
+        let ok = dominance_violation(&x, &y);
+        assert!(ok < ks_critical_5pct(2000, 2000));
+        // The reversed claim Y <= X must be loudly violated.
+        let bad = dominance_violation(&y, &x);
+        assert!(bad > 0.15, "reversed dominance violation only {bad}");
+    }
+
+    #[test]
+    fn corollary1_dominance_line_vs_tail() {
+        // t(Q^line with spread placement) <= t(Q̂^line all-at-tail).
+        let mut rng = StdRng::seed_from_u64(3);
+        let spread = LineSystem::new(5, vec![2, 2, 2, 2, 2], 1.0);
+        let tail = LineSystem::all_at_tail(5, 10, 1.0);
+        let x = spread.drain_times(1500, &mut rng);
+        let y = tail.drain_times(1500, &mut rng);
+        let v = dominance_violation(&x, &y);
+        assert!(
+            v < ks_critical_5pct(1500, 1500),
+            "Corollary 1 dominance violated by {v}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = dominance_violation(&[], &[1.0]);
+    }
+}

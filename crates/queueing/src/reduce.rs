@@ -1,0 +1,83 @@
+//! The tree→line reduction used throughout the Theorem 2 proof.
+//!
+//! `Q̂^tree` (Definition 5) serializes each tree level — only one server
+//! per level is ON at a time — which makes node identity within a level
+//! irrelevant; Lemma 5 then identifies it with the line system whose
+//! queue `l` holds the level-`l` customers. [`level_line_of`] performs
+//! exactly that identification, so experiments construct the comparison
+//! systems consistently.
+
+use ag_graph::SpanningTree;
+
+use crate::line::LineSystem;
+
+/// Builds the `Q^line_{l_max}` system that the paper's Lemmas 4–5 compare a
+/// tree system against: queue `l` starts with all customers placed at
+/// depth-`l` nodes of the tree.
+///
+/// # Panics
+///
+/// Panics if `placement.len() != tree.n()` or `mu <= 0`.
+#[must_use]
+pub fn level_line_of(tree: &SpanningTree, placement: &[usize], mu: f64) -> LineSystem {
+    assert_eq!(
+        placement.len(),
+        tree.n(),
+        "placement must cover every tree node"
+    );
+    let lmax = tree.depth() as usize + 1;
+    let mut by_level = vec![0usize; lmax];
+    for (v, &c) in placement.iter().enumerate() {
+        by_level[tree.node_depth(v) as usize] += c;
+    }
+    LineSystem::new(lmax, by_level, mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::{dominance_violation, ks_critical_5pct};
+    use crate::tree::TreeSystem;
+    use ag_graph::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn levels_aggregate_correctly() {
+        // Star rooted at 0: root level 0, leaves level 1.
+        let tree = SpanningTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)])
+            .unwrap();
+        let line = level_line_of(&tree, &[2, 1, 1, 1], 1.0);
+        assert_eq!(line.lmax(), 2);
+        assert_eq!(line.placement(), &[2, 3]);
+    }
+
+    #[test]
+    fn lemma45_tree_dominated_by_level_line() {
+        // The reduction's defining property, on a bigger random-ish tree.
+        let g = builders::binary_tree(31).unwrap();
+        let tree = g.bfs_tree(0).into_spanning_tree();
+        let mut placement = vec![0usize; 31];
+        for i in 0..16 {
+            placement[15 + (i % 16)] += 1; // leaves
+        }
+        let tree_sys = TreeSystem::new(&tree, placement.clone(), 1.0).unwrap();
+        let line_sys = level_line_of(&tree, &placement, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 700;
+        let x = tree_sys.drain_times(trials, &mut rng);
+        let y = line_sys.drain_times(trials, &mut rng);
+        let v = dominance_violation(&x, &y);
+        assert!(
+            v < ks_critical_5pct(trials, trials),
+            "tree ⪯ level-line violated by {v}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every tree node")]
+    fn placement_length_validated() {
+        let tree = SpanningTree::from_parents(0, vec![None, Some(0)]).unwrap();
+        let _ = level_line_of(&tree, &[1], 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the queueing systems' structural invariants.
+
+use ag_graph::SpanningTree;
+use ag_queueing::{level_line_of, LineSystem, TreeSystem};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random parent-pointer tree on `n` nodes (node i's parent < i).
+fn random_tree(n: usize, bits: u64) -> SpanningTree {
+    let parents = (0..n)
+        .map(|v| {
+            if v == 0 {
+                None
+            } else {
+                // Deterministic pseudo-random parent among earlier nodes.
+                let h = bits
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(v as u64 * 0x85EB_CA6B);
+                Some((h as usize) % v)
+            }
+        })
+        .collect();
+    SpanningTree::from_parents(0, parents).expect("parent < child index is acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drain time is zero iff there are no customers, positive otherwise,
+    /// and total work conservation holds: every customer leaves exactly
+    /// once (implied by termination of `drain_time`).
+    #[test]
+    fn drain_time_sign(seed in any::<u64>(), n in 2usize..12, k in 0usize..10) {
+        let tree = random_tree(n, seed);
+        let mut placement = vec![0usize; n];
+        for i in 0..k {
+            placement[i % n] += 1;
+        }
+        let sys = TreeSystem::new(&tree, placement, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = sys.drain_time(&mut rng);
+        if k == 0 {
+            prop_assert_eq!(t, 0.0);
+        } else {
+            prop_assert!(t > 0.0);
+        }
+    }
+
+    /// The level-line reduction preserves customer count and never has
+    /// more queues than the tree has levels.
+    #[test]
+    fn level_line_preserves_mass(seed in any::<u64>(), n in 2usize..14, k in 1usize..12) {
+        let tree = random_tree(n, seed);
+        let mut placement = vec![0usize; n];
+        for i in 0..k {
+            placement[(seed as usize + i) % n] += 1;
+        }
+        let line = level_line_of(&tree, &placement, 1.0);
+        prop_assert_eq!(line.total_customers(), k);
+        prop_assert_eq!(line.lmax(), tree.depth() as usize + 1);
+    }
+
+    /// Mean drain time of the all-at-tail line grows monotonically in
+    /// both k and lmax (sampled coarsely).
+    #[test]
+    fn tail_line_monotone(seed in any::<u64>(), lmax in 1usize..6, k in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = |l: usize, c: usize, rng: &mut StdRng| {
+            let sys = LineSystem::all_at_tail(l, c, 1.0);
+            sys.drain_times(300, rng).iter().sum::<f64>() / 300.0
+        };
+        let base = mean(lmax, k, &mut rng);
+        let more_k = mean(lmax, k + 8, &mut rng);
+        let deeper = mean(lmax + 6, k, &mut rng);
+        prop_assert!(more_k > base, "adding 8 customers did not slow draining");
+        prop_assert!(deeper > base, "adding 6 queues did not slow draining");
+    }
+
+    /// Doubling the service rate halves the mean drain time (within
+    /// sampling noise).
+    #[test]
+    fn rate_inverse_scaling(seed in any::<u64>(), k in 4usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = |mu: f64, rng: &mut StdRng| {
+            let sys = LineSystem::all_at_tail(3, k, mu);
+            sys.drain_times(600, rng).iter().sum::<f64>() / 600.0
+        };
+        let slow = mean(1.0, &mut rng);
+        let fast = mean(2.0, &mut rng);
+        let ratio = slow / fast;
+        prop_assert!((1.6..2.5).contains(&ratio), "rate doubling gave {ratio:.2}x");
+    }
+}

@@ -1,0 +1,306 @@
+//! The progressive Gauss–Jordan decoder: a node's stored equations.
+
+use ag_gf::Field;
+use ag_linalg::{EchelonBasis, Insertion};
+
+use crate::generation::Generation;
+use crate::packet::Packet;
+
+/// Outcome of delivering a packet to a [`Decoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reception {
+    /// The packet raised the node's rank — a *helpful message* in the
+    /// paper's Definition 3.
+    Innovative,
+    /// The packet was already in the node's span and was ignored, matching
+    /// the protocol: "a received message will be appended to the node's
+    /// stored messages only if it is independent … and otherwise ignored."
+    Redundant,
+}
+
+impl Reception {
+    /// True for [`Reception::Innovative`].
+    #[must_use]
+    pub fn is_innovative(self) -> bool {
+        matches!(self, Reception::Innovative)
+    }
+}
+
+impl From<Insertion> for Reception {
+    fn from(i: Insertion) -> Self {
+        match i {
+            Insertion::Innovative => Reception::Innovative,
+            Insertion::Redundant => Reception::Redundant,
+        }
+    }
+}
+
+/// A node's RLNC state: the matrix of stored linear equations.
+///
+/// The decoder accepts [`Packet`]s, tracks its rank, answers the paper's
+/// helpfulness queries, and solves for the source messages once the rank
+/// reaches `k`.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::Gf256;
+/// use ag_rlnc::{Decoder, Packet, Reception};
+///
+/// let mut d = Decoder::new(2, 1);
+/// let p1 = Packet::new(vec![Gf256::new(1), Gf256::new(1)], vec![Gf256::new(7)]);
+/// assert_eq!(d.receive(p1.clone()), Reception::Innovative);
+/// assert_eq!(d.receive(p1), Reception::Redundant);
+/// assert_eq!(d.rank(), 1);
+/// assert!(!d.is_complete());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder<F> {
+    k: usize,
+    payload_len: usize,
+    basis: EchelonBasis<F>,
+    innovative_count: u64,
+    redundant_count: u64,
+}
+
+impl<F: Field> Decoder<F> {
+    /// An empty decoder for a generation of `k` messages of `payload_len`
+    /// symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, payload_len: usize) -> Self {
+        assert!(k > 0, "generation size must be positive");
+        Decoder {
+            k,
+            payload_len,
+            basis: EchelonBasis::new(k),
+            innovative_count: 0,
+            redundant_count: 0,
+        }
+    }
+
+    /// A decoder pre-seeded with *all* messages of the generation (a source
+    /// that holds everything, e.g. for single-source broadcast workloads).
+    #[must_use]
+    pub fn with_all_messages(generation: &Generation<F>) -> Self {
+        let mut d = Decoder::new(generation.k(), generation.message_len());
+        for i in 0..generation.k() {
+            d.seed_message(generation, i);
+        }
+        d
+    }
+
+    /// Seeds the decoder with source message `index` of the generation:
+    /// inserts the unit equation `e_index · x = x_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= k` or the generation shape differs from the
+    /// decoder's.
+    pub fn seed_message(&mut self, generation: &Generation<F>, index: usize) {
+        assert_eq!(generation.k(), self.k, "generation size mismatch");
+        assert_eq!(
+            generation.message_len(),
+            self.payload_len,
+            "payload length mismatch"
+        );
+        let mut row = vec![F::ZERO; self.k];
+        row[index] = F::ONE;
+        row.extend_from_slice(generation.message(index));
+        // Seeding counts as neither innovative nor redundant traffic.
+        let _ = self.basis.insert(row);
+    }
+
+    /// The generation size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Payload length `r` in symbols.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Current rank (the "dimension of the node" in the paper).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.basis.rank()
+    }
+
+    /// True once the node can decode every message (rank = k).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.basis.is_full()
+    }
+
+    /// Number of innovative receptions so far (excluding seeds).
+    #[must_use]
+    pub fn innovative_count(&self) -> u64 {
+        self.innovative_count
+    }
+
+    /// Number of redundant receptions so far.
+    #[must_use]
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant_count
+    }
+
+    /// Delivers a packet; reports whether it was helpful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet shape does not match the decoder's `(k, r)`.
+    pub fn receive(&mut self, packet: Packet<F>) -> Reception {
+        assert_eq!(
+            packet.generation_size(),
+            self.k,
+            "packet generation size mismatch"
+        );
+        assert_eq!(
+            packet.payload_len(),
+            self.payload_len,
+            "packet payload length mismatch"
+        );
+        let outcome: Reception = self.basis.insert(packet.into_row()).into();
+        match outcome {
+            Reception::Innovative => self.innovative_count += 1,
+            Reception::Redundant => self.redundant_count += 1,
+        }
+        outcome
+    }
+
+    /// Would this packet be helpful, without consuming it?
+    #[must_use]
+    pub fn would_help(&self, packet: &Packet<F>) -> bool {
+        self.basis.would_be_innovative(packet.coefficients())
+    }
+
+    /// The paper's Definition 3: is node `other` a *helpful node* for
+    /// `self`? True iff `other`'s subspace is not contained in `self`'s,
+    /// i.e. a random combination from `other` **can** be innovative here.
+    #[must_use]
+    pub fn is_helpful_node(&self, other: &Decoder<F>) -> bool {
+        self.basis.is_helped_by(&other.basis)
+    }
+
+    /// The stored (reduced) equation rows, exposed for recoding.
+    #[must_use]
+    pub(crate) fn rows(&self) -> &[Vec<F>] {
+        self.basis.rows()
+    }
+
+    /// Solves the system once complete; `None` before rank `k`.
+    ///
+    /// Row `i` of the output is source message `x_i`.
+    #[must_use]
+    pub fn decode(&self) -> Option<Vec<Vec<F>>> {
+        self.basis.solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_gf::{Field, Gf2, Gf256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pkt(coeffs: &[u8], payload: &[u8]) -> Packet<Gf256> {
+        Packet::new(
+            coeffs.iter().map(|&c| Gf256::new(c)).collect(),
+            payload.iter().map(|&p| Gf256::new(p)).collect(),
+        )
+    }
+
+    #[test]
+    fn seeded_source_is_complete() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Generation::<Gf256>::random(4, 2, &mut rng);
+        let d = Decoder::with_all_messages(&g);
+        assert!(d.is_complete());
+        assert_eq!(d.decode().unwrap(), g.messages());
+        assert_eq!(d.innovative_count(), 0, "seeding is not traffic");
+    }
+
+    #[test]
+    fn partial_seed_partial_rank() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Generation::<Gf256>::random(5, 1, &mut rng);
+        let mut d = Decoder::new(5, 1);
+        d.seed_message(&g, 0);
+        d.seed_message(&g, 3);
+        assert_eq!(d.rank(), 2);
+        assert!(!d.is_complete());
+        assert!(d.decode().is_none());
+    }
+
+    #[test]
+    fn reception_counters() {
+        let mut d = Decoder::new(2, 1);
+        assert!(d.receive(pkt(&[1, 0], &[9])).is_innovative());
+        assert!(!d.receive(pkt(&[2, 0], &[18])).is_innovative()); // dependent
+        assert!(d.receive(pkt(&[0, 1], &[5])).is_innovative());
+        assert_eq!(d.innovative_count(), 2);
+        assert_eq!(d.redundant_count(), 1);
+        assert!(d.is_complete());
+    }
+
+    #[test]
+    fn decode_recovers_exact_messages() {
+        // x0 = [7], x1 = [5]; equations x0+x1=[2] and x1=[5] (GF(256): XOR).
+        let mut d = Decoder::new(2, 1);
+        d.receive(pkt(&[1, 1], &[2]));
+        d.receive(pkt(&[0, 1], &[5]));
+        let decoded = d.decode().unwrap();
+        assert_eq!(decoded, vec![vec![Gf256::new(7)], vec![Gf256::new(5)]]);
+    }
+
+    #[test]
+    fn helpful_node_definition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Generation::<Gf256>::random(3, 0, &mut rng);
+        let full = Decoder::with_all_messages(&g);
+        let mut partial = Decoder::new(3, 0);
+        partial.seed_message(&g, 0);
+        // Full node helps partial; partial does not help full.
+        assert!(partial.is_helpful_node(&full));
+        assert!(!full.is_helpful_node(&partial));
+        // Equal ranks with identical subspaces: unhelpful both ways.
+        let mut p2 = Decoder::new(3, 0);
+        p2.seed_message(&g, 0);
+        assert!(!partial.is_helpful_node(&p2));
+        assert!(!p2.is_helpful_node(&partial));
+    }
+
+    #[test]
+    fn would_help_is_consistent_with_receive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Decoder::<Gf2>::new(6, 0);
+        for _ in 0..40 {
+            let coeffs: Vec<Gf2> = (0..6).map(|_| Gf2::random(&mut rng)).collect();
+            let p = Packet::new(coeffs, vec![]);
+            let predicted = d.would_help(&p);
+            let got = d.receive(p).is_innovative();
+            assert_eq!(predicted, got);
+        }
+    }
+
+    #[test]
+    fn zero_packet_is_redundant() {
+        let mut d = Decoder::<Gf256>::new(3, 0);
+        let z = Packet::new(vec![Gf256::ZERO; 3], vec![]);
+        assert_eq!(d.receive(z), Reception::Redundant);
+    }
+
+    #[test]
+    #[should_panic(expected = "generation size mismatch")]
+    fn shape_mismatch_panics() {
+        let mut d = Decoder::<Gf256>::new(3, 0);
+        d.receive(Packet::new(vec![Gf256::ONE; 2], vec![]));
+    }
+}

@@ -1,0 +1,51 @@
+//! Random linear network coding (RLNC) for algebraic gossip.
+//!
+//! This crate implements the message layer of the paper (Section 2,
+//! "Random Linear Network Coding"): there are `k ≤ n` initial messages
+//! `x_1, …, x_k`, each a vector in `F_q^r`. Every transmitted [`Packet`]
+//! carries the coefficients of a random linear combination together with the
+//! combined payload, i.e. one linear equation over the unknowns. A node
+//! accumulates equations in a [`Decoder`]; a received packet is *helpful*
+//! (innovative) iff it raises the decoder's rank, and once the rank reaches
+//! `k` the node solves the system and recovers every message.
+//!
+//! [`Recoder`] produces outgoing packets as fresh random combinations of
+//! *everything the node currently stores* — the defining feature of RLNC
+//! gossip (as opposed to store-and-forward rumor spreading).
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_gf::Gf256;
+//! use ag_rlnc::{Decoder, Generation, Recoder};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // Three source messages of four symbols each.
+//! let generation = Generation::from_messages(vec![
+//!     vec![Gf256::new(1); 4],
+//!     vec![Gf256::new(2); 4],
+//!     vec![Gf256::new(3); 4],
+//! ]).unwrap();
+//!
+//! // The source holds everything; a sink starts empty.
+//! let source = Decoder::with_all_messages(&generation);
+//! let mut sink = Decoder::new(3, 4);
+//! while !sink.is_complete() {
+//!     let pkt = Recoder::new(&source).emit(&mut rng).expect("source has data");
+//!     sink.receive(pkt);
+//! }
+//! assert_eq!(sink.decode().unwrap(), generation.messages());
+//! ```
+
+mod block;
+mod decoder;
+mod generation;
+mod packet;
+mod recoder;
+
+pub use block::{BlockDecoder, BlockEncoder};
+pub use decoder::{Decoder, Reception};
+pub use generation::{Generation, GenerationError};
+pub use packet::Packet;
+pub use recoder::Recoder;

@@ -1,0 +1,164 @@
+//! Partner selection: the paper's gossip communication models.
+
+use ag_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which communication model a protocol uses to pick partners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommModel {
+    /// Definition 1 (Uniform Gossip): "a communication partner is chosen
+    /// randomly and uniformly among all the neighbors."
+    #[default]
+    Uniform,
+    /// Definition 2 (Round-Robin Gossip): "the communication partner is
+    /// chosen according to a fixed, cyclic list of the node's neighbors
+    /// … If the initial partner is chosen at random, this … is known as
+    /// the quasirandom rumor spreading model."
+    RoundRobin,
+}
+
+/// Stateful partner selector for every node of a graph.
+///
+/// For [`CommModel::RoundRobin`] each node keeps a cyclic pointer into its
+/// (sorted, fixed) neighbor list; the initial pointer is random, per the
+/// quasirandom model. For [`CommModel::Uniform`] each call samples fresh.
+///
+/// # Examples
+///
+/// ```
+/// use ag_graph::builders;
+/// use ag_sim::{CommModel, PartnerSelector};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let g = builders::cycle(5).unwrap();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut sel = PartnerSelector::new(&g, CommModel::RoundRobin, &mut rng);
+/// // Two consecutive picks by the same node hit both neighbors.
+/// let a = sel.next_partner(&g, 0, &mut rng).unwrap();
+/// let b = sel.next_partner(&g, 0, &mut rng).unwrap();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartnerSelector {
+    model: CommModel,
+    /// Round-robin cursor per node (unused for Uniform).
+    cursor: Vec<usize>,
+}
+
+impl PartnerSelector {
+    /// Creates a selector; round-robin cursors start at random offsets.
+    #[must_use]
+    pub fn new(graph: &Graph, model: CommModel, rng: &mut StdRng) -> Self {
+        let cursor = (0..graph.n())
+            .map(|v| {
+                let d = graph.degree(v);
+                if d == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..d)
+                }
+            })
+            .collect();
+        PartnerSelector { model, cursor }
+    }
+
+    /// The configured model.
+    #[must_use]
+    pub fn model(&self) -> CommModel {
+        self.model
+    }
+
+    /// Picks the next partner for `v`, or `None` if `v` has no neighbors.
+    pub fn next_partner(
+        &mut self,
+        graph: &Graph,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let neigh = graph.neighbors(v);
+        if neigh.is_empty() {
+            return None;
+        }
+        match self.model {
+            CommModel::Uniform => Some(neigh[rng.gen_range(0..neigh.len())]),
+            CommModel::RoundRobin => {
+                let idx = self.cursor[v] % neigh.len();
+                self.cursor[v] = (idx + 1) % neigh.len();
+                Some(neigh[idx])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_graph::builders;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_cycles_all_neighbors() {
+        let g = builders::star(6).unwrap(); // hub 0 with 5 leaves
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sel = PartnerSelector::new(&g, CommModel::RoundRobin, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            seen.insert(sel.next_partner(&g, 0, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 5, "one full cycle visits every neighbor once");
+        // Second cycle repeats the same fixed order.
+        let first_again = sel.next_partner(&g, 0, &mut rng).unwrap();
+        let mut sel2 = sel.clone();
+        for _ in 0..4 {
+            sel2.next_partner(&g, 0, &mut rng).unwrap();
+        }
+        assert_eq!(sel2.next_partner(&g, 0, &mut rng).unwrap(), first_again);
+    }
+
+    #[test]
+    fn uniform_covers_all_neighbors_eventually() {
+        let g = builders::complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sel = PartnerSelector::new(&g, CommModel::Uniform, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(sel.next_partner(&g, 3, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 7);
+        assert!(!seen.contains(&3), "never selects itself");
+    }
+
+    #[test]
+    fn isolated_node_has_no_partner() {
+        let g = ag_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sel = PartnerSelector::new(&g, CommModel::Uniform, &mut rng);
+        assert_eq!(sel.next_partner(&g, 2, &mut rng), None);
+    }
+
+    #[test]
+    fn partners_are_always_neighbors() {
+        let g = builders::grid(3, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for model in [CommModel::Uniform, CommModel::RoundRobin] {
+            let mut sel = PartnerSelector::new(&g, model, &mut rng);
+            for v in 0..g.n() {
+                for _ in 0..10 {
+                    let u = sel.next_partner(&g, v, &mut rng).unwrap();
+                    assert!(g.has_edge(v, u), "{model:?} picked non-neighbor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_initial_cursor_varies_across_nodes() {
+        // With 16 nodes of degree 15, at least two cursors should differ.
+        let g = builders::complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sel = PartnerSelector::new(&g, CommModel::RoundRobin, &mut rng);
+        let all_same = sel.cursor.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same);
+    }
+}

@@ -1,0 +1,557 @@
+//! The simulation engine: drives a [`Protocol`] under either time model.
+
+use ag_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::Protocol;
+use crate::stats::RunStats;
+
+/// The paper's two time models (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimeModel {
+    /// Every node wakes once per round; messages composed from start-of-
+    /// round state, delivered at the round boundary.
+    #[default]
+    Synchronous,
+    /// One uniformly random node wakes per timeslot; delivery is
+    /// immediate. `n` timeslots = 1 round.
+    Asynchronous,
+}
+
+/// Engine configuration.
+///
+/// `loss_prob` and `dedup_same_sender` go beyond the paper: loss is a
+/// robustness ablation (the paper assumes reliable channels), and dedup
+/// implements the paper's synchronous-model simplifying assumption ("if a
+/// node receives 2 messages from the same node at the same round, it will
+/// discard the second") — on by default, toggleable for the ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Synchronous rounds or asynchronous timeslots grouping.
+    pub time_model: TimeModel,
+    /// Stop (unfinished) after this many rounds.
+    pub max_rounds: u64,
+    /// Per-message drop probability in `[0, 1]`.
+    pub loss_prob: f64,
+    /// Keep only the first message per (sender, receiver) pair within a
+    /// synchronous round.
+    pub dedup_same_sender: bool,
+    /// RNG seed: equal seeds give bit-identical runs.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            time_model: TimeModel::Synchronous,
+            max_rounds: 1_000_000,
+            loss_prob: 0.0,
+            dedup_same_sender: true,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Synchronous config with a seed.
+    #[must_use]
+    pub fn synchronous(seed: u64) -> Self {
+        EngineConfig {
+            time_model: TimeModel::Synchronous,
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Asynchronous config with a seed.
+    #[must_use]
+    pub fn asynchronous(seed: u64) -> Self {
+        EngineConfig {
+            time_model: TimeModel::Asynchronous,
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Sets the round budget (builder-style).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the loss probability (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.loss_prob = p;
+        self
+    }
+
+    /// Enables/disables synchronous same-sender dedup (builder-style).
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup_same_sender = dedup;
+        self
+    }
+}
+
+/// Drives a [`Protocol`] to completion (or budget exhaustion).
+///
+/// The engine assumes node completion is *monotone* (once
+/// [`Protocol::node_complete`] returns true for a node it stays true) —
+/// which holds for every protocol in this workspace since decoder ranks and
+/// heard-sets only grow. Completion is re-checked once per node per
+/// synchronous round, and per contact participant per asynchronous slot
+/// (a node's status can change on receipt *or* on its own wakeup, e.g.
+/// under an oracle tree protocol).
+///
+/// # Examples
+///
+/// ```
+/// use ag_sim::{Engine, EngineConfig};
+/// # use ag_sim::{ContactIntent, Protocol};
+/// # use ag_graph::NodeId;
+/// # use rand::rngs::StdRng;
+/// # struct Noop;
+/// # impl Protocol for Noop {
+/// #     type Msg = ();
+/// #     fn num_nodes(&self) -> usize { 2 }
+/// #     fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> { None }
+/// #     fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> { None }
+/// #     fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _: ()) {}
+/// #     fn node_complete(&self, _: NodeId) -> bool { true }
+/// # }
+/// let stats = Engine::new(EngineConfig::synchronous(42)).run(&mut Noop);
+/// assert!(stats.completed);
+/// assert_eq!(stats.rounds, 0); // complete before any round ran
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    rng: StdRng,
+}
+
+impl Engine {
+    /// Creates an engine with its own seeded RNG.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the protocol to completion or budget; returns statistics.
+    pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunStats {
+        self.run_observed(proto, |_, _: &P| {})
+    }
+
+    /// Like [`Engine::run`] but invokes `observer(round, proto)` after
+    /// every completed round (under both time models) — used to trace rank
+    /// growth for the figures.
+    pub fn run_observed<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        mut observer: impl FnMut(u64, &P),
+    ) -> RunStats {
+        let n = proto.num_nodes();
+        assert!(n > 0, "protocol must have at least one node");
+        let mut stats = RunStats::new(n);
+        let mut complete = vec![false; n];
+        let mut incomplete = n;
+        for v in 0..n {
+            if proto.node_complete(v) {
+                stats.node_completion_rounds[v] = Some(0);
+                complete[v] = true;
+                incomplete -= 1;
+            }
+        }
+        if incomplete == 0 {
+            stats.completed = true;
+            return stats;
+        }
+        match self.config.time_model {
+            TimeModel::Synchronous => {
+                while stats.rounds < self.config.max_rounds {
+                    self.sync_round(proto, &mut stats, &mut complete, &mut incomplete);
+                    observer(stats.rounds, proto);
+                    if incomplete == 0 {
+                        stats.completed = true;
+                        break;
+                    }
+                }
+            }
+            TimeModel::Asynchronous => {
+                let max_slots = self.config.max_rounds.saturating_mul(n as u64);
+                while stats.timeslots < max_slots {
+                    self.async_slot(proto, &mut stats, &mut complete, &mut incomplete, n);
+                    if stats.timeslots.is_multiple_of(n as u64) {
+                        stats.rounds = stats.timeslots / n as u64;
+                        observer(stats.rounds, proto);
+                    }
+                    if incomplete == 0 {
+                        stats.completed = true;
+                        stats.rounds = stats.timeslots.div_ceil(n as u64);
+                        break;
+                    }
+                }
+                if !stats.completed {
+                    stats.rounds = stats.timeslots.div_ceil(n as u64);
+                }
+            }
+        }
+        stats
+    }
+
+    /// One synchronous round: wakeups → compose everything from pre-round
+    /// state → dedup/loss → deliver.
+    fn sync_round<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        stats: &mut RunStats,
+        complete: &mut [bool],
+        incomplete: &mut usize,
+    ) {
+        let n = proto.num_nodes();
+        // 1. Every node wakes and declares its contact.
+        let intents: Vec<_> = (0..n).map(|v| proto.on_wakeup(v, &mut self.rng)).collect();
+        // 2. Compose all messages against the (still unmodified) round-
+        //    start data state.
+        let mut outbox: Vec<(NodeId, NodeId, u32, P::Msg)> = Vec::new();
+        for (v, intent) in intents.iter().enumerate() {
+            let Some(intent) = intent else { continue };
+            let u = intent.partner;
+            debug_assert_ne!(u, v, "self-contact");
+            if intent.action.sends_forward() {
+                match proto.compose(v, u, intent.tag, &mut self.rng) {
+                    Some(m) => outbox.push((v, u, intent.tag, m)),
+                    None => stats.empty_sends += 1,
+                }
+            }
+            if intent.action.sends_backward() {
+                match proto.compose(u, v, intent.tag, &mut self.rng) {
+                    Some(m) => outbox.push((u, v, intent.tag, m)),
+                    None => stats.empty_sends += 1,
+                }
+            }
+        }
+        // 3. Same-sender dedup (keep the first per (from, to) pair).
+        let mut seen: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        for (from, to, tag, msg) in outbox {
+            if self.config.dedup_same_sender && !seen.insert((from, to)) {
+                stats.messages_dropped += 1;
+                continue;
+            }
+            // 4. Loss injection.
+            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
+                stats.messages_dropped += 1;
+                continue;
+            }
+            // 5. Delivery.
+            proto.deliver(from, to, tag, msg);
+            stats.messages_delivered += 1;
+        }
+        stats.rounds += 1;
+        stats.timeslots += n as u64;
+        // 6. Completion sweep: receipt OR a node's own wakeup may have
+        //    completed it (e.g. oracle tree protocols).
+        for v in 0..n {
+            if !complete[v] && proto.node_complete(v) {
+                complete[v] = true;
+                stats.node_completion_rounds[v] = Some(stats.rounds);
+                *incomplete -= 1;
+            }
+        }
+    }
+
+    /// One asynchronous timeslot: a uniformly random node wakes; both
+    /// directions of its contact are composed from pre-contact state and
+    /// then delivered.
+    fn async_slot<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        stats: &mut RunStats,
+        complete: &mut [bool],
+        incomplete: &mut usize,
+        n: usize,
+    ) {
+        stats.timeslots += 1;
+        let round_now = stats.timeslots.div_ceil(n as u64);
+        let refresh = |proto: &P,
+                           node: NodeId,
+                           complete: &mut [bool],
+                           incomplete: &mut usize,
+                           stats: &mut RunStats| {
+            if !complete[node] && proto.node_complete(node) {
+                complete[node] = true;
+                stats.node_completion_rounds[node] = Some(round_now);
+                *incomplete -= 1;
+            }
+        };
+        let v = self.rng.gen_range(0..n);
+        let Some(intent) = proto.on_wakeup(v, &mut self.rng) else {
+            // The wakeup itself may complete the node (oracle protocols).
+            refresh(proto, v, complete, incomplete, stats);
+            return;
+        };
+        let u = intent.partner;
+        debug_assert_ne!(u, v, "self-contact");
+        // Compose both directions before either delivery: a node cannot
+        // receive two messages from the same node in one timeslot, and the
+        // reply must not depend on the just-received message.
+        let forward = if intent.action.sends_forward() {
+            proto.compose(v, u, intent.tag, &mut self.rng)
+        } else {
+            None
+        };
+        let backward = if intent.action.sends_backward() {
+            proto.compose(u, v, intent.tag, &mut self.rng)
+        } else {
+            None
+        };
+        if intent.action.sends_forward() && forward.is_none() {
+            stats.empty_sends += 1;
+        }
+        if intent.action.sends_backward() && backward.is_none() {
+            stats.empty_sends += 1;
+        }
+        for (from, to, msg) in [(v, u, forward), (u, v, backward)] {
+            let Some(msg) = msg else { continue };
+            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
+                stats.messages_dropped += 1;
+                continue;
+            }
+            proto.deliver(from, to, intent.tag, msg);
+            stats.messages_delivered += 1;
+        }
+        // Either participant may have completed (receipt or own wakeup).
+        refresh(proto, v, complete, incomplete, stats);
+        refresh(proto, u, complete, incomplete, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Action, ContactIntent};
+
+    /// A deterministic "hot potato" counter: node v always pushes to
+    /// v+1 mod n; the message is the sender's current value; receivers
+    /// take the max. Node complete <=> value == 1. Starts with only node 0
+    /// hot. Under correct synchronous snapshot semantics the value moves
+    /// exactly one hop per round.
+    struct Relay {
+        values: Vec<u8>,
+    }
+
+    impl Relay {
+        fn new(n: usize) -> Self {
+            let mut values = vec![0; n];
+            values[0] = 1;
+            Relay { values }
+        }
+    }
+
+    impl Protocol for Relay {
+        type Msg = u8;
+
+        fn num_nodes(&self) -> usize {
+            self.values.len()
+        }
+
+        fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+            Some(ContactIntent {
+                partner: (node + 1) % self.values.len(),
+                action: Action::Push,
+                tag: 0,
+            })
+        }
+
+        fn compose(
+            &self,
+            from: NodeId,
+            _to: NodeId,
+            _tag: u32,
+            _rng: &mut StdRng,
+        ) -> Option<u8> {
+            Some(self.values[from])
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: u8) {
+            self.values[to] = self.values[to].max(msg);
+        }
+
+        fn node_complete(&self, node: NodeId) -> bool {
+            self.values[node] == 1
+        }
+    }
+
+    #[test]
+    fn synchronous_rounds_move_information_one_hop() {
+        // 6 nodes in a directed relay ring: the paper's snapshot rule means
+        // the hot value advances exactly one node per round => 5 rounds.
+        let mut proto = Relay::new(6);
+        let stats = Engine::new(EngineConfig::synchronous(1)).run(&mut proto);
+        assert!(stats.completed);
+        assert_eq!(stats.rounds, 5);
+        // Every node pushes every round: 6 messages per round.
+        assert_eq!(stats.messages_delivered, 5 * 6);
+        // Completion rounds are exactly the hop distances.
+        for (v, r) in stats.node_completion_rounds.iter().enumerate() {
+            assert_eq!(r.unwrap(), v as u64);
+        }
+    }
+
+    #[test]
+    fn asynchronous_delivery_is_immediate() {
+        // In the async model the value can hop several times within n
+        // slots, but never backwards; completion takes SOME slots and the
+        // round count is ceil(slots / n).
+        let mut proto = Relay::new(4);
+        let stats = Engine::new(EngineConfig::asynchronous(7)).run(&mut proto);
+        assert!(stats.completed);
+        assert_eq!(stats.rounds, stats.timeslots.div_ceil(4));
+        assert!(proto.values.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn loss_one_blocks_everything() {
+        let mut proto = Relay::new(4);
+        let cfg = EngineConfig::synchronous(3)
+            .with_loss(1.0)
+            .with_max_rounds(50);
+        let stats = Engine::new(cfg).run(&mut proto);
+        assert!(!stats.completed);
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(stats.messages_dropped, 50 * 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let mut proto = Relay::new(10);
+        let cfg = EngineConfig::synchronous(3).with_max_rounds(3);
+        let stats = Engine::new(cfg).run(&mut proto);
+        assert!(!stats.completed);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.last_completion_round(), None);
+        assert_eq!(stats.first_completion_round(), Some(0)); // node 0 starts hot
+    }
+
+    #[test]
+    fn already_complete_protocol_runs_zero_rounds() {
+        struct Done;
+        impl Protocol for Done {
+            type Msg = ();
+            fn num_nodes(&self) -> usize {
+                3
+            }
+            fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> {
+                None
+            }
+            fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+                None
+            }
+            fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _msg: ()) {}
+            fn node_complete(&self, _: NodeId) -> bool {
+                true
+            }
+        }
+        let stats = Engine::new(EngineConfig::synchronous(0)).run(&mut Done);
+        assert!(stats.completed);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.timeslots, 0);
+    }
+
+    /// An EXCHANGE protocol where both endpoints contact each other,
+    /// producing duplicate (from, to) messages in one synchronous round.
+    struct MutualExchange {
+        delivered: Vec<u32>,
+    }
+
+    impl Protocol for MutualExchange {
+        type Msg = ();
+
+        fn num_nodes(&self) -> usize {
+            2
+        }
+
+        fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+            Some(ContactIntent::exchange(1 - node))
+        }
+
+        fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+            Some(())
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, _msg: ()) {
+            self.delivered[to] += 1;
+        }
+
+        fn node_complete(&self, node: NodeId) -> bool {
+            self.delivered[node] >= 2
+        }
+    }
+
+    #[test]
+    fn same_sender_dedup_drops_second_message() {
+        // Both nodes EXCHANGE with each other: 4 messages composed, but
+        // each (from, to) pair appears twice, so dedup delivers only 2.
+        let mut proto = MutualExchange { delivered: vec![0, 0] };
+        let cfg = EngineConfig::synchronous(0).with_max_rounds(1);
+        let stats = Engine::new(cfg).run(&mut proto);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(stats.messages_dropped, 2);
+        assert_eq!(proto.delivered, vec![1, 1]);
+    }
+
+    #[test]
+    fn dedup_disabled_delivers_all() {
+        let mut proto = MutualExchange { delivered: vec![0, 0] };
+        let cfg = EngineConfig::synchronous(0).with_dedup(false).with_max_rounds(1);
+        let stats = Engine::new(cfg).run(&mut proto);
+        assert!(stats.completed);
+        assert_eq!(stats.messages_delivered, 4);
+        assert_eq!(proto.delivered, vec![2, 2]);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let mut p = Relay::new(8);
+            Engine::new(EngineConfig::asynchronous(seed)).run(&mut p)
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b);
+        let c = run(100);
+        assert!(a.timeslots != c.timeslots || a.messages_delivered != c.messages_delivered);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let mut proto = Relay::new(5);
+        let mut rounds_seen = Vec::new();
+        let mut engine = Engine::new(EngineConfig::synchronous(0));
+        engine.run_observed(&mut proto, |r, _p| rounds_seen.push(r));
+        assert_eq!(rounds_seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = EngineConfig::default().with_loss(1.5);
+    }
+}

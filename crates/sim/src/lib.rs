@@ -1,0 +1,33 @@
+//! Discrete gossip simulator with the paper's execution model.
+//!
+//! Section 2 of Avin et al. fixes the model this crate implements:
+//!
+//! * **Asynchronous time**: "at every timeslot, one node selected
+//!   independently and uniformly at random takes an action and a single
+//!   pair of nodes communicates. We consider n consecutive timeslots as one
+//!   round." Messages are usable immediately.
+//! * **Synchronous time**: "at every round, every node takes an action and
+//!   selects a single communication partner. It is assumed that the
+//!   information received in the current round will be available to a node
+//!   for sending only at the beginning of the next round." The engine
+//!   enforces this with compose-then-deliver rounds, and (optionally, on by
+//!   default) discards the second message a node receives from the same
+//!   sender within one round — the paper's simplifying assumption.
+//! * **Actions**: [`Action::Push`], [`Action::Pull`], [`Action::Exchange`].
+//! * **Communication models**: [`CommModel::Uniform`] (Definition 1) and
+//!   [`CommModel::RoundRobin`] (Definition 2, the quasirandom model with a
+//!   random initial pointer).
+//!
+//! Protocols implement the [`Protocol`] trait; [`Engine`] drives them under
+//! either time model, injects optional message loss (an ablation beyond the
+//! paper's lossless model), and returns [`RunStats`].
+
+mod comm;
+mod engine;
+mod protocol;
+mod stats;
+
+pub use comm::{CommModel, PartnerSelector};
+pub use engine::{Engine, EngineConfig, TimeModel};
+pub use protocol::{Action, ContactIntent, Protocol};
+pub use stats::RunStats;

@@ -1,0 +1,128 @@
+//! The [`Protocol`] trait: what a gossip protocol must provide.
+
+use ag_graph::NodeId;
+use rand::rngs::StdRng;
+
+/// The direction(s) of a gossip contact, from the initiator's viewpoint.
+///
+/// "…either the node pushes information to the partner (PUSH), pulls
+/// information from the partner (PULL), or does both (EXCHANGE)."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Action {
+    /// Initiator sends to partner.
+    Push,
+    /// Partner sends to initiator.
+    Pull,
+    /// Both directions (the paper's default).
+    #[default]
+    Exchange,
+}
+
+impl Action {
+    /// Does this action send a message initiator → partner?
+    #[must_use]
+    pub fn sends_forward(self) -> bool {
+        matches!(self, Action::Push | Action::Exchange)
+    }
+
+    /// Does this action send a message partner → initiator?
+    #[must_use]
+    pub fn sends_backward(self) -> bool {
+        matches!(self, Action::Pull | Action::Exchange)
+    }
+}
+
+/// A contact decided by a waking node: whom to talk to, in which
+/// direction(s), and an opaque protocol-defined tag.
+///
+/// The `tag` travels into [`Protocol::compose`] so multi-phase protocols
+/// (TAG interleaves a spanning-tree phase and an algebraic-gossip phase by
+/// wakeup parity) know which sub-protocol this contact belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactIntent {
+    /// The chosen communication partner.
+    pub partner: NodeId,
+    /// Message direction(s).
+    pub action: Action,
+    /// Protocol-defined contact label (e.g. TAG phase).
+    pub tag: u32,
+}
+
+impl ContactIntent {
+    /// An EXCHANGE contact with tag 0 — the common case.
+    #[must_use]
+    pub fn exchange(partner: NodeId) -> Self {
+        ContactIntent {
+            partner,
+            action: Action::Exchange,
+            tag: 0,
+        }
+    }
+}
+
+/// A gossip protocol driven by the [`crate::Engine`].
+///
+/// The split between `on_wakeup` (may mutate *control* state: wakeup
+/// counters, round-robin pointers) and `compose` (read-only: message
+/// content derives from *data* state) is what lets one protocol
+/// implementation run under both time models: in the synchronous model the
+/// engine calls every node's `on_wakeup`, then composes **all** messages
+/// from pre-round data state, then delivers them — so information received
+/// in a round is available only from the next round, exactly as the paper
+/// assumes.
+pub trait Protocol {
+    /// Message type carried between nodes.
+    type Msg;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Node `node` wakes up; returns its contact for this wakeup, or
+    /// `None` to stay idle. May mutate control state only — message
+    /// content must not depend on mutations made here in a way that leaks
+    /// intra-round data (the engine cannot check this; protocols in this
+    /// workspace uphold it by construction).
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent>;
+
+    /// Composes the message `from → to` for a contact with the given tag,
+    /// reading only committed (pre-round) data state. `None` = nothing to
+    /// send in this direction (e.g. an empty RLNC node).
+    fn compose(&self, from: NodeId, to: NodeId, tag: u32, rng: &mut StdRng)
+        -> Option<Self::Msg>;
+
+    /// Delivers a previously composed message into `to`'s data state.
+    fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: Self::Msg);
+
+    /// Has this node individually completed its task? Used for per-node
+    /// completion-time metrics; the run stops when [`Protocol::is_complete`].
+    fn node_complete(&self, node: NodeId) -> bool;
+
+    /// Global termination predicate (default: every node complete).
+    fn is_complete(&self) -> bool {
+        (0..self.num_nodes()).all(|v| self.node_complete(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_directions() {
+        assert!(Action::Push.sends_forward());
+        assert!(!Action::Push.sends_backward());
+        assert!(!Action::Pull.sends_forward());
+        assert!(Action::Pull.sends_backward());
+        assert!(Action::Exchange.sends_forward());
+        assert!(Action::Exchange.sends_backward());
+        assert_eq!(Action::default(), Action::Exchange);
+    }
+
+    #[test]
+    fn exchange_intent_shape() {
+        let i = ContactIntent::exchange(5);
+        assert_eq!(i.partner, 5);
+        assert_eq!(i.action, Action::Exchange);
+        assert_eq!(i.tag, 0);
+    }
+}

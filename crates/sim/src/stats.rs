@@ -1,0 +1,90 @@
+//! Run statistics collected by the engine.
+
+/// Everything measured during one protocol run.
+///
+/// Times are reported in *rounds* under both time models (the paper's
+/// convention: 1 round = n asynchronous timeslots); `timeslots` carries the
+/// raw slot count for asynchronous runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Whether the protocol reached global completion within the budget.
+    pub completed: bool,
+    /// Rounds elapsed at completion (or at the budget limit). For the
+    /// asynchronous model this is `ceil(timeslots / n)`.
+    pub rounds: u64,
+    /// Raw timeslots (asynchronous model; equals `rounds * n` for the
+    /// synchronous model).
+    pub timeslots: u64,
+    /// Messages delivered to protocol state.
+    pub messages_delivered: u64,
+    /// Messages composed but dropped by loss injection or same-sender
+    /// round deduplication.
+    pub messages_dropped: u64,
+    /// Contacts where the chosen direction produced no message (e.g. an
+    /// RLNC node with rank 0 has nothing to send).
+    pub empty_sends: u64,
+    /// Round at which each node first reported completion (`None` = never).
+    pub node_completion_rounds: Vec<Option<u64>>,
+}
+
+impl RunStats {
+    pub(crate) fn new(n: usize) -> Self {
+        RunStats {
+            completed: false,
+            rounds: 0,
+            timeslots: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+            empty_sends: 0,
+            node_completion_rounds: vec![None; n],
+        }
+    }
+
+    /// The round the last node finished, if all finished.
+    #[must_use]
+    pub fn last_completion_round(&self) -> Option<u64> {
+        self.node_completion_rounds
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// The round the first node finished, if any did.
+    #[must_use]
+    pub fn first_completion_round(&self) -> Option<u64> {
+        self.node_completion_rounds.iter().flatten().copied().min()
+    }
+
+    /// Total messages that entered the network (delivered + dropped).
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_delivered + self.messages_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_round_helpers() {
+        let mut s = RunStats::new(3);
+        assert_eq!(s.last_completion_round(), None);
+        assert_eq!(s.first_completion_round(), None);
+        s.node_completion_rounds = vec![Some(4), Some(2), Some(9)];
+        assert_eq!(s.last_completion_round(), Some(9));
+        assert_eq!(s.first_completion_round(), Some(2));
+        s.node_completion_rounds[1] = None;
+        assert_eq!(s.last_completion_round(), None);
+        assert_eq!(s.first_completion_round(), Some(4));
+    }
+
+    #[test]
+    fn messages_sent_sums() {
+        let mut s = RunStats::new(1);
+        s.messages_delivered = 10;
+        s.messages_dropped = 3;
+        assert_eq!(s.messages_sent(), 13);
+    }
+}

@@ -1,0 +1,208 @@
+//! Extra engine-semantics tests: direction handling, accounting, and the
+//! paper's model rules, exercised through a purpose-built probe protocol.
+
+use ag_graph::NodeId;
+use ag_sim::{
+    Action, ContactIntent, Engine, EngineConfig, Protocol, TimeModel,
+};
+use rand::rngs::StdRng;
+
+/// A probe protocol: node 0 contacts node 1 every wakeup with a fixed
+/// action; both nodes record what they receive. Everyone else idles.
+struct Probe {
+    n: usize,
+    action: Action,
+    received: Vec<Vec<(NodeId, u32)>>,
+    target_msgs: u32,
+}
+
+impl Protocol for Probe {
+    type Msg = u32;
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+        (node == 0).then_some(ContactIntent {
+            partner: 1,
+            action: self.action,
+            tag: 7,
+        })
+    }
+
+    fn compose(&self, from: NodeId, _to: NodeId, tag: u32, _rng: &mut StdRng) -> Option<u32> {
+        assert_eq!(tag, 7, "tag must round-trip");
+        Some(from as u32)
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: u32) {
+        assert_eq!(tag, 7);
+        assert_eq!(msg, from as u32, "message carries composer identity");
+        self.received[to].push((from, tag));
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        // Complete once both endpoints have seen enough traffic; idle
+        // nodes are immediately complete.
+        if node > 1 {
+            return true;
+        }
+        let total: usize = self.received[0].len() + self.received[1].len();
+        total >= self.target_msgs as usize
+    }
+}
+
+fn probe(action: Action, rounds: u64) -> Probe {
+    let mut p = Probe {
+        n: 4,
+        action,
+        received: vec![Vec::new(); 4],
+        target_msgs: u32::MAX, // run until budget
+    };
+    let cfg = EngineConfig::synchronous(1).with_max_rounds(rounds);
+    let _ = Engine::new(cfg).run(&mut p);
+    p
+}
+
+#[test]
+fn push_sends_forward_only() {
+    let p = probe(Action::Push, 5);
+    assert_eq!(p.received[1].len(), 5, "partner gets one push per round");
+    assert!(p.received[0].is_empty(), "initiator must receive nothing");
+}
+
+#[test]
+fn pull_sends_backward_only() {
+    let p = probe(Action::Pull, 5);
+    assert_eq!(p.received[0].len(), 5, "initiator pulls one per round");
+    assert!(p.received[1].is_empty(), "partner must receive nothing");
+}
+
+#[test]
+fn exchange_sends_both_directions() {
+    let p = probe(Action::Exchange, 5);
+    assert_eq!(p.received[0].len(), 5);
+    assert_eq!(p.received[1].len(), 5);
+    // All messages from the expected peers.
+    assert!(p.received[0].iter().all(|&(from, _)| from == 1));
+    assert!(p.received[1].iter().all(|&(from, _)| from == 0));
+}
+
+#[test]
+fn empty_sends_are_counted_not_delivered() {
+    struct Silent;
+    impl Protocol for Silent {
+        type Msg = ();
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+            (node == 0).then_some(ContactIntent::exchange(1))
+        }
+        fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+            None // nothing to say, ever
+        }
+        fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _msg: ()) {
+            panic!("nothing should ever be delivered");
+        }
+        fn node_complete(&self, _: NodeId) -> bool {
+            false
+        }
+    }
+    let cfg = EngineConfig::synchronous(1).with_max_rounds(3);
+    let stats = Engine::new(cfg).run(&mut Silent);
+    assert_eq!(stats.messages_delivered, 0);
+    // EXCHANGE attempts 2 sends per round, both empty: 3 rounds * 2.
+    assert_eq!(stats.empty_sends, 6);
+}
+
+#[test]
+fn async_round_accounting_is_ceil_of_slots() {
+    // Under the asynchronous model with an always-idle protocol, the
+    // engine still consumes exactly max_rounds * n slots.
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = ();
+        fn num_nodes(&self) -> usize {
+            5
+        }
+        fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> {
+            None
+        }
+        fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+            None
+        }
+        fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _msg: ()) {}
+        fn node_complete(&self, _: NodeId) -> bool {
+            false
+        }
+    }
+    let cfg = EngineConfig::asynchronous(2).with_max_rounds(7);
+    let stats = Engine::new(cfg).run(&mut Idle);
+    assert!(!stats.completed);
+    assert_eq!(stats.timeslots, 7 * 5);
+    assert_eq!(stats.rounds, 7);
+}
+
+#[test]
+fn observer_fires_once_per_round_in_async_mode() {
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = ();
+        fn num_nodes(&self) -> usize {
+            6
+        }
+        fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> {
+            None
+        }
+        fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+            None
+        }
+        fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _msg: ()) {}
+        fn node_complete(&self, _: NodeId) -> bool {
+            false
+        }
+    }
+    let mut rounds_seen = Vec::new();
+    let cfg = EngineConfig::asynchronous(3).with_max_rounds(4);
+    Engine::new(cfg).run_observed(&mut Idle, |r, _p| rounds_seen.push(r));
+    assert_eq!(rounds_seen, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn loss_applies_per_direction_of_exchange() {
+    // With loss 1.0 nothing arrives but empty_sends stays zero (messages
+    // were composed) and drops count both directions.
+    let mut p = Probe {
+        n: 4,
+        action: Action::Exchange,
+        received: vec![Vec::new(); 4],
+        target_msgs: u32::MAX,
+    };
+    let cfg = EngineConfig::synchronous(1)
+        .with_max_rounds(4)
+        .with_loss(1.0);
+    let stats = Engine::new(cfg).run(&mut p);
+    assert_eq!(stats.messages_delivered, 0);
+    assert_eq!(stats.messages_dropped, 4 * 2);
+    assert_eq!(stats.empty_sends, 0);
+}
+
+#[test]
+fn completion_round_zero_for_pre_complete_nodes() {
+    let mut p = Probe {
+        n: 4,
+        action: Action::Push,
+        received: vec![Vec::new(); 4],
+        target_msgs: 2,
+    };
+    let stats = Engine::new(EngineConfig::synchronous(0).with_max_rounds(100)).run(&mut p);
+    assert!(stats.completed);
+    // Idle nodes 2, 3 complete at time 0.
+    assert_eq!(stats.node_completion_rounds[2], Some(0));
+    assert_eq!(stats.node_completion_rounds[3], Some(0));
+    // The active pair completes at round 2 (one push per round).
+    assert_eq!(stats.node_completion_rounds[0], Some(2));
+    assert_eq!(stats.node_completion_rounds[1], Some(2));
+}

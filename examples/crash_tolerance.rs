@@ -1,0 +1,59 @@
+//! Crash tolerance: RLNC gossip under crash-stop failures.
+//!
+//! A third of the peers die mid-dissemination. Because every coded packet
+//! spreads *combinations* of all messages, the surviving nodes keep
+//! decoding as long as the lost nodes' information had crossed at least one
+//! edge — which happens within a couple of rounds. Compare how much later
+//! the uncoded baseline would have to re-fetch specific lost chunks.
+//!
+//! Run with: `cargo run --release --example crash_tolerance`
+
+use ag_gf::Gf256;
+use ag_graph::builders;
+use ag_sim::{Engine, EngineConfig};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, CrashPlan, WithCrashes};
+
+fn main() {
+    let n = 30;
+    let k = 15;
+    let graph = builders::complete(n).expect("valid n");
+    println!("complete graph, n = {n}, k = {k} messages, EXCHANGE gossip");
+    println!("crash plan: every node flips a 30% coin at its 4th wakeup\n");
+
+    println!(
+        "{:>6}  {:>8}  {:>9}  {:>10}  {:>10}",
+        "seed", "crashed", "survivors", "completed", "rounds"
+    );
+    let mut completed_runs = 0;
+    for seed in 0..8u64 {
+        let inner = AlgebraicGossip::<Gf256>::new(&graph, &AgConfig::new(k), seed)
+            .expect("valid setup");
+        let plan = CrashPlan::random_fraction(n, 0.3, 4, seed);
+        let mut proto = WithCrashes::new(inner, plan);
+        let stats =
+            Engine::new(EngineConfig::synchronous(seed).with_max_rounds(10_000)).run(&mut proto);
+        let crashed = proto.crashed_count();
+        println!(
+            "{seed:>6}  {crashed:>8}  {:>9}  {:>10}  {:>10}",
+            n - crashed,
+            stats.completed,
+            stats.rounds
+        );
+        if stats.completed {
+            completed_runs += 1;
+            // Verify every survivor decoded the full generation.
+            for v in proto.survivors() {
+                assert_eq!(
+                    proto.inner().decoded(v).expect("survivor decodes"),
+                    proto.inner().generation().messages()
+                );
+            }
+        }
+    }
+    println!(
+        "\n{completed_runs}/8 runs completed with every survivor decoding all {k} messages."
+    );
+    println!("Coding spreads each message's span within ~2 rounds, so losing 30% of");
+    println!("nodes at round 4 almost never destroys information — the decoder only");
+    println!("needs *any* k independent equations, not specific chunks.");
+}

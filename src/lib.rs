@@ -1,0 +1,46 @@
+//! Umbrella crate for the *Order Optimal Information Spreading Using
+//! Algebraic Gossip* reproduction (Avin, Borokhovich, Censor-Hillel,
+//! Lotker — PODC 2011).
+//!
+//! This crate re-exports the whole workspace under one roof for the
+//! examples and integration tests:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`gf`] | `ag-gf` | finite fields GF(2) … GF(2¹⁶), GF(p) |
+//! | [`linalg`] | `ag-linalg` | matrices, incremental echelon bases |
+//! | [`rlnc`] | `ag-rlnc` | coded packets, decoders, recoding |
+//! | [`graph`] | `ag-graph` | topologies, BFS, spanning trees, metrics |
+//! | [`sim`] | `ag-sim` | the gossip engine (time models, actions) |
+//! | [`queueing`] | `ag-queueing` | M/M/1 tree/line networks (Theorem 2) |
+//! | [`analysis`] | `ag-analysis` | bounds, statistics, scaling fits |
+//! | [`protocols`] | `algebraic-gossip` | uniform AG, TAG, BRR, IS |
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench` for the table/figure regenerators.
+
+pub use ag_analysis as analysis;
+pub use ag_gf as gf;
+pub use ag_graph as graph;
+pub use ag_linalg as linalg;
+pub use ag_queueing as queueing;
+pub use ag_rlnc as rlnc;
+pub use ag_sim as sim;
+pub use algebraic_gossip as protocols;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        // Touch one item from each re-exported crate.
+        use crate::gf::Field;
+        let _ = crate::gf::Gf256::ONE;
+        let m = crate::linalg::Matrix::<crate::gf::Gf2>::identity(2);
+        assert_eq!(m.rank(), 2);
+        let g = crate::graph::builders::path(3).unwrap();
+        assert_eq!(g.n(), 3);
+        let _ = crate::sim::EngineConfig::default();
+        let _ = crate::analysis::lower_bound_rounds(4, 2, true);
+        let _ = crate::protocols::AgConfig::new(1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration of the queueing substrate with the graph layer: the
+//! Theorem 2 / Figure 1 reduction chain, empirically.
+
+use algebraic_gossip_repro::graph::builders;
+use algebraic_gossip_repro::queueing::{
+    dominance_violation, ks_critical_5pct, level_line_of, JacksonLine, LineSystem,
+    TreeSystem,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: usize = 800;
+
+/// Figure 1 chain, link 1+2: t(Q^tree) ⪯ t(Q^line with the same per-level
+/// customer counts).
+#[test]
+fn tree_dominated_by_line() {
+    let g = builders::binary_tree(15).unwrap();
+    let tree = g.bfs_tree(0).into_spanning_tree();
+    // 10 customers spread over the leaves (depth 3).
+    let mut placement = vec![0usize; 15];
+    for i in 0..10 {
+        placement[7 + (i % 8)] += 1;
+    }
+    let tree_sys = TreeSystem::new(&tree, placement.clone(), 1.0).unwrap();
+    // Per-level line system per Lemmas 4-5 (exit queue = level 0 = root).
+    let line_sys = level_line_of(&tree, &placement, 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = tree_sys.drain_times(TRIALS, &mut rng);
+    let y = line_sys.drain_times(TRIALS, &mut rng);
+    let v = dominance_violation(&x, &y);
+    assert!(
+        v < ks_critical_5pct(TRIALS, TRIALS),
+        "tree ⪯ line dominance violated by {v}"
+    );
+}
+
+/// Figure 1 chain, link 3: t(Q^line) ⪯ t(Q̂^line) (all customers at tail).
+#[test]
+fn line_dominated_by_tail_line() {
+    let spread = LineSystem::new(5, vec![2, 2, 2, 2, 2], 1.0);
+    let tail = LineSystem::all_at_tail(5, 10, 1.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = spread.drain_times(TRIALS, &mut rng);
+    let y = tail.drain_times(TRIALS, &mut rng);
+    let v = dominance_violation(&x, &y);
+    assert!(v < ks_critical_5pct(TRIALS, TRIALS), "violated by {v}");
+}
+
+/// Figure 1 chain, end: t(Q̂^line) ⪯ Jackson-equilibrium system of Lemma 7
+/// (taking customers out and feeding them back at rate μ/2 only slows
+/// things down).
+#[test]
+fn tail_line_dominated_by_jackson() {
+    let tail = LineSystem::all_at_tail(5, 12, 1.0);
+    let jackson = JacksonLine::new(5, 12, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = tail.drain_times(TRIALS, &mut rng);
+    let y: Vec<f64> = (0..TRIALS).map(|_| jackson.stopping_time(&mut rng)).collect();
+    let v = dominance_violation(&x, &y);
+    assert!(v < ks_critical_5pct(TRIALS, TRIALS), "violated by {v}");
+}
+
+/// Theorem 2 end to end: the drain time of a BFS-tree queueing system with
+/// μ = 1/(2nΔ) stays within the O((k + l_max + log n)/μ) bound — this is
+/// precisely the quantity the proof of Theorem 1 plugs in.
+#[test]
+fn theorem2_bound_with_gossip_rate() {
+    let g = builders::grid(4, 4).unwrap();
+    let n = g.n();
+    let delta = g.max_degree();
+    let mu = 1.0 / (2.0 * n as f64 * delta as f64); // per-timeslot rate
+    let tree = g.bfs_tree(0).into_spanning_tree();
+    let k = 12;
+    let mut placement = vec![0usize; n];
+    for i in 0..k {
+        placement[1 + (i % (n - 1))] += 1;
+    }
+    let sys = TreeSystem::new(&tree, placement, mu).unwrap();
+    let lmax = f64::from(tree.depth());
+    let bound = (4.0 * k as f64 + 4.0 * lmax + 16.0 * (n as f64).ln()) / mu;
+    let mut rng = StdRng::seed_from_u64(4);
+    let times = sys.drain_times(400, &mut rng);
+    let violations = times.iter().filter(|&&t| t > bound).count();
+    assert!(
+        violations <= 8,
+        "{violations}/400 drains exceeded the Theorem 2 bound"
+    );
+}
+
+/// Theorem 2 scaling: drain time is additive in k and l_max.
+#[test]
+fn theorem2_additive_scaling() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    // Vary k at fixed depth.
+    let t_k: Vec<f64> = [8usize, 16, 32]
+        .iter()
+        .map(|&k| {
+            let sys = LineSystem::all_at_tail(4, k, 1.0);
+            mean(&sys.drain_times(500, &mut rng))
+        })
+        .collect();
+    // Increments should roughly double as k doubles (after the additive
+    // l_max term washes out).
+    let d1 = t_k[1] - t_k[0];
+    let d2 = t_k[2] - t_k[1];
+    assert!(
+        d2 / d1 > 1.4 && d2 / d1 < 3.0,
+        "k-increments {d1:.1}, {d2:.1} not ~linear"
+    );
+    // Vary depth at fixed k.
+    let t_l: Vec<f64> = [2usize, 8, 32]
+        .iter()
+        .map(|&l| {
+            let sys = LineSystem::all_at_tail(l, 10, 1.0);
+            mean(&sys.drain_times(500, &mut rng))
+        })
+        .collect();
+    assert!(t_l[2] > t_l[1] && t_l[1] > t_l[0], "depth must slow draining");
+    let dl = (t_l[2] - t_l[1]) / (t_l[1] - t_l[0]);
+    assert!(dl > 1.5 && dl < 8.0, "depth increments ratio {dl:.2} not ~linear");
+}
