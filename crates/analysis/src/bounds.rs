@@ -49,7 +49,10 @@ pub fn lower_bound_rounds(k: usize, diameter: u32, synchronous: bool) -> f64 {
 /// Panics if `gamma` or `lambda` is not positive.
 #[must_use]
 pub fn haeupler_bound(k: usize, n: usize, gamma: f64, lambda: f64) -> f64 {
-    assert!(gamma > 0.0 && lambda > 0.0, "gamma and lambda must be positive");
+    assert!(
+        gamma > 0.0 && lambda > 0.0,
+        "gamma and lambda must be positive"
+    );
     let ln_n = (n as f64).ln().max(1.0);
     k as f64 / gamma + ln_n * ln_n / lambda
 }
@@ -176,7 +179,7 @@ mod tests {
     #[test]
     fn table2_improvement_factors_match_paper_shapes() {
         let n = 1 << 14; // 16384
-        // Line: improvement ~ log^2 n for k = O(n).
+                         // Line: improvement ~ log^2 n for k = O(n).
         let line = Table2Family::Line.improvement_factor(100, n);
         let ln2 = (n as f64).ln().powi(2);
         assert!(
@@ -185,7 +188,10 @@ mod tests {
         );
         // Grid with k = O(sqrt n): also ~ log^2 n.
         let grid = Table2Family::Grid.improvement_factor(64, n);
-        assert!(grid > 0.3 * ln2 && grid < 3.0 * ln2, "grid improvement {grid}");
+        assert!(
+            grid > 0.3 * ln2 && grid < 3.0 * ln2,
+            "grid improvement {grid}"
+        );
         // Binary tree with small k: improvement Omega(n log n / k).
         let k = 16;
         let tree = Table2Family::BinaryTree.improvement_factor(k, n);

@@ -16,9 +16,7 @@ pub mod stats;
 pub mod table;
 pub mod viz;
 
-pub use bounds::{
-    haeupler_bound, lower_bound_rounds, tag_bound, uniform_ag_bound, Table2Family,
-};
+pub use bounds::{haeupler_bound, lower_bound_rounds, tag_bound, uniform_ag_bound, Table2Family};
 pub use regression::{linear_fit, loglog_slope, LinearFit};
 pub use stats::Summary;
 pub use table::TableBuilder;

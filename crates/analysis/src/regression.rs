@@ -43,10 +43,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
     assert!(sxx > 0.0, "x values must not all be identical");
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
@@ -117,20 +114,24 @@ mod tests {
 
     #[test]
     fn quadratic_has_loglog_slope_two() {
-        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 5.0 * x * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 5.0 * x * x)
+            })
+            .collect();
         let fit = loglog_slope(&pts);
         assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
     }
 
     #[test]
     fn linear_has_loglog_slope_one() {
-        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
-            let x = (10 * i) as f64;
-            (x, 0.5 * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = (10 * i) as f64;
+                (x, 0.5 * x)
+            })
+            .collect();
         let fit = loglog_slope(&pts);
         assert!((fit.slope - 1.0).abs() < 1e-9);
     }

@@ -57,7 +57,9 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
             let lo = (i as f64 * per) as usize;
-            let hi = (((i + 1) as f64 * per) as usize).min(values.len()).max(lo + 1);
+            let hi = (((i + 1) as f64 * per) as usize)
+                .min(values.len())
+                .max(lo + 1);
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect()

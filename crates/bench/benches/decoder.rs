@@ -3,8 +3,8 @@
 //! Measures full-generation decode cost — `k` innovative packet insertions
 //! of `k + r` symbols each — for the generation sizes the simulations use.
 
-use ag_gf::{Gf2, Gf256};
 use ag_gf::Field;
+use ag_gf::{Gf2, Gf256};
 use ag_rlnc::{Decoder, Generation, Recoder};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;

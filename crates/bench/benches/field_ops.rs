@@ -3,7 +3,7 @@
 //! The decoder hot path is `axpy` over rows of field elements, so `mul`
 //! and `inv` throughput bound the whole simulator.
 
-use ag_gf::{F257, Field, Gf16, Gf2, Gf256, Gf65536};
+use ag_gf::{Field, Gf16, Gf2, Gf256, Gf65536, F257};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

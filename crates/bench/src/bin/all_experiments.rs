@@ -33,9 +33,17 @@ fn main() {
          flat across the sweep is what validates each Θ/O claim. The paper is\n\
          analytical, so the comparisons are shape-vs-shape, not absolute\n\
          numbers. Suite runtime: {:.1}s ({} scale).\n",
-        if scale == Scale::Full { "full" } else { "quick" },
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        },
         elapsed.as_secs_f64(),
-        if scale == Scale::Full { "full" } else { "quick" },
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        },
     );
     let _ = writeln!(md, "## Experiment index\n");
     let _ = writeln!(md, "| id | paper artifact | verdict |");

@@ -1,0 +1,71 @@
+//! Machine-readable perf baseline for the trial runner: times uniform AG
+//! on a 256-node random graph under the serial reference executor vs the
+//! rayon-backed parallel executor, checks the two produce bit-identical
+//! results, and writes `BENCH_trial_runner.json` for future PRs to diff
+//! against.
+//!
+//! Usage: `cargo run --release -p ag-bench --bin bench_trial_runner`
+//! (optionally `AG_BENCH_TRIALS=n` to resize the batch).
+
+use std::time::Instant;
+
+use ag_gf::Gf256;
+use ag_graph::builders;
+use ag_sim::EngineConfig;
+use algebraic_gossip::{ProtocolKind, RunSpec, TrialPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 256;
+const EDGE_PROB: f64 = 0.05;
+const K: usize = 24;
+const GRAPH_SEED: u64 = 0xBE4C;
+const PLAN_SEED: u64 = 0x7214_AB10;
+
+fn main() {
+    let trials: u64 = std::env::var("AG_BENCH_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(16);
+    let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
+    let graph = builders::erdos_renyi_connected(N, EDGE_PROB, &mut rng).expect("connected G(n,p)");
+
+    let mut base = RunSpec::new(ProtocolKind::UniformAg, K);
+    base.engine = EngineConfig::synchronous(0).with_max_rounds(10_000_000);
+    let plan = TrialPlan::new(trials, PLAN_SEED);
+
+    // Warm-up: fault in code paths and allocator state outside the timers.
+    let _ = TrialPlan::new(2, PLAN_SEED ^ 1)
+        .run::<Gf256>(&graph, &base)
+        .expect("warm-up runs");
+
+    let t0 = Instant::now();
+    let serial = plan
+        .run_serial::<Gf256>(&graph, &base)
+        .expect("serial runs");
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = plan.run::<Gf256>(&graph, &base).expect("parallel runs");
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(serial, parallel, "parallel results must be bit-identical");
+    assert!(serial.all_ok(), "all trials must complete and verify");
+
+    let threads = rayon::current_num_threads();
+    let speedup = serial_secs / parallel_secs;
+    let json = format!(
+        "{{\n  \"bench\": \"trial_runner\",\n  \"graph\": {{\"family\": \"erdos_renyi_connected\", \"n\": {N}, \"p\": {EDGE_PROB}, \"seed\": {GRAPH_SEED}}},\n  \"protocol\": \"UniformAg\",\n  \"field\": \"Gf256\",\n  \"k\": {K},\n  \"trials\": {trials},\n  \"threads\": {threads},\n  \"median_rounds\": {:.1},\n  \"serial_secs\": {serial_secs:.4},\n  \"parallel_secs\": {parallel_secs:.4},\n  \"serial_trials_per_sec\": {:.3},\n  \"parallel_trials_per_sec\": {:.3},\n  \"speedup\": {speedup:.3},\n  \"deterministic_match\": true\n}}\n",
+        serial.median_rounds(),
+        trials as f64 / serial_secs,
+        trials as f64 / parallel_secs,
+    );
+    std::fs::write("BENCH_trial_runner.json", &json).expect("write BENCH_trial_runner.json");
+    print!("{json}");
+    eprintln!(
+        "trial throughput: serial {:.2}/s, parallel {:.2}/s on {threads} thread(s) — {speedup:.2}x",
+        trials as f64 / serial_secs,
+        trials as f64 / parallel_secs,
+    );
+}

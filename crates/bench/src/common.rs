@@ -1,9 +1,9 @@
-//! Shared experiment plumbing: scales, medians, report formatting.
+//! Shared experiment plumbing: scales, trial plans, report formatting.
 
 use ag_gf::Field;
 use ag_graph::Graph;
 use ag_sim::{EngineConfig, TimeModel};
-use algebraic_gossip::{run_protocol, ProtocolKind, RunSpec};
+use algebraic_gossip::{ProtocolKind, RunSpec, TrialPlan};
 
 /// How big to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,11 +15,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `AG_BENCH_SCALE` (`quick` default, `full` to upgrade).
+    /// Reads `AG_BENCH_SCALE`: any capitalization of `full` upgrades,
+    /// everything else (including unset or invalid values) stays `Quick`.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("AG_BENCH_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
+        Self::from_value(std::env::var("AG_BENCH_SCALE").ok().as_deref())
+    }
+
+    /// [`Self::from_env`] on an explicit value (separated for testing).
+    #[must_use]
+    pub fn from_value(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v.trim().eq_ignore_ascii_case("full") => Scale::Full,
             _ => Scale::Quick,
         }
     }
@@ -31,6 +38,13 @@ impl Scale {
             Scale::Quick => 3,
             Scale::Full => 7,
         }
+    }
+
+    /// A [`TrialPlan`] carrying this scale's trial count — the default
+    /// way an experiment turns "one measured cell" into trials.
+    #[must_use]
+    pub fn plan(self, seed0: u64) -> TrialPlan {
+        TrialPlan::new(self.trials(), seed0)
     }
 }
 
@@ -56,9 +70,9 @@ impl ExperimentReport {
     }
 }
 
-/// Median synchronous/asynchronous rounds of a protocol over trials.
-/// Panics if any trial fails to complete or decode — experiments must be
-/// sized so that completion is certain.
+/// Median synchronous/asynchronous rounds of a protocol over trials: a
+/// thin wrapper over [`TrialPlan`]. Panics if any trial fails to complete
+/// or decode — experiments must be sized so that completion is certain.
 #[must_use]
 pub fn median_rounds_protocol<F: Field>(
     graph: &Graph,
@@ -68,26 +82,17 @@ pub fn median_rounds_protocol<F: Field>(
     trials: u64,
     seed0: u64,
 ) -> f64 {
-    let mut rounds: Vec<u64> = (0..trials)
-        .map(|t| {
-            let seed = seed0.wrapping_add(t.wrapping_mul(0x9E37_79B9));
-            let mut spec = RunSpec::new(kind, k).with_seed(seed);
-            spec.engine = match time {
-                TimeModel::Synchronous => EngineConfig::synchronous(seed ^ 0x5EED),
-                TimeModel::Asynchronous => EngineConfig::asynchronous(seed ^ 0x5EED),
-            }
-            .with_max_rounds(20_000_000);
-            let (stats, ok) = run_protocol::<F>(graph, &spec).expect("valid spec");
-            assert!(
-                stats.completed && ok,
-                "experiment run failed: {kind:?} on n={} k={k}",
-                graph.n()
-            );
-            stats.rounds
-        })
-        .collect();
-    rounds.sort_unstable();
-    rounds[rounds.len() / 2] as f64
+    let mut base = RunSpec::new(kind, k);
+    base.engine = match time {
+        TimeModel::Synchronous => EngineConfig::synchronous(0),
+        TimeModel::Asynchronous => EngineConfig::asynchronous(0),
+    }
+    .with_max_rounds(20_000_000);
+    TrialPlan::new(trials, seed0)
+        .run::<F>(graph, &base)
+        .expect("valid spec")
+        .expect_all_ok(&format!("{kind:?} on n={} k={k}", graph.n()))
+        .median_rounds()
 }
 
 #[cfg(test)]
@@ -99,6 +104,34 @@ mod tests {
     #[test]
     fn scale_trials_ordering() {
         assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+
+    #[test]
+    fn scale_parsing_is_case_insensitive_and_rejects_garbage() {
+        assert_eq!(Scale::from_value(Some("full")), Scale::Full);
+        assert_eq!(Scale::from_value(Some("FULL")), Scale::Full);
+        assert_eq!(Scale::from_value(Some("Full")), Scale::Full);
+        assert_eq!(Scale::from_value(Some("fUlL")), Scale::Full);
+        assert_eq!(Scale::from_value(Some("  full ")), Scale::Full);
+        assert_eq!(Scale::from_value(Some("quick")), Scale::Quick);
+        assert_eq!(Scale::from_value(Some("")), Scale::Quick);
+        assert_eq!(Scale::from_value(Some("fullest")), Scale::Quick);
+        assert_eq!(Scale::from_value(Some("banana")), Scale::Quick);
+        assert_eq!(Scale::from_value(None), Scale::Quick);
+    }
+
+    // No set_var-based test for from_env: mutating the process
+    // environment races with the concurrent getenv calls other test
+    // threads make (the rayon shim reads RAYON_NUM_THREADS), which is
+    // undefined behavior on glibc. from_value covers the parsing;
+    // from_env is a one-line env read over it, exercised end-to-end by
+    // the AG_BENCH_SCALE=FuLL runs in CI and the verify flow.
+
+    #[test]
+    fn scale_plans_carry_trial_counts() {
+        assert_eq!(Scale::Quick.plan(9).trials(), Scale::Quick.trials());
+        assert_eq!(Scale::Full.plan(9).trials(), Scale::Full.trials());
+        assert_eq!(Scale::Quick.plan(9).seed0(), 9);
     }
 
     #[test]

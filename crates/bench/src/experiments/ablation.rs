@@ -3,13 +3,11 @@
 
 use std::fmt::Write as _;
 
-use ag_analysis::TableBuilder;
-use ag_gf::{F257, Field, Gf16, Gf2, Gf256, Gf65536};
+use ag_analysis::{Summary, TableBuilder};
+use ag_gf::{Field, Gf16, Gf2, Gf256, Gf65536, F257};
 use ag_graph::builders;
 use ag_sim::{EngineConfig, TimeModel};
-use algebraic_gossip::{
-    run_protocol, Action, ProtocolKind, RunSpec,
-};
+use algebraic_gossip::{Action, ProtocolKind, RunSpec, TrialPlan};
 
 use crate::common::{median_rounds_protocol, ExperimentReport, Scale};
 
@@ -20,19 +18,14 @@ fn median_with<F: Field>(
     seed0: u64,
     tweak: impl Fn(&mut RunSpec),
 ) -> f64 {
-    let mut rounds: Vec<u64> = (0..trials)
-        .map(|t| {
-            let seed = seed0 + t * 7919;
-            let mut spec = RunSpec::new(ProtocolKind::UniformAg, k).with_seed(seed);
-            spec.engine = EngineConfig::synchronous(seed ^ 0xAB1E).with_max_rounds(5_000_000);
-            tweak(&mut spec);
-            let (stats, ok) = run_protocol::<F>(g, &spec).expect("valid spec");
-            assert!(stats.completed && ok);
-            stats.rounds
-        })
-        .collect();
-    rounds.sort_unstable();
-    rounds[rounds.len() / 2] as f64
+    let mut base = RunSpec::new(ProtocolKind::UniformAg, k);
+    base.engine = EngineConfig::synchronous(0).with_max_rounds(5_000_000);
+    tweak(&mut base);
+    TrialPlan::new(trials, seed0)
+        .run::<F>(g, &base)
+        .expect("valid spec")
+        .expect_all_ok(&format!("ablation on n={} k={k}", g.n()))
+        .median_rounds()
 }
 
 /// Runs the ablation suite.
@@ -59,14 +52,26 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let q2 = median_with::<Gf2>(&g, k, trials, 1100, |_| {});
     for (name, q, rounds) in [
         ("GF(2)", 2u64, q2),
-        ("GF(16)", 16, median_with::<Gf16>(&g, k, trials, 1100, |_| {})),
-        ("GF(256)", 256, median_with::<Gf256>(&g, k, trials, 1100, |_| {})),
+        (
+            "GF(16)",
+            16,
+            median_with::<Gf16>(&g, k, trials, 1100, |_| {}),
+        ),
+        (
+            "GF(256)",
+            256,
+            median_with::<Gf256>(&g, k, trials, 1100, |_| {}),
+        ),
         (
             "GF(65536)",
             65536,
             median_with::<Gf65536>(&g, k, trials, 1100, |_| {}),
         ),
-        ("F_257", 257, median_with::<F257>(&g, k, trials, 1100, |_| {})),
+        (
+            "F_257",
+            257,
+            median_with::<F257>(&g, k, trials, 1100, |_| {}),
+        ),
     ] {
         t.row(vec![
             name.into(),
@@ -123,26 +128,33 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
     // ---- A3: communication model and action. ----------------------------
     let g = builders::barbell(n).unwrap();
-    let mut t = TableBuilder::new(vec![
-        "variant".into(),
-        "median rounds (barbell)".into(),
-    ]);
+    let mut t = TableBuilder::new(vec!["variant".into(), "median rounds (barbell)".into()]);
     let uni = median_rounds_protocol::<Gf256>(
-        &g, ProtocolKind::UniformAg, k, TimeModel::Synchronous, trials, 1301,
+        &g,
+        ProtocolKind::UniformAg,
+        k,
+        TimeModel::Synchronous,
+        trials,
+        1301,
     );
     let rr = median_rounds_protocol::<Gf256>(
-        &g, ProtocolKind::RoundRobinAg, k, TimeModel::Synchronous, trials, 1302,
+        &g,
+        ProtocolKind::RoundRobinAg,
+        k,
+        TimeModel::Synchronous,
+        trials,
+        1302,
     );
     t.row(vec!["uniform EXCHANGE".into(), format!("{uni:.0}")]);
-    t.row(vec!["round-robin EXCHANGE (quasirandom)".into(), format!("{rr:.0}")]);
+    t.row(vec![
+        "round-robin EXCHANGE (quasirandom)".into(),
+        format!("{rr:.0}"),
+    ]);
     for action in [Action::Push, Action::Pull] {
         let rounds = median_with::<Gf256>(&g, k, trials, 1303, |spec| {
             spec.ag = spec.ag.clone().with_action(action);
         });
-        t.row(vec![
-            format!("uniform {action:?}"),
-            format!("{rounds:.0}"),
-        ]);
+        t.row(vec![format!("uniform {action:?}"), format!("{rounds:.0}")]);
     }
     let _ = writeln!(
         text,
@@ -171,27 +183,21 @@ pub fn run(scale: Scale) -> ExperimentReport {
     for &kk in &ks {
         let g = builders::complete(kk).unwrap();
         let rlnc = median_rounds_protocol::<Gf256>(
-            &g, ProtocolKind::UniformAg, kk, TimeModel::Synchronous, trials, 1401,
+            &g,
+            ProtocolKind::UniformAg,
+            kk,
+            TimeModel::Synchronous,
+            trials,
+            1401,
         );
-        let mut base_rounds: Vec<u64> = (0..trials)
-            .map(|t| {
-                let seed = 1402 + t * 7919;
-                let mut proto = algebraic_gossip::RandomMessageGossip::<Gf256>::new(
-                    &g,
-                    &algebraic_gossip::AgConfig::new(kk),
-                    seed,
-                )
-                .expect("valid");
-                let stats = ag_sim::Engine::new(
-                    EngineConfig::synchronous(seed ^ 0xBEEF).with_max_rounds(5_000_000),
-                )
-                .run(&mut proto);
-                assert!(stats.completed);
-                stats.rounds
-            })
-            .collect();
-        base_rounds.sort_unstable();
-        let base = base_rounds[base_rounds.len() / 2] as f64;
+        let base = median_rounds_protocol::<Gf256>(
+            &g,
+            ProtocolKind::UncodedRandom,
+            kk,
+            TimeModel::Synchronous,
+            trials,
+            1402,
+        );
         t.row(vec![
             kk.to_string(),
             format!("{base:.0}"),
@@ -247,31 +253,30 @@ pub fn run(scale: Scale) -> ExperimentReport {
         "median rounds (completed)".into(),
     ]);
     for frac in [0.0, 0.1, 0.25, 0.4] {
-        let mut completed = 0u64;
-        let mut rounds = Vec::new();
-        for t_i in 0..trials {
-            let seed = 1600 + t_i * 104729;
+        // Crash injection wraps the protocol, so it cannot be expressed
+        // as a RunSpec — route the custom trial body through the plan's
+        // map() escape hatch instead (central seeds, parallel execution).
+        let outcomes = scale.plan(1600).map(|s| {
             let inner = algebraic_gossip::AlgebraicGossip::<Gf256>::new(
                 &g,
                 &algebraic_gossip::AgConfig::new(k),
-                seed,
+                s.protocol,
             )
             .expect("valid");
-            let plan = algebraic_gossip::CrashPlan::random_fraction(n, frac, 3, seed);
+            let plan = algebraic_gossip::CrashPlan::random_fraction(n, frac, 3, s.protocol);
             let mut proto = algebraic_gossip::WithCrashes::new(inner, plan);
-            let stats = ag_sim::Engine::new(
-                EngineConfig::synchronous(seed ^ 0xDEAD).with_max_rounds(100_000),
-            )
-            .run(&mut proto);
-            if stats.completed {
-                completed += 1;
-                rounds.push(stats.rounds);
-            }
-        }
-        rounds.sort_unstable();
-        let median = rounds
-            .get(rounds.len() / 2)
-            .map_or("—".to_string(), |r| r.to_string());
+            let stats =
+                ag_sim::Engine::new(EngineConfig::synchronous(s.engine).with_max_rounds(100_000))
+                    .run(&mut proto);
+            stats.completed.then_some(stats.rounds)
+        });
+        let rounds: Vec<u64> = outcomes.iter().copied().flatten().collect();
+        let completed = rounds.len() as u64;
+        let median = if rounds.is_empty() {
+            "—".to_string()
+        } else {
+            format!("{:.0}", Summary::of_u64(&rounds).median())
+        };
         t.row(vec![
             format!("{frac:.2}"),
             format!("{completed}/{trials}"),

@@ -2,10 +2,10 @@
 
 use std::fmt::Write as _;
 
-use ag_analysis::TableBuilder;
+use ag_analysis::{Summary, TableBuilder};
 use ag_graph::{builders, metrics, Graph};
 use ag_sim::EngineConfig;
-use algebraic_gossip::{measure_tree_protocol, BroadcastTree, CommModel};
+use algebraic_gossip::{measure_tree_protocol, BroadcastTree, CommModel, TrialPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,16 +52,20 @@ pub fn run(scale: Scale) -> ExperimentReport {
             ("star", builders::star(n).unwrap()),
             ("lollipop", builders::lollipop(n / 2, n / 2).unwrap()),
         ] {
-            let sync_worst = (0..seeds)
-                .map(|s| broadcast_rounds(&g, CommModel::RoundRobin, true, s).unwrap())
+            // Tree protocols run standalone (no RunSpec), so each series
+            // goes through a TrialPlan's map(): central seeds, parallel
+            // trials, deterministic order.
+            let sync_worst = TrialPlan::new(seeds, 0xF3_01)
+                .map(|s| broadcast_rounds(&g, CommModel::RoundRobin, true, s.protocol).unwrap())
+                .into_iter()
                 .max()
                 .unwrap();
-            let mut asyncs: Vec<u64> = (0..seeds)
-                .map(|s| broadcast_rounds(&g, CommModel::RoundRobin, false, 100 + s).unwrap())
-                .collect();
-            asyncs.sort_unstable();
-            let uni_worst = (0..seeds)
-                .map(|s| broadcast_rounds(&g, CommModel::Uniform, true, 200 + s).unwrap())
+            let asyncs = TrialPlan::new(seeds, 0xF3_02)
+                .map(|s| broadcast_rounds(&g, CommModel::RoundRobin, false, s.protocol).unwrap());
+            let async_median = Summary::of_u64(&asyncs).median();
+            let uni_worst = TrialPlan::new(seeds, 0xF3_03)
+                .map(|s| broadcast_rounds(&g, CommModel::Uniform, true, s.protocol).unwrap())
+                .into_iter()
                 .max()
                 .unwrap();
             assert!(
@@ -73,7 +77,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 g.n().to_string(),
                 sync_worst.to_string(),
                 (3 * g.n()).to_string(),
-                asyncs[asyncs.len() / 2].to_string(),
+                format!("{async_median:.0}"),
                 uni_worst.to_string(),
             ]);
         }

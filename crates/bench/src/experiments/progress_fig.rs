@@ -10,9 +10,7 @@ use ag_analysis::{downsample, sparkline};
 use ag_gf::Gf256;
 use ag_graph::builders;
 use ag_sim::{Engine, EngineConfig};
-use algebraic_gossip::{
-    AgConfig, AlgebraicGossip, BroadcastTree, CommModel, Tag,
-};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, BroadcastTree, CommModel, Tag};
 
 use crate::common::{ExperimentReport, Scale};
 

@@ -5,9 +5,9 @@ use std::fmt::Write as _;
 use ag_analysis::{linear_fit, Summary, TableBuilder};
 use ag_graph::builders;
 use ag_queueing::{
-    dominance_violation, ks_critical_5pct, level_line_of, JacksonLine, LineSystem,
-    TreeSystem,
+    dominance_violation, ks_critical_5pct, level_line_of, JacksonLine, LineSystem, TreeSystem,
 };
+use algebraic_gossip::TrialPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,11 +16,16 @@ use crate::common::{ExperimentReport, Scale};
 /// Runs the queueing-reduction experiments.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
-    let trials = match scale {
+    let trials: u64 = match scale {
         Scale::Quick => 600,
         Scale::Full => 3000,
     };
-    let mut rng = StdRng::seed_from_u64(0xF1);
+    // Queueing drains are plain sampling functions (no RunSpec), so every
+    // series runs through a TrialPlan's map(): one fresh, centrally
+    // derived rng per trial, executed in parallel, collected in order.
+    let sample = |seed0: u64, n: u64, f: &(dyn Fn(&mut StdRng) -> f64 + Sync)| -> Vec<f64> {
+        TrialPlan::new(n, seed0).map(|s| f(&mut StdRng::seed_from_u64(s.protocol)))
+    };
     let mut text = String::new();
     let mut md = String::new();
 
@@ -39,12 +44,12 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let tail_sys = LineSystem::all_at_tail(lmax, k, 1.0);
     let jackson = JacksonLine::new(lmax, k, 1.0);
 
-    let x_tree = tree_sys.drain_times(trials, &mut rng);
-    let x_line = line_sys.drain_times(trials, &mut rng);
-    let x_tail = tail_sys.drain_times(trials, &mut rng);
-    let x_jack: Vec<f64> = (0..trials).map(|_| jackson.stopping_time(&mut rng)).collect();
+    let x_tree = sample(0xF1_01, trials, &|rng| tree_sys.drain_time(rng));
+    let x_line = sample(0xF1_02, trials, &|rng| line_sys.drain_time(rng));
+    let x_tail = sample(0xF1_03, trials, &|rng| tail_sys.drain_time(rng));
+    let x_jack = sample(0xF1_04, trials, &|rng| jackson.stopping_time(rng));
 
-    let crit = ks_critical_5pct(trials, trials);
+    let crit = ks_critical_5pct(trials as usize, trials as usize);
     let mut t = TableBuilder::new(vec![
         "dominance link (X ⪯ Y)".into(),
         "mean X".into(),
@@ -84,7 +89,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut pts_k = Vec::new();
     for k in [5usize, 10, 20, 40] {
         let sys = LineSystem::all_at_tail(6, k, 1.0);
-        let m = Summary::of(&sys.drain_times(trials.min(800), &mut rng)).mean();
+        let draws = sample(0xF2_A000 + k as u64, trials.min(800), &|rng| {
+            sys.drain_time(rng)
+        });
+        let m = Summary::of(&draws).mean();
         pts_k.push((k as f64, m));
         t.row(vec![k.to_string(), format!("{m:.1}")]);
     }
@@ -108,7 +116,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut pts_l = Vec::new();
     for l in [2usize, 4, 8, 16, 32] {
         let sys = LineSystem::all_at_tail(l, 10, 1.0);
-        let m = Summary::of(&sys.drain_times(trials.min(800), &mut rng)).mean();
+        let draws = sample(0xF2_B000 + l as u64, trials.min(800), &|rng| {
+            sys.drain_time(rng)
+        });
+        let m = Summary::of(&draws).mean();
         pts_l.push((l as f64, m));
         t.row(vec![l.to_string(), format!("{m:.1}")]);
     }
@@ -139,9 +150,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
         placement[1 + (i % (n - 1))] += 1;
     }
     let sys = TreeSystem::new(&tree, placement, mu).unwrap();
-    let bound =
-        (4.0 * k as f64 + 4.0 * f64::from(tree.depth()) + 16.0 * (n as f64).ln()) / mu;
-    let times = sys.drain_times(trials.min(800), &mut rng);
+    let bound = (4.0 * k as f64 + 4.0 * f64::from(tree.depth()) + 16.0 * (n as f64).ln()) / mu;
+    let times = sample(0xF2_C000, trials.min(800), &|rng| sys.drain_time(rng));
     let violations = times.iter().filter(|&&t| t > bound).count();
     let _ = writeln!(
         text,

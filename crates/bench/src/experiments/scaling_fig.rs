@@ -90,16 +90,36 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let path = builders::path(n_fixed).unwrap();
         let comp = builders::complete(n_fixed).unwrap();
         let ps = median_rounds_protocol::<Gf256>(
-            &path, ProtocolKind::UniformAg, k, TimeModel::Synchronous, trials, 502,
+            &path,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Synchronous,
+            trials,
+            502,
         );
         let pa = median_rounds_protocol::<Gf256>(
-            &path, ProtocolKind::UniformAg, k, TimeModel::Asynchronous, trials, 503,
+            &path,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Asynchronous,
+            trials,
+            503,
         );
         let cs = median_rounds_protocol::<Gf256>(
-            &comp, ProtocolKind::UniformAg, k, TimeModel::Synchronous, trials, 504,
+            &comp,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Synchronous,
+            trials,
+            504,
         );
         let ca = median_rounds_protocol::<Gf256>(
-            &comp, ProtocolKind::UniformAg, k, TimeModel::Asynchronous, trials, 505,
+            &comp,
+            ProtocolKind::UniformAg,
+            k,
+            TimeModel::Asynchronous,
+            trials,
+            505,
         );
         sync_pts.push((k as f64, ps));
         t.row(vec![
@@ -132,10 +152,20 @@ pub fn run(scale: Scale) -> ExperimentReport {
     for &n in &ns {
         let g = builders::path(n).unwrap();
         let u = median_rounds_protocol::<Gf256>(
-            &g, ProtocolKind::UniformAg, n, TimeModel::Synchronous, trials, 506,
+            &g,
+            ProtocolKind::UniformAg,
+            n,
+            TimeModel::Synchronous,
+            trials,
+            506,
         );
         let ta = median_rounds_protocol::<Gf256>(
-            &g, ProtocolKind::TagBrr(0), n, TimeModel::Synchronous, trials, 507,
+            &g,
+            ProtocolKind::TagBrr(0),
+            n,
+            TimeModel::Synchronous,
+            trials,
+            507,
         );
         u_pts.push((n as f64, u));
         g_pts.push((n as f64, ta));

@@ -14,9 +14,7 @@ use ag_analysis::{linear_fit, tag_bound, uniform_ag_bound, TableBuilder};
 use ag_gf::Gf256;
 use ag_graph::{builders, Graph};
 use ag_sim::{EngineConfig, TimeModel};
-use algebraic_gossip::{
-    measure_tree_protocol, BroadcastTree, CommModel, ProtocolKind,
-};
+use algebraic_gossip::{measure_tree_protocol, BroadcastTree, CommModel, ProtocolKind};
 
 use crate::common::{median_rounds_protocol, ExperimentReport, Scale};
 
@@ -145,10 +143,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     for (name, g) in families(n) {
         let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 11).unwrap();
-        let (tstats, tree) = measure_tree_protocol(
-            brr,
-            EngineConfig::synchronous(11).with_max_rounds(100_000),
-        );
+        let (tstats, tree) =
+            measure_tree_protocol(brr, EngineConfig::synchronous(11).with_max_rounds(100_000));
         let tree = tree.expect("BRR completes");
         let rounds = median_rounds_protocol::<Gf256>(
             &g,

@@ -171,8 +171,9 @@ impl<F: Field> AlgebraicGossip<F> {
         let mut rng = StdRng::seed_from_u64(seed);
         let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
         let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
-        let mut decoders: Vec<Decoder<F>> =
-            (0..graph.n()).map(|_| Decoder::new(cfg.k, cfg.payload_len)).collect();
+        let mut decoders: Vec<Decoder<F>> = (0..graph.n())
+            .map(|_| Decoder::new(cfg.k, cfg.payload_len))
+            .collect();
         for (msg, &host) in hosts.iter().enumerate() {
             decoders[host].seed_message(&generation, msg);
         }
@@ -250,13 +251,7 @@ impl<F: Field> Protocol for AlgebraicGossip<F> {
         })
     }
 
-    fn compose(
-        &self,
-        from: NodeId,
-        _to: NodeId,
-        _tag: u32,
-        rng: &mut StdRng,
-    ) -> Option<Packet<F>> {
+    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<Packet<F>> {
         let recoder = Recoder::new(&self.decoders[from]);
         if self.coding_density < 1.0 {
             recoder.emit_sparse(self.coding_density, rng)
@@ -383,7 +378,11 @@ mod tests {
         let cfg = AgConfig::new(1).with_placement(Placement::SingleSource(0));
         let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 4);
         assert!(stats.completed);
-        assert!(stats.rounds >= 19, "beat the diameter: {} rounds", stats.rounds);
+        assert!(
+            stats.rounds >= 19,
+            "beat the diameter: {} rounds",
+            stats.rounds
+        );
     }
 
     #[test]
@@ -408,12 +407,7 @@ mod tests {
         ] {
             let k = 4;
             let cfg = AgConfig::new(k);
-            let bound = ag_analysis::uniform_ag_bound(
-                k,
-                g.n(),
-                g.diameter(),
-                g.max_degree(),
-            );
+            let bound = ag_analysis::uniform_ag_bound(k, g.n(), g.diameter(), g.max_degree());
             let (_, stats) = run::<Gf256>(&g, &cfg, TimeModel::Synchronous, 21);
             assert!(stats.completed, "{name} incomplete");
             assert!(

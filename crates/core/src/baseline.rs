@@ -13,7 +13,7 @@
 //! surface as [`crate::AlgebraicGossip`], so every experiment can swap the
 //! codec out and measure the coding gain (experiment A4).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ag_gf::Field;
 use ag_graph::{Graph, GraphError, NodeId};
@@ -59,7 +59,10 @@ pub struct RawMsg<F> {
 pub struct RandomMessageGossip<F: Field> {
     graph: Graph,
     generation: Generation<F>,
-    holdings: Vec<HashSet<usize>>,
+    // BTreeSet, not HashSet: `compose` picks the nth held index, so the
+    // iteration order must be deterministic for seeded runs to reproduce
+    // (std's HashSet randomizes its order per instance).
+    holdings: Vec<BTreeSet<usize>>,
     selector: PartnerSelector,
     action: Action,
 }
@@ -85,7 +88,7 @@ impl<F: Field> RandomMessageGossip<F> {
         let mut rng = StdRng::seed_from_u64(seed);
         let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
         let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
-        let mut holdings: Vec<HashSet<usize>> = vec![HashSet::new(); graph.n()];
+        let mut holdings: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); graph.n()];
         for (msg, &host) in hosts.iter().enumerate() {
             holdings[host].insert(msg);
         }
@@ -115,8 +118,7 @@ impl<F: Field> RandomMessageGossip<F> {
     /// index — all `k` of them once the node is complete.
     #[must_use]
     pub fn messages_of(&self, v: NodeId) -> Vec<RawMsg<F>> {
-        let mut idx: Vec<usize> = self.holdings[v].iter().copied().collect();
-        idx.sort_unstable();
+        let idx: Vec<usize> = self.holdings[v].iter().copied().collect();
         idx.into_iter()
             .map(|index| RawMsg {
                 index,
@@ -142,13 +144,7 @@ impl<F: Field> Protocol for RandomMessageGossip<F> {
         })
     }
 
-    fn compose(
-        &self,
-        from: NodeId,
-        _to: NodeId,
-        _tag: u32,
-        rng: &mut StdRng,
-    ) -> Option<RawMsg<F>> {
+    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<RawMsg<F>> {
         let held = &self.holdings[from];
         if held.is_empty() {
             return None;
@@ -182,10 +178,8 @@ mod tests {
 
     fn run(g: &Graph, cfg: &AgConfig, seed: u64) -> (RandomMessageGossip<Gf256>, ag_sim::RunStats) {
         let mut proto = RandomMessageGossip::<Gf256>::new(g, cfg, seed).unwrap();
-        let stats = Engine::new(
-            EngineConfig::synchronous(seed).with_max_rounds(1_000_000),
-        )
-        .run(&mut proto);
+        let stats =
+            Engine::new(EngineConfig::synchronous(seed).with_max_rounds(1_000_000)).run(&mut proto);
         (proto, stats)
     }
 
@@ -220,10 +214,8 @@ mod tests {
             assert!(s.completed);
             base_total += s.rounds;
             let mut ag = AlgebraicGossip::<Gf256>::new(&g, &cfg, seed).unwrap();
-            let s2 = Engine::new(
-                EngineConfig::synchronous(seed).with_max_rounds(1_000_000),
-            )
-            .run(&mut ag);
+            let s2 = Engine::new(EngineConfig::synchronous(seed).with_max_rounds(1_000_000))
+                .run(&mut ag);
             assert!(s2.completed);
             rlnc_total += s2.rounds;
         }

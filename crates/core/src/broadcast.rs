@@ -230,8 +230,7 @@ mod tests {
     #[test]
     fn parent_is_always_a_neighbor_and_informed_earlier() {
         let g = builders::binary_tree(31).unwrap();
-        let (runner, _) =
-            run_broadcast(&g, CommModel::Uniform, EngineConfig::asynchronous(9), 9);
+        let (runner, _) = run_broadcast(&g, CommModel::Uniform, EngineConfig::asynchronous(9), 9);
         let tree = runner.inner().spanning_tree().unwrap();
         for (child, parent) in tree.edges() {
             assert!(g.has_edge(child, parent));

@@ -165,13 +165,7 @@ impl<P: Protocol> Protocol for WithCrashes<P> {
         self.inner.on_wakeup(node, rng)
     }
 
-    fn compose(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        tag: u32,
-        rng: &mut StdRng,
-    ) -> Option<P::Msg> {
+    fn compose(&self, from: NodeId, to: NodeId, tag: u32, rng: &mut StdRng) -> Option<P::Msg> {
         if self.crashed[from] {
             return None; // a dead node does not respond
         }
@@ -204,8 +198,7 @@ mod tests {
     fn survivors_decode_despite_crashes() {
         let g = builders::complete(12).unwrap();
         let inner =
-            AlgebraicGossip::<Gf256>::new(&g, &AgConfig::new(6).with_payload_len(1), 7)
-                .unwrap();
+            AlgebraicGossip::<Gf256>::new(&g, &AgConfig::new(6).with_payload_len(1), 7).unwrap();
         // A quarter of the nodes crash early (but after round 2, by which
         // time every message has been forwarded at least once w.h.p.).
         let plan = CrashPlan::explicit(vec![(1, 3), (5, 3), (9, 3)]);
@@ -246,9 +239,11 @@ mod tests {
         let cfg = AgConfig::new(2).with_placement(Placement::SingleSource(3));
         let inner = AlgebraicGossip::<Gf256>::new(&g, &cfg, 3).unwrap();
         let mut proto = WithCrashes::new(inner, CrashPlan::explicit(vec![(3, 1)]));
-        let stats =
-            Engine::new(EngineConfig::synchronous(3).with_max_rounds(500)).run(&mut proto);
-        assert!(!stats.completed, "messages were lost; survivors cannot finish");
+        let stats = Engine::new(EngineConfig::synchronous(3).with_max_rounds(500)).run(&mut proto);
+        assert!(
+            !stats.completed,
+            "messages were lost; survivors cannot finish"
+        );
     }
 
     #[test]

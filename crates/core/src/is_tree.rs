@@ -162,7 +162,9 @@ impl TreeProtocol for IsTree {
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: HeardSet) {
         // MSB rule: the first message that flips the root's bit from 0 to
         // 1 determines the parent.
-        if to != self.root && self.parent[to].is_none() && !self.heard_root(to)
+        if to != self.root
+            && self.parent[to].is_none()
+            && !self.heard_root(to)
             && msg.contains(self.root)
         {
             self.parent[to] = Some(from);
@@ -185,10 +187,8 @@ mod tests {
     fn build_tree(g: &Graph, seed: u64) -> (TreeRunner<IsTree>, ag_sim::RunStats) {
         let is = IsTree::new(g, 0, seed).unwrap();
         let mut runner = TreeRunner::new(is);
-        let stats = Engine::new(
-            EngineConfig::synchronous(seed).with_max_rounds(50_000),
-        )
-        .run(&mut runner);
+        let stats =
+            Engine::new(EngineConfig::synchronous(seed).with_max_rounds(50_000)).run(&mut runner);
         (runner, stats)
     }
 

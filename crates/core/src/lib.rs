@@ -50,7 +50,9 @@ mod crash;
 mod is_tree;
 mod oracle;
 mod placement;
+mod plan;
 mod runner;
+pub mod seeding;
 mod tag;
 mod tree_ag;
 mod tree_protocol;
@@ -63,6 +65,7 @@ pub use crash::{CrashPlan, WithCrashes};
 pub use is_tree::{HeardSet, IsTree};
 pub use oracle::OracleTree;
 pub use placement::Placement;
+pub use plan::{TrialPlan, TrialSeeds, TrialSet};
 pub use runner::{measure_tree_protocol, run_protocol, ProtocolKind, RunSpec};
 pub use tag::{Tag, TagMsg};
 pub use tree_ag::TreeAg;

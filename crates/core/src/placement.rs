@@ -9,8 +9,7 @@ use rand::Rng;
 /// The paper's k-dissemination allows arbitrary placement ("k initial
 /// messages located at some nodes (a node can hold more than one initial
 /// message)"); all-to-all is the special case `k = n`, one per node.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Message `i` starts at node `i mod n`. With `k = n` this is exactly
     /// all-to-all communication.
@@ -51,7 +50,6 @@ impl Placement {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,7 +58,10 @@ mod tests {
     #[test]
     fn spread_is_round_robin() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(Placement::Spread.assign(3, 5, &mut rng), vec![0, 1, 2, 0, 1]);
+        assert_eq!(
+            Placement::Spread.assign(3, 5, &mut rng),
+            vec![0, 1, 2, 0, 1]
+        );
     }
 
     #[test]

@@ -64,11 +64,13 @@ impl RunSpec {
         }
     }
 
-    /// Sets both seeds (protocol and engine) from one value.
+    /// Sets both seeds (protocol and engine) from one value, using the
+    /// central derivation in [`crate::seeding`] — the same pairing a
+    /// [`crate::TrialPlan`] applies to each of its trials.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
-        self.engine.seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.engine.seed = crate::seeding::engine_seed_for(seed);
         self
     }
 }
@@ -261,10 +263,8 @@ mod tests {
     fn measure_tree_protocol_reports_tree() {
         let g = builders::lollipop(6, 4).unwrap();
         let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 7).unwrap();
-        let (stats, tree) = measure_tree_protocol(
-            brr,
-            EngineConfig::synchronous(7).with_max_rounds(10_000),
-        );
+        let (stats, tree) =
+            measure_tree_protocol(brr, EngineConfig::synchronous(7).with_max_rounds(10_000));
         assert!(stats.completed);
         let tree = tree.unwrap();
         assert!(tree.is_spanning_tree_of(&g));

@@ -189,13 +189,7 @@ impl<F: Field, S: TreeProtocol> Protocol for Tag<F, S> {
         }
     }
 
-    fn compose(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        tag: u32,
-        rng: &mut StdRng,
-    ) -> Option<Self::Msg> {
+    fn compose(&self, from: NodeId, to: NodeId, tag: u32, rng: &mut StdRng) -> Option<Self::Msg> {
         match tag {
             TAG_PHASE1 => self.tree.compose(from, to, rng).map(TagMsg::Tree),
             TAG_PHASE2 => Recoder::new(&self.decoders[from]).emit(rng).map(TagMsg::Ag),

@@ -101,13 +101,7 @@ impl<F: Field> Protocol for TreeAg<F> {
         })
     }
 
-    fn compose(
-        &self,
-        from: NodeId,
-        _to: NodeId,
-        _tag: u32,
-        rng: &mut StdRng,
-    ) -> Option<Packet<F>> {
+    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<Packet<F>> {
         Recoder::new(&self.decoders[from]).emit(rng)
     }
 
@@ -130,10 +124,8 @@ mod tests {
 
     fn run(tree: &SpanningTree, cfg: &AgConfig, seed: u64) -> (TreeAg<Gf256>, ag_sim::RunStats) {
         let mut proto = TreeAg::<Gf256>::new(tree, cfg, seed).unwrap();
-        let stats = Engine::new(
-            EngineConfig::synchronous(seed).with_max_rounds(200_000),
-        )
-        .run(&mut proto);
+        let stats =
+            Engine::new(EngineConfig::synchronous(seed).with_max_rounds(200_000)).run(&mut proto);
         (proto, stats)
     }
 
@@ -152,8 +144,16 @@ mod tests {
         // On a star (depth 1), time is Θ(k): doubling k roughly doubles
         // rounds.
         let tree = builders::star(16).unwrap().bfs_tree(0).into_spanning_tree();
-        let (_, s1) = run(&tree, &AgConfig::new(8).with_placement(Placement::Random), 7);
-        let (_, s2) = run(&tree, &AgConfig::new(32).with_placement(Placement::Random), 7);
+        let (_, s1) = run(
+            &tree,
+            &AgConfig::new(8).with_placement(Placement::Random),
+            7,
+        );
+        let (_, s2) = run(
+            &tree,
+            &AgConfig::new(32).with_placement(Placement::Random),
+            7,
+        );
         assert!(s1.completed && s2.completed);
         let ratio = s2.rounds as f64 / s1.rounds as f64;
         assert!(

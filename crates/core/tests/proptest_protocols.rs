@@ -3,9 +3,7 @@
 use ag_gf::{Gf2, Gf256};
 use ag_graph::builders;
 use ag_sim::{EngineConfig, TimeModel};
-use algebraic_gossip::{
-    run_protocol, Placement, ProtocolKind, RunSpec,
-};
+use algebraic_gossip::{run_protocol, Placement, ProtocolKind, RunSpec};
 use proptest::prelude::*;
 
 /// Small connected graphs drawn from the evaluation families.

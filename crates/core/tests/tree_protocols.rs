@@ -46,10 +46,8 @@ fn brr_tree_valid_on_every_topology_and_root() {
 fn uniform_broadcast_tree_valid_everywhere() {
     for (name, g) in graphs() {
         let b = BroadcastTree::new(&g, 0, CommModel::Uniform, 5).unwrap();
-        let (stats, tree) = measure_tree_protocol(
-            b,
-            EngineConfig::synchronous(5).with_max_rounds(100_000),
-        );
+        let (stats, tree) =
+            measure_tree_protocol(b, EngineConfig::synchronous(5).with_max_rounds(100_000));
         assert!(stats.completed, "uniform broadcast incomplete on {name}");
         assert!(tree.unwrap().is_spanning_tree_of(&g));
     }
@@ -59,10 +57,8 @@ fn uniform_broadcast_tree_valid_everywhere() {
 fn is_tree_valid_everywhere_async_too() {
     for (name, g) in graphs() {
         let is = IsTree::new(&g, 0, 7).unwrap();
-        let (stats, tree) = measure_tree_protocol(
-            is,
-            EngineConfig::asynchronous(7).with_max_rounds(200_000),
-        );
+        let (stats, tree) =
+            measure_tree_protocol(is, EngineConfig::asynchronous(7).with_max_rounds(200_000));
         assert!(stats.completed, "IS incomplete on {name} (async)");
         assert!(tree.unwrap().is_spanning_tree_of(&g));
     }
@@ -72,10 +68,8 @@ fn is_tree_valid_everywhere_async_too() {
 fn oracle_tree_depth_bounded_by_diameter() {
     for (_, g) in graphs() {
         let oracle = OracleTree::new(&g, 0, 2).unwrap();
-        let (stats, tree) = measure_tree_protocol(
-            oracle,
-            EngineConfig::synchronous(1).with_max_rounds(100),
-        );
+        let (stats, tree) =
+            measure_tree_protocol(oracle, EngineConfig::synchronous(1).with_max_rounds(100));
         assert!(stats.completed);
         assert!(tree.unwrap().depth() <= g.diameter());
     }
@@ -110,10 +104,8 @@ fn broadcast_finish_time_upper_bounds_tree_depth_sync() {
     for (name, g) in graphs() {
         let b = BroadcastTree::new(&g, 0, CommModel::Uniform, 11).unwrap();
         let mut runner = TreeRunner::new(b);
-        let stats = Engine::new(
-            EngineConfig::synchronous(11).with_max_rounds(100_000),
-        )
-        .run(&mut runner);
+        let stats =
+            Engine::new(EngineConfig::synchronous(11).with_max_rounds(100_000)).run(&mut runner);
         assert!(stats.completed);
         let tree = runner.inner().spanning_tree().unwrap();
         assert!(

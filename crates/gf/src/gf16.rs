@@ -39,18 +39,17 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut mul = [[0u8; 16]; 16];
         for a in 0..16u16 {
-            for b in 0..16u16 {
-                mul[a as usize][b as usize] = carryless_mod(a, b);
+            for (b, slot) in mul[a as usize].iter_mut().enumerate() {
+                *slot = carryless_mod(a, b as u16);
             }
         }
         let mut inv = [0u8; 16];
         for a in 1..16usize {
-            for b in 1..16usize {
-                if mul[a][b] == 1 {
-                    inv[a] = b as u8;
-                    break;
-                }
-            }
+            let b = mul[a]
+                .iter()
+                .position(|&p| p == 1)
+                .expect("every nonzero GF(16) element has an inverse");
+            inv[a] = b as u8;
         }
         Tables { mul, inv }
     })

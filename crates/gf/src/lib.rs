@@ -35,16 +35,16 @@
 
 mod field;
 mod fp;
-mod gf2;
 mod gf16;
+mod gf2;
 mod gf256;
 mod gf65536;
 pub mod symbols;
 
 pub use field::Field;
 pub use fp::{Fp, F13, F257, F65537, F7};
-pub use gf2::Gf2;
 pub use gf16::Gf16;
+pub use gf2::Gf2;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
 

@@ -154,7 +154,7 @@ pub fn symbols_to_bytes<F: Field>(symbols: &[F], byte_len: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{F257, Gf16, Gf2, Gf256, Gf65536};
+    use crate::{Gf16, Gf2, Gf256, Gf65536, F257};
 
     fn round_trip<F: Field>(data: &[u8]) {
         let syms = bytes_to_symbols::<F>(data);

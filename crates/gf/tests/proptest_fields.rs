@@ -1,7 +1,7 @@
 //! Property-based tests of the field axioms over randomly drawn elements.
 
 use ag_gf::symbols::{bytes_to_symbols, symbols_to_bytes};
-use ag_gf::{F257, Field, Gf16, Gf2, Gf256, Gf65536};
+use ag_gf::{Field, Gf16, Gf2, Gf256, Gf65536, F257};
 use proptest::prelude::*;
 
 /// Asserts the axioms that bind three arbitrary elements together.

@@ -343,7 +343,11 @@ pub fn dumbbell(clique: usize, bridge_len: usize) -> Result<Graph, GraphError> {
     // Path from clique-1 through the middle nodes to right_start.
     let mut prev = clique - 1;
     for i in 0..bridge_len {
-        let next = if i == bridge_len - 1 { right_start } else { clique + i };
+        let next = if i == bridge_len - 1 {
+            right_start
+        } else {
+            clique + i
+        };
         edges.push((prev, next));
         prev = next;
     }

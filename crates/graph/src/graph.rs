@@ -71,7 +71,9 @@ impl Graph {
     /// duplicate edges, or `n == 0`.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
         if n == 0 {
-            return Err(GraphError::InvalidSize("graph needs at least 1 node".into()));
+            return Err(GraphError::InvalidSize(
+                "graph needs at least 1 node".into(),
+            ));
         }
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for &(u, v) in edges {

@@ -159,6 +159,9 @@ pub fn global_min_cut(g: &Graph) -> usize {
         best = best.min(weight_to_a[last]);
         // Contract `last` into `prev`.
         let (lp, ll) = (active[prev], active[last]);
+        // Indexing is deliberate: the body writes both w[lp][i] and
+        // w[i][lp], which no iterator borrow allows.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             w[lp][i] += w[ll][i];
             w[i][lp] = w[lp][i];

@@ -58,10 +58,7 @@ impl SpanningTree {
     ///
     /// Returns [`TreeError`] if the root has a parent, any other node lacks
     /// one, a parent index is out of range, or the pointers contain a cycle.
-    pub fn from_parents(
-        root: NodeId,
-        parent: Vec<Option<NodeId>>,
-    ) -> Result<Self, TreeError> {
+    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>) -> Result<Self, TreeError> {
         let n = parent.len();
         if root >= n {
             return Err(TreeError::BadRoot(format!(
@@ -73,7 +70,9 @@ impl SpanningTree {
         }
         for (v, p) in parent.iter().enumerate() {
             if v != root && p.is_none() {
-                return Err(TreeError::NotATree(format!("non-root node {v} has no parent")));
+                return Err(TreeError::NotATree(format!(
+                    "non-root node {v} has no parent"
+                )));
             }
             if let Some(p) = p {
                 if *p >= n {
@@ -175,13 +174,16 @@ impl SpanningTree {
             let mut queue = std::collections::VecDeque::from([start]);
             let mut best = (start, 0);
             while let Some(u) = queue.pop_front() {
-                let push = |v: NodeId, du: u32, dist: &mut Vec<u32>,
-                                queue: &mut std::collections::VecDeque<NodeId>| {
-                    if dist[v] == u32::MAX {
-                        dist[v] = du + 1;
-                        queue.push_back(v);
-                    }
-                };
+                let push =
+                    |v: NodeId,
+                     du: u32,
+                     dist: &mut Vec<u32>,
+                     queue: &mut std::collections::VecDeque<NodeId>| {
+                        if dist[v] == u32::MAX {
+                            dist[v] = du + 1;
+                            queue.push_back(v);
+                        }
+                    };
                 let du = dist[u];
                 if du > best.1 {
                     best = (u, du);
@@ -265,8 +267,7 @@ mod tests {
     #[test]
     fn path_tree_depth_and_diameter() {
         // 0 <- 1 <- 2 <- 3 rooted at 0.
-        let t =
-            SpanningTree::from_parents(0, vec![None, Some(0), Some(1), Some(2)]).unwrap();
+        let t = SpanningTree::from_parents(0, vec![None, Some(0), Some(1), Some(2)]).unwrap();
         assert_eq!(t.depth(), 3);
         assert_eq!(t.tree_diameter(), 3);
         assert_eq!(t.node_depth(3), 3);
@@ -275,11 +276,8 @@ mod tests {
     #[test]
     fn mid_rooted_path_diameter_exceeds_depth() {
         // Path 0-1-2-3-4 rooted at the middle (2): depth 2, diameter 4.
-        let t = SpanningTree::from_parents(
-            2,
-            vec![Some(1), Some(2), None, Some(2), Some(3)],
-        )
-        .unwrap();
+        let t =
+            SpanningTree::from_parents(2, vec![Some(1), Some(2), None, Some(2), Some(3)]).unwrap();
         assert_eq!(t.depth(), 2);
         assert_eq!(t.tree_diameter(), 4);
     }

@@ -169,10 +169,7 @@ impl<F: Field> Matrix<F> {
                 v.len()
             )));
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| dot(row, v))
-            .collect())
+        Ok(self.rows_iter().map(|row| dot(row, v)).collect())
     }
 
     /// Matrix × matrix product.
@@ -240,8 +237,7 @@ impl<F: Field> Matrix<F> {
                 break;
             }
             // Find a nonzero pivot in this column at or below pivot_row.
-            let Some(src) = (pivot_row..self.rows).find(|&r| !self.get(r, col).is_zero())
-            else {
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self.get(r, col).is_zero()) else {
                 continue;
             };
             self.swap_rows(pivot_row, src);
@@ -325,11 +321,11 @@ impl<F: Field> Matrix<F> {
         }
         let n = self.rows;
         let mut aug = Matrix::zero(n, n + 1);
-        for i in 0..n {
+        for (i, &rhs) in b.iter().enumerate() {
             for j in 0..n {
                 aug.set(i, j, self.get(i, j));
             }
-            aug.set(i, n, b[i]);
+            aug.set(i, n, rhs);
         }
         aug.rref();
         // Solvable (uniquely) iff the left block reduced to the identity;
@@ -390,15 +386,13 @@ impl<F: Field> fmt::Display for Matrix<F> {
 /// Dot product of two equal-length slices.
 pub(crate) fn dot<F: Field>(xs: &[F], ys: &[F]) -> F {
     debug_assert_eq!(xs.len(), ys.len());
-    xs.iter()
-        .zip(ys)
-        .fold(F::ZERO, |acc, (&x, &y)| acc + x * y)
+    xs.iter().zip(ys).fold(F::ZERO, |acc, (&x, &y)| acc + x * y)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ag_gf::{F257, Gf2, Gf256};
+    use ag_gf::{Gf2, Gf256, F257};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -45,8 +45,7 @@ mod tests {
     #[test]
     fn levels_aggregate_correctly() {
         // Star rooted at 0: root level 0, leaves level 1.
-        let tree = SpanningTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)])
-            .unwrap();
+        let tree = SpanningTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)]).unwrap();
         let line = level_line_of(&tree, &[2, 1, 1, 1], 1.0);
         assert_eq!(line.lmax(), 2);
         assert_eq!(line.placement(), &[2, 3]);

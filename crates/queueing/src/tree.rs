@@ -45,11 +45,7 @@ impl TreeSystem {
     ///
     /// Returns a descriptive error if the placement length differs from the
     /// tree size or `mu <= 0`.
-    pub fn new(
-        tree: &SpanningTree,
-        initial: Vec<usize>,
-        mu: f64,
-    ) -> Result<Self, String> {
+    pub fn new(tree: &SpanningTree, initial: Vec<usize>, mu: f64) -> Result<Self, String> {
         if initial.len() != tree.n() {
             return Err(format!(
                 "placement has {} entries for a tree of {} nodes",

@@ -70,12 +70,7 @@ impl PartnerSelector {
     }
 
     /// Picks the next partner for `v`, or `None` if `v` has no neighbors.
-    pub fn next_partner(
-        &mut self,
-        graph: &Graph,
-        v: NodeId,
-        rng: &mut StdRng,
-    ) -> Option<NodeId> {
+    pub fn next_partner(&mut self, graph: &Graph, v: NodeId, rng: &mut StdRng) -> Option<NodeId> {
         let neigh = graph.neighbors(v);
         if neigh.is_empty() {
             return None;

@@ -88,7 +88,10 @@ impl EngineConfig {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss_prob = p;
         self
     }
@@ -171,10 +174,10 @@ impl Engine {
         let mut stats = RunStats::new(n);
         let mut complete = vec![false; n];
         let mut incomplete = n;
-        for v in 0..n {
+        for (v, flag) in complete.iter_mut().enumerate() {
             if proto.node_complete(v) {
                 stats.node_completion_rounds[v] = Some(0);
-                complete[v] = true;
+                *flag = true;
                 incomplete -= 1;
             }
         }
@@ -268,9 +271,9 @@ impl Engine {
         stats.timeslots += n as u64;
         // 6. Completion sweep: receipt OR a node's own wakeup may have
         //    completed it (e.g. oracle tree protocols).
-        for v in 0..n {
-            if !complete[v] && proto.node_complete(v) {
-                complete[v] = true;
+        for (v, flag) in complete.iter_mut().enumerate() {
+            if !*flag && proto.node_complete(v) {
+                *flag = true;
                 stats.node_completion_rounds[v] = Some(stats.rounds);
                 *incomplete -= 1;
             }
@@ -291,10 +294,10 @@ impl Engine {
         stats.timeslots += 1;
         let round_now = stats.timeslots.div_ceil(n as u64);
         let refresh = |proto: &P,
-                           node: NodeId,
-                           complete: &mut [bool],
-                           incomplete: &mut usize,
-                           stats: &mut RunStats| {
+                       node: NodeId,
+                       complete: &mut [bool],
+                       incomplete: &mut usize,
+                       stats: &mut RunStats| {
             if !complete[node] && proto.node_complete(node) {
                 complete[node] = true;
                 stats.node_completion_rounds[node] = Some(round_now);
@@ -380,13 +383,7 @@ mod tests {
             })
         }
 
-        fn compose(
-            &self,
-            from: NodeId,
-            _to: NodeId,
-            _tag: u32,
-            _rng: &mut StdRng,
-        ) -> Option<u8> {
+        fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, _rng: &mut StdRng) -> Option<u8> {
             Some(self.values[from])
         }
 
@@ -509,7 +506,9 @@ mod tests {
     fn same_sender_dedup_drops_second_message() {
         // Both nodes EXCHANGE with each other: 4 messages composed, but
         // each (from, to) pair appears twice, so dedup delivers only 2.
-        let mut proto = MutualExchange { delivered: vec![0, 0] };
+        let mut proto = MutualExchange {
+            delivered: vec![0, 0],
+        };
         let cfg = EngineConfig::synchronous(0).with_max_rounds(1);
         let stats = Engine::new(cfg).run(&mut proto);
         assert_eq!(stats.messages_delivered, 2);
@@ -519,8 +518,12 @@ mod tests {
 
     #[test]
     fn dedup_disabled_delivers_all() {
-        let mut proto = MutualExchange { delivered: vec![0, 0] };
-        let cfg = EngineConfig::synchronous(0).with_dedup(false).with_max_rounds(1);
+        let mut proto = MutualExchange {
+            delivered: vec![0, 0],
+        };
+        let cfg = EngineConfig::synchronous(0)
+            .with_dedup(false)
+            .with_max_rounds(1);
         let stats = Engine::new(cfg).run(&mut proto);
         assert!(stats.completed);
         assert_eq!(stats.messages_delivered, 4);

@@ -87,8 +87,7 @@ pub trait Protocol {
     /// Composes the message `from → to` for a contact with the given tag,
     /// reading only committed (pre-round) data state. `None` = nothing to
     /// send in this direction (e.g. an empty RLNC node).
-    fn compose(&self, from: NodeId, to: NodeId, tag: u32, rng: &mut StdRng)
-        -> Option<Self::Msg>;
+    fn compose(&self, from: NodeId, to: NodeId, tag: u32, rng: &mut StdRng) -> Option<Self::Msg>;
 
     /// Delivers a previously composed message into `to`'s data state.
     fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: Self::Msg);

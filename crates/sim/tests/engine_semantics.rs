@@ -2,9 +2,7 @@
 //! paper's model rules, exercised through a purpose-built probe protocol.
 
 use ag_graph::NodeId;
-use ag_sim::{
-    Action, ContactIntent, Engine, EngineConfig, Protocol, TimeModel,
-};
+use ag_sim::{Action, ContactIntent, Engine, EngineConfig, Protocol, TimeModel};
 use rand::rngs::StdRng;
 
 /// A probe protocol: node 0 contacts node 1 every wakeup with a fixed

@@ -2,9 +2,7 @@
 //! flooding protocol.
 
 use ag_graph::{builders, Graph, NodeId};
-use ag_sim::{
-    Action, CommModel, ContactIntent, Engine, EngineConfig, PartnerSelector, Protocol,
-};
+use ag_sim::{Action, CommModel, ContactIntent, Engine, EngineConfig, PartnerSelector, Protocol};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

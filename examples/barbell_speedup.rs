@@ -25,7 +25,10 @@ fn median_rounds(graph: &ag_graph::Graph, kind: ProtocolKind, k: usize, trials: 
 
 fn main() {
     println!("all-to-all dissemination (k = n) on the barbell graph\n");
-    println!("{:>4}  {:>12}  {:>10}  {:>8}", "n", "uniform AG", "TAG+BRR", "speedup");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>8}",
+        "n", "uniform AG", "TAG+BRR", "speedup"
+    );
 
     let mut uniform_points = Vec::new();
     let mut tag_points = Vec::new();

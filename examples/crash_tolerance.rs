@@ -26,8 +26,8 @@ fn main() {
     );
     let mut completed_runs = 0;
     for seed in 0..8u64 {
-        let inner = AlgebraicGossip::<Gf256>::new(&graph, &AgConfig::new(k), seed)
-            .expect("valid setup");
+        let inner =
+            AlgebraicGossip::<Gf256>::new(&graph, &AgConfig::new(k), seed).expect("valid setup");
         let plan = CrashPlan::random_fraction(n, 0.3, 4, seed);
         let mut proto = WithCrashes::new(inner, plan);
         let stats =
@@ -50,9 +50,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{completed_runs}/8 runs completed with every survivor decoding all {k} messages."
-    );
+    println!("\n{completed_runs}/8 runs completed with every survivor decoding all {k} messages.");
     println!("Coding spreads each message's span within ~2 rounds, so losing 30% of");
     println!("nodes at round 4 almost never destroys information — the decoder only");
     println!("needs *any* k independent equations, not specific chunks.");

@@ -65,5 +65,8 @@ fn main() {
         assert_eq!(bytes, file, "peer {v} reassembled a corrupted file");
         verified += 1;
     }
-    println!("verified: {verified}/{} peers hold a bit-exact copy", graph.n());
+    println!(
+        "verified: {verified}/{} peers hold a bit-exact copy",
+        graph.n()
+    );
 }

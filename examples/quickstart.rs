@@ -15,8 +15,11 @@ fn main() {
     let n = graph.n();
     let k = 12;
 
-    println!("graph: 6x6 grid  (n = {n}, D = {}, max degree = {})",
-        graph.diameter(), graph.max_degree());
+    println!(
+        "graph: 6x6 grid  (n = {n}, D = {}, max degree = {})",
+        graph.diameter(),
+        graph.max_degree()
+    );
     println!("task : disseminate k = {k} messages of 32 payload symbols each\n");
 
     // k random messages over GF(2^8), spread round-robin over the nodes.
@@ -30,16 +33,25 @@ fn main() {
     let mut engine = Engine::new(EngineConfig::synchronous(42));
     let stats = engine.run_observed(&mut protocol, |round, p| {
         if round % 10 == 0 {
-            println!("  round {round:>4}: total rank {}/{}", p.total_rank(), n * k);
+            println!(
+                "  round {round:>4}: total rank {}/{}",
+                p.total_rank(),
+                n * k
+            );
         }
     });
 
     println!("\ncompleted      : {}", stats.completed);
     println!("rounds         : {}", stats.rounds);
-    println!("messages       : {} delivered, {} empty sends",
-        stats.messages_delivered, stats.empty_sends);
-    println!("helpful        : {} innovative / {} redundant receptions",
-        protocol.helpful_receptions(), protocol.redundant_receptions());
+    println!(
+        "messages       : {} delivered, {} empty sends",
+        stats.messages_delivered, stats.empty_sends
+    );
+    println!(
+        "helpful        : {} innovative / {} redundant receptions",
+        protocol.helpful_receptions(),
+        protocol.redundant_receptions()
+    );
 
     // Every node can now solve its linear system and read all k messages.
     let truth = protocol.generation().messages().to_vec();

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example sensor_all_to_all`
 
-use ag_gf::{Field, Gf256};
 use ag_gf::symbols::bytes_to_symbols;
+use ag_gf::{Field, Gf256};
 use ag_graph::builders;
 use ag_rlnc::Generation;
 use ag_sim::{Engine, EngineConfig, TimeModel};
@@ -36,7 +36,11 @@ fn main() {
 
     println!(
         "{}x{} sensor grid (n = {n}, D = {}, Δ = {}): all-to-all exchange of {}-byte readings\n",
-        side, side, graph.diameter(), graph.max_degree(), readings[0].len()
+        side,
+        side,
+        graph.diameter(),
+        graph.max_degree(),
+        readings[0].len()
     );
 
     for time in [TimeModel::Synchronous, TimeModel::Asynchronous] {
@@ -62,17 +66,16 @@ fn main() {
             map[7][6].to_u64() as u8,
             map[7][7].to_u64() as u8,
         ]);
-        let bound = ag_analysis::lower_bound_rounds(
-            n,
-            graph.diameter(),
-            time == TimeModel::Synchronous,
-        );
+        let bound =
+            ag_analysis::lower_bound_rounds(n, graph.diameter(), time == TimeModel::Synchronous);
         println!("{time:?}:");
         println!("  rounds            : {}", stats.rounds);
         println!("  timeslots         : {}", stats.timeslots);
         println!("  messages delivered: {}", stats.messages_delivered);
-        println!("  lower bound Ω(k+D): {bound:.0} rounds (measured/LB = {:.2})",
-            stats.rounds as f64 / bound);
+        println!(
+            "  lower bound Ω(k+D): {bound:.0} rounds (measured/LB = {:.2})",
+            stats.rounds as f64 / bound
+        );
         println!("  spot check        : sensor 7 reads {sample} centi-degrees\n");
         assert_eq!(sample, 2000 + (7 * 37));
     }

@@ -1,0 +1,89 @@
+//! Offline stand-in for the parts of `rayon` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the data-parallel subset the trial runner needs: `par_iter()` /
+//! `into_par_iter()` with `map(...).collect()`, executed on scoped OS
+//! threads with a shared dynamic work queue (so uneven per-item costs
+//! balance, like rayon's work stealing). Results always come back in
+//! input order, which is what makes the parallel trial runner
+//! bit-identical to serial execution.
+//!
+//! `RAYON_NUM_THREADS` is honored on every call (rayon itself reads it
+//! once at pool construction); `RAYON_NUM_THREADS=1` degrades to a plain
+//! serial loop on the calling thread.
+
+pub mod iter;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude::*`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads a parallel call will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<u32>, String> = (0..10u32).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<u32>, String> = (0..10u32)
+            .into_par_iter()
+            .map(|i| {
+                if i == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let input: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map(|&i| {
+                // Uneven per-item cost exercises the dynamic queue.
+                let mut acc = 0usize;
+                for j in 0..(i * 1000) {
+                    acc = acc.wrapping_add(j);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, input);
+    }
+}

@@ -3,8 +3,8 @@
 use algebraic_gossip_repro::gf::Gf256;
 use algebraic_gossip_repro::graph::builders;
 use algebraic_gossip_repro::protocols::{
-    run_protocol, AgConfig, AlgebraicGossip, CrashPlan, ProtocolKind, RandomMessageGossip,
-    RunSpec, WithCrashes,
+    run_protocol, AgConfig, AlgebraicGossip, CrashPlan, ProtocolKind, RandomMessageGossip, RunSpec,
+    WithCrashes,
 };
 use algebraic_gossip_repro::sim::{Engine, EngineConfig, TimeModel};
 
@@ -34,8 +34,7 @@ fn coding_gain_grows_with_k_on_complete_graph() {
             let mut rounds: Vec<u64> = (0..5u64)
                 .map(|s| {
                     let mut spec = RunSpec::new(kind, k).with_seed(s);
-                    spec.engine =
-                        EngineConfig::synchronous(s ^ 0xF00).with_max_rounds(1_000_000);
+                    spec.engine = EngineConfig::synchronous(s ^ 0xF00).with_max_rounds(1_000_000);
                     let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
                     assert!(stats.completed && ok);
                     stats.rounds
@@ -57,10 +56,12 @@ fn crashes_in_async_model() {
     let g = builders::complete(16).unwrap();
     let inner =
         AlgebraicGossip::<Gf256>::new(&g, &AgConfig::new(8).with_payload_len(1), 9).unwrap();
-    let plan = CrashPlan::explicit(vec![(3, 5), (12, 5)]);
+    // Crash at the 2nd wakeup: late enough to exercise mid-run crashes,
+    // early enough that both schedules fire before the survivors finish
+    // regardless of the async wakeup order the seed produces.
+    let plan = CrashPlan::explicit(vec![(3, 2), (12, 2)]);
     let mut proto = WithCrashes::new(inner, plan);
-    let stats =
-        Engine::new(EngineConfig::asynchronous(9).with_max_rounds(100_000)).run(&mut proto);
+    let stats = Engine::new(EngineConfig::asynchronous(9).with_max_rounds(100_000)).run(&mut proto);
     assert!(stats.completed);
     assert_eq!(proto.crashed_count(), 2);
     for v in proto.survivors() {

@@ -22,10 +22,9 @@ fn disseminate_and_verify<F: Field>(data: &[u8], k: usize, seed: u64) {
     let cfg = AgConfig::new(k)
         .with_payload_len(generation.message_len())
         .with_placement(Placement::SingleSource(0));
-    let mut proto =
-        AlgebraicGossip::<F>::new_with_generation(&g, &cfg, generation, seed).unwrap();
-    let stats = Engine::new(EngineConfig::synchronous(seed).with_max_rounds(1_000_000))
-        .run(&mut proto);
+    let mut proto = AlgebraicGossip::<F>::new_with_generation(&g, &cfg, generation, seed).unwrap();
+    let stats =
+        Engine::new(EngineConfig::synchronous(seed).with_max_rounds(1_000_000)).run(&mut proto);
     assert!(stats.completed);
     let dec = BlockDecoder::new(data.len(), k);
     for v in 0..g.n() {
@@ -67,10 +66,8 @@ fn tag_disseminates_real_data() {
         .with_payload_len(generation.message_len())
         .with_placement(Placement::Random);
     let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 7).unwrap();
-    let mut tag =
-        Tag::<Gf256, _>::new_with_generation(&g, brr, &cfg, generation, 7).unwrap();
-    let stats =
-        Engine::new(EngineConfig::synchronous(7).with_max_rounds(1_000_000)).run(&mut tag);
+    let mut tag = Tag::<Gf256, _>::new_with_generation(&g, brr, &cfg, generation, 7).unwrap();
+    let stats = Engine::new(EngineConfig::synchronous(7).with_max_rounds(1_000_000)).run(&mut tag);
     assert!(stats.completed);
     let dec = BlockDecoder::new(data.len(), k);
     for v in 0..g.n() {
@@ -86,8 +83,7 @@ fn lossy_network_still_delivers_exact_data() {
     let enc = BlockEncoder::<Gf256>::new(&data, k);
     let generation = enc.generation().clone();
     let cfg = AgConfig::new(k).with_payload_len(generation.message_len());
-    let mut proto =
-        AlgebraicGossip::<Gf256>::new_with_generation(&g, &cfg, generation, 8).unwrap();
+    let mut proto = AlgebraicGossip::<Gf256>::new_with_generation(&g, &cfg, generation, 8).unwrap();
     let stats = Engine::new(
         EngineConfig::synchronous(8)
             .with_loss(0.3)

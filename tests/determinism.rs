@@ -4,9 +4,7 @@
 
 use algebraic_gossip_repro::gf::Gf256;
 use algebraic_gossip_repro::graph::builders;
-use algebraic_gossip_repro::protocols::{
-    run_protocol, ProtocolKind, RunSpec,
-};
+use algebraic_gossip_repro::protocols::{run_protocol, ProtocolKind, RunSpec, TrialPlan};
 use algebraic_gossip_repro::queueing::LineSystem;
 use algebraic_gossip_repro::sim::EngineConfig;
 use rand::rngs::StdRng;
@@ -42,7 +40,10 @@ fn different_seeds_differ() {
     };
     let outcomes: Vec<u64> = (0..8).map(|s| run(s).timeslots).collect();
     let all_same = outcomes.windows(2).all(|w| w[0] == w[1]);
-    assert!(!all_same, "8 seeds gave identical timeslot counts: {outcomes:?}");
+    assert!(
+        !all_same,
+        "8 seeds gave identical timeslot counts: {outcomes:?}"
+    );
 }
 
 #[test]
@@ -66,6 +67,41 @@ fn queueing_samples_are_seed_stable() {
     let a = sys.drain_times(50, &mut StdRng::seed_from_u64(3));
     let b = sys.drain_times(50, &mut StdRng::seed_from_u64(3));
     assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_trial_plan_is_bit_identical_to_serial() {
+    // The tentpole determinism property: TrialPlan::run (rayon, however
+    // many worker threads RAYON_NUM_THREADS grants — CI exercises both 1
+    // and the default) returns the same per-trial RunStats, in the same
+    // order, as the single-threaded reference executor.
+    let g = builders::barbell(10).unwrap();
+    for kind in [
+        ProtocolKind::UniformAg,
+        ProtocolKind::TagBrr(0),
+        ProtocolKind::UncodedRandom,
+    ] {
+        let mut base = RunSpec::new(kind, 5);
+        base.engine = EngineConfig::asynchronous(0).with_max_rounds(2_000_000);
+        let plan = TrialPlan::new(7, 0xD37);
+        let parallel = plan.run::<Gf256>(&g, &base).unwrap();
+        let serial = plan.run_serial::<Gf256>(&g, &base).unwrap();
+        assert_eq!(parallel, serial, "{kind:?} diverged under parallelism");
+        assert_eq!(parallel.median_rounds(), serial.median_rounds());
+        assert!(parallel.all_ok(), "{kind:?} had failed trials");
+    }
+}
+
+#[test]
+fn trial_plan_map_is_order_deterministic() {
+    // map() — the escape hatch used by tree/queueing/crash experiments —
+    // must also collect in trial order regardless of thread count.
+    let plan = TrialPlan::new(100, 7);
+    let par = plan.map(|s| (s.trial, s.protocol.wrapping_mul(s.engine)));
+    let ser = plan.map_serial(|s| (s.trial, s.protocol.wrapping_mul(s.engine)));
+    assert_eq!(par, ser);
+    assert_eq!(par[0].0, 0);
+    assert_eq!(par[99].0, 99);
 }
 
 #[test]

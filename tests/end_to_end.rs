@@ -3,9 +3,7 @@
 
 use algebraic_gossip_repro::gf::{Gf16, Gf2, Gf256, F257};
 use algebraic_gossip_repro::graph::{builders, Graph};
-use algebraic_gossip_repro::protocols::{
-    run_protocol, Placement, ProtocolKind, RunSpec,
-};
+use algebraic_gossip_repro::protocols::{run_protocol, Placement, ProtocolKind, RunSpec};
 use algebraic_gossip_repro::sim::EngineConfig;
 
 fn families(n: usize) -> Vec<(&'static str, Graph)> {
@@ -33,9 +31,12 @@ fn check(kind: ProtocolKind, sync: bool, seed: u64) {
             EngineConfig::asynchronous(seed ^ 0xABCD)
         }
         .with_max_rounds(2_000_000);
-        let (stats, ok) = run_protocol::<Gf256>(&g, &spec)
-            .unwrap_or_else(|e| panic!("{kind:?} on {name}: {e}"));
-        assert!(stats.completed, "{kind:?} on {name} (sync={sync}) incomplete");
+        let (stats, ok) =
+            run_protocol::<Gf256>(&g, &spec).unwrap_or_else(|e| panic!("{kind:?} on {name}: {e}"));
+        assert!(
+            stats.completed,
+            "{kind:?} on {name} (sync={sync}) incomplete"
+        );
         assert!(ok, "{kind:?} on {name} failed decode verification");
         // Sanity: messages were actually exchanged.
         assert!(stats.messages_delivered > 0);
@@ -143,5 +144,9 @@ fn two_node_graph_fast_exchange() {
     let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
     assert!(stats.completed && ok);
     // 2 messages per round move, 4 needed in total (2 per node): >= 2 rounds.
-    assert!(stats.rounds >= 2 && stats.rounds <= 30, "{} rounds", stats.rounds);
+    assert!(
+        stats.rounds >= 2 && stats.rounds <= 30,
+        "{} rounds",
+        stats.rounds
+    );
 }

@@ -3,8 +3,7 @@
 
 use algebraic_gossip_repro::graph::builders;
 use algebraic_gossip_repro::queueing::{
-    dominance_violation, ks_critical_5pct, level_line_of, JacksonLine, LineSystem,
-    TreeSystem,
+    dominance_violation, ks_critical_5pct, level_line_of, JacksonLine, LineSystem, TreeSystem,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +55,9 @@ fn tail_line_dominated_by_jackson() {
     let jackson = JacksonLine::new(5, 12, 1.0);
     let mut rng = StdRng::seed_from_u64(3);
     let x = tail.drain_times(TRIALS, &mut rng);
-    let y: Vec<f64> = (0..TRIALS).map(|_| jackson.stopping_time(&mut rng)).collect();
+    let y: Vec<f64> = (0..TRIALS)
+        .map(|_| jackson.stopping_time(&mut rng))
+        .collect();
     let v = dominance_violation(&x, &y);
     assert!(v < ks_critical_5pct(TRIALS, TRIALS), "violated by {v}");
 }
@@ -117,7 +118,13 @@ fn theorem2_additive_scaling() {
             mean(&sys.drain_times(500, &mut rng))
         })
         .collect();
-    assert!(t_l[2] > t_l[1] && t_l[1] > t_l[0], "depth must slow draining");
+    assert!(
+        t_l[2] > t_l[1] && t_l[1] > t_l[0],
+        "depth must slow draining"
+    );
     let dl = (t_l[2] - t_l[1]) / (t_l[1] - t_l[0]);
-    assert!(dl > 1.5 && dl < 8.0, "depth increments ratio {dl:.2} not ~linear");
+    assert!(
+        dl > 1.5 && dl < 8.0,
+        "depth increments ratio {dl:.2} not ~linear"
+    );
 }

@@ -6,8 +6,8 @@ use algebraic_gossip_repro::analysis;
 use algebraic_gossip_repro::gf::Gf256;
 use algebraic_gossip_repro::graph::{builders, metrics};
 use algebraic_gossip_repro::protocols::{
-    measure_tree_protocol, run_protocol, BroadcastTree, CommModel, IsTree, ProtocolKind,
-    RunSpec, TreeRunner,
+    measure_tree_protocol, run_protocol, BroadcastTree, CommModel, IsTree, ProtocolKind, RunSpec,
+    TreeRunner,
 };
 use algebraic_gossip_repro::sim::{Engine, EngineConfig};
 
@@ -68,7 +68,10 @@ fn theorem3_order_optimality_constant_degree() {
         let kd = k as f64 + f64::from(g.diameter());
         let rounds = rounds_of(&g, ProtocolKind::UniformAg, k, 3, true) as f64;
         let lower = analysis::lower_bound_rounds(k, g.diameter(), true);
-        assert!(rounds >= lower, "{name}: {rounds} below the k/2, D/2 lower bound");
+        assert!(
+            rounds >= lower,
+            "{name}: {rounds} below the k/2, D/2 lower bound"
+        );
         assert!(
             rounds <= 12.0 * kd,
             "{name}: {rounds} rounds vs 12·(k+D) = {}",
@@ -88,19 +91,12 @@ fn theorem4_tag_bound_holds() {
         let k = 10;
         // Measure t(S) and d(S) of BRR standalone, then the full TAG time.
         let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 5).unwrap();
-        let (tstats, tree) = measure_tree_protocol(
-            brr,
-            EngineConfig::synchronous(6).with_max_rounds(100_000),
-        );
+        let (tstats, tree) =
+            measure_tree_protocol(brr, EngineConfig::synchronous(6).with_max_rounds(100_000));
         assert!(tstats.completed);
         let tree = tree.expect("completed");
         // TAG interleaves phases, so charge 2·t(S).
-        let bound = analysis::tag_bound(
-            k,
-            g.n(),
-            tree.tree_diameter(),
-            2.0 * tstats.rounds as f64,
-        );
+        let bound = analysis::tag_bound(k, g.n(), tree.tree_diameter(), 2.0 * tstats.rounds as f64);
         let rounds = rounds_of(&g, ProtocolKind::TagBrr(0), k, 5, true) as f64;
         assert!(
             rounds <= 16.0 * bound,
@@ -123,10 +119,9 @@ fn theorem5_brr_broadcast_linear() {
             for seed in 0..5 {
                 let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, seed).unwrap();
                 let mut runner = TreeRunner::new(brr);
-                let stats = Engine::new(
-                    EngineConfig::synchronous(seed).with_max_rounds(3 * g.n() as u64),
-                )
-                .run(&mut runner);
+                let stats =
+                    Engine::new(EngineConfig::synchronous(seed).with_max_rounds(3 * g.n() as u64))
+                        .run(&mut runner);
                 assert!(
                     stats.completed,
                     "{name} n={n} seed={seed}: BRR exceeded 3n sync rounds"
@@ -135,11 +130,13 @@ fn theorem5_brr_broadcast_linear() {
             // Asynchronous: 8n rounds is far beyond the w.h.p. bound.
             let brr = BroadcastTree::new(&g, 0, CommModel::RoundRobin, 9).unwrap();
             let mut runner = TreeRunner::new(brr);
-            let stats = Engine::new(
-                EngineConfig::asynchronous(9).with_max_rounds(8 * g.n() as u64),
-            )
-            .run(&mut runner);
-            assert!(stats.completed, "{name} n={n}: async BRR exceeded 8n rounds");
+            let stats =
+                Engine::new(EngineConfig::asynchronous(9).with_max_rounds(8 * g.n() as u64))
+                    .run(&mut runner);
+            assert!(
+                stats.completed,
+                "{name} n={n}: async BRR exceeded 8n rounds"
+            );
         }
     }
 }
@@ -208,10 +205,8 @@ fn is_facsimile_builds_trees() {
         builders::complete(16).unwrap(),
     ] {
         let is = IsTree::new(&g, 0, 3).unwrap();
-        let (stats, tree) = measure_tree_protocol(
-            is,
-            EngineConfig::synchronous(4).with_max_rounds(100_000),
-        );
+        let (stats, tree) =
+            measure_tree_protocol(is, EngineConfig::synchronous(4).with_max_rounds(100_000));
         assert!(stats.completed);
         assert!(tree.unwrap().is_spanning_tree_of(&g));
     }
