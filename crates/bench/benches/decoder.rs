@@ -3,14 +3,14 @@
 //! Measures full-generation decode cost — `k` innovative packet insertions
 //! of `k + r` symbols each — for the generation sizes the simulations use.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_gf::{Gf2, Gf256};
 use ag_rlnc::{Decoder, Generation, Recoder};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_decode<F: Field>(c: &mut Criterion, name: &str, k: usize, r: usize) {
+fn bench_decode<F: SlabField>(c: &mut Criterion, name: &str, k: usize, r: usize) {
     let mut rng = StdRng::seed_from_u64(2);
     let generation = Generation::<F>::random(k, r, &mut rng);
     let source = Decoder::with_all_messages(&generation);

@@ -1,0 +1,229 @@
+//! Machine-readable perf baseline for the packed slab decoder: times
+//! full-generation RLNC decodes through the packed `ag_rlnc::Decoder`
+//! against the preserved scalar reference
+//! (`ag_linalg::reference::ScalarBasis`) on identical packet streams,
+//! verifies both decode to identical messages, and writes
+//! `BENCH_decoder_slab.json` for future PRs to diff against.
+//!
+//! The headline configuration is the acceptance target: GF(256), k = 128,
+//! 1024-byte payloads, where the slab path must be ≥ 2× the scalar path.
+//!
+//! Usage: `cargo run --release -p ag-bench --bin bench_decoder_slab`
+//! (optionally `AG_BENCH_DECODER_REPS=n` to resize the timed batch).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ag_gf::{Gf2, Gf256, SlabField};
+use ag_linalg::reference::ScalarBasis;
+use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0x51AB_DEC0;
+
+struct Config {
+    field: &'static str,
+    k: usize,
+    payload_symbols: usize,
+    headline: bool,
+}
+
+struct Measurement {
+    field: &'static str,
+    k: usize,
+    payload_symbols: usize,
+    payload_bytes: usize,
+    reps: usize,
+    scalar_ms_per_decode: f64,
+    slab_ms_per_decode: f64,
+    scalar_mib_s: f64,
+    slab_mib_s: f64,
+    speedup: f64,
+    headline: bool,
+}
+
+/// Times `reps` full decodes of the same packet stream through both paths.
+fn measure<F: SlabField>(cfg: &Config, reps: usize) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let generation = Generation::<F>::random(cfg.k, cfg.payload_symbols, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+    // A surplus of coded packets so every rep completes on the same stream.
+    let packets: Vec<Packet<F>> = (0..2 * cfg.k + 32)
+        .map(|_| Recoder::new(&source).emit(&mut rng).expect("source emits"))
+        .collect();
+
+    // Scalar path. Rows are materialized outside the timer: the scalar
+    // insert consumes an owned `Vec<F>`, and cloning is not elimination.
+    let rows: Vec<Vec<F>> = packets.iter().map(|p| p.clone().into_row()).collect();
+    // One untimed decode per path first: faults in the field tables,
+    // allocator state and instruction cache outside the measurement.
+    {
+        let mut warm = ScalarBasis::<F>::new(cfg.k);
+        for row in &rows {
+            if warm.is_full() {
+                break;
+            }
+            let _ = warm.insert(row.clone());
+        }
+        let mut warm = Decoder::<F>::new(cfg.k, cfg.payload_symbols);
+        for p in &packets {
+            if warm.is_complete() {
+                break;
+            }
+            let _ = warm.try_receive(p).expect("shape-valid packet");
+        }
+    }
+    let mut scalar_solution = None;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut basis = ScalarBasis::<F>::new(cfg.k);
+        for row in &rows {
+            if basis.is_full() {
+                break;
+            }
+            let _ = basis.insert(row.clone());
+        }
+        assert!(basis.is_full(), "stream must complete the scalar decoder");
+        scalar_solution = basis.solution();
+    }
+    let scalar_secs = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // Packed slab path, timed over the same packets (packing included —
+    // it is part of the real receive cost).
+    let mut slab_solution = None;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        let mut sink = Decoder::<F>::new(cfg.k, cfg.payload_symbols);
+        for p in &packets {
+            if sink.is_complete() {
+                break;
+            }
+            let _ = sink.try_receive(p).expect("shape-valid packet");
+        }
+        assert!(sink.is_complete(), "stream must complete the slab decoder");
+        slab_solution = sink.decode();
+    }
+    let slab_secs = t1.elapsed().as_secs_f64() / reps as f64;
+
+    // Both paths must agree with each other and with the ground truth.
+    let scalar_solution = scalar_solution.expect("scalar decoded");
+    let slab_solution = slab_solution.expect("slab decoded");
+    assert_eq!(scalar_solution, slab_solution, "decoded output diverged");
+    assert_eq!(slab_solution, generation.messages(), "decode is wrong");
+
+    let payload_bytes = cfg.k * cfg.payload_symbols * F::SYMBOL_BYTES;
+    let mib = payload_bytes as f64 / (1024.0 * 1024.0);
+    Measurement {
+        field: cfg.field,
+        k: cfg.k,
+        payload_symbols: cfg.payload_symbols,
+        payload_bytes,
+        reps,
+        scalar_ms_per_decode: scalar_secs * 1e3,
+        slab_ms_per_decode: slab_secs * 1e3,
+        scalar_mib_s: mib / scalar_secs,
+        slab_mib_s: mib / slab_secs,
+        speedup: scalar_secs / slab_secs,
+        headline: cfg.headline,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::var("AG_BENCH_DECODER_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(9);
+
+    let configs = [
+        // The acceptance-criterion configuration: GF(256), k = 128,
+        // 1024-byte (= 1024-symbol) payloads.
+        Config {
+            field: "Gf256",
+            k: 128,
+            payload_symbols: 1024,
+            headline: true,
+        },
+        Config {
+            field: "Gf256",
+            k: 64,
+            payload_symbols: 256,
+            headline: false,
+        },
+        Config {
+            field: "Gf2",
+            k: 128,
+            payload_symbols: 1024,
+            headline: false,
+        },
+    ];
+
+    let results: Vec<Measurement> = configs
+        .iter()
+        .map(|cfg| match cfg.field {
+            "Gf256" => measure::<Gf256>(cfg, reps),
+            "Gf2" => measure::<Gf2>(cfg, reps),
+            other => unreachable!("unknown field {other}"),
+        })
+        .collect();
+
+    let headline = results
+        .iter()
+        .find(|m| m.headline)
+        .expect("headline config present");
+
+    let mut json = String::from("{\n  \"bench\": \"decoder_slab\",\n");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"field\": \"{}\", \"k\": {}, \"payload_bytes\": {}, \
+         \"speedup\": {:.3}, \"requirement\": \">= 2x\", \"met\": {}}},",
+        headline.field,
+        headline.k,
+        headline.payload_bytes,
+        headline.speedup,
+        headline.speedup >= 2.0
+    );
+    json.push_str("  \"configs\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"field\": \"{}\", \"k\": {}, \"payload_symbols\": {}, \
+             \"payload_bytes\": {}, \"reps\": {}, \
+             \"scalar_ms_per_decode\": {:.3}, \"slab_ms_per_decode\": {:.3}, \
+             \"scalar_payload_MiB_s\": {:.2}, \"slab_payload_MiB_s\": {:.2}, \
+             \"speedup\": {:.3}}}{}",
+            m.field,
+            m.k,
+            m.payload_symbols,
+            m.payload_bytes,
+            m.reps,
+            m.scalar_ms_per_decode,
+            m.slab_ms_per_decode,
+            m.scalar_mib_s,
+            m.slab_mib_s,
+            m.speedup,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"deterministic_match\": true\n}\n");
+
+    std::fs::write("BENCH_decoder_slab.json", &json).expect("write BENCH_decoder_slab.json");
+    print!("{json}");
+    for m in &results {
+        eprintln!(
+            "{} k={} r={}: scalar {:.2} ms, slab {:.2} ms — {:.2}x",
+            m.field,
+            m.k,
+            m.payload_symbols,
+            m.scalar_ms_per_decode,
+            m.slab_ms_per_decode,
+            m.speedup
+        );
+    }
+    assert!(
+        headline.speedup >= 2.0,
+        "headline slab speedup {:.2}x is below the required 2x",
+        headline.speedup
+    );
+}

@@ -1,6 +1,6 @@
 //! Shared experiment plumbing: scales, trial plans, report formatting.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::Graph;
 use ag_sim::{EngineConfig, TimeModel};
 use algebraic_gossip::{ProtocolKind, RunSpec, TrialPlan};
@@ -74,7 +74,7 @@ impl ExperimentReport {
 /// thin wrapper over [`TrialPlan`]. Panics if any trial fails to complete
 /// or decode — experiments must be sized so that completion is certain.
 #[must_use]
-pub fn median_rounds_protocol<F: Field>(
+pub fn median_rounds_protocol<F: SlabField>(
     graph: &Graph,
     kind: ProtocolKind,
     k: usize,

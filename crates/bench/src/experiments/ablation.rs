@@ -4,14 +4,14 @@
 use std::fmt::Write as _;
 
 use ag_analysis::{Summary, TableBuilder};
-use ag_gf::{Field, Gf16, Gf2, Gf256, Gf65536, F257};
+use ag_gf::{Gf16, Gf2, Gf256, Gf65536, SlabField, F257};
 use ag_graph::builders;
 use ag_sim::{EngineConfig, TimeModel};
 use algebraic_gossip::{Action, ProtocolKind, RunSpec, TrialPlan};
 
 use crate::common::{median_rounds_protocol, ExperimentReport, Scale};
 
-fn median_with<F: Field>(
+fn median_with<F: SlabField>(
     g: &ag_graph::Graph,
     k: usize,
     trials: u64,

@@ -1,6 +1,6 @@
 //! Uniform (and round-robin) algebraic gossip — the protocol of Theorem 1.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId};
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector, Protocol};
@@ -109,7 +109,7 @@ impl AgConfig {
 ///
 /// Drive it with [`ag_sim::Engine`] under either time model.
 #[derive(Debug, Clone)]
-pub struct AlgebraicGossip<F: Field> {
+pub struct AlgebraicGossip<F: SlabField> {
     graph: Graph,
     generation: Generation<F>,
     decoders: Vec<Decoder<F>>,
@@ -118,7 +118,7 @@ pub struct AlgebraicGossip<F: Field> {
     coding_density: f64,
 }
 
-impl<F: Field> AlgebraicGossip<F> {
+impl<F: SlabField> AlgebraicGossip<F> {
     /// Builds the protocol over `graph` with a random generation of
     /// `cfg.k` messages. `seed` controls the generation content, the
     /// placement, and round-robin pointer offsets (the engine has its own
@@ -235,7 +235,7 @@ impl<F: Field> AlgebraicGossip<F> {
     }
 }
 
-impl<F: Field> Protocol for AlgebraicGossip<F> {
+impl<F: SlabField> Protocol for AlgebraicGossip<F> {
     type Msg = Packet<F>;
 
     fn num_nodes(&self) -> usize {
@@ -276,7 +276,7 @@ mod tests {
     use ag_graph::builders;
     use ag_sim::{Engine, EngineConfig, TimeModel};
 
-    fn run<F: Field>(
+    fn run<F: SlabField>(
         graph: &Graph,
         cfg: &AgConfig,
         time: TimeModel,

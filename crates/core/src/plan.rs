@@ -14,7 +14,7 @@
 //! per-call-site median code.
 
 use ag_analysis::Summary;
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError};
 use ag_sim::RunStats;
 use rayon::prelude::*;
@@ -142,7 +142,7 @@ impl TrialPlan {
     ///
     /// Propagates the first construction error (disconnected graph, bad
     /// root, `k = 0`).
-    pub fn run<F: Field>(&self, graph: &Graph, base: &RunSpec) -> Result<TrialSet, GraphError> {
+    pub fn run<F: SlabField>(&self, graph: &Graph, base: &RunSpec) -> Result<TrialSet, GraphError> {
         let results: Result<Vec<_>, GraphError> = self
             .specs(base)
             .into_par_iter()
@@ -157,7 +157,7 @@ impl TrialPlan {
     /// # Errors
     ///
     /// Propagates the first construction error.
-    pub fn run_serial<F: Field>(
+    pub fn run_serial<F: SlabField>(
         &self,
         graph: &Graph,
         base: &RunSpec,

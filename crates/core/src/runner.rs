@@ -4,7 +4,7 @@
 //! protocols through this module so that every experiment applies identical
 //! seeding, verification and accounting rules.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
 use ag_sim::{Engine, EngineConfig, RunStats};
 
@@ -91,7 +91,7 @@ impl RunSpec {
 ///
 /// Panics if a completed run fails to decode — that is a correctness bug,
 /// never a performance artifact.
-pub fn run_protocol<F: Field>(
+pub fn run_protocol<F: SlabField>(
     graph: &Graph,
     spec: &RunSpec,
 ) -> Result<(RunStats, bool), GraphError> {
@@ -152,7 +152,7 @@ pub fn run_protocol<F: Field>(
     }
 }
 
-fn run_tag<F: Field, S: TreeProtocol>(
+fn run_tag<F: SlabField, S: TreeProtocol>(
     graph: &Graph,
     tree: S,
     spec: &RunSpec,
@@ -173,7 +173,7 @@ fn run_tag<F: Field, S: TreeProtocol>(
     Ok((stats, ok))
 }
 
-fn verify_ag<F: Field>(proto: &AlgebraicGossip<F>, stats: &RunStats) -> bool {
+fn verify_ag<F: SlabField>(proto: &AlgebraicGossip<F>, stats: &RunStats) -> bool {
     if !stats.completed {
         return false;
     }

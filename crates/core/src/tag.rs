@@ -1,6 +1,6 @@
 //! TAG: Tree-based Algebraic Gossip (Section 4).
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use ag_sim::{Action, ContactIntent, Protocol};
@@ -51,7 +51,7 @@ const TAG_PHASE2: u32 = 2;
 /// assert!(stats.completed);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Tag<F: Field, S> {
+pub struct Tag<F: SlabField, S> {
     graph: Graph,
     tree: S,
     generation: Generation<F>,
@@ -59,7 +59,7 @@ pub struct Tag<F: Field, S> {
     wakeups: Vec<u64>,
 }
 
-impl<F: Field, S: TreeProtocol> Tag<F, S> {
+impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
     /// Builds TAG over `graph` using `tree` as the Phase-1 protocol `S`.
     ///
     /// `cfg.comm_model` is ignored (Phase 2's partner is always the
@@ -164,7 +164,7 @@ impl<F: Field, S: TreeProtocol> Tag<F, S> {
     }
 }
 
-impl<F: Field, S: TreeProtocol> Protocol for Tag<F, S> {
+impl<F: SlabField, S: TreeProtocol> Protocol for Tag<F, S> {
     type Msg = TagMsg<S::Msg, F>;
 
     fn num_nodes(&self) -> usize {
@@ -224,7 +224,7 @@ mod tests {
     use ag_graph::builders;
     use ag_sim::{CommModel, Engine, EngineConfig, TimeModel};
 
-    fn run_tag_brr<F: Field>(
+    fn run_tag_brr<F: SlabField>(
         g: &Graph,
         cfg: &AgConfig,
         time: TimeModel,

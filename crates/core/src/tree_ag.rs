@@ -7,7 +7,7 @@
 //! rounds…" — this is TAG's Phase 2 in isolation, and the experiment that
 //! isolates the queueing bound from tree-construction time.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use ag_graph::{GraphError, NodeId, SpanningTree};
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use ag_sim::{Action, ContactIntent, Protocol};
@@ -34,13 +34,13 @@ use crate::ag::AgConfig;
 /// assert!(stats.completed);
 /// ```
 #[derive(Debug, Clone)]
-pub struct TreeAg<F: Field> {
+pub struct TreeAg<F: SlabField> {
     tree: SpanningTree,
     generation: Generation<F>,
     decoders: Vec<Decoder<F>>,
 }
 
-impl<F: Field> TreeAg<F> {
+impl<F: SlabField> TreeAg<F> {
     /// Builds the protocol on a spanning tree.
     ///
     /// # Errors
@@ -85,7 +85,7 @@ impl<F: Field> TreeAg<F> {
     }
 }
 
-impl<F: Field> Protocol for TreeAg<F> {
+impl<F: SlabField> Protocol for TreeAg<F> {
     type Msg = Packet<F>;
 
     fn num_nodes(&self) -> usize {

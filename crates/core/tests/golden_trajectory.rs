@@ -1,0 +1,112 @@
+//! Golden determinism tests: pinned per-round trajectory hashes.
+//!
+//! Each test runs a fixed-seed quick-scale end-to-end simulation, records
+//! an observable after every round (total decoder rank for algebraic
+//! gossip, total held messages for the uncoded baseline), hashes the
+//! trajectory with [`ag_sim::TrajectoryHash`] and compares against a pinned
+//! constant. Step-level equivalence between the packed decoder and the
+//! preserved scalar path is established by `ag-rlnc`'s differential suite;
+//! these pins extend that guarantee end-to-end: any future hot-path change
+//! must reproduce the exact simulation results in every round, not just
+//! the final stopping time.
+//!
+//! CI re-runs this file under `RAYON_NUM_THREADS=1` and `=4`; combined with
+//! `parallel_trials_match_serial` below, that re-verifies parallel ==
+//! serial for the trial runner on top of the engine-level pins.
+
+use ag_gf::Gf256;
+use ag_graph::builders;
+use ag_sim::{Engine, EngineConfig, TrajectoryHash};
+use algebraic_gossip::{
+    AgConfig, AlgebraicGossip, Placement, ProtocolKind, RandomMessageGossip, RunSpec, TrialPlan,
+};
+
+/// Pinned hash of the UniformAg rank trajectory for the run below.
+const GOLDEN_AG_TRAJECTORY: u64 = 0xA356_9144_C8B2_03DD;
+/// Pinned hash of the UncodedRandom holdings trajectory for the run below.
+const GOLDEN_BASELINE_TRAJECTORY: u64 = 0xE080_65FA_EB0B_DAEA;
+
+/// One AG protocol: uniform algebraic gossip over GF(256) on a 4×4 grid,
+/// k = 8 with payloads, synchronous rounds, all seeds fixed.
+fn ag_trajectory() -> (u64, bool) {
+    let g = builders::grid(4, 4).expect("grid");
+    let cfg = AgConfig::new(8)
+        .with_payload_len(4)
+        .with_placement(Placement::Spread);
+    let mut proto = AlgebraicGossip::<Gf256>::new(&g, &cfg, 0xA11CE).expect("protocol");
+    let mut hash = TrajectoryHash::new();
+    let stats = Engine::new(EngineConfig::synchronous(0xBEEF).with_max_rounds(100_000))
+        .run_observed(&mut proto, |round, p| {
+            hash.observe(round);
+            hash.observe(p.total_rank() as u64);
+        });
+    assert!(stats.completed, "golden AG run must complete");
+    // Completed runs must also decode correctly — a hash collision can in
+    // principle hide a wrong trajectory, but not wrong decoded bytes too.
+    for v in 0..g.n() {
+        assert_eq!(
+            proto.decoded(v).expect("complete node decodes"),
+            proto.generation().messages()
+        );
+    }
+    (hash.finish(), stats.completed)
+}
+
+/// One baseline: uncoded random-message gossip on the same graph and seeds.
+fn baseline_trajectory() -> (u64, bool) {
+    let g = builders::grid(4, 4).expect("grid");
+    let cfg = AgConfig::new(8).with_payload_len(4);
+    let mut proto = RandomMessageGossip::<Gf256>::new(&g, &cfg, 0xA11CE).expect("protocol");
+    let mut hash = TrajectoryHash::new();
+    let stats = Engine::new(EngineConfig::synchronous(0xBEEF).with_max_rounds(100_000))
+        .run_observed(&mut proto, |round, p| {
+            hash.observe(round);
+            let held: u64 = (0..16).map(|v| p.held(v) as u64).sum();
+            hash.observe(held);
+        });
+    (hash.finish(), stats.completed)
+}
+
+#[test]
+fn golden_ag_rank_trajectory_is_pinned() {
+    let (hash, completed) = ag_trajectory();
+    assert!(completed);
+    assert_eq!(
+        hash, GOLDEN_AG_TRAJECTORY,
+        "UniformAg per-round rank trajectory changed: got {hash:#018X} — \
+         the arithmetic refactor altered simulation results"
+    );
+}
+
+#[test]
+fn golden_baseline_trajectory_is_pinned() {
+    let (hash, completed) = baseline_trajectory();
+    assert!(completed);
+    assert_eq!(
+        hash, GOLDEN_BASELINE_TRAJECTORY,
+        "UncodedRandom per-round holdings trajectory changed: got {hash:#018X}"
+    );
+}
+
+#[test]
+fn golden_runs_are_rerun_stable() {
+    // The same seeds twice in one process (warm field tables) must agree —
+    // separates "tables depend on init order" bugs from genuine pin breaks.
+    assert_eq!(ag_trajectory(), ag_trajectory());
+    assert_eq!(baseline_trajectory(), baseline_trajectory());
+}
+
+#[test]
+fn parallel_trials_match_serial() {
+    // Re-verify the trial runner on the slab decoder: rayon execution must
+    // be bit-identical to the serial reference regardless of thread count
+    // (CI runs this under RAYON_NUM_THREADS=1 and 4).
+    let g = builders::barbell(10).expect("barbell");
+    let mut base = RunSpec::new(ProtocolKind::UniformAg, 5);
+    base.engine = EngineConfig::synchronous(0).with_max_rounds(500_000);
+    let plan = TrialPlan::new(8, 0x51AB);
+    let parallel = plan.run::<Gf256>(&g, &base).expect("parallel");
+    let serial = plan.run_serial::<Gf256>(&g, &base).expect("serial");
+    assert_eq!(parallel, serial);
+    assert!(parallel.all_ok());
+}

@@ -6,6 +6,7 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 
 use crate::field::Field;
+use crate::slab::SlabField;
 
 /// An element of the prime field GF(`P`), for a prime `P < 2³²`.
 ///
@@ -95,6 +96,22 @@ impl<const P: u64> Field for Fp<P> {
 
     fn to_u64(self) -> u64 {
         self.0
+    }
+}
+
+impl<const P: u64> SlabField for Fp<P> {
+    // Prime-field slabs use the scalar fallback throughout: odd
+    // characteristic rules out the XOR fast path, and GF(p) appears only in
+    // the field-size ablation, never on the throughput-critical
+    // configurations.
+    const SYMBOL_BYTES: usize = 8;
+
+    fn write_symbol(self, dst: &mut [u8]) {
+        dst[..8].copy_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn read_symbol(src: &[u8]) -> Self {
+        Fp(u64::from_le_bytes(src[..8].try_into().expect("8 bytes")) % P)
     }
 }
 

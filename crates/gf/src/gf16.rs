@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use rand::Rng;
 
 use crate::field::Field;
+use crate::slab::{xor_slice, SlabField};
 
 /// Reduction polynomial x⁴ + x + 1 (0b1_0011), primitive over GF(2).
 const POLY: u16 = 0b1_0011;
@@ -113,6 +114,52 @@ impl Field for Gf16 {
 
     fn to_u64(self) -> u64 {
         u64::from(self.0)
+    }
+}
+
+impl SlabField for Gf16 {
+    const SYMBOL_BYTES: usize = 1;
+
+    fn write_symbol(self, dst: &mut [u8]) {
+        dst[0] = self.0;
+    }
+
+    fn read_symbol(src: &[u8]) -> Self {
+        Gf16(src[0] & 0xF)
+    }
+
+    fn add_slice(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        xor_slice(src, dst);
+    }
+
+    fn mul_slice(c: Self, dst: &mut [u8]) {
+        if c == Self::ONE {
+            return;
+        }
+        if c.is_zero() {
+            dst.fill(0);
+            return;
+        }
+        let row = &tables().mul[c.0 as usize];
+        for d in dst.iter_mut() {
+            *d = row[(*d & 0xF) as usize];
+        }
+    }
+
+    fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        if c.is_zero() {
+            return;
+        }
+        if c == Self::ONE {
+            xor_slice(src, dst);
+            return;
+        }
+        let row = &tables().mul[c.0 as usize];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= row[(*s & 0xF) as usize];
+        }
     }
 }
 

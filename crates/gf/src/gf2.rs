@@ -6,6 +6,7 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 
 use crate::field::Field;
+use crate::slab::{xor_slice, SlabField};
 
 /// An element of GF(2): a single bit.
 ///
@@ -69,6 +70,38 @@ impl Field for Gf2 {
 
     fn to_u64(self) -> u64 {
         u64::from(self.0)
+    }
+}
+
+impl SlabField for Gf2 {
+    const SYMBOL_BYTES: usize = 1;
+
+    fn write_symbol(self, dst: &mut [u8]) {
+        dst[0] = self.0;
+    }
+
+    fn read_symbol(src: &[u8]) -> Self {
+        Gf2(src[0] & 1)
+    }
+
+    // GF(2) slabs are pure XOR: the only coefficients are 0 and 1, so an
+    // axpy either vanishes or degenerates to `dst ^= src`.
+    fn add_slice(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        xor_slice(src, dst);
+    }
+
+    fn mul_slice(c: Self, dst: &mut [u8]) {
+        if c.is_zero() {
+            dst.fill(0);
+        }
+    }
+
+    fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        if !c.is_zero() {
+            xor_slice(src, dst);
+        }
     }
 }
 

@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use rand::Rng;
 
 use crate::field::Field;
+use crate::slab::{xor_slice, SlabField};
 
 /// Reduction polynomial x⁸ + x⁴ + x³ + x + 1 (0x11B, the AES polynomial).
 const POLY: u16 = 0x11B;
@@ -105,6 +106,72 @@ impl Field for Gf256 {
 
     fn to_u64(self) -> u64 {
         u64::from(self.0)
+    }
+}
+
+/// The full 256×256 product table: `mul_table()[a][b] = a · b`.
+///
+/// 64 KiB, built once from the log/exp tables and shared process-wide. The
+/// slab kernels index one 256-byte row per coefficient, turning each symbol
+/// of an axpy into a single dependent load plus an XOR — versus two table
+/// lookups, an add and a zero-test on the scalar log/exp path.
+fn mul_table() -> &'static [[u8; 256]; 256] {
+    static FULL: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    FULL.get_or_init(|| {
+        let mut full = Box::new([[0u8; 256]; 256]);
+        for a in 0..=255u8 {
+            let row = &mut full[a as usize];
+            for (b, slot) in row.iter_mut().enumerate() {
+                *slot = (Gf256(a) * Gf256(b as u8)).0;
+            }
+        }
+        full
+    })
+}
+
+impl SlabField for Gf256 {
+    const SYMBOL_BYTES: usize = 1;
+
+    fn write_symbol(self, dst: &mut [u8]) {
+        dst[0] = self.0;
+    }
+
+    fn read_symbol(src: &[u8]) -> Self {
+        Gf256(src[0])
+    }
+
+    fn add_slice(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        xor_slice(src, dst);
+    }
+
+    fn mul_slice(c: Self, dst: &mut [u8]) {
+        if c == Self::ONE {
+            return;
+        }
+        if c.is_zero() {
+            dst.fill(0);
+            return;
+        }
+        let row = &mul_table()[c.0 as usize];
+        for d in dst.iter_mut() {
+            *d = row[*d as usize];
+        }
+    }
+
+    fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        if c.is_zero() {
+            return;
+        }
+        if c == Self::ONE {
+            xor_slice(src, dst);
+            return;
+        }
+        let row = &mul_table()[c.0 as usize];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= row[*s as usize];
+        }
     }
 }
 

@@ -6,6 +6,7 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 
 use crate::field::Field;
+use crate::slab::{xor_slice, SlabField};
 
 /// Reduction polynomial x¹⁶ + x¹² + x³ + x + 1 (0x1100B), primitive.
 const POLY: u32 = 0x1_100B;
@@ -85,6 +86,31 @@ impl Field for Gf65536 {
 
     fn to_u64(self) -> u64 {
         u64::from(self.0)
+    }
+}
+
+impl SlabField for Gf65536 {
+    const SYMBOL_BYTES: usize = 2;
+
+    fn write_symbol(self, dst: &mut [u8]) {
+        dst[..2].copy_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn read_symbol(src: &[u8]) -> Self {
+        Gf65536(u16::from_le_bytes([src[0], src[1]]))
+    }
+
+    // Addition is XOR on the little-endian packing; multiplication stays on
+    // the scalar clmul fallback (GF(2^16) only appears in the field-size
+    // ablation, never on the throughput-critical configurations).
+    fn add_slice(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+        assert!(
+            dst.len().is_multiple_of(Self::SYMBOL_BYTES),
+            "slab length {} is not a multiple of the 2-byte symbol size",
+            dst.len()
+        );
+        xor_slice(src, dst);
     }
 }
 

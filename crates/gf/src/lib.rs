@@ -12,7 +12,23 @@
 //! * [`Gf16`] — GF(2⁴), nibble-sized symbols,
 //! * [`Gf256`] — GF(2⁸) with log/exp tables (the practical RLNC default),
 //! * [`Gf65536`] — GF(2¹⁶) via carry-less multiplication,
-//! * [`Fp`] — prime fields GF(p) for any prime `p < 2³²`.
+//! * [`Fp`] — prime fields GF(p) for any prime `p < 2³²`,
+//! * [`SlabField`] — bulk row arithmetic over packed byte slabs (the
+//!   [`slab`] module), which is what the decoder and recoder hot paths use.
+//!
+//! # Choosing a field
+//!
+//! Throughput and overhead pull in opposite directions. [`Gf256`] is the
+//! practical default: symbols align with bytes, redundancy probability is
+//! `1/256`, and the slab kernels reduce an axpy to one table load plus an
+//! XOR per byte. [`Gf2`] symbols cost 8× fewer bits in the paper's
+//! wire-size model (`(k + r)·log₂ q`, see `Packet::wire_bits` in
+//! `ag-rlnc`; in-memory slabs here store one byte per symbol regardless)
+//! and its slabs are pure XOR, but a random combination is redundant with
+//! probability `1/2`, so more rounds are needed — it is the paper's worst
+//! case, kept for fidelity. [`Gf16`] sits between the two.
+//! [`Gf65536`] and [`Fp`] exist for the field-size ablation and run on the
+//! scalar slab fallback; do not pick them for throughput.
 //!
 //! # Examples
 //!
@@ -39,6 +55,7 @@ mod gf16;
 mod gf2;
 mod gf256;
 mod gf65536;
+pub mod slab;
 pub mod symbols;
 
 pub use field::Field;
@@ -47,6 +64,7 @@ pub use gf16::Gf16;
 pub use gf2::Gf2;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
+pub use slab::SlabField;
 
 #[cfg(test)]
 mod axiom_tests {

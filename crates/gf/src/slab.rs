@@ -1,0 +1,258 @@
+//! Bulk "slab" arithmetic: field operations over packed byte rows.
+//!
+//! The RLNC hot path — Gauss–Jordan elimination inside
+//! `ag_linalg::EchelonBasis` and packet combination inside
+//! `ag_rlnc::Recoder` — spends all of its time doing `dst += c · src` over
+//! rows of thousands of symbols. Doing that one [`Field`] element at a time
+//! costs a bounds-checked table lookup per symbol. The [`SlabField`] trait
+//! instead exposes the three row primitives over *packed byte slabs*:
+//!
+//! * [`SlabField::add_slice`] — `dst += src`,
+//! * [`SlabField::mul_slice`] — `dst *= c`,
+//! * [`SlabField::mul_add_slice`] — `dst += c · src` (the axpy kernel).
+//!
+//! Every field gets a correct scalar fallback (unpack, apply [`Field`] ops,
+//! repack), and the fields that matter for throughput override it:
+//!
+//! | Field | packing | fast path |
+//! |---|---|---|
+//! | [`Gf2`](crate::Gf2) | 1 byte/symbol | pure XOR (`u64`-chunked) |
+//! | [`Gf16`](crate::Gf16) | 1 byte/symbol | XOR add + per-`c` nibble table |
+//! | [`Gf256`](crate::Gf256) | 1 byte/symbol | XOR add + 256×256 full product table |
+//! | [`Gf65536`](crate::Gf65536) | 2 bytes/symbol LE | XOR add, scalar multiply |
+//! | [`Fp<P>`](crate::Fp) | 8 bytes/symbol LE | scalar fallback |
+//!
+//! # Packing invariants
+//!
+//! A packed slab stores each symbol in exactly [`SlabField::SYMBOL_BYTES`]
+//! bytes at offset `i * SYMBOL_BYTES`, in the field's canonical
+//! representation. Two invariants make the fast paths sound and are asserted
+//! by the `proptest_slab` suite:
+//!
+//! 1. `ZERO` packs to the all-zero byte pattern (so `mul_slice(ZERO, ..)`
+//!    may `fill(0)` and a freshly zeroed buffer is a row of zeros), and
+//! 2. packing is canonical: `write_symbol(read_symbol(b)) == b` for every
+//!    slab produced by `write_symbol` (so byte equality of slabs is element
+//!    equality).
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_gf::{Field, Gf256, SlabField};
+//!
+//! let c = Gf256::new(0x57);
+//! let src = Gf256::pack(&[Gf256::new(0x83), Gf256::ONE]);
+//! let mut dst = vec![0u8; src.len()];
+//! Gf256::mul_add_slice(c, &src, &mut dst);
+//! assert_eq!(Gf256::unpack(&dst), vec![Gf256::new(0xC1), c]);
+//! ```
+
+use crate::field::Field;
+
+/// A [`Field`] that additionally supports bulk arithmetic over packed byte
+/// rows ("slabs").
+///
+/// All slice operations require `src.len() == dst.len()` and lengths that
+/// are a multiple of [`SlabField::SYMBOL_BYTES`]; they panic otherwise.
+/// Empty slices are valid and are no-ops.
+pub trait SlabField: Field {
+    /// Bytes one packed symbol occupies.
+    const SYMBOL_BYTES: usize;
+
+    /// Writes the canonical packed representation into
+    /// `dst[..SYMBOL_BYTES]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is shorter than [`SlabField::SYMBOL_BYTES`].
+    fn write_symbol(self, dst: &mut [u8]);
+
+    /// Reads a symbol from `src[..SYMBOL_BYTES]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than [`SlabField::SYMBOL_BYTES`].
+    fn read_symbol(src: &[u8]) -> Self;
+
+    /// Appends the packed representation of `elems` to `out`.
+    fn pack_into(elems: &[Self], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + elems.len() * Self::SYMBOL_BYTES, 0);
+        for (e, chunk) in elems
+            .iter()
+            .zip(out[start..].chunks_exact_mut(Self::SYMBOL_BYTES))
+        {
+            e.write_symbol(chunk);
+        }
+    }
+
+    /// The packed representation of `elems` as a fresh slab.
+    #[must_use]
+    fn pack(elems: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(elems.len() * Self::SYMBOL_BYTES);
+        Self::pack_into(elems, &mut out);
+        out
+    }
+
+    /// Decodes a packed slab back into field elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of
+    /// [`SlabField::SYMBOL_BYTES`].
+    #[must_use]
+    fn unpack(bytes: &[u8]) -> Vec<Self> {
+        assert!(
+            bytes.len().is_multiple_of(Self::SYMBOL_BYTES),
+            "slab length {} is not a multiple of the {}-byte symbol size",
+            bytes.len(),
+            Self::SYMBOL_BYTES
+        );
+        bytes
+            .chunks_exact(Self::SYMBOL_BYTES)
+            .map(Self::read_symbol)
+            .collect()
+    }
+
+    /// `dst[i] += src[i]` for every symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn add_slice(src: &[u8], dst: &mut [u8]) {
+        check_pair::<Self>(src, dst);
+        for (d, s) in dst
+            .chunks_exact_mut(Self::SYMBOL_BYTES)
+            .zip(src.chunks_exact(Self::SYMBOL_BYTES))
+        {
+            (Self::read_symbol(d) + Self::read_symbol(s)).write_symbol(d);
+        }
+    }
+
+    /// `dst[i] *= c` for every symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len()` is not a multiple of
+    /// [`SlabField::SYMBOL_BYTES`].
+    fn mul_slice(c: Self, dst: &mut [u8]) {
+        check_one::<Self>(dst);
+        if c == Self::ONE {
+            return;
+        }
+        if c.is_zero() {
+            dst.fill(0);
+            return;
+        }
+        for d in dst.chunks_exact_mut(Self::SYMBOL_BYTES) {
+            (c * Self::read_symbol(d)).write_symbol(d);
+        }
+    }
+
+    /// `dst[i] += c * src[i]` for every symbol — the axpy kernel that
+    /// dominates Gauss–Jordan elimination and recoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
+        check_pair::<Self>(src, dst);
+        if c.is_zero() {
+            return;
+        }
+        for (d, s) in dst
+            .chunks_exact_mut(Self::SYMBOL_BYTES)
+            .zip(src.chunks_exact(Self::SYMBOL_BYTES))
+        {
+            (Self::read_symbol(d) + c * Self::read_symbol(s)).write_symbol(d);
+        }
+    }
+}
+
+#[inline]
+fn check_pair<F: SlabField>(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+    check_one::<F>(dst);
+}
+
+#[inline]
+fn check_one<F: SlabField>(dst: &[u8]) {
+    assert!(
+        dst.len().is_multiple_of(F::SYMBOL_BYTES),
+        "slab length {} is not a multiple of the {}-byte symbol size",
+        dst.len(),
+        F::SYMBOL_BYTES
+    );
+}
+
+/// `dst ^= src`, processed in `u64` chunks. Addition for every
+/// characteristic-2 field in this crate, since their canonical packings are
+/// plain bit patterns.
+pub(crate) fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        let word = u64::from_le_bytes(dc[..8].try_into().expect("8-byte chunk"))
+            ^ u64::from_le_bytes(sc[..8].try_into().expect("8-byte chunk"));
+        dc.copy_from_slice(&word.to_le_bytes());
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= sb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf2, Gf256};
+
+    #[test]
+    fn xor_slice_matches_bytewise() {
+        let src: Vec<u8> = (0..37u8).collect();
+        let mut dst: Vec<u8> = (100..137u8).collect();
+        let want: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+        xor_slice(&src, &mut dst);
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let elems: Vec<Gf256> = (0..=255u8).map(Gf256::new).collect();
+        assert_eq!(Gf256::unpack(&Gf256::pack(&elems)), elems);
+        let bits = [Gf2::ZERO, Gf2::ONE, Gf2::ONE];
+        assert_eq!(Gf2::unpack(&Gf2::pack(&bits)), bits);
+    }
+
+    #[test]
+    fn zero_packs_to_zero_bytes() {
+        // Invariant 1 of the module docs, for the byte-packed fields.
+        assert_eq!(Gf256::pack(&[Gf256::ZERO]), vec![0]);
+        assert_eq!(Gf2::pack(&[Gf2::ZERO]), vec![0]);
+    }
+
+    #[test]
+    fn empty_slabs_are_noops() {
+        let mut empty: Vec<u8> = Vec::new();
+        Gf256::add_slice(&[], &mut empty);
+        Gf256::mul_slice(Gf256::new(7), &mut empty);
+        Gf256::mul_add_slice(Gf256::new(7), &[], &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut dst = vec![0u8; 4];
+        Gf256::mul_add_slice(Gf256::ONE, &[1, 2, 3], &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_multibyte_slab_panics() {
+        // 3 bytes is not a whole number of 2-byte GF(2^16) symbols; the
+        // fast-path override must uphold the trait's alignment contract.
+        let mut dst = vec![0u8; 3];
+        crate::Gf65536::add_slice(&[1, 2, 3], &mut dst);
+    }
+}

@@ -1,6 +1,18 @@
 //! Incremental row-echelon basis: the RLNC decoder hot path.
+//!
+//! Rows are stored as one contiguous slab of packed bytes (see
+//! [`ag_gf::slab`]) and every elimination step runs through the
+//! [`SlabField`] bulk kernels — for GF(2⁸) that is one table load plus an
+//! XOR per byte instead of two scalar table lookups, and for GF(2) a pure
+//! `u64`-chunked XOR. The scalar predecessor is preserved as
+//! [`crate::reference::ScalarBasis`] and a differential test suite in
+//! `ag-rlnc` pins the two to identical behaviour.
 
-use ag_gf::Field;
+use std::error::Error;
+use std::fmt;
+use std::marker::PhantomData;
+
+use ag_gf::SlabField;
 
 /// Outcome of inserting one equation into an [`EchelonBasis`].
 ///
@@ -24,6 +36,58 @@ impl Insertion {
     }
 }
 
+/// A malformed row rejected by [`EchelonBasis::try_insert`] before any
+/// elimination ran — the basis is untouched when one of these is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisError {
+    /// The row has fewer entries than the pivot width.
+    RowTooShort {
+        /// Entries in the offending row.
+        len: usize,
+        /// Required minimum (the basis's pivot width).
+        pivot_width: usize,
+    },
+    /// The row's length differs from the rows already stored.
+    LengthMismatch {
+        /// Symbols per stored row.
+        expected: usize,
+        /// Symbols in the offending row.
+        got: usize,
+    },
+    /// A packed row's byte length is not a multiple of the symbol size.
+    Misaligned {
+        /// Byte length of the offending slab.
+        len: usize,
+        /// Bytes per symbol for this field.
+        symbol_bytes: usize,
+    },
+}
+
+impl fmt::Display for BasisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BasisError::RowTooShort { len, pivot_width } => {
+                write!(
+                    f,
+                    "row of length {len} shorter than pivot width {pivot_width}"
+                )
+            }
+            BasisError::LengthMismatch { expected, got } => write!(
+                f,
+                "row has {got} symbols but stored rows have {expected} \
+                 (all rows in a basis must have equal length)"
+            ),
+            BasisError::Misaligned { len, symbol_bytes } => write!(
+                f,
+                "packed row of {len} bytes is not a multiple of the \
+                 {symbol_bytes}-byte symbol size"
+            ),
+        }
+    }
+}
+
+impl Error for BasisError {}
+
 /// A growing row-echelon basis of vectors of fixed width over `F`.
 ///
 /// Rows may carry an *augmented tail* (e.g. RLNC payload symbols) beyond the
@@ -32,7 +96,8 @@ impl Insertion {
 /// entire rows, so the tail stays consistent with the coefficient part.
 /// This is exactly Gauss–Jordan decoding of a network-coded generation.
 ///
-/// Inserting a row costs `O(rank · width)`.
+/// Inserting a row costs `O(rank · width)` symbol operations, executed as
+/// packed-slab axpys over the contiguous row storage.
 ///
 /// # Examples
 ///
@@ -50,29 +115,38 @@ impl Insertion {
 pub struct EchelonBasis<F> {
     /// Width of the pivot (coefficient) prefix of every row.
     pivot_width: usize,
-    /// `pivots[c]` = index into `rows` of the row whose pivot is column `c`.
+    /// Symbols per stored row (pivot prefix + augmented tail); fixed by the
+    /// first stored row.
+    row_elems: Option<usize>,
+    /// `pivots[c]` = index of the stored row whose pivot is column `c`.
     pivots: Vec<Option<usize>>,
-    /// Rows in reduced form. Row lengths are `pivot_width + tail` where the
-    /// tail length is fixed by the first inserted row.
-    rows: Vec<Vec<F>>,
+    /// Independent rows stored so far.
+    rank: usize,
+    /// All rows, packed and contiguous: row `i` occupies
+    /// `storage[i * row_bytes .. (i + 1) * row_bytes]`.
+    storage: Vec<u8>,
+    _field: PhantomData<F>,
 }
 
-impl<F: Field> EchelonBasis<F> {
+impl<F: SlabField> EchelonBasis<F> {
     /// Creates an empty basis whose rows have `pivot_width` leading
     /// coefficient entries.
     #[must_use]
     pub fn new(pivot_width: usize) -> Self {
         EchelonBasis {
             pivot_width,
+            row_elems: None,
             pivots: vec![None; pivot_width],
-            rows: Vec::new(),
+            rank: 0,
+            storage: Vec::new(),
+            _field: PhantomData,
         }
     }
 
     /// The number of independent rows stored so far.
     #[must_use]
     pub fn rank(&self) -> usize {
-        self.rows.len()
+        self.rank
     }
 
     /// The pivot (coefficient) width rows must have at minimum.
@@ -84,33 +158,78 @@ impl<F: Field> EchelonBasis<F> {
     /// True once the basis spans the full coefficient space.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.rank() == self.pivot_width
+        self.rank == self.pivot_width
     }
 
-    /// The stored (reduced) rows.
+    /// Bytes per stored row (0 before the first row is stored).
     #[must_use]
-    pub fn rows(&self) -> &[Vec<F>] {
-        &self.rows
+    pub fn row_bytes(&self) -> usize {
+        self.row_elems.unwrap_or(0) * F::SYMBOL_BYTES
+    }
+
+    /// Row `i` as a packed byte slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    #[must_use]
+    pub fn packed_row(&self, i: usize) -> &[u8] {
+        assert!(i < self.rank, "row index out of bounds");
+        let rb = self.row_bytes();
+        &self.storage[i * rb..(i + 1) * rb]
+    }
+
+    /// Iterates over the stored rows as packed byte slabs, in insertion
+    /// order.
+    pub fn packed_rows(&self) -> impl Iterator<Item = &[u8]> {
+        // `max(1)` only matters for the empty basis, where storage is empty
+        // anyway; a nonempty basis always has positive row_bytes.
+        self.storage
+            .chunks_exact(self.row_bytes().max(1))
+            .take(self.rank)
+    }
+
+    /// Row `i` decoded back to field elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<F> {
+        F::unpack(self.packed_row(i))
+    }
+
+    /// All stored rows, materialized as element vectors. Prefer
+    /// [`EchelonBasis::packed_rows`] on hot paths.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Vec<F>> {
+        self.packed_rows().map(|r| F::unpack(r)).collect()
+    }
+
+    /// Reads the symbol in column `c` of a packed row.
+    #[inline]
+    fn col(row: &[u8], c: usize) -> F {
+        F::read_symbol(&row[c * F::SYMBOL_BYTES..])
     }
 
     /// Reduces `row` against the basis in place, stopping at the first
     /// nonzero coefficient in a pivot-free column. Returns that column, or
     /// `None` if the row is annihilated (i.e. is in the span). Cheap check
-    /// used by [`EchelonBasis::would_be_innovative`].
-    fn reduce(&self, row: &mut [F]) -> Option<usize> {
+    /// used by [`EchelonBasis::would_be_innovative`]. `row` may be a
+    /// pivot-prefix-only slab shorter than the stored rows.
+    fn reduce(&self, row: &mut [u8]) -> Option<usize> {
         for c in 0..self.pivot_width {
-            if row[c].is_zero() {
+            let x = Self::col(row, c);
+            if x.is_zero() {
                 continue;
             }
             match self.pivots[c] {
                 Some(ri) => {
-                    // Eliminate column c using the stored (normalized) row.
-                    let factor = row[c];
-                    let stored = &self.rows[ri];
-                    for (x, &s) in row.iter_mut().zip(stored) {
-                        *x -= factor * s;
-                    }
-                    debug_assert!(row[c].is_zero());
+                    // Eliminate column c using the stored (normalized) row:
+                    // row += (-x) · stored, i.e. row -= x · stored.
+                    let stored = self.packed_row(ri);
+                    F::mul_add_slice(-x, &stored[..row.len()], row);
+                    debug_assert!(Self::col(row, c).is_zero());
                 }
                 None => return Some(c),
             }
@@ -122,20 +241,18 @@ impl<F: Field> EchelonBasis<F> {
     /// to the leading one), returning the leading pivot-free column if the
     /// row survives. Required before storing a row so the basis remains in
     /// reduced (Gauss–Jordan) form.
-    fn reduce_full(&self, row: &mut [F]) -> Option<usize> {
+    fn reduce_full(&self, row: &mut [u8]) -> Option<usize> {
         let mut lead = None;
         for c in 0..self.pivot_width {
-            if row[c].is_zero() {
+            let x = Self::col(row, c);
+            if x.is_zero() {
                 continue;
             }
             match self.pivots[c] {
                 Some(ri) => {
-                    let factor = row[c];
-                    let stored = &self.rows[ri];
-                    for (x, &s) in row.iter_mut().zip(stored) {
-                        *x -= factor * s;
-                    }
-                    debug_assert!(row[c].is_zero());
+                    let stored = self.packed_row(ri);
+                    F::mul_add_slice(-x, &stored[..row.len()], row);
+                    debug_assert!(Self::col(row, c).is_zero());
                 }
                 None => {
                     if lead.is_none() {
@@ -152,40 +269,88 @@ impl<F: Field> EchelonBasis<F> {
     /// # Panics
     ///
     /// Panics if `row.len() < pivot_width`, or if its length differs from
-    /// previously inserted rows.
-    pub fn insert(&mut self, mut row: Vec<F>) -> Insertion {
-        assert!(
-            row.len() >= self.pivot_width,
-            "row of length {} shorter than pivot width {}",
-            row.len(),
-            self.pivot_width
-        );
-        if let Some(first) = self.rows.first() {
-            assert_eq!(
-                row.len(),
-                first.len(),
-                "all rows in a basis must have equal length"
-            );
+    /// previously inserted rows. Use [`EchelonBasis::try_insert`] for a
+    /// typed error instead.
+    pub fn insert(&mut self, row: Vec<F>) -> Insertion {
+        match self.try_insert(row) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Inserts an equation, rejecting malformed rows with a typed error
+    /// *before* any elimination runs — the basis is unchanged on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// [`BasisError::RowTooShort`] when `row.len() < pivot_width`;
+    /// [`BasisError::LengthMismatch`] when the length differs from the rows
+    /// already stored.
+    pub fn try_insert(&mut self, row: Vec<F>) -> Result<Insertion, BasisError> {
+        self.validate(row.len())?;
+        Ok(self.insert_validated(F::pack(&row)))
+    }
+
+    /// Like [`EchelonBasis::try_insert`] but accepting an already-packed
+    /// row slab — the zero-conversion entry point the RLNC decoder uses.
+    ///
+    /// # Errors
+    ///
+    /// The [`EchelonBasis::try_insert`] errors, plus
+    /// [`BasisError::Misaligned`] when `row.len()` is not a multiple of
+    /// [`SlabField::SYMBOL_BYTES`].
+    pub fn try_insert_packed(&mut self, row: Vec<u8>) -> Result<Insertion, BasisError> {
+        if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
+            return Err(BasisError::Misaligned {
+                len: row.len(),
+                symbol_bytes: F::SYMBOL_BYTES,
+            });
+        }
+        self.validate(row.len() / F::SYMBOL_BYTES)?;
+        Ok(self.insert_validated(row))
+    }
+
+    /// Shape checks shared by every insertion entry point.
+    fn validate(&self, elems: usize) -> Result<(), BasisError> {
+        if elems < self.pivot_width {
+            return Err(BasisError::RowTooShort {
+                len: elems,
+                pivot_width: self.pivot_width,
+            });
+        }
+        if let Some(expected) = self.row_elems {
+            if elems != expected {
+                return Err(BasisError::LengthMismatch {
+                    expected,
+                    got: elems,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The elimination core; `row` is packed and already shape-checked.
+    fn insert_validated(&mut self, mut row: Vec<u8>) -> Insertion {
         let Some(pivot_col) = self.reduce_full(&mut row) else {
             return Insertion::Redundant;
         };
         // Normalize so the pivot entry is 1.
-        let pinv = row[pivot_col].inv().expect("pivot is nonzero");
-        for x in &mut row {
-            *x *= pinv;
-        }
-        // Back-substitute into existing rows to keep the basis fully reduced.
-        for r in &mut self.rows {
-            let factor = r[pivot_col];
+        let pinv = Self::col(&row, pivot_col).inv().expect("pivot is nonzero");
+        F::mul_slice(pinv, &mut row);
+        // Back-substitute into existing rows to keep the basis fully
+        // reduced: stored -= factor · row.
+        let rb = row.len();
+        for r in 0..self.rank {
+            let stored = &mut self.storage[r * rb..(r + 1) * rb];
+            let factor = Self::col(stored, pivot_col);
             if !factor.is_zero() {
-                for (x, &s) in r.iter_mut().zip(&row) {
-                    *x -= factor * s;
-                }
+                F::mul_add_slice(-factor, &row, stored);
             }
         }
-        self.pivots[pivot_col] = Some(self.rows.len());
-        self.rows.push(row);
+        self.pivots[pivot_col] = Some(self.rank);
+        self.row_elems = Some(rb / F::SYMBOL_BYTES);
+        self.storage.extend_from_slice(&row);
+        self.rank += 1;
         Insertion::Innovative
     }
 
@@ -197,6 +362,18 @@ impl<F: Field> EchelonBasis<F> {
     #[must_use]
     pub fn would_be_innovative(&self, row: &[F]) -> bool {
         assert!(row.len() >= self.pivot_width);
+        let mut packed = F::pack(row);
+        self.reduce(&mut packed).is_some()
+    }
+
+    /// Packed-slab variant of [`EchelonBasis::would_be_innovative`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the packed pivot prefix.
+    #[must_use]
+    pub fn would_be_innovative_packed(&self, row: &[u8]) -> bool {
+        assert!(row.len() >= self.pivot_width * F::SYMBOL_BYTES);
         let mut tmp = row.to_vec();
         self.reduce(&mut tmp).is_some()
     }
@@ -205,10 +382,10 @@ impl<F: Field> EchelonBasis<F> {
     /// i.e. `other` (as a node) is helpful to `self`.
     #[must_use]
     pub fn is_helped_by(&self, other: &EchelonBasis<F>) -> bool {
+        let prefix = self.pivot_width * F::SYMBOL_BYTES;
         other
-            .rows
-            .iter()
-            .any(|r| self.would_be_innovative(&r[..self.pivot_width.min(r.len())]))
+            .packed_rows()
+            .any(|r| self.would_be_innovative_packed(&r[..prefix.min(r.len())]))
     }
 
     /// Once full, extracts the solution: row `i` of the result is the tail
@@ -222,18 +399,23 @@ impl<F: Field> EchelonBasis<F> {
         if !self.is_full() {
             return None;
         }
+        let prefix = self.pivot_width * F::SYMBOL_BYTES;
         let mut out = Vec::with_capacity(self.pivot_width);
         for c in 0..self.pivot_width {
             let ri = self.pivots[c].expect("full basis has all pivots");
-            let row = &self.rows[ri];
+            let row = self.packed_row(ri);
             debug_assert!(
-                row[..self.pivot_width]
-                    .iter()
-                    .enumerate()
-                    .all(|(j, &v)| if j == c { v == F::ONE } else { v.is_zero() }),
+                (0..self.pivot_width).all(|j| {
+                    let v = Self::col(row, j);
+                    if j == c {
+                        v == F::ONE
+                    } else {
+                        v.is_zero()
+                    }
+                }),
                 "fully reduced basis rows must be unit vectors"
             );
-            out.push(row[self.pivot_width..].to_vec());
+            out.push(F::unpack(&row[prefix..]));
         }
         Some(out)
     }
@@ -242,7 +424,7 @@ impl<F: Field> EchelonBasis<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ag_gf::{Gf2, Gf256};
+    use ag_gf::{Field, Gf2, Gf256};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -386,6 +568,57 @@ mod tests {
         let mut b = EchelonBasis::<Gf256>::new(2);
         b.insert(vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]);
         b.insert(vec![Gf256::ONE, Gf256::ZERO]);
+    }
+
+    #[test]
+    fn try_insert_reports_typed_errors_and_leaves_basis_intact() {
+        let mut b = EchelonBasis::<Gf256>::new(2);
+        assert_eq!(
+            b.try_insert(vec![Gf256::ONE]),
+            Err(BasisError::RowTooShort {
+                len: 1,
+                pivot_width: 2
+            })
+        );
+        b.insert(vec![Gf256::ONE, Gf256::ZERO, Gf256::new(9)]);
+        let before = b.clone();
+        assert_eq!(
+            b.try_insert(vec![Gf256::ONE, Gf256::ONE]),
+            Err(BasisError::LengthMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(b, before, "failed insert must not mutate the basis");
+        assert_eq!(
+            b.try_insert_packed(vec![0u8; 3]),
+            Ok(Insertion::Redundant),
+            "aligned zero row is simply redundant"
+        );
+    }
+
+    #[test]
+    fn packed_rows_round_trip_through_element_view() {
+        let mut b = EchelonBasis::<Gf256>::new(3);
+        assert_eq!(b.packed_rows().count(), 0);
+        b.insert(vec![
+            Gf256::new(5),
+            Gf256::new(1),
+            Gf256::new(2),
+            Gf256::new(7),
+        ]);
+        b.insert(vec![
+            Gf256::new(0),
+            Gf256::new(3),
+            Gf256::new(1),
+            Gf256::new(8),
+        ]);
+        assert_eq!(b.row_bytes(), 4);
+        for (i, packed) in b.packed_rows().enumerate() {
+            assert_eq!(Gf256::unpack(packed), b.row(i));
+            assert_eq!(packed, b.packed_row(i));
+        }
+        assert_eq!(b.rows().len(), 2);
     }
 
     #[test]

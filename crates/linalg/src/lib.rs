@@ -5,11 +5,24 @@
 //! solve the linear system and discover all the k messages" (Avin et al.,
 //! Section 2). This crate provides exactly that machinery:
 //!
-//! * [`Matrix`] — a dense row-major matrix over any [`ag_gf::Field`], with
-//!   Gaussian elimination, rank, inversion and solving,
+//! * [`Matrix`] — a dense row-major matrix over any [`ag_gf::SlabField`],
+//!   with Gaussian elimination, rank, inversion and solving,
 //! * [`EchelonBasis`] — an *incremental* row-echelon basis: the decoder hot
 //!   path that inserts one received equation at a time and reports whether
-//!   it was innovative (a "helpful message" in the paper's terminology).
+//!   it was innovative (a "helpful message" in the paper's terminology),
+//! * [`reference::ScalarBasis`] — the preserved scalar elimination path,
+//!   used by differential tests and the `bench_decoder_slab` baseline.
+//!
+//! # The slab layer
+//!
+//! Both [`Matrix`] and [`EchelonBasis`] store their rows as contiguous
+//! packed byte slabs and drive every row operation (normalize, axpy,
+//! row-sum) through the [`ag_gf::SlabField`] bulk kernels. Elimination is
+//! therefore bounds-check-free table streaming for GF(2⁸) and `u64`-chunked
+//! XOR for GF(2), instead of a scalar [`ag_gf::Field`] multiply per symbol.
+//! Malformed rows are rejected up front with a typed [`BasisError`] (see
+//! [`EchelonBasis::try_insert`]) so a shape bug can never corrupt a basis
+//! mid-elimination.
 //!
 //! # Examples
 //!
@@ -28,6 +41,7 @@
 
 mod echelon;
 mod matrix;
+pub mod reference;
 
-pub use echelon::{EchelonBasis, Insertion};
+pub use echelon::{BasisError, EchelonBasis, Insertion};
 pub use matrix::{Matrix, ShapeError};

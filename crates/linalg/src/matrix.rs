@@ -1,9 +1,10 @@
-//! Dense row-major matrices over a finite field.
+//! Dense row-major matrices over a finite field, stored as packed slabs.
 
 use std::error::Error;
 use std::fmt;
+use std::marker::PhantomData;
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use rand::Rng;
 
 /// Error returned when matrix dimensions do not line up.
@@ -29,12 +30,15 @@ impl fmt::Display for ShapeError {
 
 impl Error for ShapeError {}
 
-/// A dense matrix over the field `F`, stored row-major.
+/// A dense matrix over the field `F`, stored row-major as one contiguous
+/// packed byte slab (see [`ag_gf::slab`]).
 ///
 /// This is the node-state representation of the paper: each row is one
 /// stored linear equation over the k unknown messages (possibly augmented
 /// with payload symbols). Sizes in gossip simulations are small (k ≤ a few
-/// thousand), so a flat dense layout beats anything sparse.
+/// thousand), so a flat dense layout beats anything sparse — and the packed
+/// layout lets row reduction ([`Matrix::rref`]) and multiplication
+/// ([`Matrix::matmul`]) run on the [`SlabField`] bulk kernels.
 ///
 /// # Examples
 ///
@@ -50,17 +54,21 @@ impl Error for ShapeError {}
 pub struct Matrix<F> {
     rows: usize,
     cols: usize,
-    data: Vec<F>,
+    /// `rows * cols * F::SYMBOL_BYTES` packed bytes; row `r` occupies
+    /// `data[r * row_bytes .. (r + 1) * row_bytes]`.
+    data: Vec<u8>,
+    _field: PhantomData<F>,
 }
 
-impl<F: Field> Matrix<F> {
+impl<F: SlabField> Matrix<F> {
     /// Creates a `rows × cols` zero matrix.
     #[must_use]
     pub fn zero(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![F::ZERO; rows * cols],
+            data: vec![0u8; rows * cols * F::SYMBOL_BYTES],
+            _field: PhantomData,
         }
     }
 
@@ -90,21 +98,25 @@ impl<F: Field> Matrix<F> {
             }
         }
         let nrows = rows.len();
-        let mut data = Vec::with_capacity(nrows * ncols);
-        for r in rows {
-            data.extend(r);
+        let mut data = Vec::with_capacity(nrows * ncols * F::SYMBOL_BYTES);
+        for r in &rows {
+            F::pack_into(r, &mut data);
         }
         Ok(Matrix {
             rows: nrows,
             cols: ncols,
             data,
+            _field: PhantomData,
         })
     }
 
     /// A matrix with entries drawn uniformly at random.
     pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| F::random(rng)).collect();
-        Matrix { rows, cols, data }
+        let mut m = Matrix::zero(rows, cols);
+        for chunk in m.data.chunks_exact_mut(F::SYMBOL_BYTES) {
+            F::random(rng).write_symbol(chunk);
+        }
+        m
     }
 
     /// Number of rows.
@@ -119,6 +131,11 @@ impl<F: Field> Matrix<F> {
         self.cols
     }
 
+    /// Bytes per packed row.
+    fn row_bytes(&self) -> usize {
+        self.cols * F::SYMBOL_BYTES
+    }
+
     /// The entry at (`r`, `c`).
     ///
     /// # Panics
@@ -127,7 +144,7 @@ impl<F: Field> Matrix<F> {
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> F {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c]
+        F::read_symbol(&self.data[(r * self.cols + c) * F::SYMBOL_BYTES..])
     }
 
     /// Sets the entry at (`r`, `c`).
@@ -137,23 +154,36 @@ impl<F: Field> Matrix<F> {
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: F) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data[r * self.cols + c] = v;
+        v.write_symbol(&mut self.data[(r * self.cols + c) * F::SYMBOL_BYTES..]);
     }
 
-    /// Borrows row `r` as a slice.
+    /// Row `r` as a packed byte slab.
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
     #[must_use]
-    pub fn row(&self, r: usize) -> &[F] {
+    pub fn packed_row(&self, r: usize) -> &[u8] {
         assert!(r < self.rows, "row out of bounds");
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        let rb = self.row_bytes();
+        &self.data[r * rb..(r + 1) * rb]
     }
 
-    /// Iterates over the rows as slices.
-    pub fn rows_iter(&self) -> impl Iterator<Item = &[F]> {
-        self.data.chunks(self.cols.max(1)).take(self.rows)
+    /// Row `r` decoded to field elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> Vec<F> {
+        F::unpack(self.packed_row(r))
+    }
+
+    /// Iterates over the rows as packed byte slabs.
+    pub fn packed_rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.data
+            .chunks_exact(self.row_bytes().max(1))
+            .take(self.rows)
     }
 
     /// Matrix × vector product.
@@ -169,10 +199,18 @@ impl<F: Field> Matrix<F> {
                 v.len()
             )));
         }
-        Ok(self.rows_iter().map(|row| dot(row, v)).collect())
+        Ok(self
+            .packed_rows()
+            .map(|row| {
+                row.chunks_exact(F::SYMBOL_BYTES)
+                    .zip(v)
+                    .fold(F::ZERO, |acc, (chunk, &x)| acc + F::read_symbol(chunk) * x)
+            })
+            .collect())
     }
 
-    /// Matrix × matrix product.
+    /// Matrix × matrix product, accumulated row-by-row with the slab axpy
+    /// kernel.
     ///
     /// # Errors
     ///
@@ -185,16 +223,15 @@ impl<F: Field> Matrix<F> {
             )));
         }
         let mut out = Matrix::zero(self.rows, rhs.cols);
+        let out_rb = out.row_bytes();
         for i in 0..self.rows {
+            let dst = &mut out.data[i * out_rb..(i + 1) * out_rb];
             for l in 0..self.cols {
                 let a = self.get(i, l);
                 if a.is_zero() {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let cur = out.get(i, j);
-                    out.set(i, j, cur + a * rhs.get(l, j));
-                }
+                F::mul_add_slice(a, rhs.packed_row(l), dst);
             }
         }
         Ok(out)
@@ -230,6 +267,9 @@ impl<F: Field> Matrix<F> {
     }
 
     /// In-place reduction to *reduced row echelon form*; returns the rank.
+    ///
+    /// Pivot normalization and elimination run as packed-slab row
+    /// operations over the contiguous storage.
     pub fn rref(&mut self) -> usize {
         let mut pivot_row = 0;
         for col in 0..self.cols {
@@ -244,7 +284,8 @@ impl<F: Field> Matrix<F> {
             // Normalize the pivot row.
             let p = self.get(pivot_row, col);
             let pinv = p.inv().expect("pivot is nonzero");
-            self.scale_row(pivot_row, pinv);
+            let rb = self.row_bytes();
+            F::mul_slice(pinv, &mut self.data[pivot_row * rb..(pivot_row + 1) * rb]);
             // Eliminate the column everywhere else.
             for r in 0..self.rows {
                 if r != pivot_row {
@@ -346,28 +387,29 @@ impl<F: Field> Matrix<F> {
         if a == b {
             return;
         }
+        let rb = self.row_bytes();
         let (a, b) = (a.min(b), a.max(b));
-        let (first, second) = self.data.split_at_mut(b * self.cols);
-        first[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut second[..self.cols]);
+        let (first, second) = self.data.split_at_mut(b * rb);
+        first[a * rb..(a + 1) * rb].swap_with_slice(&mut second[..rb]);
     }
 
-    fn scale_row(&mut self, r: usize, factor: F) {
-        for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
-            *v *= factor;
-        }
-    }
-
-    /// `row[dst] -= factor * row[src]`.
+    /// `row[dst] -= factor * row[src]`, as one slab axpy with coefficient
+    /// `-factor`.
     fn row_axpy(&mut self, dst: usize, src: usize, factor: F) {
-        for c in 0..self.cols {
-            let s = self.get(src, c);
-            let d = self.get(dst, c);
-            self.set(dst, c, d - factor * s);
-        }
+        debug_assert_ne!(dst, src);
+        let rb = self.row_bytes();
+        let (dst_slab, src_slab) = if dst < src {
+            let (lo, hi) = self.data.split_at_mut(src * rb);
+            (&mut lo[dst * rb..(dst + 1) * rb], &hi[..rb])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(dst * rb);
+            (&mut hi[..rb], &lo[src * rb..(src + 1) * rb])
+        };
+        F::mul_add_slice(-factor, src_slab, dst_slab);
     }
 }
 
-impl<F: Field> fmt::Display for Matrix<F> {
+impl<F: SlabField> fmt::Display for Matrix<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..self.rows {
             write!(f, "[")?;
@@ -383,16 +425,10 @@ impl<F: Field> fmt::Display for Matrix<F> {
     }
 }
 
-/// Dot product of two equal-length slices.
-pub(crate) fn dot<F: Field>(xs: &[F], ys: &[F]) -> F {
-    debug_assert_eq!(xs.len(), ys.len());
-    xs.iter().zip(ys).fold(F::ZERO, |acc, (&x, &y)| acc + x * y)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ag_gf::{Gf2, Gf256, F257};
+    use ag_gf::{Field, Gf2, Gf256, F257};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -511,6 +547,20 @@ mod tests {
             let m = Matrix::<Gf2>::random(5, 9, &mut rng);
             assert!(m.rank() <= 5);
         }
+    }
+
+    #[test]
+    fn packed_row_views_agree_with_get() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = Matrix::<Gf256>::random(3, 5, &mut rng);
+        for r in 0..3 {
+            let row = m.row(r);
+            assert_eq!(Gf256::unpack(m.packed_row(r)), row);
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(m.get(r, c), v);
+            }
+        }
+        assert_eq!(m.packed_rows().count(), 3);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The progressive Gauss–Jordan decoder: a node's stored equations.
 
-use ag_gf::Field;
+use std::error::Error;
+use std::fmt;
+
+use ag_gf::SlabField;
 use ag_linalg::{EchelonBasis, Insertion};
 
 use crate::generation::Generation;
@@ -35,11 +38,56 @@ impl From<Insertion> for Reception {
     }
 }
 
+/// A packet whose shape does not match the decoder it was delivered to.
+///
+/// Returned by [`Decoder::try_receive`] *before* any elimination runs, so a
+/// malformed packet can never corrupt (or panic out of) a half-updated
+/// basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodingError {
+    /// The packet was coded over a different generation size than the
+    /// decoder's `k`.
+    GenerationSizeMismatch {
+        /// The decoder's generation size.
+        expected: usize,
+        /// The packet's coefficient count.
+        got: usize,
+    },
+    /// The packet's payload length differs from the decoder's `r`.
+    PayloadLengthMismatch {
+        /// The decoder's payload length in symbols.
+        expected: usize,
+        /// The packet's payload length in symbols.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodingError::GenerationSizeMismatch { expected, got } => write!(
+                f,
+                "packet generation size mismatch: coded over {got} messages, \
+                 decoder expects {expected}"
+            ),
+            CodingError::PayloadLengthMismatch { expected, got } => write!(
+                f,
+                "packet payload length mismatch: {got} symbols, decoder \
+                 expects {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CodingError {}
+
 /// A node's RLNC state: the matrix of stored linear equations.
 ///
 /// The decoder accepts [`Packet`]s, tracks its rank, answers the paper's
 /// helpfulness queries, and solves for the source messages once the rank
-/// reaches `k`.
+/// reaches `k`. Internally the equations live in a packed
+/// [`EchelonBasis`], so every elimination runs on the [`SlabField`] bulk
+/// kernels.
 ///
 /// # Examples
 ///
@@ -63,7 +111,7 @@ pub struct Decoder<F> {
     redundant_count: u64,
 }
 
-impl<F: Field> Decoder<F> {
+impl<F: SlabField> Decoder<F> {
     /// An empty decoder for a generation of `k` messages of `payload_len`
     /// symbols.
     ///
@@ -154,24 +202,51 @@ impl<F: Field> Decoder<F> {
     ///
     /// # Panics
     ///
-    /// Panics if the packet shape does not match the decoder's `(k, r)`.
+    /// Panics if the packet shape does not match the decoder's `(k, r)`;
+    /// use [`Decoder::try_receive`] for a typed error instead.
     pub fn receive(&mut self, packet: Packet<F>) -> Reception {
-        assert_eq!(
-            packet.generation_size(),
-            self.k,
-            "packet generation size mismatch"
-        );
-        assert_eq!(
-            packet.payload_len(),
-            self.payload_len,
-            "packet payload length mismatch"
-        );
-        let outcome: Reception = self.basis.insert(packet.into_row()).into();
+        match self.try_receive(&packet) {
+            Ok(outcome) => outcome,
+            Err(CodingError::GenerationSizeMismatch { .. }) => {
+                panic!("packet generation size mismatch")
+            }
+            Err(CodingError::PayloadLengthMismatch { .. }) => {
+                panic!("packet payload length mismatch")
+            }
+        }
+    }
+
+    /// Delivers a packet, rejecting shape mismatches with a typed error —
+    /// the decoder's state (basis, rank, counters) is untouched on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::GenerationSizeMismatch`] or
+    /// [`CodingError::PayloadLengthMismatch`] when the packet was coded for
+    /// a different `(k, r)` than this decoder's.
+    pub fn try_receive(&mut self, packet: &Packet<F>) -> Result<Reception, CodingError> {
+        if packet.generation_size() != self.k {
+            return Err(CodingError::GenerationSizeMismatch {
+                expected: self.k,
+                got: packet.generation_size(),
+            });
+        }
+        if packet.payload_len() != self.payload_len {
+            return Err(CodingError::PayloadLengthMismatch {
+                expected: self.payload_len,
+                got: packet.payload_len(),
+            });
+        }
+        let outcome: Reception = self
+            .basis
+            .try_insert_packed(packet.to_packed_row())
+            .expect("shape-checked row is valid for the basis")
+            .into();
         match outcome {
             Reception::Innovative => self.innovative_count += 1,
             Reception::Redundant => self.redundant_count += 1,
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Would this packet be helpful, without consuming it?
@@ -188,10 +263,9 @@ impl<F: Field> Decoder<F> {
         self.basis.is_helped_by(&other.basis)
     }
 
-    /// The stored (reduced) equation rows, exposed for recoding.
-    #[must_use]
-    pub(crate) fn rows(&self) -> &[Vec<F>] {
-        self.basis.rows()
+    /// The underlying packed basis, exposed for recoding.
+    pub(crate) fn basis(&self) -> &EchelonBasis<F> {
+        &self.basis
     }
 
     /// Solves the system once complete; `None` before rank `k`.
@@ -302,5 +376,53 @@ mod tests {
     fn shape_mismatch_panics() {
         let mut d = Decoder::<Gf256>::new(3, 0);
         d.receive(Packet::new(vec![Gf256::ONE; 2], vec![]));
+    }
+
+    /// Regression test for the typed-error path: a payload-length-mismatched
+    /// packet must be rejected with [`CodingError::PayloadLengthMismatch`]
+    /// before elimination, leaving the decoder bit-identical — previously
+    /// this was only an assert that aborted the whole simulation.
+    #[test]
+    fn try_receive_rejects_mismatches_without_corrupting_state() {
+        let mut d = Decoder::<Gf256>::new(2, 1);
+        d.receive(pkt(&[1, 1], &[2]));
+        let before_rank = d.rank();
+        let before = d.clone();
+
+        let wrong_payload = pkt(&[0, 1], &[5, 6]); // r = 2, decoder expects 1
+        assert_eq!(
+            d.try_receive(&wrong_payload),
+            Err(CodingError::PayloadLengthMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        let wrong_k = pkt(&[0, 1, 1], &[5]); // k = 3, decoder expects 2
+        assert_eq!(
+            d.try_receive(&wrong_k),
+            Err(CodingError::GenerationSizeMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert_eq!(d.rank(), before_rank);
+        assert_eq!(d.innovative_count(), before.innovative_count());
+        assert_eq!(d.redundant_count(), before.redundant_count());
+
+        // The decoder still works normally afterwards.
+        assert_eq!(
+            d.try_receive(&pkt(&[0, 1], &[5])),
+            Ok(Reception::Innovative)
+        );
+        assert_eq!(
+            d.decode().unwrap(),
+            vec![vec![Gf256::new(7)], vec![Gf256::new(5)]]
+        );
+        assert!(CodingError::PayloadLengthMismatch {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("payload length mismatch"));
     }
 }

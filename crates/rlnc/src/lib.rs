@@ -45,7 +45,7 @@ mod packet;
 mod recoder;
 
 pub use block::{BlockDecoder, BlockEncoder};
-pub use decoder::{Decoder, Reception};
+pub use decoder::{CodingError, Decoder, Reception};
 pub use generation::{Generation, GenerationError};
 pub use packet::Packet;
 pub use recoder::Recoder;

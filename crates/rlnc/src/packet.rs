@@ -1,6 +1,6 @@
 //! The coded packet: one linear equation over the source messages.
 
-use ag_gf::Field;
+use ag_gf::{Field, SlabField};
 
 /// A coded packet: `k` combination coefficients plus the combined payload.
 ///
@@ -100,6 +100,39 @@ impl<F: Field> Packet<F> {
     pub fn wire_bits(&self) -> u64 {
         let log_q = 64 - (F::SIZE - 1).leading_zeros() as u64;
         (self.coefficients.len() as u64 + self.payload.len() as u64) * log_q
+    }
+}
+
+impl<F: SlabField> Packet<F> {
+    /// The packet as one packed augmented row `[coefficients | payload]`,
+    /// in the slab layout `ag_linalg::EchelonBasis` stores and consumes.
+    #[must_use]
+    pub fn to_packed_row(&self) -> Vec<u8> {
+        let mut row =
+            Vec::with_capacity((self.coefficients.len() + self.payload.len()) * F::SYMBOL_BYTES);
+        F::pack_into(&self.coefficients, &mut row);
+        F::pack_into(&self.payload, &mut row);
+        row
+    }
+
+    /// Rebuilds a packet from a packed augmented row (the inverse of
+    /// [`Packet::to_packed_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` holds fewer than `k` symbols or is not a multiple of
+    /// the symbol size.
+    #[must_use]
+    pub fn from_packed_row(row: &[u8], k: usize) -> Self {
+        assert!(
+            row.len() >= k * F::SYMBOL_BYTES,
+            "row shorter than generation size"
+        );
+        let split = k * F::SYMBOL_BYTES;
+        Packet {
+            coefficients: F::unpack(&row[..split]),
+            payload: F::unpack(&row[split..]),
+        }
     }
 }
 

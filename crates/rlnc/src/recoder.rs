@@ -1,6 +1,6 @@
 //! Recoding: emitting fresh random combinations of stored equations.
 
-use ag_gf::Field;
+use ag_gf::SlabField;
 use rand::Rng;
 
 use crate::decoder::Decoder;
@@ -39,7 +39,7 @@ pub struct Recoder<'a, F> {
     decoder: &'a Decoder<F>,
 }
 
-impl<'a, F: Field> Recoder<'a, F> {
+impl<'a, F: SlabField> Recoder<'a, F> {
     /// Wraps a decoder for recoding.
     #[must_use]
     pub fn new(decoder: &'a Decoder<F>) -> Self {
@@ -48,24 +48,24 @@ impl<'a, F: Field> Recoder<'a, F> {
 
     /// Emits one coded packet, or `None` when the node stores nothing yet
     /// (rank 0 — it has nothing to say).
+    ///
+    /// The combination accumulates over the decoder's packed rows with one
+    /// slab axpy per stored equation.
     #[must_use]
     pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Packet<F>> {
-        let rows = self.decoder.rows();
-        if rows.is_empty() {
+        let basis = self.decoder.basis();
+        if basis.rank() == 0 {
             return None;
         }
-        let width = self.decoder.k() + self.decoder.payload_len();
-        let mut acc = vec![F::ZERO; width];
-        for row in rows {
+        let mut acc = vec![0u8; basis.row_bytes()];
+        for row in basis.packed_rows() {
             let c = F::random(rng);
             if c.is_zero() {
                 continue;
             }
-            for (a, &x) in acc.iter_mut().zip(row) {
-                *a += c * x;
-            }
+            F::mul_add_slice(c, row, &mut acc);
         }
-        Some(Packet::from_row(acc, self.decoder.k()))
+        Some(Packet::from_packed_row(&acc, self.decoder.k()))
     }
 
     /// Emits a *sparse* coded packet: each stored row participates with
@@ -89,29 +89,26 @@ impl<'a, F: Field> Recoder<'a, F> {
             density > 0.0 && density <= 1.0,
             "coding density must be in (0, 1]"
         );
-        let rows = self.decoder.rows();
-        if rows.is_empty() {
+        let basis = self.decoder.basis();
+        if basis.rank() == 0 {
             return None;
         }
-        let width = self.decoder.k() + self.decoder.payload_len();
-        let mut acc = vec![F::ZERO; width];
+        let mut acc = vec![0u8; basis.row_bytes()];
         let mut picked_any = false;
-        for row in rows {
+        for row in basis.packed_rows() {
             if !rng.gen_bool(density) {
                 continue;
             }
             picked_any = true;
             let c = F::random_nonzero(rng);
-            for (a, &x) in acc.iter_mut().zip(row) {
-                *a += c * x;
-            }
+            F::mul_add_slice(c, row, &mut acc);
         }
         if !picked_any {
             // Degenerate draw: forward one stored row unmodified.
-            let row = &rows[rng.gen_range(0..rows.len())];
+            let row = basis.packed_row(rng.gen_range(0..basis.rank()));
             acc.copy_from_slice(row);
         }
-        Some(Packet::from_row(acc, self.decoder.k()))
+        Some(Packet::from_packed_row(&acc, self.decoder.k()))
     }
 
     /// Emits a packet guaranteed to be *helpful to `target`* whenever the
@@ -137,9 +134,9 @@ impl<'a, F: Field> Recoder<'a, F> {
             }
         }
         self.decoder
-            .rows()
-            .iter()
-            .map(|row| Packet::from_row(row.clone(), self.decoder.k()))
+            .basis()
+            .packed_rows()
+            .map(|row| Packet::from_packed_row(row, self.decoder.k()))
             .find(|p| target.would_help(p))
     }
 }
@@ -148,7 +145,7 @@ impl<'a, F: Field> Recoder<'a, F> {
 mod tests {
     use super::*;
     use crate::generation::Generation;
-    use ag_gf::{Gf2, Gf256};
+    use ag_gf::{Field, Gf2, Gf256};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,0 +1,248 @@
+//! Differential test harness: the packed slab decoder vs the scalar
+//! reference, locked step for step.
+//!
+//! The `reference` module wraps [`ag_linalg::reference::ScalarBasis`] — the
+//! pre-slab element-at-a-time elimination, preserved verbatim — in a
+//! decoder with the same receive/decode semantics as [`ag_rlnc::Decoder`].
+//! Every property replays one random packet stream through both
+//! implementations and asserts they agree on
+//!
+//! * the per-packet [`Reception`] verdict,
+//! * the full rank trajectory (rank after every delivery),
+//! * helpfulness queries, and
+//! * the decoded messages once rank `k` is reached.
+//!
+//! Streams are exercised over `Gf2` (pure-XOR fast path), `Gf16` (nibble
+//! table fast path) and `Gf256` (full-table fast path), with shape-mismatch
+//! packets injected to pin the typed-error path too. Run with
+//! `PROPTEST_CASES=256` in CI for the elevated-coverage pass.
+
+use ag_gf::{Field, Gf16, Gf2, Gf256, SlabField};
+use ag_rlnc::{CodingError, Decoder, Generation, Packet, Reception, Recoder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod reference {
+    //! The scalar decoder: `ag_rlnc::Decoder` semantics on `ScalarBasis`.
+
+    use ag_gf::Field;
+    use ag_linalg::reference::ScalarBasis;
+    use ag_linalg::Insertion;
+    use ag_rlnc::{Generation, Packet, Reception};
+
+    pub struct ScalarDecoder<F> {
+        k: usize,
+        payload_len: usize,
+        basis: ScalarBasis<F>,
+    }
+
+    impl<F: Field> ScalarDecoder<F> {
+        pub fn new(k: usize, payload_len: usize) -> Self {
+            ScalarDecoder {
+                k,
+                payload_len,
+                basis: ScalarBasis::new(k),
+            }
+        }
+
+        pub fn with_all_messages(generation: &Generation<F>) -> Self {
+            let mut d = ScalarDecoder::new(generation.k(), generation.message_len());
+            for i in 0..generation.k() {
+                d.seed_message(generation, i);
+            }
+            d
+        }
+
+        pub fn seed_message(&mut self, generation: &Generation<F>, index: usize) {
+            let mut row = vec![F::ZERO; self.k];
+            row[index] = F::ONE;
+            row.extend_from_slice(generation.message(index));
+            let _ = self.basis.insert(row);
+        }
+
+        /// Scalar mirror of `Decoder::receive`; packets are assumed
+        /// shape-valid (the differential driver checks shapes up front,
+        /// exactly like `Decoder::try_receive`).
+        pub fn receive(&mut self, packet: Packet<F>) -> Reception {
+            assert_eq!(packet.generation_size(), self.k);
+            assert_eq!(packet.payload_len(), self.payload_len);
+            match self.basis.insert(packet.into_row()) {
+                Insertion::Innovative => Reception::Innovative,
+                Insertion::Redundant => Reception::Redundant,
+            }
+        }
+
+        pub fn rank(&self) -> usize {
+            self.basis.rank()
+        }
+
+        pub fn is_complete(&self) -> bool {
+            self.basis.is_full()
+        }
+
+        pub fn would_help(&self, packet: &Packet<F>) -> bool {
+            self.basis.would_be_innovative(packet.coefficients())
+        }
+
+        pub fn decode(&self) -> Option<Vec<Vec<F>>> {
+            self.basis.solution()
+        }
+    }
+}
+
+use reference::ScalarDecoder;
+
+/// Replays `steps` random packets (mostly source recodings, some junk) into
+/// a packed decoder and a scalar decoder and asserts identical behaviour.
+fn differential_stream<F: SlabField>(
+    seed: u64,
+    k: usize,
+    r: usize,
+    steps: usize,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generation = Generation::<F>::random(k, r, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+
+    let mut packed = Decoder::<F>::new(k, r);
+    let mut scalar = ScalarDecoder::<F>::new(k, r);
+
+    for step in 0..steps {
+        // Mix of streams: recodings of the full source, raw random rows
+        // (not necessarily in any span), and occasional all-zero packets.
+        let packet: Packet<F> = match step % 7 {
+            0..=3 => Recoder::new(&source).emit(&mut rng).expect("source emits"),
+            4 | 5 => {
+                let coeffs: Vec<F> = (0..k).map(|_| F::random(&mut rng)).collect();
+                let payload: Vec<F> = (0..r).map(|_| F::random(&mut rng)).collect();
+                Packet::new(coeffs, payload)
+            }
+            _ => Packet::new(vec![F::ZERO; k], vec![F::ZERO; r]),
+        };
+
+        // Helpfulness prediction must agree before delivery...
+        prop_assert_eq!(
+            packed.would_help(&packet),
+            scalar.would_help(&packet),
+            "would_help diverged at step {}",
+            step
+        );
+        // ...and so must the verdict and the rank trajectory after it.
+        let verdict = packed
+            .try_receive(&packet)
+            .expect("shape-valid packet must be accepted");
+        let want = scalar.receive(packet);
+        prop_assert_eq!(verdict, want, "verdict diverged at step {}", step);
+        prop_assert_eq!(
+            packed.rank(),
+            scalar.rank(),
+            "rank trajectory diverged at step {}",
+            step
+        );
+        prop_assert_eq!(packed.is_complete(), scalar.is_complete());
+    }
+
+    // Decoded output must be identical whenever available. (It need not
+    // equal the generation here: the junk packets are *inconsistent*
+    // equations by construction — `full_decode_agrees` covers ground-truth
+    // correctness on consistent streams.)
+    prop_assert_eq!(packed.decode(), scalar.decode());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gf2_packed_decoder_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..12,
+        r in 0usize..6,
+    ) {
+        differential_stream::<Gf2>(seed, k, r, 6 * k + 8)?;
+    }
+
+    #[test]
+    fn gf16_packed_decoder_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..10,
+        r in 0usize..6,
+    ) {
+        differential_stream::<Gf16>(seed, k, r, 4 * k + 6)?;
+    }
+
+    #[test]
+    fn gf256_packed_decoder_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..10,
+        r in 0usize..8,
+    ) {
+        differential_stream::<Gf256>(seed, k, r, 4 * k + 6)?;
+    }
+
+    /// A complete dissemination (source -> sink until full rank) decodes to
+    /// the same messages on both paths.
+    #[test]
+    fn full_decode_agrees(seed in any::<u64>(), k in 1usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Generation::<Gf256>::random(k, 3, &mut rng);
+        let source = Decoder::with_all_messages(&g);
+        let scalar_source = ScalarDecoder::with_all_messages(&g);
+        let mut sink = Decoder::<Gf256>::new(k, 3);
+        let mut scalar_sink = ScalarDecoder::<Gf256>::new(k, 3);
+        let mut guard = 0;
+        while !sink.is_complete() {
+            let p = Recoder::new(&source).emit(&mut rng).expect("source emits");
+            prop_assert_eq!(
+                scalar_source.would_help(&p),
+                false,
+                "a source combination can never help the source"
+            );
+            let a = sink.receive(p.clone());
+            let b = scalar_sink.receive(p);
+            prop_assert_eq!(a, b);
+            guard += 1;
+            prop_assert!(guard < 60 * (k + 2), "did not converge");
+        }
+        prop_assert_eq!(sink.decode().unwrap(), scalar_sink.decode().unwrap());
+    }
+}
+
+/// Shape-mismatched packets take the typed-error path and leave the packed
+/// decoder in lockstep with the scalar one (which never saw the packet).
+#[test]
+fn mismatched_packets_do_not_desynchronize() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let k = 5;
+    let r = 2;
+    let generation = Generation::<Gf256>::random(k, r, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+    let mut packed = Decoder::<Gf256>::new(k, r);
+    let mut scalar = ScalarDecoder::<Gf256>::new(k, r);
+
+    while !packed.is_complete() {
+        // Interleave a malformed packet before every good one.
+        let bad = Packet::new(
+            (0..k).map(|_| Gf256::random(&mut rng)).collect(),
+            (0..r + 1).map(|_| Gf256::random(&mut rng)).collect(),
+        );
+        assert_eq!(
+            packed.try_receive(&bad),
+            Err(CodingError::PayloadLengthMismatch {
+                expected: r,
+                got: r + 1
+            })
+        );
+        let good = Recoder::new(&source).emit(&mut rng).expect("source emits");
+        let a = packed.try_receive(&good).expect("good packet");
+        let b = scalar.receive(good);
+        assert_eq!(a, b);
+        assert_eq!(packed.rank(), scalar.rank());
+    }
+    assert_eq!(packed.decode(), scalar.decode());
+    assert_eq!(
+        packed.decode().expect("complete"),
+        generation.messages().to_vec()
+    );
+}

@@ -30,4 +30,4 @@ mod stats;
 pub use comm::{CommModel, PartnerSelector};
 pub use engine::{Engine, EngineConfig, TimeModel};
 pub use protocol::{Action, ContactIntent, Protocol};
-pub use stats::RunStats;
+pub use stats::{RunStats, TrajectoryHash};

@@ -63,9 +63,99 @@ impl RunStats {
     }
 }
 
+/// Order-sensitive FNV-1a hash over a sequence of `u64` observations.
+///
+/// Used to *pin* per-round trajectories (e.g. the total decoder rank after
+/// every round, fed from [`crate::Engine::run_observed`]) in golden tests:
+/// a refactor of the arithmetic hot path must reproduce the exact same
+/// trajectory hash or the simulation output changed. The hash is a pure
+/// function of the observed values and their order — no platform-dependent
+/// state — so pinned constants are portable.
+///
+/// # Examples
+///
+/// ```
+/// use ag_sim::TrajectoryHash;
+///
+/// let mut h = TrajectoryHash::new();
+/// h.observe(3);
+/// h.observe(7);
+/// let mut g = TrajectoryHash::new();
+/// g.observe_slice(&[3, 7]);
+/// assert_eq!(h.finish(), g.finish());
+/// let mut swapped = TrajectoryHash::new();
+/// swapped.observe_slice(&[7, 3]);
+/// assert_ne!(h.finish(), swapped.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryHash {
+    state: u64,
+}
+
+impl TrajectoryHash {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher (FNV-1a offset basis).
+    #[must_use]
+    pub fn new() -> Self {
+        TrajectoryHash {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds one observation (little-endian byte order).
+    pub fn observe(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a slice of observations in order.
+    pub fn observe_slice(&mut self, values: &[u64]) {
+        for &v in values {
+            self.observe(v);
+        }
+    }
+
+    /// The current digest. The hasher can keep observing afterwards.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for TrajectoryHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_hash_is_order_sensitive_and_stable() {
+        let mut h = TrajectoryHash::new();
+        h.observe_slice(&[1, 2, 3]);
+        // Same observations in the same order give the same digest…
+        let mut h2 = TrajectoryHash::new();
+        h2.observe(1);
+        h2.observe(2);
+        h2.observe(3);
+        assert_eq!(h.finish(), h2.finish());
+        // …and swapping the order changes it.
+        let mut g = TrajectoryHash::new();
+        g.observe_slice(&[3, 2, 1]);
+        assert_ne!(h.finish(), g.finish());
+        // Empty hasher has the offset basis; observing zero changes it.
+        let mut z = TrajectoryHash::new();
+        let empty = z.finish();
+        z.observe(0);
+        assert_ne!(z.finish(), empty);
+    }
 
     #[test]
     fn completion_round_helpers() {

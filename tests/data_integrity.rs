@@ -1,7 +1,7 @@
 //! Real-data integrity: byte blobs survive chunking → gossip → decode →
 //! reassembly bit-exactly, across fields and protocols.
 
-use algebraic_gossip_repro::gf::{Field, Gf2, Gf256, Gf65536};
+use algebraic_gossip_repro::gf::{Gf2, Gf256, Gf65536, SlabField};
 use algebraic_gossip_repro::graph::builders;
 use algebraic_gossip_repro::protocols::{
     AgConfig, AlgebraicGossip, BroadcastTree, CommModel, Placement, Tag,
@@ -15,7 +15,7 @@ fn blob(len: usize) -> Vec<u8> {
         .collect()
 }
 
-fn disseminate_and_verify<F: Field>(data: &[u8], k: usize, seed: u64) {
+fn disseminate_and_verify<F: SlabField>(data: &[u8], k: usize, seed: u64) {
     let g = builders::grid(3, 4).unwrap();
     let enc = BlockEncoder::<F>::new(data, k);
     let generation = enc.generation().clone();
