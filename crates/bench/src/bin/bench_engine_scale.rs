@@ -1,0 +1,281 @@
+//! Machine-readable perf baseline for the reworked engine hot path:
+//! times rank-only uniform algebraic gossip at n = 10⁴ on the ring and
+//! the complete graph through the reworked stack (fast `ag_sim::Engine`
+//! round loop + packed-row messages) against the frozen pre-rework stack
+//! (`ag_sim::reference::ReferenceEngine` + `PacketAlgebraicGossip`'s
+//! unpack/repack `Packet` messages) on identical seeds, verifies both
+//! stacks produce bit-identical `RunStats`, runs the F8 stopping-time
+//! sweeps at bench-scale ladders (up to a 10⁵-node completion run on a
+//! random 3-regular expander), and writes `BENCH_engine_scale.json` for
+//! future PRs to diff against.
+//!
+//! The headline configuration is the acceptance target: at n = 10⁴,
+//! rank-only (`payload_len = 0`, k = 4), the reworked stack must be
+//! ≥ 1.5× the pre-rework stack on both the ring and the complete graph.
+//! The two stacks differ only in what this PR reworked — loop structure
+//! (per-round `Vec` + `HashSet` allocation, delivery-time hash dedup,
+//! O(n) completion sweep, always-on observer plumbing) and outbox wire
+//! format (`Packet` unpack/repack vs packed rows) — every shared layer
+//! (fields, graph, RNG, elimination) is identical, and the asserted
+//! stats equality proves the rework changed no simulation result. The
+//! ring window is warm-started so the timed rounds exercise the
+//! message-bearing regime, not a cold mostly-idle ring.
+//!
+//! Usage: `cargo run --release -p ag-bench --bin bench_engine_scale`
+//! (optionally `AG_BENCH_ENGINE_REPS=r`, `AG_BENCH_ENGINE_N=n`,
+//! `AG_BENCH_ENGINE_BIG_N=n` to resize).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ag_bench::experiments::stopping_time::{fit_slope, sweep_family, SweepFamily, SWEEP_K};
+use ag_gf::Gf256;
+use ag_sim::reference::ReferenceEngine;
+use ag_sim::{Engine, EngineConfig, RunStats, TimeModel};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, PacketAlgebraicGossip};
+
+const SEED: u64 = 0x5CA1_E0;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+struct LoopMeasurement {
+    family: &'static str,
+    n: usize,
+    warm_rounds: u64,
+    rounds_run: u64,
+    ref_ms: f64,
+    fast_ms: f64,
+    speedup: f64,
+}
+
+/// Times `reps` runs of the same seeded, warm-started protocol state
+/// through both stacks under a fixed round budget and checks the results
+/// are bit-identical. The pre-rework stack is `ReferenceEngine` driving
+/// `PacketAlgebraicGossip`; the reworked stack is `Engine::run_batch`
+/// driving packed-row `AlgebraicGossip` — same seeds, same coefficients,
+/// same eliminations.
+fn time_loop(
+    family: SweepFamily,
+    label: &'static str,
+    n: usize,
+    warm_rounds: u64,
+    budget: u64,
+    reps: usize,
+) -> LoopMeasurement {
+    let graph = family.build(n, SEED);
+    // payload_len = 0: rank-only.
+    let cfg = AgConfig::new(SWEEP_K);
+    // Warm start: advance the protocol so the timed window measures the
+    // message-bearing regime (and, as a side effect, faults in the field
+    // tables and allocator ahead of the timers).
+    let mut warm = AlgebraicGossip::<Gf256>::new(&graph, &cfg, SEED).expect("protocol");
+    if warm_rounds > 0 {
+        let wcfg = EngineConfig::synchronous(SEED ^ 0xAA).with_max_rounds(warm_rounds);
+        let _ = Engine::new(wcfg).run_batch(&mut warm);
+    }
+    let ecfg = EngineConfig::synchronous(SEED ^ 0xE).with_max_rounds(budget);
+    // One untimed run per stack (icache, branch predictors).
+    let _ = ReferenceEngine::new(ecfg).run(&mut PacketAlgebraicGossip(warm.clone()));
+    let _ = Engine::new(ecfg).run_batch(&mut warm.clone());
+
+    let mut ref_best = f64::INFINITY;
+    let mut fast_best = f64::INFINITY;
+    let mut ref_stats: Option<RunStats> = None;
+    let mut fast_stats: Option<RunStats> = None;
+    for _ in 0..reps {
+        let mut proto = PacketAlgebraicGossip(warm.clone());
+        let t = Instant::now();
+        let stats = ReferenceEngine::new(ecfg).run(&mut proto);
+        ref_best = ref_best.min(t.elapsed().as_secs_f64());
+        ref_stats = Some(stats);
+
+        let mut proto = warm.clone();
+        let t = Instant::now();
+        let stats = Engine::new(ecfg).run_batch(&mut proto);
+        fast_best = fast_best.min(t.elapsed().as_secs_f64());
+        fast_stats = Some(stats);
+    }
+    let ref_stats = ref_stats.expect("reference ran");
+    let fast_stats = fast_stats.expect("fast ran");
+    assert_eq!(
+        ref_stats, fast_stats,
+        "{label}: reworked and pre-rework stacks diverged at n = {n}"
+    );
+    LoopMeasurement {
+        family: label,
+        n,
+        warm_rounds,
+        rounds_run: fast_stats.rounds,
+        ref_ms: ref_best * 1e3,
+        fast_ms: fast_best * 1e3,
+        speedup: ref_best / fast_best,
+    }
+}
+
+struct LargeRun {
+    n: usize,
+    rounds: u64,
+    timeslots: u64,
+    seconds: f64,
+}
+
+/// The ≥10⁵-node acceptance run: rank-only uniform AG on a random
+/// 3-regular expander, driven to completion by the fast loop.
+fn large_run(big_n: usize) -> LargeRun {
+    let graph = SweepFamily::RandomRegular.build(big_n, SEED ^ 0xB16);
+    let cfg = AgConfig::new(SWEEP_K);
+    let mut proto = AlgebraicGossip::<Gf256>::new(&graph, &cfg, SEED).expect("protocol");
+    let t = Instant::now();
+    let stats = Engine::new(EngineConfig::synchronous(SEED).with_max_rounds(1_000_000))
+        .run_batch(&mut proto);
+    let seconds = t.elapsed().as_secs_f64();
+    assert!(stats.completed, "10^5-node run must complete");
+    assert_eq!(
+        proto.total_rank(),
+        graph.n() * SWEEP_K,
+        "every node must reach full rank"
+    );
+    LargeRun {
+        n: graph.n(),
+        rounds: stats.rounds,
+        timeslots: stats.timeslots,
+        seconds,
+    }
+}
+
+struct SlopeRecord {
+    family: SweepFamily,
+    ns: Vec<usize>,
+    medians: Vec<f64>,
+    slope: f64,
+    r_squared: f64,
+}
+
+fn bench_ladder(family: SweepFamily) -> Vec<usize> {
+    match family {
+        // The implicit K_n representation makes 10⁵ nodes free to build.
+        SweepFamily::Complete => vec![1024, 4096, 16_384, 65_536, 100_000],
+        SweepFamily::Ring => vec![256, 512, 1024, 2048],
+        SweepFamily::Grid => vec![256, 1024, 4096, 16_384],
+        SweepFamily::RandomRegular => vec![1024, 4096, 16_384, 65_536],
+        SweepFamily::Barbell => vec![24, 48, 64, 96],
+    }
+}
+
+fn main() {
+    let reps = env_usize("AG_BENCH_ENGINE_REPS", 3);
+    let n_headline = env_usize("AG_BENCH_ENGINE_N", 10_000);
+    let big_n = env_usize("AG_BENCH_ENGINE_BIG_N", 100_000);
+
+    // --- Headline: fast vs reference loop at n = 10^4, rank-only. -------
+    eprintln!("timing loops at n = {n_headline} (reps = {reps})…");
+    let ring = time_loop(SweepFamily::Ring, "ring", n_headline, 2_500, 256, reps);
+    let complete = time_loop(SweepFamily::Complete, "complete", n_headline, 2, 24, reps);
+    for m in [&ring, &complete] {
+        eprintln!(
+            "{} n={}: pre-rework {:.1} ms, reworked {:.1} ms over {} rounds (warm {}) — {:.2}x",
+            m.family, m.n, m.ref_ms, m.fast_ms, m.rounds_run, m.warm_rounds, m.speedup
+        );
+    }
+    let met = ring.speedup >= 1.5 && complete.speedup >= 1.5;
+
+    // --- The >= 10^5-node completion run. -------------------------------
+    eprintln!("running rank-only AG to completion at n = {big_n}…");
+    let big = large_run(big_n);
+    eprintln!(
+        "random 3-regular n={}: completed in {} rounds ({} slots) in {:.1} s",
+        big.n, big.rounds, big.timeslots, big.seconds
+    );
+
+    // --- Bench-scale stopping-time sweeps with slope fits. --------------
+    let mut slopes = Vec::new();
+    for family in SweepFamily::ALL {
+        let ns = bench_ladder(family);
+        eprintln!("sweeping {} over {ns:?}…", family.label());
+        let points = sweep_family(family, &ns, 1, TimeModel::Synchronous, 0xF8);
+        let fit = fit_slope(&points);
+        eprintln!("  slope {:.3} (R² {:.3})", fit.slope, fit.r_squared);
+        slopes.push(SlopeRecord {
+            family,
+            ns: points.iter().map(|p| p.n).collect(),
+            medians: points.iter().map(|p| p.median_rounds).collect(),
+            slope: fit.slope,
+            r_squared: fit.r_squared,
+        });
+    }
+
+    // --- JSON. ----------------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"engine_scale\",\n");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"k\": {SWEEP_K}, \"payload_len\": 0, \"n\": {n_headline}, \
+         \"requirement\": \">= 1.5x on ring and complete\", \"met\": {met},"
+    );
+    for (m, trailer) in [(&ring, ","), (&complete, "},")] {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"warm_rounds\": {}, \"rounds\": {}, \"pre_rework_ms\": {:.2}, \
+             \"reworked_ms\": {:.2}, \"speedup\": {:.3}}}{}",
+            m.family, m.warm_rounds, m.rounds_run, m.ref_ms, m.fast_ms, m.speedup, trailer
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"large_run\": {{\"family\": \"random 3-regular\", \"n\": {}, \"k\": {SWEEP_K}, \
+         \"payload_len\": 0, \"completed\": true, \"rounds\": {}, \"timeslots\": {}, \
+         \"seconds\": {:.2}}},",
+        big.n, big.rounds, big.timeslots, big.seconds
+    );
+    json.push_str("  \"stopping_time_slopes\": [\n");
+    for (i, s) in slopes.iter().enumerate() {
+        let k_desc = match s.family {
+            SweepFamily::Barbell => "n".to_string(),
+            _ => SWEEP_K.to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"family\": \"{}\", \"k\": \"{}\", \"time_model\": \"synchronous\", \
+             \"ns\": {:?}, \"median_rounds\": {:?}, \"slope\": {:.3}, \"r_squared\": {:.3}, \
+             \"tight_exponent\": {:.1}, \"delta_n_bound_exponent\": {:.1}}}{}",
+            s.family.label(),
+            k_desc,
+            s.ns,
+            s.medians,
+            s.slope,
+            s.r_squared,
+            s.family.tight_exponent(),
+            s.family.delta_n_exponent(),
+            if i + 1 < slopes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"deterministic_match\": true\n}\n");
+
+    std::fs::write("BENCH_engine_scale.json", &json).expect("write BENCH_engine_scale.json");
+    print!("{json}");
+
+    // Sanity on the measured physics, then the acceptance criterion.
+    let slope_of = |f: SweepFamily| slopes.iter().find(|s| s.family == f).expect("swept").slope;
+    assert!(
+        slope_of(SweepFamily::Ring) > 0.8,
+        "ring must scale ~linearly"
+    );
+    assert!(
+        slope_of(SweepFamily::Barbell) > 1.5,
+        "barbell must show its quadratic regime"
+    );
+    assert!(
+        slope_of(SweepFamily::RandomRegular) < 0.35,
+        "expander must stay polylog"
+    );
+    assert!(
+        met,
+        "engine-scale speedup below 1.5x: ring {:.2}x, complete {:.2}x",
+        ring.speedup, complete.speedup
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment [stopping_time] — the F8 scaling suite.
+//! Usage: `cargo run --release -p ag-bench --bin fig_stopping_time` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes). CI runs this at
+//! quick scale as the suite's smoke test.
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::stopping_time::run(Scale::from_env()).print();
+}

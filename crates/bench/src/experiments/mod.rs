@@ -6,5 +6,6 @@ pub mod brr_fig;
 pub mod progress_fig;
 pub mod queue_fig;
 pub mod scaling_fig;
+pub mod stopping_time;
 pub mod table1;
 pub mod table2;

@@ -27,6 +27,7 @@ pub fn all_reports(scale: Scale) -> Vec<ExperimentReport> {
         experiments::scaling_fig::run(scale),
         experiments::barbell_fig::run(scale),
         experiments::progress_fig::run(scale),
+        experiments::stopping_time::run(scale),
         experiments::ablation::run(scale),
     ]
 }

@@ -2,7 +2,7 @@
 
 use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId};
-use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use ag_rlnc::{Decoder, Generation, Recoder};
 use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector, Protocol};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -236,7 +236,13 @@ impl<F: SlabField> AlgebraicGossip<F> {
 }
 
 impl<F: SlabField> Protocol for AlgebraicGossip<F> {
-    type Msg = Packet<F>;
+    /// Messages travel as packed augmented rows (the
+    /// [`ag_rlnc::Recoder::emit_packed_row`] wire format): identical
+    /// coefficients and elimination as [`ag_rlnc::Packet`]s, but a rank-only
+    /// contact costs one allocation end to end instead of an
+    /// unpack/repack round trip — the difference that lets the
+    /// stopping-time sweeps run 10⁵-node graphs.
+    type Msg = Vec<u8>;
 
     fn num_nodes(&self) -> usize {
         self.graph.n()
@@ -251,21 +257,72 @@ impl<F: SlabField> Protocol for AlgebraicGossip<F> {
         })
     }
 
-    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<Packet<F>> {
+    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<Vec<u8>> {
         let recoder = Recoder::new(&self.decoders[from]);
         if self.coding_density < 1.0 {
-            recoder.emit_sparse(self.coding_density, rng)
+            recoder.emit_sparse_packed_row(self.coding_density, rng)
+        } else {
+            recoder.emit_packed_row(rng)
+        }
+    }
+
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: Vec<u8>) {
+        let _ = self.decoders[to].receive_packed_row(msg);
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        self.decoders[node].is_complete()
+    }
+}
+
+/// The pre-rework message path of [`AlgebraicGossip`], frozen for the
+/// `bench_engine_scale` comparison: contacts move [`Packet`]s that are
+/// unpacked on emit and repacked on receive, exactly as the protocol did
+/// before the engine rework switched its wire format to packed rows.
+///
+/// Same seeds draw the same coefficients and run the same eliminations, so
+/// a run of this protocol under `ag_sim::reference::ReferenceEngine` must
+/// produce [`ag_sim::RunStats`] bit-identical to [`AlgebraicGossip`] under
+/// the fast `ag_sim::Engine` — the scale bench asserts exactly that while
+/// timing the two stacks. Like `ag_sim::reference`, do not "optimize"
+/// this: its value is paying the pre-rework per-message conversion costs.
+///
+/// [`Packet`]: ag_rlnc::Packet
+#[derive(Debug, Clone)]
+pub struct PacketAlgebraicGossip<F: SlabField>(pub AlgebraicGossip<F>);
+
+impl<F: SlabField> Protocol for PacketAlgebraicGossip<F> {
+    type Msg = ag_rlnc::Packet<F>;
+
+    fn num_nodes(&self) -> usize {
+        self.0.graph.n()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+        self.0.on_wakeup(node, rng)
+    }
+
+    fn compose(
+        &self,
+        from: NodeId,
+        _to: NodeId,
+        _tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<ag_rlnc::Packet<F>> {
+        let recoder = Recoder::new(&self.0.decoders[from]);
+        if self.0.coding_density < 1.0 {
+            recoder.emit_sparse(self.0.coding_density, rng)
         } else {
             recoder.emit(rng)
         }
     }
 
-    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: Packet<F>) {
-        let _ = self.decoders[to].receive(msg);
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: ag_rlnc::Packet<F>) {
+        let _ = self.0.decoders[to].receive(msg);
     }
 
     fn node_complete(&self, node: NodeId) -> bool {
-        self.decoders[node].is_complete()
+        self.0.decoders[node].is_complete()
     }
 }
 

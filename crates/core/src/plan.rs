@@ -239,7 +239,6 @@ impl TrialSet {
 mod tests {
     use super::*;
     use crate::runner::ProtocolKind;
-    use crate::seeding::splitmix64;
     use ag_gf::Gf256;
     use ag_graph::builders;
     use std::collections::HashSet;

@@ -2,7 +2,10 @@
 //!
 //! The bench harness, the examples and the integration tests all drive the
 //! protocols through this module so that every experiment applies identical
-//! seeding, verification and accounting rules.
+//! seeding, verification and accounting rules. Runs go through
+//! [`Engine::run_batch`] — the observer-free hot path — since nothing at
+//! this level asks for per-round traces; figures that do trace rank growth
+//! call [`Engine::run_observed`] on a protocol directly.
 
 use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
@@ -100,14 +103,14 @@ pub fn run_protocol<F: SlabField>(
         ProtocolKind::UniformAg => {
             let cfg = spec.ag.clone().with_comm_model(CommModel::Uniform);
             let mut proto = AlgebraicGossip::<F>::new(graph, &cfg, spec.seed)?;
-            let stats = engine.run(&mut proto);
+            let stats = engine.run_batch(&mut proto);
             let ok = verify_ag(&proto, &stats);
             Ok((stats, ok))
         }
         ProtocolKind::RoundRobinAg => {
             let cfg = spec.ag.clone().with_comm_model(CommModel::RoundRobin);
             let mut proto = AlgebraicGossip::<F>::new(graph, &cfg, spec.seed)?;
-            let stats = engine.run(&mut proto);
+            let stats = engine.run_batch(&mut proto);
             let ok = verify_ag(&proto, &stats);
             Ok((stats, ok))
         }
@@ -129,7 +132,7 @@ pub fn run_protocol<F: SlabField>(
         }
         ProtocolKind::UncodedRandom => {
             let mut proto = RandomMessageGossip::<F>::new(graph, &spec.ag, spec.seed)?;
-            let stats = engine.run(&mut proto);
+            let stats = engine.run_batch(&mut proto);
             let ok = if stats.completed {
                 for v in 0..graph.n() {
                     let held = proto.messages_of(v);
@@ -159,7 +162,7 @@ fn run_tag<F: SlabField, S: TreeProtocol>(
     engine: &mut Engine,
 ) -> Result<(RunStats, bool), GraphError> {
     let mut proto = Tag::<F, S>::new(graph, tree, &spec.ag, spec.seed)?;
-    let stats = engine.run(&mut proto);
+    let stats = engine.run_batch(&mut proto);
     let ok = if stats.completed {
         let want = proto.generation().messages();
         for v in 0..graph.n() {
@@ -198,7 +201,7 @@ pub fn measure_tree_protocol<S: TreeProtocol>(
     engine_cfg: EngineConfig,
 ) -> (RunStats, Option<SpanningTree>) {
     let mut runner = TreeRunner::new(tree);
-    let stats = Engine::new(engine_cfg).run(&mut runner);
+    let stats = Engine::new(engine_cfg).run_batch(&mut runner);
     let tree = if stats.completed {
         Some(
             runner

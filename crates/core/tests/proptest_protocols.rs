@@ -101,7 +101,7 @@ proptest! {
             .with_max_rounds(1_000_000);
         let (stats, ok) = run_protocol::<Gf256>(&g, &spec).unwrap();
         prop_assert!(stats.completed && ok, "loss {loss} broke the run");
-        prop_assert!(stats.messages_dropped > 0);
+        prop_assert!(stats.lost > 0);
     }
 
     /// The asynchronous model is never *slower in timeslots* than

@@ -5,7 +5,7 @@
 //! empty and odd-length slices (lengths are drawn from `0..67`, which covers
 //! both sides of the 8-byte XOR chunking boundary).
 
-use ag_gf::{Field, Gf16, Gf2, Gf256, Gf65536, SlabField, F257};
+use ag_gf::{Gf16, Gf2, Gf256, Gf65536, SlabField, F257};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

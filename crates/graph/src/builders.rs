@@ -41,17 +41,15 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
 ///
 /// Uniform algebraic gossip on `K_n` is the setting of Deb et al.
 ///
+/// Uses [`Graph::complete`], the implicit O(1)-memory representation —
+/// the stopping-time sweeps instantiate `K_n` up to `n = 10⁵`, where a
+/// materialized adjacency (~10¹⁰ entries) could not exist.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidSize`] for `n == 0`.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
-    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            edges.push((u, v));
-        }
-    }
-    Graph::from_edges(n, &edges)
+    Graph::complete(n)
 }
 
 /// The `rows × cols` grid: constant `Δ = 4`, diameter `rows + cols − 2`.

@@ -39,12 +39,71 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
+/// Iterator over a node's sorted neighbor list (see [`Graph::neighbors`]).
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: NeighborsInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum NeighborsInner<'a> {
+    Csr(std::slice::Iter<'a, NodeId>),
+    Complete {
+        next: NodeId,
+        skip: NodeId,
+        n: usize,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.inner {
+            NeighborsInner::Csr(it) => it.next().copied(),
+            NeighborsInner::Complete { next, skip, n } => {
+                if next == skip {
+                    *next += 1;
+                }
+                if *next >= *n {
+                    return None;
+                }
+                let v = *next;
+                *next += 1;
+                Some(v)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            NeighborsInner::Csr(it) => it.size_hint(),
+            NeighborsInner::Complete { next, skip, n } => {
+                let remaining = (n - next.min(n)).saturating_sub(usize::from(next <= skip));
+                (remaining, Some(remaining))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
 /// A simple undirected graph `G_n = (V, E)` with sorted adjacency lists.
 ///
 /// Invariants (enforced at construction): no self-loops, no parallel edges,
 /// neighbor lists sorted ascending. Gossip protocols rely on the sorted
 /// order for deterministic round-robin neighbor cycling (Definition 2 of
 /// the paper: "a fixed, cyclic list of the node's neighbors").
+///
+/// Storage is CSR (compressed sparse row): one flat target array plus
+/// per-node offsets. [`Graph::neighbor_at`] — the innermost call of every
+/// partner selection, at `n` calls per synchronous round — is a single
+/// bounds-checked load from contiguous memory instead of a pointer chase
+/// through per-node heap `Vec`s. The complete graph additionally has an
+/// *implicit* representation ([`Graph::complete`]): `N(v)` is computed
+/// arithmetically, so `K_n` costs O(1) memory at any `n` and a uniform
+/// partner pick touches no adjacency memory at all — without it, `K_n` at
+/// n = 10⁵ would need an ~80 GB target array.
 ///
 /// # Examples
 ///
@@ -53,14 +112,48 @@ impl Error for GraphError {}
 ///
 /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
 /// assert_eq!(g.degree(1), 2);
-/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+/// assert_eq!(g.neighbor_at(1, 1), 2);
 /// assert_eq!(g.num_edges(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    repr: Repr,
     num_edges: usize,
 }
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// CSR: `targets[offsets[v]..offsets[v + 1]]` is the sorted `N(v)`.
+    Csr {
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+    },
+    /// The complete graph `K_n`, with arithmetic adjacency.
+    Complete { n: usize },
+}
+
+/// Equality is *semantic* — same node count and same edge set — not
+/// representational: a CSR-built `K_n` equals the implicit
+/// [`Graph::complete`] `K_n`. (A simple graph on `n` nodes with
+/// `n·(n−1)/2` edges is necessarily complete, so the cross-representation
+/// case is O(1).)
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Csr { .. }, Repr::Csr { .. })
+            | (Repr::Complete { .. }, Repr::Complete { .. }) => self.repr == other.repr,
+            _ => {
+                self.n() == other.n() && {
+                    let n = self.n();
+                    self.num_edges == n * (n - 1) / 2 && other.num_edges == self.num_edges
+                }
+            }
+        }
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds a graph on `n` nodes from an undirected edge list.
@@ -100,16 +193,96 @@ impl Graph {
                 return Err(GraphError::DuplicateEdge(u, dup));
             }
         }
+        Ok(Self::from_validated_lists(adj, edges.len()))
+    }
+
+    /// Flattens validated sorted adjacency lists into the CSR layout.
+    fn from_validated_lists(adj: Vec<Vec<NodeId>>, num_edges: usize) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        for list in adj {
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len());
+        }
+        Graph {
+            repr: Repr::Csr { offsets, targets },
+            num_edges,
+        }
+    }
+
+    /// The complete graph `K_n` in the implicit O(1)-memory representation:
+    /// adjacency is computed arithmetically (`N(v) = {0..n} \ {v}`, sorted),
+    /// so `K_n` is cheap at any `n` and partner picks touch no memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] for `n == 0`.
+    pub fn complete(n: usize) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::InvalidSize(
+                "graph needs at least 1 node".into(),
+            ));
+        }
         Ok(Graph {
-            adj,
-            num_edges: edges.len(),
+            repr: Repr::Complete { n },
+            num_edges: n * (n - 1) / 2,
         })
+    }
+
+    /// Builds a graph directly from per-node adjacency lists, skipping the
+    /// intermediate edge list — the constructor for dense families at
+    /// scale (a complete graph on 10⁴ nodes has ~5·10⁷ edges; materializing
+    /// them as an edge list doubles peak memory and construction time).
+    ///
+    /// The same invariants as [`Graph::from_edges`] are enforced, in
+    /// O(n + m + m·log Δ): every list must be strictly ascending (sorted,
+    /// no duplicates), contain no self-reference, stay in range, and be
+    /// symmetric (`v ∈ adj[u] ⇔ u ∈ adj[v]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on a violated invariant, mapped onto the
+    /// same variants `from_edges` uses (`DuplicateEdge` doubles as the
+    /// unsorted/asymmetric report, naming the offending pair).
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self, GraphError> {
+        let n = adj.len();
+        if n == 0 {
+            return Err(GraphError::InvalidSize(
+                "graph needs at least 1 node".into(),
+            ));
+        }
+        let mut degree_sum = 0usize;
+        for (u, list) in adj.iter().enumerate() {
+            degree_sum += list.len();
+            for (i, &v) in list.iter().enumerate() {
+                if v >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if v == u {
+                    return Err(GraphError::SelfLoop(u));
+                }
+                if i > 0 && list[i - 1] >= v {
+                    return Err(GraphError::DuplicateEdge(u, v));
+                }
+                // Symmetry: the mirror entry must exist.
+                if adj[v].binary_search(&u).is_err() {
+                    return Err(GraphError::DuplicateEdge(u.min(v), u.max(v)));
+                }
+            }
+        }
+        let num_edges = degree_sum / 2;
+        Ok(Self::from_validated_lists(adj, num_edges))
     }
 
     /// Number of nodes `n`.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.adj.len()
+        match &self.repr {
+            Repr::Csr { offsets, .. } => offsets.len() - 1,
+            Repr::Complete { n } => *n,
+        }
     }
 
     /// Number of undirected edges `|E|`.
@@ -118,14 +291,58 @@ impl Graph {
         self.num_edges
     }
 
-    /// The sorted neighbor list `N(v)`.
+    /// Iterates the sorted neighbor list `N(v)`.
+    ///
+    /// The representation is dispatched once: CSR yields a plain slice
+    /// walk, the implicit complete graph counts `0..n` skipping `v` — so
+    /// whole-adjacency traversals (BFS, [`Graph::edges`]) pay no
+    /// per-element dispatch.
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let inner = match &self.repr {
+            Repr::Csr { offsets, targets } => {
+                NeighborsInner::Csr(targets[offsets[v]..offsets[v + 1]].iter())
+            }
+            Repr::Complete { n } => {
+                assert!(v < *n, "node out of range");
+                NeighborsInner::Complete {
+                    next: 0,
+                    skip: v,
+                    n: *n,
+                }
+            }
+        };
+        Neighbors { inner }
+    }
+
+    /// The `i`-th (0-based) neighbor of `v` in sorted order — the O(1)
+    /// primitive partner selection is built on. Implicit `K_n` resolves it
+    /// arithmetically; CSR with one contiguous load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `i >= degree(v)`.
     #[must_use]
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v]
+    pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
+        match &self.repr {
+            Repr::Csr { offsets, targets } => {
+                let (start, end) = (offsets[v], offsets[v + 1]);
+                assert!(i < end - start, "neighbor index out of range");
+                targets[start + i]
+            }
+            Repr::Complete { n } => {
+                assert!(v < *n && i < *n - 1, "neighbor index out of range");
+                // N(v) sorted is 0..v then v+1..n.
+                if i < v {
+                    i
+                } else {
+                    i + 1
+                }
+            }
+        }
     }
 
     /// The degree `d_v = |N(v)|`.
@@ -135,33 +352,54 @@ impl Graph {
     /// Panics if `v >= n`.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        match &self.repr {
+            Repr::Csr { offsets, .. } => offsets[v + 1] - offsets[v],
+            Repr::Complete { n } => {
+                assert!(v < *n, "node out of range");
+                *n - 1
+            }
+        }
     }
 
     /// The maximum degree `Δ`.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        match &self.repr {
+            Repr::Csr { .. } => (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0),
+            Repr::Complete { n } => *n - 1,
+        }
     }
 
     /// The minimum degree.
     #[must_use]
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        match &self.repr {
+            Repr::Csr { .. } => (0..self.n()).map(|v| self.degree(v)).min().unwrap_or(0),
+            Repr::Complete { n } => *n - 1,
+        }
     }
 
     /// True when `(u, v)` is an edge.
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u < self.n() && self.adj[u].binary_search(&v).is_ok()
+        match &self.repr {
+            Repr::Csr { offsets, targets } => {
+                u < self.n()
+                    && targets[offsets[u]..offsets[u + 1]]
+                        .binary_search(&v)
+                        .is_ok()
+            }
+            Repr::Complete { n } => u < *n && v < *n && u != v,
+        }
     }
 
     /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// All node ids `0..n`.
@@ -179,8 +417,8 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]).unwrap();
         assert_eq!(g.n(), 4);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(g.neighbors(0), &[1, 3]);
-        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
         assert!(g.has_edge(1, 2));
         assert!(g.has_edge(2, 1));
         assert!(!g.has_edge(0, 2));
@@ -192,6 +430,95 @@ mod tests {
             Graph::from_edges(0, &[]),
             Err(GraphError::InvalidSize(_))
         ));
+    }
+
+    #[test]
+    fn equality_is_semantic_across_representations() {
+        // An edge-built K_4 (CSR) equals the implicit K_4.
+        let mut edges = Vec::new();
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        let csr = Graph::from_edges(4, &edges).unwrap();
+        let implicit = Graph::complete(4).unwrap();
+        assert_eq!(csr, implicit);
+        assert_eq!(implicit, csr);
+        // …but a K_4 is not a K_5, and not a path.
+        assert_ne!(implicit, Graph::complete(5).unwrap());
+        assert_ne!(
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            implicit
+        );
+    }
+
+    #[test]
+    fn implicit_complete_matches_csr_adjacency() {
+        let implicit = Graph::complete(6).unwrap();
+        let mut edges = Vec::new();
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let csr = Graph::from_edges(6, &edges).unwrap();
+        assert_eq!(implicit.num_edges(), 15);
+        for v in 0..6 {
+            assert_eq!(implicit.degree(v), 5);
+            let imp: Vec<_> = implicit.neighbors(v).collect();
+            let exp: Vec<_> = csr.neighbors(v).collect();
+            assert_eq!(imp, exp, "N({v}) diverged");
+            assert_eq!(implicit.neighbors(v).len(), 5);
+            for (i, &u) in exp.iter().enumerate() {
+                assert_eq!(implicit.neighbor_at(v, i), u);
+            }
+        }
+        assert_eq!(
+            implicit.edges().collect::<Vec<_>>(),
+            csr.edges().collect::<Vec<_>>()
+        );
+        assert!(implicit.has_edge(0, 5) && !implicit.has_edge(3, 3));
+        assert!(implicit.is_connected());
+        assert_eq!(implicit.diameter(), 1);
+    }
+
+    #[test]
+    fn from_adjacency_matches_from_edges() {
+        let edges = [(0, 1), (2, 1), (3, 0), (2, 3)];
+        let via_edges = Graph::from_edges(4, &edges).unwrap();
+        let via_adj =
+            Graph::from_adjacency(vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![0, 2]]).unwrap();
+        assert_eq!(via_edges, via_adj);
+        assert_eq!(via_adj.num_edges(), 4);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_invariant_violations() {
+        // Empty.
+        assert!(matches!(
+            Graph::from_adjacency(vec![]),
+            Err(GraphError::InvalidSize(_))
+        ));
+        // Out of range.
+        assert_eq!(
+            Graph::from_adjacency(vec![vec![2], vec![0]]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+        // Self-loop.
+        assert_eq!(
+            Graph::from_adjacency(vec![vec![0, 1], vec![0]]),
+            Err(GraphError::SelfLoop(0))
+        );
+        // Unsorted list.
+        assert!(Graph::from_adjacency(vec![vec![2, 1], vec![0], vec![0]]).is_err());
+        // Duplicate entry.
+        assert!(Graph::from_adjacency(vec![vec![1, 1], vec![0]]).is_err());
+        // Asymmetric: 0 lists 1, but 1 does not list 0.
+        assert_eq!(
+            Graph::from_adjacency(vec![vec![1], vec![]]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod metrics;
 mod traversal;
 mod tree;
 
-pub use graph::{Graph, GraphError, NodeId};
+pub use graph::{Graph, GraphError, Neighbors, NodeId};
 pub use traversal::BfsResult;
 pub use tree::{SpanningTree, TreeError};

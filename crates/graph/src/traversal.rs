@@ -107,7 +107,7 @@ impl Graph {
         while let Some(u) = queue.pop_front() {
             order.push(u);
             let du = dist[u].expect("queued nodes have distances");
-            for &v in self.neighbors(u) {
+            for v in self.neighbors(u) {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
                     parent[v] = Some(u);

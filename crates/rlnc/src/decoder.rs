@@ -249,6 +249,36 @@ impl<F: SlabField> Decoder<F> {
         Ok(outcome)
     }
 
+    /// Delivers an already-packed augmented row (the output of
+    /// [`crate::Recoder::emit_packed_row`]) with zero format conversion —
+    /// the simulation hot path. Elimination, rank growth and the
+    /// innovative/redundant counters behave exactly as
+    /// [`Decoder::receive`] on the equivalent [`Packet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's byte length does not match this decoder's
+    /// `(k + r) · SYMBOL_BYTES` shape.
+    pub fn receive_packed_row(&mut self, row: Vec<u8>) -> Reception {
+        let expected = (self.k + self.payload_len) * F::SYMBOL_BYTES;
+        assert_eq!(
+            row.len(),
+            expected,
+            "packed row length mismatch: got {}, decoder expects {expected}",
+            row.len()
+        );
+        let outcome: Reception = self
+            .basis
+            .try_insert_packed(row)
+            .expect("shape-checked row is valid for the basis")
+            .into();
+        match outcome {
+            Reception::Innovative => self.innovative_count += 1,
+            Reception::Redundant => self.redundant_count += 1,
+        }
+        outcome
+    }
+
     /// Would this packet be helpful, without consuming it?
     #[must_use]
     pub fn would_help(&self, packet: &Packet<F>) -> bool {

@@ -53,6 +53,18 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// slab axpy per stored equation.
     #[must_use]
     pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Packet<F>> {
+        self.emit_packed_row(rng)
+            .map(|acc| Packet::from_packed_row(&acc, self.decoder.k()))
+    }
+
+    /// Like [`Recoder::emit`] but returning the packed augmented row
+    /// directly — the wire format of the simulation hot path. Skipping the
+    /// unpack-to-[`Packet`]/repack round trip (and its allocations) is
+    /// what lets a rank-only contact cost one allocation end to end; feed
+    /// the row to [`Decoder::receive_packed_row`]. Draws the same
+    /// coefficients as [`Recoder::emit`] under the same RNG state.
+    #[must_use]
+    pub fn emit_packed_row<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<u8>> {
         let basis = self.decoder.basis();
         if basis.rank() == 0 {
             return None;
@@ -65,7 +77,7 @@ impl<'a, F: SlabField> Recoder<'a, F> {
             }
             F::mul_add_slice(c, row, &mut acc);
         }
-        Some(Packet::from_packed_row(&acc, self.decoder.k()))
+        Some(acc)
     }
 
     /// Emits a *sparse* coded packet: each stored row participates with
@@ -85,6 +97,22 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// Panics if `density` is not in `(0, 1]`.
     #[must_use]
     pub fn emit_sparse<R: Rng + ?Sized>(&self, density: f64, rng: &mut R) -> Option<Packet<F>> {
+        self.emit_sparse_packed_row(density, rng)
+            .map(|acc| Packet::from_packed_row(&acc, self.decoder.k()))
+    }
+
+    /// Packed-row counterpart of [`Recoder::emit_sparse`] (see
+    /// [`Recoder::emit_packed_row`] for why the hot path wants rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
+    pub fn emit_sparse_packed_row<R: Rng + ?Sized>(
+        &self,
+        density: f64,
+        rng: &mut R,
+    ) -> Option<Vec<u8>> {
         assert!(
             density > 0.0 && density <= 1.0,
             "coding density must be in (0, 1]"
@@ -108,7 +136,7 @@ impl<'a, F: SlabField> Recoder<'a, F> {
             let row = basis.packed_row(rng.gen_range(0..basis.rank()));
             acc.copy_from_slice(row);
         }
-        Some(Packet::from_packed_row(&acc, self.decoder.k()))
+        Some(acc)
     }
 
     /// Emits a packet guaranteed to be *helpful to `target`* whenever the

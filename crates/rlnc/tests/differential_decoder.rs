@@ -18,10 +18,10 @@
 //! `PROPTEST_CASES=256` in CI for the elevated-coverage pass.
 
 use ag_gf::{Field, Gf16, Gf2, Gf256, SlabField};
-use ag_rlnc::{CodingError, Decoder, Generation, Packet, Reception, Recoder};
+use ag_rlnc::{CodingError, Decoder, Generation, Packet, Recoder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 mod reference {
     //! The scalar decoder: `ag_rlnc::Decoder` semantics on `ScalarBasis`.

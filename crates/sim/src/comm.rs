@@ -71,16 +71,16 @@ impl PartnerSelector {
 
     /// Picks the next partner for `v`, or `None` if `v` has no neighbors.
     pub fn next_partner(&mut self, graph: &Graph, v: NodeId, rng: &mut StdRng) -> Option<NodeId> {
-        let neigh = graph.neighbors(v);
-        if neigh.is_empty() {
+        let d = graph.degree(v);
+        if d == 0 {
             return None;
         }
         match self.model {
-            CommModel::Uniform => Some(neigh[rng.gen_range(0..neigh.len())]),
+            CommModel::Uniform => Some(graph.neighbor_at(v, rng.gen_range(0..d))),
             CommModel::RoundRobin => {
-                let idx = self.cursor[v] % neigh.len();
-                self.cursor[v] = (idx + 1) % neigh.len();
-                Some(neigh[idx])
+                let idx = self.cursor[v] % d;
+                self.cursor[v] = (idx + 1) % d;
+                Some(graph.neighbor_at(v, idx))
             }
         }
     }

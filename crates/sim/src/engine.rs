@@ -1,10 +1,19 @@
 //! The simulation engine: drives a [`Protocol`] under either time model.
+//!
+//! The round loop is built for large `n`: all per-round scratch (wakeup
+//! intents, the outbox, dedup state) lives in buffers reused across rounds,
+//! same-sender deduplication is resolved analytically from the intent table
+//! instead of hashing `(from, to)` pairs, and the completion sweep walks an
+//! explicit list of still-incomplete nodes rather than all `n` flags. The
+//! pre-refactor loop is preserved verbatim in [`crate::reference`] so
+//! differential tests and the `bench_engine_scale` binary can prove the
+//! fast loop computes bit-identical results, faster.
 
 use ag_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::Protocol;
+use crate::protocol::{ContactIntent, Protocol};
 use crate::stats::RunStats;
 
 /// The paper's two time models (Section 2).
@@ -104,15 +113,73 @@ impl EngineConfig {
     }
 }
 
+/// Per-round observation hook, monomorphized so the no-observer path
+/// compiles to nothing (no closure call, no round bookkeeping between
+/// asynchronous round boundaries).
+trait Observe<P: Protocol> {
+    /// Whether observations are wanted at all. `false` lets the loop skip
+    /// observation-only work entirely.
+    const ENABLED: bool;
+    fn observe(&mut self, round: u64, proto: &P);
+}
+
+/// The [`Engine::run_batch`] hot path: observations statically disabled.
+struct NoObserver;
+
+impl<P: Protocol> Observe<P> for NoObserver {
+    const ENABLED: bool = false;
+    #[inline]
+    fn observe(&mut self, _round: u64, _proto: &P) {}
+}
+
+/// Adapter for the `run_observed` closure.
+struct FnObserver<F>(F);
+
+impl<P: Protocol, F: FnMut(u64, &P)> Observe<P> for FnObserver<F> {
+    const ENABLED: bool = true;
+    #[inline]
+    fn observe(&mut self, round: u64, proto: &P) {
+        (self.0)(round, proto);
+    }
+}
+
+/// Reusable synchronous-round scratch: allocated once per run, reused by
+/// every round, so the steady-state loop performs no engine-side heap
+/// allocation (messages themselves are owned by the protocol).
+struct SyncScratch<M> {
+    /// Start-of-round contact intents, one slot per node.
+    intents: Vec<Option<ContactIntent>>,
+    /// Composed messages awaiting loss + delivery.
+    outbox: Vec<(NodeId, NodeId, u32, M)>,
+    /// `fwd_live[v]`: v's intent put its forward message into the outbox.
+    fwd_live: Vec<bool>,
+    /// `bwd_live[w]`: w's intent put its backward message into the outbox.
+    bwd_live: Vec<bool>,
+}
+
+impl<M> SyncScratch<M> {
+    fn new(n: usize) -> Self {
+        SyncScratch {
+            intents: Vec::with_capacity(n),
+            outbox: Vec::with_capacity(2 * n),
+            fwd_live: vec![false; n],
+            bwd_live: vec![false; n],
+        }
+    }
+}
+
 /// Drives a [`Protocol`] to completion (or budget exhaustion).
 ///
 /// The engine assumes node completion is *monotone* (once
 /// [`Protocol::node_complete`] returns true for a node it stays true) —
 /// which holds for every protocol in this workspace since decoder ranks and
-/// heard-sets only grow. Completion is re-checked once per node per
-/// synchronous round, and per contact participant per asynchronous slot
-/// (a node's status can change on receipt *or* on its own wakeup, e.g.
-/// under an oracle tree protocol).
+/// heard-sets only grow. Completion is re-checked once per still-incomplete
+/// node per synchronous round (every node wakes each round, so the set of
+/// nodes whose status may have changed — the "dirty" set — is exactly the
+/// incomplete set), and per contact participant per asynchronous slot (the
+/// two contact participants are the only dirty nodes of a slot: a node's
+/// status can change on receipt *or* on its own wakeup, e.g. under an
+/// oracle tree protocol).
 ///
 /// # Examples
 ///
@@ -157,18 +224,44 @@ impl Engine {
     }
 
     /// Runs the protocol to completion or budget; returns statistics.
+    ///
+    /// Equivalent to [`Engine::run_batch`] — same seed, same results.
     pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunStats {
-        self.run_observed(proto, |_, _: &P| {})
+        self.run_batch(proto)
+    }
+
+    /// The no-trace hot path: like [`Engine::run`] but named for what the
+    /// trial runner wants — large batches of runs where nobody asks for a
+    /// per-round trace. Observation support is compiled out entirely
+    /// (statically, via a disabled observer type), so the round loop pays
+    /// no closure call and, under the asynchronous model, skips the
+    /// round-boundary bookkeeping that only exists to feed observers.
+    ///
+    /// Produces bit-identical [`RunStats`] to [`Engine::run_observed`]
+    /// under the same seed: observers never touch engine randomness.
+    pub fn run_batch<P: Protocol>(&mut self, proto: &mut P) -> RunStats {
+        self.run_inner(proto, NoObserver)
     }
 
     /// Like [`Engine::run`] but invokes `observer(round, proto)` after
     /// every completed round (under both time models) — used to trace rank
     /// growth for the figures.
+    ///
+    /// Under the asynchronous model the observer also fires one final time
+    /// when a run completes *mid-round*, with the ceiling round number
+    /// (see [`RunStats::rounds`]), so the trace always ends with the
+    /// completed state — a run finishing at `m·n + j` timeslots
+    /// (`0 < j < n`) is observed at rounds `1, …, m, m+1`, not truncated
+    /// at `m`.
     pub fn run_observed<P: Protocol>(
         &mut self,
         proto: &mut P,
-        mut observer: impl FnMut(u64, &P),
+        observer: impl FnMut(u64, &P),
     ) -> RunStats {
+        self.run_inner(proto, FnObserver(observer))
+    }
+
+    fn run_inner<P: Protocol, O: Observe<P>>(&mut self, proto: &mut P, mut obs: O) -> RunStats {
         let n = proto.num_nodes();
         assert!(n > 0, "protocol must have at least one node");
         let mut stats = RunStats::new(n);
@@ -187,10 +280,16 @@ impl Engine {
         }
         match self.config.time_model {
             TimeModel::Synchronous => {
+                // The incomplete set as an explicit list: the per-round
+                // completion sweep touches only these nodes, not all n.
+                let mut pending: Vec<NodeId> = (0..n).filter(|&v| !complete[v]).collect();
+                let mut scratch = SyncScratch::new(n);
                 while stats.rounds < self.config.max_rounds {
-                    self.sync_round(proto, &mut stats, &mut complete, &mut incomplete);
-                    observer(stats.rounds, proto);
-                    if incomplete == 0 {
+                    self.sync_round(proto, &mut stats, &mut scratch, &mut pending);
+                    if O::ENABLED {
+                        obs.observe(stats.rounds, proto);
+                    }
+                    if pending.is_empty() {
                         stats.completed = true;
                         break;
                     }
@@ -200,18 +299,21 @@ impl Engine {
                 let max_slots = self.config.max_rounds.saturating_mul(n as u64);
                 while stats.timeslots < max_slots {
                     self.async_slot(proto, &mut stats, &mut complete, &mut incomplete, n);
-                    if stats.timeslots.is_multiple_of(n as u64) {
+                    if O::ENABLED && stats.timeslots.is_multiple_of(n as u64) {
                         stats.rounds = stats.timeslots / n as u64;
-                        observer(stats.rounds, proto);
+                        obs.observe(stats.rounds, proto);
                     }
                     if incomplete == 0 {
                         stats.completed = true;
-                        stats.rounds = stats.timeslots.div_ceil(n as u64);
                         break;
                     }
                 }
-                if !stats.completed {
-                    stats.rounds = stats.timeslots.div_ceil(n as u64);
+                // One rounds convention everywhere: ceil(timeslots / n).
+                stats.rounds = stats.timeslots.div_ceil(n as u64);
+                if O::ENABLED && stats.completed && !stats.timeslots.is_multiple_of(n as u64) {
+                    // The run completed mid-round; the round-boundary
+                    // observation above never saw the final state.
+                    obs.observe(stats.rounds, proto);
                 }
             }
         }
@@ -220,64 +322,111 @@ impl Engine {
 
     /// One synchronous round: wakeups → compose everything from pre-round
     /// state → dedup/loss → deliver.
+    ///
+    /// Same-sender dedup needs no hash set: within one round a pair
+    /// `(from, to)` can occur at most twice in the outbox — once as the
+    /// *forward* message of `from`'s own intent and once as the *backward*
+    /// message of `to`'s intent (each node files exactly one intent). The
+    /// outbox is filled in node order with forward before backward, so
+    /// "keep the first per pair" reduces to two O(1) lookups against the
+    /// intent table. Duplicates are dropped at compose time; `compose` is
+    /// still invoked for them so the RNG stream (and hence every seeded
+    /// trajectory) is identical to the reference loop, which composed
+    /// everything and deduplicated during delivery.
     fn sync_round<P: Protocol>(
         &mut self,
         proto: &mut P,
         stats: &mut RunStats,
-        complete: &mut [bool],
-        incomplete: &mut usize,
+        scratch: &mut SyncScratch<P::Msg>,
+        pending: &mut Vec<NodeId>,
     ) {
         let n = proto.num_nodes();
+        let SyncScratch {
+            intents,
+            outbox,
+            fwd_live,
+            bwd_live,
+        } = scratch;
         // 1. Every node wakes and declares its contact.
-        let intents: Vec<_> = (0..n).map(|v| proto.on_wakeup(v, &mut self.rng)).collect();
+        intents.clear();
+        intents.extend((0..n).map(|v| proto.on_wakeup(v, &mut self.rng)));
         // 2. Compose all messages against the (still unmodified) round-
-        //    start data state.
-        let mut outbox: Vec<(NodeId, NodeId, u32, P::Msg)> = Vec::new();
-        for (v, intent) in intents.iter().enumerate() {
-            let Some(intent) = intent else { continue };
+        //    start data state, resolving same-sender dedup on the fly.
+        let dedup = self.config.dedup_same_sender;
+        if dedup {
+            fwd_live.iter_mut().for_each(|b| *b = false);
+            bwd_live.iter_mut().for_each(|b| *b = false);
+        }
+        for v in 0..n {
+            let Some(intent) = intents[v] else { continue };
             let u = intent.partner;
             debug_assert_ne!(u, v, "self-contact");
             if intent.action.sends_forward() {
                 match proto.compose(v, u, intent.tag, &mut self.rng) {
-                    Some(m) => outbox.push((v, u, intent.tag, m)),
+                    Some(m) => {
+                        // (v → u) already in the outbox iff u's intent
+                        // emitted it backward at an earlier position.
+                        let dup = dedup
+                            && u < v
+                            && bwd_live[u]
+                            && matches!(intents[u], Some(i) if i.partner == v);
+                        if dup {
+                            stats.dedup_dropped += 1;
+                        } else {
+                            if dedup {
+                                fwd_live[v] = true;
+                            }
+                            outbox.push((v, u, intent.tag, m));
+                        }
+                    }
                     None => stats.empty_sends += 1,
                 }
             }
             if intent.action.sends_backward() {
                 match proto.compose(u, v, intent.tag, &mut self.rng) {
-                    Some(m) => outbox.push((u, v, intent.tag, m)),
+                    Some(m) => {
+                        // (u → v) already in the outbox iff u's intent
+                        // emitted it forward at an earlier position.
+                        let dup = dedup
+                            && u < v
+                            && fwd_live[u]
+                            && matches!(intents[u], Some(i) if i.partner == v);
+                        if dup {
+                            stats.dedup_dropped += 1;
+                        } else {
+                            if dedup {
+                                bwd_live[v] = true;
+                            }
+                            outbox.push((u, v, intent.tag, m));
+                        }
+                    }
                     None => stats.empty_sends += 1,
                 }
             }
         }
-        // 3. Same-sender dedup (keep the first per (from, to) pair).
-        let mut seen: std::collections::HashSet<(NodeId, NodeId)> =
-            std::collections::HashSet::new();
-        for (from, to, tag, msg) in outbox {
-            if self.config.dedup_same_sender && !seen.insert((from, to)) {
-                stats.messages_dropped += 1;
+        // 3. Loss injection, then delivery.
+        let lossy = self.config.loss_prob > 0.0;
+        for (from, to, tag, msg) in outbox.drain(..) {
+            if lossy && self.rng.gen_bool(self.config.loss_prob) {
+                stats.lost += 1;
                 continue;
             }
-            // 4. Loss injection.
-            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
-                stats.messages_dropped += 1;
-                continue;
-            }
-            // 5. Delivery.
             proto.deliver(from, to, tag, msg);
             stats.messages_delivered += 1;
         }
         stats.rounds += 1;
         stats.timeslots += n as u64;
-        // 6. Completion sweep: receipt OR a node's own wakeup may have
-        //    completed it (e.g. oracle tree protocols).
-        for (v, flag) in complete.iter_mut().enumerate() {
-            if !*flag && proto.node_complete(v) {
-                *flag = true;
-                stats.node_completion_rounds[v] = Some(stats.rounds);
-                *incomplete -= 1;
+        // 4. Completion sweep over the still-incomplete nodes only (all of
+        //    them are dirty: every node woke, and any may have received).
+        let round = stats.rounds;
+        pending.retain(|&v| {
+            if proto.node_complete(v) {
+                stats.node_completion_rounds[v] = Some(round);
+                false
+            } else {
+                true
             }
-        }
+        });
     }
 
     /// One asynchronous timeslot: a uniformly random node wakes; both
@@ -334,7 +483,7 @@ impl Engine {
         for (from, to, msg) in [(v, u, forward), (u, v, backward)] {
             let Some(msg) = msg else { continue };
             if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
-                stats.messages_dropped += 1;
+                stats.lost += 1;
                 continue;
             }
             proto.deliver(from, to, intent.tag, msg);
@@ -433,7 +582,9 @@ mod tests {
         let stats = Engine::new(cfg).run(&mut proto);
         assert!(!stats.completed);
         assert_eq!(stats.messages_delivered, 0);
-        assert_eq!(stats.messages_dropped, 50 * 4);
+        // Relay pairs are unique within a round: everything is loss.
+        assert_eq!(stats.lost, 50 * 4);
+        assert_eq!(stats.dedup_dropped, 0);
     }
 
     #[test]
@@ -512,8 +663,28 @@ mod tests {
         let cfg = EngineConfig::synchronous(0).with_max_rounds(1);
         let stats = Engine::new(cfg).run(&mut proto);
         assert_eq!(stats.messages_delivered, 2);
-        assert_eq!(stats.messages_dropped, 2);
+        assert_eq!(stats.dedup_dropped, 2);
         assert_eq!(proto.delivered, vec![1, 1]);
+    }
+
+    /// Regression for the drop-counter conflation bug: with
+    /// `loss_prob = 0` a run must report `lost == 0` even when the
+    /// same-sender rule discards messages — dedup discards used to be
+    /// indistinguishable from channel loss in the stats.
+    #[test]
+    fn dedup_drops_do_not_count_as_loss() {
+        let mut proto = MutualExchange {
+            delivered: vec![0, 0],
+        };
+        let cfg = EngineConfig::synchronous(9).with_max_rounds(3);
+        assert_eq!(cfg.loss_prob, 0.0);
+        let stats = Engine::new(cfg).run(&mut proto);
+        assert!(stats.dedup_dropped > 0, "dedup must be active");
+        assert_eq!(stats.lost, 0, "no loss was configured");
+        assert_eq!(
+            stats.messages_sent(),
+            stats.messages_delivered + stats.dedup_dropped
+        );
     }
 
     #[test]
@@ -527,6 +698,7 @@ mod tests {
         let stats = Engine::new(cfg).run(&mut proto);
         assert!(stats.completed);
         assert_eq!(stats.messages_delivered, 4);
+        assert_eq!(stats.dedup_dropped, 0);
         assert_eq!(proto.delivered, vec![2, 2]);
     }
 
@@ -544,12 +716,121 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_and_run_observed_agree() {
+        // Observers must not perturb the run: all three entry points
+        // produce the same stats under the same seed, both time models.
+        for cfg in [EngineConfig::synchronous(5), EngineConfig::asynchronous(5)] {
+            let batch = Engine::new(cfg).run_batch(&mut Relay::new(7));
+            let plain = Engine::new(cfg).run(&mut Relay::new(7));
+            let observed = Engine::new(cfg).run_observed(&mut Relay::new(7), |_, _| {});
+            assert_eq!(batch, plain);
+            assert_eq!(batch, observed);
+        }
+    }
+
+    #[test]
     fn observer_sees_every_round() {
         let mut proto = Relay::new(5);
         let mut rounds_seen = Vec::new();
         let mut engine = Engine::new(EngineConfig::synchronous(0));
         engine.run_observed(&mut proto, |r, _p| rounds_seen.push(r));
         assert_eq!(rounds_seen, vec![1, 2, 3, 4]);
+    }
+
+    /// Regression for the truncated-trace bug: an asynchronous run that
+    /// completes mid-round used to hide its final state from the observer
+    /// (it only fired at `timeslots % n == 0`). The observer must always
+    /// end on the completed state, at the ceiling round number.
+    #[test]
+    fn async_observer_sees_final_partial_round() {
+        let mut mid_round_completions = 0;
+        for seed in 0..24u64 {
+            let mut proto = Relay::new(5);
+            let mut trace: Vec<(u64, bool)> = Vec::new();
+            let stats = Engine::new(EngineConfig::asynchronous(seed)).run_observed(
+                &mut proto,
+                |round, p| {
+                    trace.push((round, p.values.iter().all(|&v| v == 1)));
+                },
+            );
+            assert!(stats.completed);
+            let &(last_round, last_done) = trace.last().expect("observer fired");
+            assert_eq!(
+                last_round, stats.rounds,
+                "trace must end at the final round"
+            );
+            assert!(last_done, "final observation must show the completed state");
+            if !stats.timeslots.is_multiple_of(5) {
+                mid_round_completions += 1;
+                // The partial round is observed exactly once.
+                let final_obs = trace.iter().filter(|&&(r, _)| r == last_round).count();
+                assert_eq!(final_obs, 1);
+            }
+        }
+        assert!(
+            mid_round_completions > 0,
+            "test never exercised a mid-round completion"
+        );
+    }
+
+    /// A two-node protocol that completes at an exact global timeslot:
+    /// `on_wakeup` runs once per slot and both participants are refreshed
+    /// every slot, so completion lands precisely when the counter hits the
+    /// target.
+    struct SlotCounter {
+        slots: u64,
+        target: u64,
+    }
+
+    impl Protocol for SlotCounter {
+        type Msg = ();
+
+        fn num_nodes(&self) -> usize {
+            2
+        }
+
+        fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+            self.slots += 1;
+            Some(ContactIntent {
+                partner: 1 - node,
+                action: Action::Push,
+                tag: 0,
+            })
+        }
+
+        fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> {
+            Some(())
+        }
+
+        fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _msg: ()) {}
+
+        fn node_complete(&self, _: NodeId) -> bool {
+            self.slots >= self.target
+        }
+    }
+
+    /// Boundary pin for the unified ceiling convention: completion at
+    /// exactly `n·m` timeslots reports `m` rounds; at `n·m + 1` it
+    /// reports `m + 1` — in `stats.rounds`, in the per-node completion
+    /// rounds, and in the observer's final round number.
+    #[test]
+    fn async_round_accounting_boundary() {
+        let n = 2u64;
+        let m = 5u64;
+        for (target, want_rounds) in [(n * m, m), (n * m + 1, m + 1)] {
+            let mut proto = SlotCounter { slots: 0, target };
+            let mut last_observed = None;
+            let stats = Engine::new(EngineConfig::asynchronous(1))
+                .run_observed(&mut proto, |round, _p| last_observed = Some(round));
+            assert!(stats.completed);
+            assert_eq!(stats.timeslots, target, "completion slot must be exact");
+            assert_eq!(stats.rounds, want_rounds, "target {target}");
+            assert_eq!(stats.rounds, stats.timeslots.div_ceil(n));
+            assert_eq!(last_observed, Some(want_rounds));
+            for r in &stats.node_completion_rounds {
+                assert_eq!(*r, Some(want_rounds));
+            }
+        }
     }
 
     #[test]

@@ -20,11 +20,17 @@
 //!
 //! Protocols implement the [`Protocol`] trait; [`Engine`] drives them under
 //! either time model, injects optional message loss (an ablation beyond the
-//! paper's lossless model), and returns [`RunStats`].
+//! paper's lossless model), and returns [`RunStats`] with split drop
+//! accounting (`dedup_dropped` vs `lost`). The engine's round loop is
+//! built for large-n sweeps — persistent per-round scratch, hash-free
+//! same-sender dedup, an incomplete-node completion sweep, and the
+//! observer-free [`Engine::run_batch`] hot path; the pre-rework loop is
+//! preserved in [`reference`] and differentially tested against it.
 
 mod comm;
 mod engine;
 mod protocol;
+pub mod reference;
 mod stats;
 
 pub use comm::{CommModel, PartnerSelector};

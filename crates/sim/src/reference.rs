@@ -1,0 +1,255 @@
+//! The frozen pre-refactor round loop, preserved for differential testing
+//! and the `bench_engine_scale` perf baseline.
+//!
+//! [`ReferenceEngine`] is the engine loop exactly as it existed before the
+//! large-`n` rework of [`crate::Engine`]: it allocates a fresh intent
+//! `Vec`, outbox `Vec` and dedup `HashSet` every synchronous round, sweeps
+//! all `n` completion flags each round, and always runs through the
+//! observer plumbing. Only the *accounting semantics* track the fixed
+//! engine (the `dedup_dropped`/`lost` counter split, the ceiling rounds
+//! convention, and the final mid-round observation under the asynchronous
+//! model), so that for any protocol and seed it must produce bit-identical
+//! [`RunStats`] and observer traces to [`crate::Engine`] — which is what
+//! `crates/sim/tests/differential_engine.rs` asserts and what makes the
+//! measured speedup in `BENCH_engine_scale.json` attributable to the loop
+//! structure alone.
+//!
+//! Do not "optimize" this module: its value is being slow in exactly the
+//! ways the old loop was.
+
+use ag_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{EngineConfig, TimeModel};
+use crate::protocol::Protocol;
+use crate::stats::RunStats;
+
+/// Drop-in, allocation-heavy counterpart of [`crate::Engine`].
+///
+/// # Examples
+///
+/// ```
+/// use ag_sim::reference::ReferenceEngine;
+/// use ag_sim::{Engine, EngineConfig};
+/// # use ag_sim::{ContactIntent, Protocol};
+/// # use ag_graph::NodeId;
+/// # use rand::rngs::StdRng;
+/// # struct Noop;
+/// # impl Protocol for Noop {
+/// #     type Msg = ();
+/// #     fn num_nodes(&self) -> usize { 2 }
+/// #     fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> { None }
+/// #     fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> { None }
+/// #     fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _: ()) {}
+/// #     fn node_complete(&self, _: NodeId) -> bool { true }
+/// # }
+/// let cfg = EngineConfig::synchronous(7);
+/// let fast = Engine::new(cfg).run(&mut Noop);
+/// let slow = ReferenceEngine::new(cfg).run(&mut Noop);
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug)]
+pub struct ReferenceEngine {
+    config: EngineConfig,
+    rng: StdRng,
+}
+
+impl ReferenceEngine {
+    /// Creates a reference engine with its own seeded RNG.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        ReferenceEngine {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the protocol to completion or budget; returns statistics.
+    pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunStats {
+        self.run_observed(proto, |_, _: &P| {})
+    }
+
+    /// Like [`ReferenceEngine::run`] but invokes `observer(round, proto)`
+    /// after every completed round, with the same final mid-round
+    /// observation contract as [`crate::Engine::run_observed`].
+    pub fn run_observed<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        mut observer: impl FnMut(u64, &P),
+    ) -> RunStats {
+        let n = proto.num_nodes();
+        assert!(n > 0, "protocol must have at least one node");
+        let mut stats = RunStats::new(n);
+        let mut complete = vec![false; n];
+        let mut incomplete = n;
+        for (v, flag) in complete.iter_mut().enumerate() {
+            if proto.node_complete(v) {
+                stats.node_completion_rounds[v] = Some(0);
+                *flag = true;
+                incomplete -= 1;
+            }
+        }
+        if incomplete == 0 {
+            stats.completed = true;
+            return stats;
+        }
+        match self.config.time_model {
+            TimeModel::Synchronous => {
+                while stats.rounds < self.config.max_rounds {
+                    self.sync_round(proto, &mut stats, &mut complete, &mut incomplete);
+                    observer(stats.rounds, proto);
+                    if incomplete == 0 {
+                        stats.completed = true;
+                        break;
+                    }
+                }
+            }
+            TimeModel::Asynchronous => {
+                let max_slots = self.config.max_rounds.saturating_mul(n as u64);
+                while stats.timeslots < max_slots {
+                    self.async_slot(proto, &mut stats, &mut complete, &mut incomplete, n);
+                    if stats.timeslots.is_multiple_of(n as u64) {
+                        stats.rounds = stats.timeslots / n as u64;
+                        observer(stats.rounds, proto);
+                    }
+                    if incomplete == 0 {
+                        stats.completed = true;
+                        break;
+                    }
+                }
+                stats.rounds = stats.timeslots.div_ceil(n as u64);
+                if stats.completed && !stats.timeslots.is_multiple_of(n as u64) {
+                    observer(stats.rounds, proto);
+                }
+            }
+        }
+        stats
+    }
+
+    /// One synchronous round, pre-refactor shape: fresh per-round
+    /// allocations, hash-set dedup at delivery time, full O(n) sweep.
+    fn sync_round<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        stats: &mut RunStats,
+        complete: &mut [bool],
+        incomplete: &mut usize,
+    ) {
+        let n = proto.num_nodes();
+        // 1. Every node wakes and declares its contact.
+        let intents: Vec<_> = (0..n).map(|v| proto.on_wakeup(v, &mut self.rng)).collect();
+        // 2. Compose all messages against the (still unmodified) round-
+        //    start data state.
+        let mut outbox: Vec<(NodeId, NodeId, u32, P::Msg)> = Vec::new();
+        for (v, intent) in intents.iter().enumerate() {
+            let Some(intent) = intent else { continue };
+            let u = intent.partner;
+            debug_assert_ne!(u, v, "self-contact");
+            if intent.action.sends_forward() {
+                match proto.compose(v, u, intent.tag, &mut self.rng) {
+                    Some(m) => outbox.push((v, u, intent.tag, m)),
+                    None => stats.empty_sends += 1,
+                }
+            }
+            if intent.action.sends_backward() {
+                match proto.compose(u, v, intent.tag, &mut self.rng) {
+                    Some(m) => outbox.push((u, v, intent.tag, m)),
+                    None => stats.empty_sends += 1,
+                }
+            }
+        }
+        // 3. Same-sender dedup (keep the first per (from, to) pair).
+        let mut seen: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        for (from, to, tag, msg) in outbox {
+            if self.config.dedup_same_sender && !seen.insert((from, to)) {
+                stats.dedup_dropped += 1;
+                continue;
+            }
+            // 4. Loss injection.
+            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
+                stats.lost += 1;
+                continue;
+            }
+            // 5. Delivery.
+            proto.deliver(from, to, tag, msg);
+            stats.messages_delivered += 1;
+        }
+        stats.rounds += 1;
+        stats.timeslots += n as u64;
+        // 6. Completion sweep over every node's flag.
+        for (v, flag) in complete.iter_mut().enumerate() {
+            if !*flag && proto.node_complete(v) {
+                *flag = true;
+                stats.node_completion_rounds[v] = Some(stats.rounds);
+                *incomplete -= 1;
+            }
+        }
+    }
+
+    /// One asynchronous timeslot (identical to the fast engine's — the
+    /// rework only touched the synchronous round and the outer loop).
+    fn async_slot<P: Protocol>(
+        &mut self,
+        proto: &mut P,
+        stats: &mut RunStats,
+        complete: &mut [bool],
+        incomplete: &mut usize,
+        n: usize,
+    ) {
+        stats.timeslots += 1;
+        let round_now = stats.timeslots.div_ceil(n as u64);
+        let refresh = |proto: &P,
+                       node: NodeId,
+                       complete: &mut [bool],
+                       incomplete: &mut usize,
+                       stats: &mut RunStats| {
+            if !complete[node] && proto.node_complete(node) {
+                complete[node] = true;
+                stats.node_completion_rounds[node] = Some(round_now);
+                *incomplete -= 1;
+            }
+        };
+        let v = self.rng.gen_range(0..n);
+        let Some(intent) = proto.on_wakeup(v, &mut self.rng) else {
+            refresh(proto, v, complete, incomplete, stats);
+            return;
+        };
+        let u = intent.partner;
+        debug_assert_ne!(u, v, "self-contact");
+        let forward = if intent.action.sends_forward() {
+            proto.compose(v, u, intent.tag, &mut self.rng)
+        } else {
+            None
+        };
+        let backward = if intent.action.sends_backward() {
+            proto.compose(u, v, intent.tag, &mut self.rng)
+        } else {
+            None
+        };
+        if intent.action.sends_forward() && forward.is_none() {
+            stats.empty_sends += 1;
+        }
+        if intent.action.sends_backward() && backward.is_none() {
+            stats.empty_sends += 1;
+        }
+        for (from, to, msg) in [(v, u, forward), (u, v, backward)] {
+            let Some(msg) = msg else { continue };
+            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
+                stats.lost += 1;
+                continue;
+            }
+            proto.deliver(from, to, intent.tag, msg);
+            stats.messages_delivered += 1;
+        }
+        refresh(proto, v, complete, incomplete, stats);
+        refresh(proto, u, complete, incomplete, stats);
+    }
+}

@@ -9,17 +9,29 @@
 pub struct RunStats {
     /// Whether the protocol reached global completion within the budget.
     pub completed: bool,
-    /// Rounds elapsed at completion (or at the budget limit). For the
-    /// asynchronous model this is `ceil(timeslots / n)`.
+    /// Rounds elapsed at completion (or at the budget limit).
+    ///
+    /// **Asynchronous convention:** always `ceil(timeslots / n)` — a
+    /// partially elapsed round counts as a full round. The same ceiling
+    /// convention is used everywhere rounds are derived from timeslots:
+    /// this field, the per-node [`RunStats::node_completion_rounds`], and
+    /// the round number passed to `run_observed` observers. A run that
+    /// completes at exactly `m·n` timeslots therefore reports `m` rounds,
+    /// and one that completes at `m·n + 1` reports `m + 1`.
     pub rounds: u64,
     /// Raw timeslots (asynchronous model; equals `rounds * n` for the
     /// synchronous model).
     pub timeslots: u64,
     /// Messages delivered to protocol state.
     pub messages_delivered: u64,
-    /// Messages composed but dropped by loss injection or same-sender
-    /// round deduplication.
-    pub messages_dropped: u64,
+    /// Messages composed but discarded by the synchronous same-sender
+    /// deduplication rule (the paper's "discard the second message from
+    /// the same node in the same round" assumption). Always 0 when dedup
+    /// is disabled and under the asynchronous model.
+    pub dedup_dropped: u64,
+    /// Messages composed but destroyed by loss injection. Always 0 when
+    /// `loss_prob == 0` — dedup discards are *not* losses.
+    pub lost: u64,
     /// Contacts where the chosen direction produced no message (e.g. an
     /// RLNC node with rank 0 has nothing to send).
     pub empty_sends: u64,
@@ -34,7 +46,8 @@ impl RunStats {
             rounds: 0,
             timeslots: 0,
             messages_delivered: 0,
-            messages_dropped: 0,
+            dedup_dropped: 0,
+            lost: 0,
             empty_sends: 0,
             node_completion_rounds: vec![None; n],
         }
@@ -56,10 +69,17 @@ impl RunStats {
         self.node_completion_rounds.iter().flatten().copied().min()
     }
 
-    /// Total messages that entered the network (delivered + dropped).
+    /// Total messages that entered the network
+    /// (delivered + dedup-dropped + lost).
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
-        self.messages_delivered + self.messages_dropped
+        self.messages_delivered + self.dedup_dropped + self.lost
+    }
+
+    /// Messages that were composed but never delivered, for any reason.
+    #[must_use]
+    pub fn messages_dropped(&self) -> u64 {
+        self.dedup_dropped + self.lost
     }
 }
 
@@ -174,7 +194,9 @@ mod tests {
     fn messages_sent_sums() {
         let mut s = RunStats::new(1);
         s.messages_delivered = 10;
-        s.messages_dropped = 3;
+        s.dedup_dropped = 2;
+        s.lost = 1;
         assert_eq!(s.messages_sent(), 13);
+        assert_eq!(s.messages_dropped(), 3);
     }
 }

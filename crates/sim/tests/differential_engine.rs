@@ -1,0 +1,185 @@
+//! Differential lock for the round-loop rework: the fast [`Engine`] and
+//! the frozen pre-refactor [`ReferenceEngine`] must produce bit-identical
+//! [`RunStats`] and observer traces for every protocol, graph, time model,
+//! action, loss rate and dedup setting.
+//!
+//! The fast loop replaced per-round allocations with persistent scratch,
+//! hash-set dedup with an analytic rule over the intent table, and the
+//! O(n) completion sweep with an incomplete-node list — all of which must
+//! be *invisible* in the results. This suite is the engine-level analogue
+//! of `crates/rlnc/tests/differential_decoder.rs`.
+
+use ag_graph::{builders, Graph, NodeId};
+use ag_sim::reference::ReferenceEngine;
+use ag_sim::{
+    Action, CommModel, ContactIntent, Engine, EngineConfig, PartnerSelector, Protocol, RunStats,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Epidemic flooding with a configurable action — every engine code path
+/// (forward, backward, both, empty sends via uninformed composers) fires.
+struct Flood {
+    graph: Graph,
+    informed: Vec<bool>,
+    selector: PartnerSelector,
+    action: Action,
+}
+
+impl Flood {
+    fn new(graph: Graph, action: Action, comm: CommModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let selector = PartnerSelector::new(&graph, comm, &mut rng);
+        let mut informed = vec![false; graph.n()];
+        informed[0] = true;
+        Flood {
+            graph,
+            informed,
+            selector,
+            action,
+        }
+    }
+}
+
+impl Protocol for Flood {
+    type Msg = ();
+
+    fn num_nodes(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        Some(ContactIntent {
+            partner,
+            action: self.action,
+            tag: 0,
+        })
+    }
+
+    fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, _rng: &mut StdRng) -> Option<()> {
+        self.informed[from].then_some(())
+    }
+
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, _msg: ()) {
+        self.informed[to] = true;
+    }
+
+    fn node_complete(&self, node: NodeId) -> bool {
+        self.informed[node]
+    }
+}
+
+/// Observer trace entry: round number plus a state fingerprint.
+type Trace = Vec<(u64, u64)>;
+
+fn flood_fingerprint(p: &Flood) -> u64 {
+    p.informed.iter().map(|&b| u64::from(b)).sum()
+}
+
+fn run_both(
+    graph: &Graph,
+    action: Action,
+    comm: CommModel,
+    cfg: EngineConfig,
+    proto_seed: u64,
+) -> ((RunStats, Trace), (RunStats, Trace)) {
+    let mut fast_proto = Flood::new(graph.clone(), action, comm, proto_seed);
+    let mut fast_trace = Trace::new();
+    let fast = Engine::new(cfg).run_observed(&mut fast_proto, |r, p| {
+        fast_trace.push((r, flood_fingerprint(p)));
+    });
+    let mut ref_proto = Flood::new(graph.clone(), action, comm, proto_seed);
+    let mut ref_trace = Trace::new();
+    let slow = ReferenceEngine::new(cfg).run_observed(&mut ref_proto, |r, p| {
+        ref_trace.push((r, flood_fingerprint(p)));
+    });
+    assert_eq!(
+        fast_proto.informed, ref_proto.informed,
+        "final state diverged"
+    );
+    ((fast, fast_trace), (slow, ref_trace))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fast and reference engines agree on stats and traces across random
+    /// connected graphs, every action, both partner models, both time
+    /// models, loss in {0, ~0.3}, dedup on and off.
+    #[test]
+    fn engines_are_bit_identical(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        p_edge in 0.2f64..0.8,
+        action_pick in 0u8..3,
+        comm_pick in 0u8..2,
+        sync in any::<bool>(),
+        lossy in any::<bool>(),
+        dedup in any::<bool>(),
+    ) {
+        let action = match action_pick {
+            0 => Action::Push,
+            1 => Action::Pull,
+            _ => Action::Exchange,
+        };
+        let comm = if comm_pick == 0 { CommModel::Uniform } else { CommModel::RoundRobin };
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = builders::erdos_renyi_connected(n, p_edge, &mut graph_rng)
+            .unwrap_or_else(|_| builders::cycle(n.max(3)).unwrap());
+        let mut cfg = if sync {
+            EngineConfig::synchronous(seed)
+        } else {
+            EngineConfig::asynchronous(seed)
+        }
+        .with_dedup(dedup)
+        .with_max_rounds(10_000);
+        if lossy {
+            cfg = cfg.with_loss(0.3);
+        }
+        let ((fast, fast_trace), (slow, slow_trace)) =
+            run_both(&graph, action, comm, cfg, seed ^ 0xD1FF);
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fast_trace, slow_trace);
+    }
+}
+
+/// The dedup-heavy worst case: EXCHANGE on the complete graph makes
+/// mutual contacts (and hence duplicate `(from, to)` pairs) common, so the
+/// analytic dedup rule is exercised against the reference hash set in
+/// volume and in both first-wins orientations (`u < v` and `v < u`).
+#[test]
+fn dedup_storm_matches_reference() {
+    let graph = builders::complete(12).expect("complete");
+    let mut total_dedup_drops = 0;
+    for seed in 0..40u64 {
+        let cfg = EngineConfig::synchronous(seed).with_max_rounds(10_000);
+        let ((fast, fast_trace), (slow, slow_trace)) =
+            run_both(&graph, Action::Exchange, CommModel::Uniform, cfg, seed);
+        total_dedup_drops += fast.dedup_dropped;
+        assert_eq!(fast, slow, "stats diverged at seed {seed}");
+        assert_eq!(fast_trace, slow_trace, "traces diverged at seed {seed}");
+    }
+    assert!(
+        total_dedup_drops > 0,
+        "40 EXCHANGE runs on K12 must hit mutual contacts"
+    );
+}
+
+/// Mid-round asynchronous completions: the final-observation fix must
+/// behave identically in both engines (the reference got the same fix so
+/// the perf comparison isolates loop structure).
+#[test]
+fn async_final_observation_matches_reference() {
+    let graph = builders::cycle(7).expect("cycle");
+    for seed in 0..40u64 {
+        let cfg = EngineConfig::asynchronous(seed).with_max_rounds(10_000);
+        let ((fast, fast_trace), (slow, slow_trace)) =
+            run_both(&graph, Action::Exchange, CommModel::Uniform, cfg, seed);
+        assert!(fast.completed);
+        assert_eq!(fast, slow, "stats diverged at seed {seed}");
+        assert_eq!(fast_trace, slow_trace, "traces diverged at seed {seed}");
+        assert_eq!(fast_trace.last().map(|&(r, _)| r), Some(fast.rounds));
+    }
+}

@@ -2,7 +2,7 @@
 //! paper's model rules, exercised through a purpose-built probe protocol.
 
 use ag_graph::NodeId;
-use ag_sim::{Action, ContactIntent, Engine, EngineConfig, Protocol, TimeModel};
+use ag_sim::{Action, ContactIntent, Engine, EngineConfig, Protocol};
 use rand::rngs::StdRng;
 
 /// A probe protocol: node 0 contacts node 1 every wakeup with a fixed
@@ -183,7 +183,8 @@ fn loss_applies_per_direction_of_exchange() {
         .with_loss(1.0);
     let stats = Engine::new(cfg).run(&mut p);
     assert_eq!(stats.messages_delivered, 0);
-    assert_eq!(stats.messages_dropped, 4 * 2);
+    assert_eq!(stats.lost, 4 * 2);
+    assert_eq!(stats.dedup_dropped, 0);
     assert_eq!(stats.empty_sends, 0);
 }
 

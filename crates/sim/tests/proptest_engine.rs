@@ -88,7 +88,7 @@ proptest! {
         prop_assert!(stats.node_completion_rounds.iter().all(Option::is_some));
         // Bookkeeping identities.
         prop_assert_eq!(stats.messages_sent(),
-                        stats.messages_delivered + stats.messages_dropped);
+                        stats.messages_delivered + stats.dedup_dropped + stats.lost);
         prop_assert_eq!(stats.last_completion_round().unwrap() <= stats.rounds, true);
     }
 
@@ -127,9 +127,9 @@ proptest! {
         let stats = Engine::new(cfg).run(&mut proto);
         prop_assert!(stats.completed);
         prop_assert_eq!(stats.messages_sent(),
-                        stats.messages_delivered + stats.messages_dropped);
+                        stats.messages_delivered + stats.dedup_dropped + stats.lost);
         if stats.messages_sent() > 200 {
-            prop_assert!(stats.messages_dropped > 0);
+            prop_assert!(stats.lost > 0);
         }
     }
 }

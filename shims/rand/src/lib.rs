@@ -107,8 +107,19 @@ pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64
     if bound == 0 {
         return rng.next_u64();
     }
+    // Powers of two never bias: masking equals `% bound` and consumes one
+    // draw, exactly like the general rem == 0 path below. This matters on
+    // hot paths — degree-2 partner picks on the ring hit this every call,
+    // and `x & (bound - 1)` costs nothing while `x % bound` is a 64-bit
+    // hardware division.
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
     // 2^64 mod bound values at the top would bias `% bound`; reject them.
-    let rem = (u64::MAX % bound).wrapping_add(1) % bound;
+    // rem = 2^64 mod bound, computed branchily from u64::MAX % bound so the
+    // common path pays two divisions total, not three.
+    let max_rem = u64::MAX % bound;
+    let rem = if max_rem + 1 == bound { 0 } else { max_rem + 1 };
     if rem == 0 {
         return rng.next_u64() % bound;
     }
@@ -190,6 +201,43 @@ mod tests {
             assert!((3..17).contains(&x));
             let y: u64 = rng.gen_range(5..=5);
             assert_eq!(y, 5);
+        }
+    }
+
+    /// The straight-line reference `uniform_below` (pre fast paths): any
+    /// strength reduction must preserve the exact value mapping *and* draw
+    /// count, or every seeded simulation in the workspace silently changes.
+    fn uniform_below_reference<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        if bound == 0 {
+            return rng.next_u64();
+        }
+        let rem = (u64::MAX % bound).wrapping_add(1) % bound;
+        if rem == 0 {
+            return rng.next_u64() % bound;
+        }
+        let top = u64::MAX - rem;
+        loop {
+            let x = rng.next_u64();
+            if x <= top {
+                return x % bound;
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_below_fast_paths_are_bit_identical() {
+        for bound in [0u64, 1, 2, 3, 4, 5, 7, 8, 16, 100, 9_999, 1 << 33, u64::MAX] {
+            let mut fast = StdRng::seed_from_u64(0xFEED ^ bound);
+            let mut reference = StdRng::seed_from_u64(0xFEED ^ bound);
+            for _ in 0..2_000 {
+                assert_eq!(
+                    uniform_below(&mut fast, bound),
+                    uniform_below_reference(&mut reference, bound),
+                    "value mapping changed at bound {bound}"
+                );
+            }
+            // Same number of draws consumed: streams stay aligned.
+            assert_eq!(fast.next_u64(), reference.next_u64());
         }
     }
 
