@@ -8,13 +8,20 @@
 //! The headline configuration is the acceptance target: GF(256), k = 128,
 //! 1024-byte payloads, where the slab path must be ≥ 2× the scalar path.
 //!
+//! Since the wide-kernel rework, the packed decoder dispatches through
+//! `ag_gf::Kernel`. To keep the `scalar`/`slab` columns comparable across
+//! PRs, the slab column forces `Kernel::Reference` (the PR 2 table
+//! kernels, exactly what this benchmark always measured); a third `wide`
+//! column records the same decode on the auto-detected best kernel. The
+//! full per-rung ladder lives in `bench_rlnc_throughput`.
+//!
 //! Usage: `cargo run --release -p ag-bench --bin bench_decoder_slab`
 //! (optionally `AG_BENCH_DECODER_REPS=n` to resize the timed batch).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ag_gf::{Gf2, Gf256, SlabField};
+use ag_gf::{set_kernel, Gf2, Gf256, Kernel, SlabField};
 use ag_linalg::reference::ScalarBasis;
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use rand::rngs::StdRng;
@@ -37,9 +44,12 @@ struct Measurement {
     reps: usize,
     scalar_ms_per_decode: f64,
     slab_ms_per_decode: f64,
+    wide_ms_per_decode: f64,
     scalar_mib_s: f64,
     slab_mib_s: f64,
+    wide_mib_s: f64,
     speedup: f64,
+    wide_speedup: f64,
     headline: bool,
 }
 
@@ -58,6 +68,7 @@ fn measure<F: SlabField>(cfg: &Config, reps: usize) -> Measurement {
     let rows: Vec<Vec<F>> = packets.iter().map(|p| p.clone().into_row()).collect();
     // One untimed decode per path first: faults in the field tables,
     // allocator state and instruction cache outside the measurement.
+    set_kernel(Kernel::Reference);
     {
         let mut warm = ScalarBasis::<F>::new(cfg.k);
         for row in &rows {
@@ -90,7 +101,9 @@ fn measure<F: SlabField>(cfg: &Config, reps: usize) -> Measurement {
     let scalar_secs = t0.elapsed().as_secs_f64() / reps as f64;
 
     // Packed slab path, timed over the same packets (packing included —
-    // it is part of the real receive cost).
+    // it is part of the real receive cost). `Kernel::Reference` keeps this
+    // column's meaning fixed at the PR 2 kernels across PRs.
+    set_kernel(Kernel::Reference);
     let mut slab_solution = None;
     let t1 = Instant::now();
     for _ in 0..reps {
@@ -106,10 +119,29 @@ fn measure<F: SlabField>(cfg: &Config, reps: usize) -> Measurement {
     }
     let slab_secs = t1.elapsed().as_secs_f64() / reps as f64;
 
-    // Both paths must agree with each other and with the ground truth.
+    // The same decode on the auto-detected wide kernel (SWAR or SIMD).
+    set_kernel(Kernel::detect_best());
+    let mut wide_solution = None;
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        let mut sink = Decoder::<F>::new(cfg.k, cfg.payload_symbols);
+        for p in &packets {
+            if sink.is_complete() {
+                break;
+            }
+            let _ = sink.try_receive(p).expect("shape-valid packet");
+        }
+        assert!(sink.is_complete(), "stream must complete the wide decoder");
+        wide_solution = sink.decode();
+    }
+    let wide_secs = t2.elapsed().as_secs_f64() / reps as f64;
+
+    // All paths must agree with each other and with the ground truth.
     let scalar_solution = scalar_solution.expect("scalar decoded");
     let slab_solution = slab_solution.expect("slab decoded");
+    let wide_solution = wide_solution.expect("wide decoded");
     assert_eq!(scalar_solution, slab_solution, "decoded output diverged");
+    assert_eq!(slab_solution, wide_solution, "wide kernel diverged");
     assert_eq!(slab_solution, generation.messages(), "decode is wrong");
 
     let payload_bytes = cfg.k * cfg.payload_symbols * F::SYMBOL_BYTES;
@@ -122,9 +154,12 @@ fn measure<F: SlabField>(cfg: &Config, reps: usize) -> Measurement {
         reps,
         scalar_ms_per_decode: scalar_secs * 1e3,
         slab_ms_per_decode: slab_secs * 1e3,
+        wide_ms_per_decode: wide_secs * 1e3,
         scalar_mib_s: mib / scalar_secs,
         slab_mib_s: mib / slab_secs,
+        wide_mib_s: mib / wide_secs,
         speedup: scalar_secs / slab_secs,
+        wide_speedup: scalar_secs / wide_secs,
         headline: cfg.headline,
     }
 }
@@ -177,12 +212,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"headline\": {{\"field\": \"{}\", \"k\": {}, \"payload_bytes\": {}, \
-         \"speedup\": {:.3}, \"requirement\": \">= 2x\", \"met\": {}}},",
+         \"speedup\": {:.3}, \"requirement\": \">= 2x\", \"met\": {}, \
+         \"wide_kernel\": \"{}\", \"wide_speedup\": {:.3}}},",
         headline.field,
         headline.k,
         headline.payload_bytes,
         headline.speedup,
-        headline.speedup >= 2.0
+        headline.speedup >= 2.0,
+        ag_gf::simd::level_name(),
+        headline.wide_speedup
     );
     json.push_str("  \"configs\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -191,8 +229,10 @@ fn main() {
             "    {{\"field\": \"{}\", \"k\": {}, \"payload_symbols\": {}, \
              \"payload_bytes\": {}, \"reps\": {}, \
              \"scalar_ms_per_decode\": {:.3}, \"slab_ms_per_decode\": {:.3}, \
+             \"wide_ms_per_decode\": {:.3}, \
              \"scalar_payload_MiB_s\": {:.2}, \"slab_payload_MiB_s\": {:.2}, \
-             \"speedup\": {:.3}}}{}",
+             \"wide_payload_MiB_s\": {:.2}, \
+             \"speedup\": {:.3}, \"wide_speedup\": {:.3}}}{}",
             m.field,
             m.k,
             m.payload_symbols,
@@ -200,9 +240,12 @@ fn main() {
             m.reps,
             m.scalar_ms_per_decode,
             m.slab_ms_per_decode,
+            m.wide_ms_per_decode,
             m.scalar_mib_s,
             m.slab_mib_s,
+            m.wide_mib_s,
             m.speedup,
+            m.wide_speedup,
             if i + 1 < results.len() { "," } else { "" }
         );
     }
@@ -212,13 +255,15 @@ fn main() {
     print!("{json}");
     for m in &results {
         eprintln!(
-            "{} k={} r={}: scalar {:.2} ms, slab {:.2} ms — {:.2}x",
+            "{} k={} r={}: scalar {:.2} ms, slab {:.2} ms ({:.2}x), wide {:.2} ms ({:.2}x)",
             m.field,
             m.k,
             m.payload_symbols,
             m.scalar_ms_per_decode,
             m.slab_ms_per_decode,
-            m.speedup
+            m.speedup,
+            m.wide_ms_per_decode,
+            m.wide_speedup
         );
     }
     assert!(

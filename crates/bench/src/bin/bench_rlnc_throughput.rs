@@ -1,0 +1,364 @@
+//! Machine-readable perf gate for the wide-kernel + arena rework.
+//!
+//! Two measurements, written to `BENCH_rlnc_throughput.json`:
+//!
+//! 1. **Kernel ladder** — full-generation GF(256) (and GF(2⁴)) decodes
+//!    through `ag_rlnc::Decoder` with each slab-kernel rung forced in turn
+//!    (`ag_gf::set_kernel`): the preserved PR 2 product-table path
+//!    (`reference`), the portable SWAR split-nibble path (`swar`), and the
+//!    runtime-detected SIMD path (`simd`: `PSHUFB` or `GF2P8MULB`). Plus
+//!    raw `mul_add_slice` streaming throughput per rung. The acceptance
+//!    gate — asserted here and in CI — is GF(256) `k = 128` decode at
+//!    **≥ 2×** the reference rung. All rungs must decode bit-identical
+//!    messages.
+//!
+//! 2. **Allocation-free completion run** — uniform algebraic gossip with
+//!    `k = 32` messages of 1 KiB payload on a random 3-regular graph at
+//!    `n = 10⁵` (quick scale: `n = 10⁴`), with this binary's counting
+//!    global allocator snapshotted before the run and at every round
+//!    boundary: at most round 1's window may allocate (it carries the
+//!    engine's one-time per-run setup — `RunStats` buffers, round
+//!    scratch), and every other round must perform **zero** heap
+//!    allocations — the decoder arena and the pre-warmed `RowPool` make
+//!    the per-message path allocation-free outright. The run must
+//!    complete and the first nodes must decode the exact generation.
+//!
+//! Usage: `cargo run --release -p ag-bench --bin bench_rlnc_throughput`
+//! (`AG_BENCH_SCALE=full` for the committed n = 10⁵ configuration,
+//! `AG_BENCH_RLNC_REPS=n` to resize the timed decode batches).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ag_bench::Scale;
+use ag_gf::{set_kernel, Gf16, Gf256, Kernel, SlabField};
+use ag_rlnc::{Decoder, Generation, Packet, Recoder};
+use ag_sim::{Engine, EngineConfig};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, Placement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every allocator entry so the round loop can be proven
+/// allocation-free (not just leak-free).
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a side channel.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const SEED: u64 = 0x51AB_51AB;
+
+/// One rung's decode timing at one configuration.
+struct RungMeasurement {
+    kernel: &'static str,
+    ms_per_decode: f64,
+    payload_mib_s: f64,
+    /// Raw `mul_add_slice` streaming throughput, MiB/s.
+    raw_axpy_mib_s: f64,
+}
+
+/// Times `reps` full decodes of one pre-generated packet stream under the
+/// currently forced kernel; returns ms/decode and checks the solution.
+fn decode_once<F: SlabField>(
+    k: usize,
+    r: usize,
+    packets: &[Packet<F>],
+    truth: &[Vec<F>],
+    reps: usize,
+) -> f64 {
+    // Warm cache/tables outside the timer.
+    for _ in 0..2 {
+        let mut warm = Decoder::<F>::new(k, r);
+        for p in packets {
+            if warm.is_complete() {
+                break;
+            }
+            let _ = warm.try_receive(p).expect("shape-valid packet");
+        }
+        assert!(warm.is_complete(), "stream must complete the decoder");
+        assert_eq!(warm.decode().expect("complete"), truth, "wrong decode");
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut sink = Decoder::<F>::new(k, r);
+        for p in packets {
+            if sink.is_complete() {
+                break;
+            }
+            let _ = sink.try_receive(p).expect("shape-valid packet");
+        }
+        assert!(sink.is_complete(), "stream must complete the decoder");
+        std::hint::black_box(sink.rank());
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+/// Raw axpy streaming rate under the forced kernel: `dst ^= c·src` over a
+/// 1 MiB row, in MiB/s.
+fn raw_axpy_mib_s<F: SlabField>(c: F, reps: usize) -> f64 {
+    const LEN: usize = 1 << 20;
+    let src = vec![0xA7u8; LEN];
+    let mut dst = vec![0x31u8; LEN];
+    F::mul_add_slice(c, &src, &mut dst); // warm
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        F::mul_add_slice(c, &src, &mut dst);
+        std::hint::black_box(&dst);
+    }
+    let mib = (LEN * reps) as f64 / (1024.0 * 1024.0);
+    mib / t0.elapsed().as_secs_f64()
+}
+
+/// Measures the whole ladder at one decode configuration.
+fn ladder<F: SlabField>(k: usize, r: usize, c: F, reps: usize) -> Vec<RungMeasurement> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let generation = Generation::<F>::random(k, r, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+    let packets: Vec<Packet<F>> = (0..2 * k + 32)
+        .map(|_| Recoder::new(&source).emit(&mut rng).expect("source emits"))
+        .collect();
+    let truth = generation.messages().to_vec();
+    let payload_mib = (k * r * F::SYMBOL_BYTES) as f64 / (1024.0 * 1024.0);
+
+    let mut out = Vec::new();
+    for kernel in Kernel::LADDER {
+        if !kernel.is_supported() {
+            continue;
+        }
+        let installed = set_kernel(kernel);
+        assert_eq!(installed, kernel, "kernel not installed");
+        let ms = decode_once::<F>(k, r, &packets, &truth, reps);
+        out.push(RungMeasurement {
+            kernel: kernel.name(),
+            ms_per_decode: ms,
+            payload_mib_s: payload_mib / (ms / 1e3),
+            raw_axpy_mib_s: raw_axpy_mib_s::<F>(c, 128),
+        });
+    }
+    set_kernel(Kernel::detect_best());
+    out
+}
+
+/// Result of the allocation-counted completion run.
+struct CompletionRun {
+    n: usize,
+    k: usize,
+    payload_bytes: usize,
+    rounds: u64,
+    seconds: f64,
+    /// Last round whose window saw any allocation. With the pre-warmed
+    /// `RowPool` this is at most 1: the engine's one-time per-run setup
+    /// (`RunStats` buffers, round scratch) allocates inside `run`, ahead
+    /// of round 1's loop, and lands in round 1's window.
+    warmup_rounds: u64,
+    /// Rounds after warm-up: every one of them allocation-free.
+    steady_rounds: u64,
+    /// Number of rounds whose window saw any allocation at all.
+    allocating_rounds: u64,
+    /// Total allocator calls across every round window (setup included).
+    allocs_during_run: u64,
+    completed: bool,
+    decode_ok: bool,
+}
+
+/// Runs uniform AG with payloads at scale and audits per-round allocations.
+fn completion_run(n: usize) -> CompletionRun {
+    let k = 32;
+    let r = 1024; // 1 KiB payload per message over GF(2^8)
+    let mut grng = StdRng::seed_from_u64(SEED ^ 0xE0);
+    let graph = ag_graph::builders::random_regular(n, 3, &mut grng).expect("rr(3) graph");
+    let cfg = AgConfig::new(k)
+        .with_payload_len(r)
+        .with_placement(Placement::Spread);
+    let mut proto = AlgebraicGossip::<Gf256>::new(&graph, &cfg, SEED).expect("protocol");
+
+    // Per-round allocator snapshots; preallocated so the observer itself
+    // never allocates inside the measured loop. The baseline snapshot
+    // taken *before* the run makes round 1's window observable too — it
+    // additionally covers the engine's per-run setup (`RunStats`, round
+    // scratch), which allocates inside `run` ahead of the first round.
+    let mut snapshots: Vec<(u64, u64)> = Vec::with_capacity(4096);
+    snapshots.push((0, ALLOC_CALLS.load(Ordering::Relaxed)));
+    let t0 = Instant::now();
+    let stats = Engine::new(EngineConfig::synchronous(SEED ^ 0x1).with_max_rounds(4000))
+        .run_observed(&mut proto, |round, _p| {
+            snapshots.push((round, ALLOC_CALLS.load(Ordering::Relaxed)));
+        });
+    let seconds = t0.elapsed().as_secs_f64();
+
+    // Delta per round window; warm-up ends at the last allocating round.
+    let mut warmup_rounds = 0u64;
+    let mut allocating_rounds = 0u64;
+    let mut allocs_during_run = 0u64;
+    for w in snapshots.windows(2) {
+        let (round, after) = w[1];
+        let delta = after - w[0].1;
+        if delta > 0 {
+            warmup_rounds = round;
+            allocating_rounds += 1;
+            allocs_during_run += delta;
+        }
+    }
+    let steady_rounds = stats.rounds.saturating_sub(warmup_rounds);
+    let decode_ok = stats.completed
+        && (0..3.min(n))
+            .all(|v| proto.decoded(v).as_deref() == Some(proto.generation().messages()));
+    CompletionRun {
+        n,
+        k,
+        payload_bytes: r,
+        rounds: stats.rounds,
+        seconds,
+        warmup_rounds,
+        steady_rounds,
+        allocating_rounds,
+        allocs_during_run,
+        completed: stats.completed,
+        decode_ok,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::var("AG_BENCH_RLNC_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(9);
+    let scale = Scale::from_env();
+    let n = match scale {
+        Scale::Full => 100_000,
+        Scale::Quick => 10_000,
+    };
+
+    let gf256 = ladder::<Gf256>(128, 1024, Gf256::new(0x57), reps);
+    let gf16 = ladder::<Gf16>(64, 1024, Gf16::new(0xB), reps);
+
+    let reference = gf256
+        .iter()
+        .find(|m| m.kernel == "reference")
+        .expect("reference rung always runs");
+    let best = gf256
+        .iter()
+        .min_by(|a, b| a.ms_per_decode.total_cmp(&b.ms_per_decode))
+        .expect("ladder is nonempty");
+    let speedup = reference.ms_per_decode / best.ms_per_decode;
+
+    let run = completion_run(n);
+
+    let mut json = String::from("{\n  \"bench\": \"rlnc_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"field\": \"Gf256\", \"k\": 128, \"payload_symbols\": 1024, \
+         \"best_kernel\": \"{}\", \"simd_level\": \"{}\", \"speedup_vs_reference\": {:.3}, \
+         \"requirement\": \">= 2x\", \"met\": {}}},",
+        best.kernel,
+        ag_gf::simd::level_name(),
+        speedup,
+        speedup >= 2.0
+    );
+    for (field, rungs) in [("Gf256", &gf256), ("Gf16", &gf16)] {
+        let _ = writeln!(json, "  \"ladder_{}\": [", field.to_lowercase());
+        for (i, m) in rungs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"kernel\": \"{}\", \"ms_per_decode\": {:.3}, \
+                 \"decode_payload_MiB_s\": {:.2}, \"raw_axpy_MiB_s\": {:.1}}}{}",
+                m.kernel,
+                m.ms_per_decode,
+                m.payload_mib_s,
+                m.raw_axpy_mib_s,
+                if i + 1 < rungs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "  ],");
+    }
+    let _ = writeln!(
+        json,
+        "  \"completion_run\": {{\"n\": {}, \"k\": {}, \"payload_bytes\": {}, \
+         \"graph\": \"random_regular(3)\", \"action\": \"exchange\", \"rounds\": {}, \
+         \"seconds\": {:.1}, \"warmup_rounds\": {}, \"steady_rounds\": {}, \
+         \"allocating_rounds\": {}, \"allocs_during_run\": {}, \
+         \"completed\": {}, \"decode_ok\": {}}}",
+        run.n,
+        run.k,
+        run.payload_bytes,
+        run.rounds,
+        run.seconds,
+        run.warmup_rounds,
+        run.steady_rounds,
+        run.allocating_rounds,
+        run.allocs_during_run,
+        run.completed,
+        run.decode_ok
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_rlnc_throughput.json", &json).expect("write BENCH_rlnc_throughput.json");
+    print!("{json}");
+    for m in &gf256 {
+        eprintln!(
+            "Gf256 k=128 r=1024 [{}]: {:.2} ms/decode ({:.1} MiB/s payload, raw axpy {:.0} MiB/s)",
+            m.kernel, m.ms_per_decode, m.payload_mib_s, m.raw_axpy_mib_s
+        );
+    }
+    eprintln!(
+        "completion n={} k=32 r=1KiB: {} rounds in {:.1}s — {} allocating round(s) \
+         ({} allocs, engine per-run setup), {} allocation-free steady rounds",
+        run.n,
+        run.rounds,
+        run.seconds,
+        run.allocating_rounds,
+        run.allocs_during_run,
+        run.steady_rounds
+    );
+
+    // The acceptance gates.
+    assert!(
+        speedup >= 2.0,
+        "best kernel ({}) is only {speedup:.2}x the reference rung — below the required 2x",
+        best.kernel
+    );
+    assert!(run.completed, "completion run hit the round budget");
+    assert!(
+        run.decode_ok,
+        "completed nodes failed to decode — codec bug"
+    );
+    // Round 1's window is allowed to carry the engine's one-time per-run
+    // setup allocations (`RunStats` buffers, round scratch); every other
+    // round — and thus every per-message operation — must be
+    // allocation-free.
+    assert!(
+        run.warmup_rounds <= 1 && run.allocating_rounds <= 1,
+        "per-message allocations leaked into the round loop: last allocating \
+         round {}, {} allocating rounds",
+        run.warmup_rounds,
+        run.allocating_rounds
+    );
+    assert!(
+        run.steady_rounds >= 5,
+        "too few allocation-free rounds ({}) to call the loop steady",
+        run.steady_rounds
+    );
+}

@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use rand::Rng;
 
 use crate::field::Field;
+use crate::kernel::Kernel;
 use crate::slab::{xor_slice, SlabField};
 
 /// Reduction polynomial x⁴ + x + 1 (0b1_0011), primitive over GF(2).
@@ -77,6 +78,12 @@ fn carryless_mod(a: u16, b: u16) -> u8 {
     (prod & 0xF) as u8
 }
 
+/// The 16-entry product row for multiplier `c` — the reference kernel's
+/// per-`c` table (`crate::reference::gf16_mul_add_slice`).
+pub(crate) fn mul_row(c: u8) -> &'static [u8; 16] {
+    &tables().mul[(c & 0xF) as usize]
+}
+
 impl Gf16 {
     /// Creates an element from the low nibble of `v`.
     #[must_use]
@@ -134,31 +141,25 @@ impl SlabField for Gf16 {
     }
 
     fn mul_slice(c: Self, dst: &mut [u8]) {
-        if c == Self::ONE {
-            return;
+        // Short rows keep the reference kernel — see `Gf256::mul_slice`.
+        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
+            return crate::reference::gf16_mul_slice(c.0, dst);
         }
-        if c.is_zero() {
-            dst.fill(0);
-            return;
-        }
-        let row = &tables().mul[c.0 as usize];
-        for d in dst.iter_mut() {
-            *d = row[(*d & 0xF) as usize];
+        match Kernel::active() {
+            Kernel::Reference => crate::reference::gf16_mul_slice(c.0, dst),
+            Kernel::Swar => crate::wide::gf16_mul_slice(c.0, dst),
+            Kernel::Simd => crate::simd::gf16_mul_slice(c.0, dst),
         }
     }
 
     fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
-        if c.is_zero() {
-            return;
+        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
+            return crate::reference::gf16_mul_add_slice(c.0, src, dst);
         }
-        if c == Self::ONE {
-            xor_slice(src, dst);
-            return;
-        }
-        let row = &tables().mul[c.0 as usize];
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= row[(*s & 0xF) as usize];
+        match Kernel::active() {
+            Kernel::Reference => crate::reference::gf16_mul_add_slice(c.0, src, dst),
+            Kernel::Swar => crate::wide::gf16_mul_add_slice(c.0, src, dst),
+            Kernel::Simd => crate::simd::gf16_mul_add_slice(c.0, src, dst),
         }
     }
 }

@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use rand::Rng;
 
 use crate::field::Field;
+use crate::kernel::Kernel;
 use crate::slab::{xor_slice, SlabField};
 
 /// Reduction polynomial x⁸ + x⁴ + x³ + x + 1 (0x11B, the AES polynomial).
@@ -112,10 +113,12 @@ impl Field for Gf256 {
 /// The full 256×256 product table: `mul_table()[a][b] = a · b`.
 ///
 /// 64 KiB, built once from the log/exp tables and shared process-wide. The
-/// slab kernels index one 256-byte row per coefficient, turning each symbol
-/// of an axpy into a single dependent load plus an XOR — versus two table
-/// lookups, an add and a zero-test on the scalar log/exp path.
-fn mul_table() -> &'static [[u8; 256]; 256] {
+/// reference slab kernels index one 256-byte row per coefficient, turning
+/// each symbol of an axpy into a single dependent load plus an XOR —
+/// versus two table lookups, an add and a zero-test on the scalar log/exp
+/// path. The wide rungs (`crate::wide`, `crate::simd`) replace the row
+/// with per-multiplier 16-entry nibble tables instead.
+pub(crate) fn mul_table() -> &'static [[u8; 256]; 256] {
     static FULL: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
     FULL.get_or_init(|| {
         let mut full = Box::new([[0u8; 256]; 256]);
@@ -146,31 +149,28 @@ impl SlabField for Gf256 {
     }
 
     fn mul_slice(c: Self, dst: &mut [u8]) {
-        if c == Self::ONE {
-            return;
+        // Short rows always take the reference kernel: the wide rungs
+        // build two 16-entry nibble tables per multiplier (~30 scalar
+        // products), which only amortizes over longer rows. All rungs are
+        // bit-identical, so this is a pure throughput decision.
+        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
+            return crate::reference::gf256_mul_slice(c.0, dst);
         }
-        if c.is_zero() {
-            dst.fill(0);
-            return;
-        }
-        let row = &mul_table()[c.0 as usize];
-        for d in dst.iter_mut() {
-            *d = row[*d as usize];
+        match Kernel::active() {
+            Kernel::Reference => crate::reference::gf256_mul_slice(c.0, dst),
+            Kernel::Swar => crate::wide::gf256_mul_slice(c.0, dst),
+            Kernel::Simd => crate::simd::gf256_mul_slice(c.0, dst),
         }
     }
 
     fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
-        if c.is_zero() {
-            return;
+        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
+            return crate::reference::gf256_mul_add_slice(c.0, src, dst);
         }
-        if c == Self::ONE {
-            xor_slice(src, dst);
-            return;
-        }
-        let row = &mul_table()[c.0 as usize];
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= row[*s as usize];
+        match Kernel::active() {
+            Kernel::Reference => crate::reference::gf256_mul_add_slice(c.0, src, dst),
+            Kernel::Swar => crate::wide::gf256_mul_add_slice(c.0, src, dst),
+            Kernel::Simd => crate::simd::gf256_mul_add_slice(c.0, src, dst),
         }
     }
 }

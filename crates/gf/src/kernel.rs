@@ -1,0 +1,191 @@
+//! Runtime kernel selection for the bulk slab operations.
+//!
+//! PR 2 made the [`crate::slab`] row primitives table-driven; this module
+//! makes the *implementation* of those primitives a runtime choice between
+//! three rungs of a ladder, so the old path survives unchanged for
+//! differential testing and benchmarking while the hot path runs as fast as
+//! the hardware allows:
+//!
+//! | rung | module | technique |
+//! |---|---|---|
+//! | [`Kernel::Reference`] | [`crate::reference`] | the PR 2 byte-at-a-time product-table kernels, preserved verbatim |
+//! | [`Kernel::Swar`] | [`crate::wide`] | split-nibble SWAR: per-multiplier 16-entry lo/hi nibble tables applied 8 bytes at a time through `u64` words (the scalar emulation of `PSHUFB`) |
+//! | [`Kernel::Simd`] | [`crate::simd`] | the same nibble tables through real `PSHUFB` (SSSE3/AVX2) or, for GF(2⁸), the `GF2P8MULB` instruction (GFNI) — x86-64 only, runtime-detected |
+//!
+//! GF(2) addition/axpy is a pure `u64` XOR on every rung and is not
+//! dispatched. All rungs are bit-identical by construction (multiplication
+//! by a constant is GF(2)-linear, and every rung evaluates the same linear
+//! map); the `proptest_kernels` suite pins them to each other and to the
+//! scalar [`crate::Field`] arithmetic on every field.
+//!
+//! # Selection
+//!
+//! The active kernel is resolved once, on first use:
+//!
+//! 1. an explicit [`set_kernel`] call wins (benchmarks use this to time
+//!    each rung in isolation),
+//! 2. else the `AG_GF_KERNEL` environment variable (`reference`, `swar`,
+//!    `simd`, or `auto`),
+//! 3. else the best rung the CPU supports ([`Kernel::detect_best`]).
+//!
+//! Selection is process-global and may be changed at any time; all rungs
+//! compute identical results, so switching mid-run affects throughput only.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One rung of the slab-kernel ladder. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// The PR 2 byte-at-a-time product-table kernels ([`crate::reference`]).
+    Reference,
+    /// Portable SWAR split-nibble kernels over `u64` words ([`crate::wide`]).
+    Swar,
+    /// Runtime-detected x86-64 SIMD (`PSHUFB` / `GF2P8MULB`,
+    /// [`crate::simd`]); falls back to [`Kernel::Swar`] elsewhere.
+    Simd,
+}
+
+/// Rows shorter than this dispatch straight to the reference kernel
+/// regardless of the active rung: the wide rungs pay a per-multiplier
+/// nibble-table build (~30 scalar products) that only amortizes over
+/// longer rows, while the reference kernel just indexes a prebuilt
+/// 256-byte product row. Every rung computes identical bytes, so the
+/// cutoff is invisible to results — it exists purely so rank-only
+/// simulations (rows of `k` bytes) keep their PR 2 throughput.
+pub const SHORT_ROW_BYTES: usize = 64;
+
+/// `ACTIVE` sentinel: not yet resolved.
+const UNSET: u8 = u8::MAX;
+
+/// The resolved kernel, or [`UNSET`].
+static ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+
+impl Kernel {
+    /// All rungs, slowest first — the order benchmark ladders report.
+    pub const LADDER: [Kernel; 3] = [Kernel::Reference, Kernel::Swar, Kernel::Simd];
+
+    /// The kernel every [`crate::SlabField`] bulk operation currently
+    /// dispatches to.
+    #[must_use]
+    pub fn active() -> Kernel {
+        match ACTIVE.load(Ordering::Relaxed) {
+            UNSET => {
+                let k = Self::resolve();
+                ACTIVE.store(k as u8, Ordering::Relaxed);
+                k
+            }
+            v => Self::from_u8(v),
+        }
+    }
+
+    /// The fastest rung this CPU supports: [`Kernel::Simd`] when the
+    /// required instruction sets are present, else [`Kernel::Swar`].
+    #[must_use]
+    pub fn detect_best() -> Kernel {
+        if Kernel::Simd.is_supported() {
+            Kernel::Simd
+        } else {
+            Kernel::Swar
+        }
+    }
+
+    /// Can this rung run on the current CPU? `Reference` and `Swar` are
+    /// portable; `Simd` needs x86-64 with at least SSSE3.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            Kernel::Reference | Kernel::Swar => true,
+            Kernel::Simd => crate::simd::supported(),
+        }
+    }
+
+    /// The rung's lower-case name (`reference` / `swar` / `simd`), as
+    /// accepted by the `AG_GF_KERNEL` environment variable.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Swar => "swar",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// Parses a rung name; `None` for anything unknown (including `auto`,
+    /// which callers map to [`Kernel::detect_best`]).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Kernel> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" => Some(Kernel::Reference),
+            "swar" => Some(Kernel::Swar),
+            "simd" => Some(Kernel::Simd),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Kernel {
+        match v {
+            0 => Kernel::Reference,
+            1 => Kernel::Swar,
+            _ => Kernel::Simd,
+        }
+    }
+
+    /// First-use resolution: environment override, else detection. An
+    /// unsupported or unknown `AG_GF_KERNEL` value falls back to detection
+    /// rather than erroring — a simulation should not abort over a typo'd
+    /// tuning knob.
+    fn resolve() -> Kernel {
+        if let Ok(v) = std::env::var("AG_GF_KERNEL") {
+            if let Some(k) = Kernel::from_name(&v) {
+                if k.is_supported() {
+                    return k;
+                }
+            }
+        }
+        Self::detect_best()
+    }
+}
+
+/// Forces the active kernel for the whole process (used by the benchmark
+/// bins to time each rung in isolation). Unsupported rungs are clamped to
+/// [`Kernel::detect_best`]. Returns the kernel actually installed.
+pub fn set_kernel(kernel: Kernel) -> Kernel {
+    let k = if kernel.is_supported() {
+        kernel
+    } else {
+        Kernel::detect_best()
+    };
+    ACTIVE.store(k as u8, Ordering::Relaxed);
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in Kernel::LADDER {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::from_name("REFERENCE"), Some(Kernel::Reference));
+        assert_eq!(Kernel::from_name("auto"), None);
+        assert_eq!(Kernel::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn portable_rungs_always_supported() {
+        assert!(Kernel::Reference.is_supported());
+        assert!(Kernel::Swar.is_supported());
+    }
+
+    #[test]
+    fn detect_best_is_supported() {
+        assert!(Kernel::detect_best().is_supported());
+    }
+
+    #[test]
+    fn active_resolves_to_a_supported_kernel() {
+        assert!(Kernel::active().is_supported());
+    }
+}

@@ -14,7 +14,11 @@
 //! * [`Gf65536`] — GF(2¹⁶) via carry-less multiplication,
 //! * [`Fp`] — prime fields GF(p) for any prime `p < 2³²`,
 //! * [`SlabField`] — bulk row arithmetic over packed byte slabs (the
-//!   [`slab`] module), which is what the decoder and recoder hot paths use.
+//!   [`slab`] module), which is what the decoder and recoder hot paths use,
+//! * [`Kernel`] — runtime selection between the slab-kernel rungs: the
+//!   preserved PR 2 table path ([`reference`]), portable SWAR split-nibble
+//!   `u64` kernels ([`wide`]), and runtime-detected x86-64 SIMD
+//!   (`PSHUFB`/`GF2P8MULB`, [`simd`]).
 //!
 //! # Choosing a field
 //!
@@ -55,8 +59,12 @@ mod gf16;
 mod gf2;
 mod gf256;
 mod gf65536;
+pub mod kernel;
+pub mod reference;
+pub mod simd;
 pub mod slab;
 pub mod symbols;
+pub mod wide;
 
 pub use field::Field;
 pub use fp::{Fp, F13, F257, F65537, F7};
@@ -64,6 +72,7 @@ pub use gf16::Gf16;
 pub use gf2::Gf2;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
+pub use kernel::{set_kernel, Kernel};
 pub use slab::SlabField;
 
 #[cfg(test)]

@@ -1,0 +1,156 @@
+//! The PR 2 product-table slab kernels, preserved as the reference rung.
+//!
+//! These are the byte-at-a-time kernels that [`crate::Gf256`] and
+//! [`crate::Gf16`] shipped with before the wide-word rework: one product-
+//! table row per multiplier, one bounds-elided load plus an XOR per byte.
+//! They are kept verbatim for two jobs:
+//!
+//! 1. **Differential testing** — the `proptest_kernels` suite replays every
+//!    geometry through this rung, the SWAR rung ([`crate::wide`]) and the
+//!    SIMD rung ([`crate::simd`]) and asserts bit-identical output.
+//! 2. **Benchmarking** — `bench_rlnc_throughput` times the ladder against
+//!    this rung; the committed ≥ 2× decode-throughput gate is measured
+//!    relative to it.
+//!
+//! Select it at runtime with `AG_GF_KERNEL=reference` or
+//! [`crate::kernel::set_kernel`]. Like every rung, these functions are
+//! total in `c` (the 0 and 1 fast paths live here too, so a rung is a
+//! complete implementation on its own).
+
+use crate::slab::xor_slice;
+
+/// `dst[i] = c · dst[i]` over GF(2⁸), one product-table load per byte.
+pub fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let row = &crate::gf256::mul_table()[c as usize];
+    for d in dst.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` over GF(2⁸) — the PR 2 axpy kernel.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(src, dst);
+        return;
+    }
+    let row = &crate::gf256::mul_table()[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// `dst[i] = c · dst[i]` over GF(2⁴) (one symbol per byte, low nibble).
+pub fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let row = crate::gf16::mul_row(c);
+    for d in dst.iter_mut() {
+        *d = row[(*d & 0xF) as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` over GF(2⁴).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(src, dst);
+        return;
+    }
+    let row = crate::gf16::mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[(*s & 0xF) as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Gf16, Gf256};
+
+    #[test]
+    fn gf256_kernels_match_scalar_field_ops() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 3, 0x57, 0xFF] {
+            let mut axpy = vec![0xAA; 256];
+            gf256_mul_add_slice(c, &src, &mut axpy);
+            let mut mul = src.clone();
+            gf256_mul_slice(c, &mut mul);
+            for (i, &s) in src.iter().enumerate() {
+                let prod = (Gf256::new(c) * Gf256::new(s)).value();
+                assert_eq!(axpy[i], 0xAA ^ prod, "axpy c={c} i={i}");
+                assert_eq!(mul[i], prod, "mul c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_kernels_match_scalar_field_ops() {
+        let src: Vec<u8> = (0..16u8).collect();
+        for c in 0..16u8 {
+            let mut axpy = vec![0x05; 16];
+            gf16_mul_add_slice(c, &src, &mut axpy);
+            let mut mul = src.clone();
+            gf16_mul_slice(c, &mut mul);
+            for (i, &s) in src.iter().enumerate() {
+                let prod = (Gf16::new(c) * Gf16::new(s)).value();
+                assert_eq!(axpy[i], 0x05 ^ prod, "axpy c={c} i={i}");
+                assert_eq!(mul[i], prod, "mul c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_kernels_mask_noncanonical_high_nibbles() {
+        // The PR 2 kernels read only the low nibble of each source byte;
+        // the wide rungs must match (pinned by proptest_kernels).
+        let src = [0xF3u8, 0x2A];
+        let mut dst = [0u8; 2];
+        gf16_mul_add_slice(2, &src, &mut dst);
+        assert_eq!(dst[0], (Gf16::new(2) * Gf16::new(3)).value());
+        assert_eq!(dst[1], (Gf16::new(2) * Gf16::new(0xA)).value());
+    }
+
+    #[test]
+    fn identity_and_annihilator_fast_paths() {
+        let src = [7u8, 9];
+        let mut dst = [1u8, 2];
+        gf256_mul_add_slice(0, &src, &mut dst);
+        assert_eq!(dst, [1, 2]);
+        gf256_mul_add_slice(1, &src, &mut dst);
+        assert_eq!(dst, [1 ^ 7, 2 ^ 9]);
+        let mut z = [3u8, 4];
+        gf256_mul_slice(0, &mut z);
+        assert_eq!(z, [0, 0]);
+        let mut one = [3u8, 4];
+        gf16_mul_slice(1, &mut one);
+        assert_eq!(one, [3, 4]);
+        let _ = Gf256::ONE; // silence unused-import lint paths in cfg(test)
+    }
+}

@@ -1,0 +1,432 @@
+//! The hardware rung of the kernel ladder: `PSHUFB` / `GF2P8MULB` slabs.
+//!
+//! This module applies the same split-nibble decomposition as
+//! [`crate::wide`] — `c·b = LO[b & 0xF] ^ HI[b >> 4]` — but through the
+//! instruction the SWAR rung emulates: `PSHUFB` performs sixteen (SSSE3) or
+//! thirty-two (AVX2) parallel 16-entry table lookups per cycle. On CPUs
+//! with GFNI, GF(2⁸) skips the tables entirely: `GF2P8MULB` multiplies
+//! bytes directly in GF(2⁸) modulo `x⁸+x⁴+x³+x+1` (0x11B) — exactly the
+//! polynomial [`crate::Gf256`] is built on, so the instruction *is* the
+//! field.
+//!
+//! Everything is runtime-detected (`is_x86_feature_detected!`) and compiled
+//! only on x86-64; other architectures transparently fall back to the SWAR
+//! rung, as does an x86-64 CPU without SSSE3. The detected level can be
+//! forced down with `AG_GF_SIMD=ssse3|avx2|gfni` for ladder benchmarks.
+//! Sub-block tails (&lt; 16/32 bytes) run through the SWAR rung, which
+//! produces bit-identical bytes; `proptest_kernels` pins all rungs to each
+//! other across every block-boundary geometry.
+
+#![allow(unsafe_code)]
+
+use crate::slab::xor_slice;
+
+/// Is the SIMD rung available on this CPU at all (x86-64 with SSSE3+)?
+#[must_use]
+pub fn supported() -> bool {
+    detail::supported()
+}
+
+/// The detected instruction level, for benchmark reports: `"gfni"`,
+/// `"avx2"`, `"ssse3"`, or `"swar-fallback"` where the rung delegates.
+#[must_use]
+pub fn level_name() -> &'static str {
+    detail::level_name()
+}
+
+/// `dst[i] = c · dst[i]` over GF(2⁸), SIMD rung.
+pub fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    detail::gf256_mul_slice(c, dst);
+}
+
+/// `dst[i] ^= c · src[i]` over GF(2⁸), SIMD rung.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(src, dst);
+        return;
+    }
+    detail::gf256_mul_add_slice(c, src, dst);
+}
+
+/// `dst[i] = c · dst[i]` over GF(2⁴), SIMD rung.
+pub fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    detail::gf16_mul_slice(c, dst);
+}
+
+/// `dst[i] ^= c · src[i]` over GF(2⁴), SIMD rung.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(src, dst);
+        return;
+    }
+    detail::gf16_mul_add_slice(c, src, dst);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod detail {
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    use crate::wide::{self, gf16_nibble_tables, gf256_nibble_tables, NibbleTables};
+
+    /// Detected (or `AG_GF_SIMD`-forced) instruction level, best first.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub(super) enum Level {
+        /// No SSSE3: delegate every call to the SWAR rung.
+        None,
+        Ssse3,
+        Avx2,
+        /// GFNI + AVX2: `GF2P8MULB` for GF(2⁸); GF(2⁴) uses the AVX2 path.
+        Gfni,
+    }
+
+    fn detect() -> Level {
+        let best = if is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2") {
+            Level::Gfni
+        } else if is_x86_feature_detected!("avx2") {
+            Level::Avx2
+        } else if is_x86_feature_detected!("ssse3") {
+            Level::Ssse3
+        } else {
+            Level::None
+        };
+        let forced =
+            std::env::var("AG_GF_SIMD")
+                .ok()
+                .and_then(|v| match v.to_ascii_lowercase().as_str() {
+                    "ssse3" => Some(Level::Ssse3),
+                    "avx2" => Some(Level::Avx2),
+                    "gfni" => Some(Level::Gfni),
+                    _ => None,
+                });
+        match forced {
+            // Only allow forcing *down*: forcing an unsupported level up
+            // would execute illegal instructions.
+            Some(f) if f <= best => f,
+            _ => best,
+        }
+    }
+
+    pub(super) fn level() -> Level {
+        static LEVEL: OnceLock<Level> = OnceLock::new();
+        *LEVEL.get_or_init(detect)
+    }
+
+    pub(super) fn supported() -> bool {
+        level() != Level::None
+    }
+
+    pub(super) fn level_name() -> &'static str {
+        match level() {
+            Level::Gfni => "gfni",
+            Level::Avx2 => "avx2",
+            Level::Ssse3 => "ssse3",
+            Level::None => "swar-fallback",
+        }
+    }
+
+    pub(super) fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        match level() {
+            // SAFETY: the matched level was runtime-detected (detect()
+            // never reports a level the CPU lacks).
+            Level::Gfni => unsafe { gf256_mul_add_gfni(c, src, dst) },
+            Level::Avx2 => unsafe { mul_add_avx2::<true>(&gf256_nibble_tables(c), src, dst) },
+            Level::Ssse3 => unsafe { mul_add_ssse3::<true>(&gf256_nibble_tables(c), src, dst) },
+            Level::None => wide::gf256_mul_add_slice(c, src, dst),
+        }
+    }
+
+    pub(super) fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
+        match level() {
+            // SAFETY: level was runtime-detected.
+            Level::Gfni => unsafe { gf256_mul_gfni(c, dst) },
+            Level::Avx2 => unsafe { mul_avx2::<true>(&gf256_nibble_tables(c), dst) },
+            Level::Ssse3 => unsafe { mul_ssse3::<true>(&gf256_nibble_tables(c), dst) },
+            Level::None => wide::gf256_mul_slice(c, dst),
+        }
+    }
+
+    pub(super) fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        match level() {
+            // SAFETY: level was runtime-detected; Gfni implies AVX2.
+            Level::Gfni | Level::Avx2 => unsafe {
+                mul_add_avx2::<false>(&gf16_nibble_tables(c), src, dst)
+            },
+            Level::Ssse3 => unsafe { mul_add_ssse3::<false>(&gf16_nibble_tables(c), src, dst) },
+            Level::None => wide::gf16_mul_add_slice(c, src, dst),
+        }
+    }
+
+    pub(super) fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
+        match level() {
+            // SAFETY: level was runtime-detected; Gfni implies AVX2.
+            Level::Gfni | Level::Avx2 => unsafe { mul_avx2::<false>(&gf16_nibble_tables(c), dst) },
+            Level::Ssse3 => unsafe { mul_ssse3::<false>(&gf16_nibble_tables(c), dst) },
+            Level::None => wide::gf16_mul_slice(c, dst),
+        }
+    }
+
+    /// Scalar nibble-table tail shared by every vector path below.
+    fn tail_mul_add(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= t.lo[(s & 0xF) as usize] ^ t.hi[(s >> 4) as usize];
+        }
+    }
+
+    fn tail_mul(t: &NibbleTables, dst: &mut [u8]) {
+        for d in dst.iter_mut() {
+            *d = t.lo[(*d & 0xF) as usize] ^ t.hi[(*d >> 4) as usize];
+        }
+    }
+
+    /// `HI` (GF(2⁸)) or low-nibble-only (GF(2⁴), canonical packing) product
+    /// of one 256-bit block of source bytes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn product_block_avx2<const SPLIT: bool>(
+        lo: __m256i,
+        hi: __m256i,
+        mask: __m256i,
+        s: __m256i,
+    ) -> __m256i {
+        let p_lo = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+        if SPLIT {
+            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+            _mm256_xor_si256(p_lo, _mm256_shuffle_epi8(hi, hi_idx))
+        } else {
+            p_lo
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_add_avx2<const SPLIT: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
+        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let blocks = src.len() / 32;
+        for b in 0..blocks {
+            let sp = src.as_ptr().add(b * 32).cast();
+            let dp = dst.as_mut_ptr().add(b * 32).cast();
+            let p = product_block_avx2::<SPLIT>(lo, hi, mask, _mm256_loadu_si256(sp));
+            _mm256_storeu_si256(dp, _mm256_xor_si256(_mm256_loadu_si256(dp), p));
+        }
+        tail_mul_add(t, &src[blocks * 32..], &mut dst[blocks * 32..]);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_avx2<const SPLIT: bool>(t: &NibbleTables, dst: &mut [u8]) {
+        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
+        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let blocks = dst.len() / 32;
+        for b in 0..blocks {
+            let dp = dst.as_mut_ptr().add(b * 32).cast();
+            let p = product_block_avx2::<SPLIT>(lo, hi, mask, _mm256_loadu_si256(dp));
+            _mm256_storeu_si256(dp, p);
+        }
+        tail_mul(t, &mut dst[blocks * 32..]);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified SSSE3 support.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_add_ssse3<const SPLIT: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+        let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
+        let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let blocks = src.len() / 16;
+        for b in 0..blocks {
+            let sp = src.as_ptr().add(b * 16).cast();
+            let dp = dst.as_mut_ptr().add(b * 16).cast();
+            let s = _mm_loadu_si128(sp);
+            let mut p = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+            if SPLIT {
+                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+                p = _mm_xor_si128(p, _mm_shuffle_epi8(hi, hi_idx));
+            }
+            _mm_storeu_si128(dp, _mm_xor_si128(_mm_loadu_si128(dp), p));
+        }
+        tail_mul_add(t, &src[blocks * 16..], &mut dst[blocks * 16..]);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified SSSE3 support.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_ssse3<const SPLIT: bool>(t: &NibbleTables, dst: &mut [u8]) {
+        let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
+        let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let blocks = dst.len() / 16;
+        for b in 0..blocks {
+            let dp: *mut __m128i = dst.as_mut_ptr().add(b * 16).cast();
+            let s = _mm_loadu_si128(dp.cast_const());
+            let mut p = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+            if SPLIT {
+                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+                p = _mm_xor_si128(p, _mm_shuffle_epi8(hi, hi_idx));
+            }
+            _mm_storeu_si128(dp, p);
+        }
+        tail_mul(t, &mut dst[blocks * 16..]);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_mul_add_gfni(c: u8, src: &[u8], dst: &mut [u8]) {
+        let cv = _mm256_set1_epi8(c as i8);
+        let blocks = src.len() / 32;
+        for b in 0..blocks {
+            let sp = src.as_ptr().add(b * 32).cast();
+            let dp = dst.as_mut_ptr().add(b * 32).cast();
+            let p = _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp), cv);
+            _mm256_storeu_si256(dp, _mm256_xor_si256(_mm256_loadu_si256(dp), p));
+        }
+        // GF2P8MULB needs no tables — only build them if a tail exists.
+        if blocks * 32 < src.len() {
+            tail_mul_add(
+                &gf256_nibble_tables(c),
+                &src[blocks * 32..],
+                &mut dst[blocks * 32..],
+            );
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_mul_gfni(c: u8, dst: &mut [u8]) {
+        let cv = _mm256_set1_epi8(c as i8);
+        let blocks = dst.len() / 32;
+        for b in 0..blocks {
+            let dp: *mut __m256i = dst.as_mut_ptr().add(b * 32).cast();
+            let p = _mm256_gf2p8mul_epi8(_mm256_loadu_si256(dp.cast_const()), cv);
+            _mm256_storeu_si256(dp, p);
+        }
+        if blocks * 32 < dst.len() {
+            tail_mul(&gf256_nibble_tables(c), &mut dst[blocks * 32..]);
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod detail {
+    //! Non-x86-64 hosts: the SIMD rung is a transparent alias of SWAR.
+    use crate::wide;
+
+    pub(super) fn supported() -> bool {
+        false
+    }
+
+    pub(super) fn level_name() -> &'static str {
+        "swar-fallback"
+    }
+
+    pub(super) fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        wide::gf256_mul_add_slice(c, src, dst);
+    }
+
+    pub(super) fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
+        wide::gf256_mul_slice(c, dst);
+    }
+
+    pub(super) fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        wide::gf16_mul_add_slice(c, src, dst);
+    }
+
+    pub(super) fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
+        wide::gf16_mul_slice(c, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_matches_reference_across_block_boundaries() {
+        let src: Vec<u8> = (0..200u8)
+            .map(|b| b.wrapping_mul(101).wrapping_add(7))
+            .collect();
+        for c in [0u8, 1, 2, 0x57, 0x8E, 0xFF] {
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 47, 64, 95, 200] {
+                let mut want = vec![0xC3u8; len];
+                crate::reference::gf256_mul_add_slice(c, &src[..len], &mut want);
+                let mut got = vec![0xC3u8; len];
+                gf256_mul_add_slice(c, &src[..len], &mut got);
+                assert_eq!(got, want, "gf256 axpy c={c} len={len}");
+
+                let mut want_mul = src[..len].to_vec();
+                crate::reference::gf256_mul_slice(c, &mut want_mul);
+                let mut got_mul = src[..len].to_vec();
+                gf256_mul_slice(c, &mut got_mul);
+                assert_eq!(got_mul, want_mul, "gf256 mul c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_gf16_matches_reference_with_dirty_high_nibbles() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in 0..16u8 {
+            for len in [0usize, 13, 16, 40, 256] {
+                let mut want = vec![0x09u8; len];
+                crate::reference::gf16_mul_add_slice(c, &src[..len], &mut want);
+                let mut got = vec![0x09u8; len];
+                gf16_mul_add_slice(c, &src[..len], &mut got);
+                assert_eq!(got, want, "gf16 axpy c={c} len={len}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn detection_reports_a_level() {
+        // On any x86-64 made this century the rung is at least SSSE3.
+        assert!(supported(), "SIMD rung unsupported: {}", level_name());
+    }
+}

@@ -17,10 +17,19 @@
 //! | Field | packing | fast path |
 //! |---|---|---|
 //! | [`Gf2`](crate::Gf2) | 1 byte/symbol | pure XOR (`u64`-chunked) |
-//! | [`Gf16`](crate::Gf16) | 1 byte/symbol | XOR add + per-`c` nibble table |
-//! | [`Gf256`](crate::Gf256) | 1 byte/symbol | XOR add + 256×256 full product table |
+//! | [`Gf16`](crate::Gf16) | 1 byte/symbol | XOR add + kernel-ladder multiply |
+//! | [`Gf256`](crate::Gf256) | 1 byte/symbol | XOR add + kernel-ladder multiply |
 //! | [`Gf65536`](crate::Gf65536) | 2 bytes/symbol LE | XOR add, scalar multiply |
 //! | [`Fp<P>`](crate::Fp) | 8 bytes/symbol LE | scalar fallback |
+//!
+//! "Kernel ladder" means the GF(2⁸)/GF(2⁴) multiply kernels are selected
+//! at runtime by [`crate::Kernel`] among three bit-identical rungs: the
+//! preserved per-`c` product-table loops ([`crate::reference`]), portable
+//! split-nibble SWAR over `u64` words ([`crate::wide`]), and
+//! runtime-detected x86-64 SIMD — `PSHUFB` nibble shuffles or the GFNI
+//! `GF2P8MULB` instruction ([`crate::simd`]). See the [`crate::kernel`]
+//! module docs for the selection rules and `bench_rlnc_throughput` for
+//! measured throughput per rung.
 //!
 //! # Packing invariants
 //!

@@ -1,0 +1,237 @@
+//! Kernel-ladder differential proptests: every rung, every edge geometry.
+//!
+//! The three slab-kernel rungs — [`ag_gf::reference`] (the PR 2 product-
+//! table path), [`ag_gf::wide`] (SWAR split-nibble `u64` kernels) and
+//! [`ag_gf::simd`] (runtime-detected `PSHUFB`/`GF2P8MULB`) — must be
+//! bit-identical on every input, or simulation trajectories would depend on
+//! the host CPU. These properties drive all rungs plus the scalar
+//! [`Field`]-arithmetic oracle over the geometries where wide kernels break
+//! in practice:
+//!
+//! * empty rows and odd lengths,
+//! * sub-8-byte and sub-16/32-byte tails (SWAR word and SIMD block
+//!   boundaries),
+//! * slabs starting at every misalignment `0..8` inside a parent buffer,
+//! * coefficients `c ∈ {0, 1, generator, random}`,
+//! * for GF(2⁴): non-canonical high nibbles in the source bytes.
+//!
+//! Run with `PROPTEST_CASES=256` in CI for the elevated-coverage pass.
+
+use ag_gf::{reference, simd, wide, Field, Gf16, Gf256, SlabField};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random byte buffer.
+fn bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// Maps a coefficient selector to the forced edge cases and random draws.
+fn coeff<F: Field>(sel: u8, generator: F, seed: u64) -> F {
+    match sel {
+        0 => F::ZERO,
+        1 => F::ONE,
+        2 => generator,
+        _ => F::random(&mut StdRng::seed_from_u64(seed ^ 0xC0FFEE)),
+    }
+}
+
+/// Runs one (c, geometry) draw through all three GF(2⁸) rungs and the
+/// scalar oracle. `off` misaligns the slab start inside a parent buffer.
+fn gf256_rungs_agree(seed: u64, len: usize, off: usize, sel: u8) -> Result<(), TestCaseError> {
+    let c = coeff(sel, Gf256::generator(), seed);
+    let src_buf = bytes(seed, off + len);
+    let dst_buf = bytes(seed.wrapping_mul(31).wrapping_add(7), off + len);
+    let src = &src_buf[off..];
+
+    // Scalar oracle from one-element Field ops.
+    let want_axpy: Vec<u8> = dst_buf[off..]
+        .iter()
+        .zip(src)
+        .map(|(&d, &s)| d ^ (c * Gf256::new(s)).value())
+        .collect();
+    let want_mul: Vec<u8> = dst_buf[off..]
+        .iter()
+        .map(|&d| (c * Gf256::new(d)).value())
+        .collect();
+
+    type MulAdd = fn(u8, &[u8], &mut [u8]);
+    type Mul = fn(u8, &mut [u8]);
+    let rungs: [(&str, MulAdd, Mul); 3] = [
+        (
+            "reference",
+            reference::gf256_mul_add_slice,
+            reference::gf256_mul_slice,
+        ),
+        ("swar", wide::gf256_mul_add_slice, wide::gf256_mul_slice),
+        ("simd", simd::gf256_mul_add_slice, simd::gf256_mul_slice),
+    ];
+    for (name, mul_add, mul) in rungs {
+        let mut axpy = dst_buf.clone();
+        mul_add(c.value(), src, &mut axpy[off..]);
+        prop_assert_eq!(&axpy[off..], &want_axpy[..], "{} axpy", name);
+        prop_assert_eq!(
+            &axpy[..off],
+            &dst_buf[..off],
+            "{} axpy prefix clobbered",
+            name
+        );
+
+        let mut m = dst_buf.clone();
+        mul(c.value(), &mut m[off..]);
+        prop_assert_eq!(&m[off..], &want_mul[..], "{} mul", name);
+        prop_assert_eq!(&m[..off], &dst_buf[..off], "{} mul prefix clobbered", name);
+    }
+    Ok(())
+}
+
+/// GF(2⁴) analog; `src` deliberately contains non-canonical high nibbles,
+/// which every rung must ignore exactly like the reference kernel does.
+fn gf16_rungs_agree(seed: u64, len: usize, off: usize, sel: u8) -> Result<(), TestCaseError> {
+    let c = coeff(sel, Gf16::new(2), seed);
+    let src_buf = bytes(seed, off + len);
+    let dst_buf = bytes(seed ^ 0xD1CE, off + len);
+    let src = &src_buf[off..];
+
+    // The c = 1 fast path of every rung XORs whole bytes (dirty high
+    // nibbles included) rather than masking first — harmless on canonical
+    // slabs, and part of the shared kernel contract the rungs must agree on.
+    let want_axpy: Vec<u8> = dst_buf[off..]
+        .iter()
+        .zip(src)
+        .map(|(&d, &s)| {
+            if c == Gf16::ONE {
+                d ^ s
+            } else {
+                d ^ (c * Gf16::new(s)).value()
+            }
+        })
+        .collect();
+
+    type MulAdd = fn(u8, &[u8], &mut [u8]);
+    let rungs: [(&str, MulAdd); 3] = [
+        ("reference", reference::gf16_mul_add_slice),
+        ("swar", wide::gf16_mul_add_slice),
+        ("simd", simd::gf16_mul_add_slice),
+    ];
+    for (name, mul_add) in rungs {
+        let mut axpy = dst_buf.clone();
+        mul_add(c.value(), src, &mut axpy[off..]);
+        prop_assert_eq!(&axpy[off..], &want_axpy[..], "{} axpy", name);
+    }
+
+    // mul_slice: only compare rungs to each other on canonical bytes (the
+    // c = 1 early-out skips the low-nibble masking by design, so dirty
+    // high nibbles would survive differently than under c != 1).
+    let canonical: Vec<u8> = src.iter().map(|b| b & 0xF).collect();
+    let mut want_mul = canonical.clone();
+    reference::gf16_mul_slice(c.value(), &mut want_mul);
+    for (name, mul) in [
+        ("swar", wide::gf16_mul_slice as fn(u8, &mut [u8])),
+        ("simd", simd::gf16_mul_slice as fn(u8, &mut [u8])),
+    ] {
+        let mut m = canonical.clone();
+        mul(c.value(), &mut m);
+        prop_assert_eq!(&m, &want_mul, "{} mul", name);
+    }
+    Ok(())
+}
+
+/// The dispatched `SlabField` surface (whatever kernel is active) against
+/// the scalar oracle, for every field — pins the dispatch layer itself.
+fn dispatch_matches_scalar<F: SlabField>(
+    seed: u64,
+    len: usize,
+    sel: u8,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<F> = (0..len).map(|_| F::random(&mut rng)).collect();
+    let ys: Vec<F> = (0..len).map(|_| F::random(&mut rng)).collect();
+    let c = match sel {
+        0 => F::ZERO,
+        1 => F::ONE,
+        _ => F::random(&mut rng),
+    };
+    let px = F::pack(&xs);
+    let py = F::pack(&ys);
+
+    let mut axpy = px.clone();
+    F::mul_add_slice(c, &py, &mut axpy);
+    let want: Vec<F> = xs.iter().zip(&ys).map(|(&x, &y)| x + c * y).collect();
+    prop_assert_eq!(F::unpack(&axpy), want);
+
+    let mut mul = px;
+    F::mul_slice(c, &mut mul);
+    let want_mul: Vec<F> = xs.iter().map(|&x| c * x).collect();
+    prop_assert_eq!(F::unpack(&mul), want_mul);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gf256_kernel_ladder_is_bit_identical(
+        seed in any::<u64>(),
+        len in 0usize..100,
+        off in 0usize..8,
+        sel in 0u8..5,
+    ) {
+        gf256_rungs_agree(seed, len, off, sel)?;
+    }
+
+    #[test]
+    fn gf16_kernel_ladder_is_bit_identical(
+        seed in any::<u64>(),
+        len in 0usize..100,
+        off in 0usize..8,
+        sel in 0u8..5,
+    ) {
+        gf16_rungs_agree(seed, len, off, sel)?;
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_gf2(seed in any::<u64>(), len in 0usize..67, sel in 0u8..4) {
+        dispatch_matches_scalar::<ag_gf::Gf2>(seed, len, sel)?;
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_gf16(seed in any::<u64>(), len in 0usize..67, sel in 0u8..4) {
+        dispatch_matches_scalar::<Gf16>(seed, len, sel)?;
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_gf256(seed in any::<u64>(), len in 0usize..67, sel in 0u8..4) {
+        dispatch_matches_scalar::<Gf256>(seed, len, sel)?;
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_gf65536(seed in any::<u64>(), len in 0usize..67, sel in 0u8..4) {
+        dispatch_matches_scalar::<ag_gf::Gf65536>(seed, len, sel)?;
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_f257(seed in any::<u64>(), len in 0usize..67, sel in 0u8..4) {
+        dispatch_matches_scalar::<ag_gf::F257>(seed, len, sel)?;
+    }
+}
+
+/// Deterministic exhaustive pin: every GF(2⁸) multiplier × every source
+/// byte, all rungs, one 256-byte row — the same full-plane check the PR 2
+/// suite ran for the table kernel, now across the whole ladder.
+#[test]
+fn gf256_all_multipliers_all_bytes_all_rungs() {
+    let src: Vec<u8> = (0..=255u8).collect();
+    for c in 0..=255u8 {
+        let mut want = vec![0u8; 256];
+        reference::gf256_mul_add_slice(c, &src, &mut want);
+        let mut swar = vec![0u8; 256];
+        wide::gf256_mul_add_slice(c, &src, &mut swar);
+        assert_eq!(swar, want, "swar c={c}");
+        let mut sd = vec![0u8; 256];
+        simd::gf256_mul_add_slice(c, &src, &mut sd);
+        assert_eq!(sd, want, "simd c={c}");
+    }
+}

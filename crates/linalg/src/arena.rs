@@ -1,0 +1,414 @@
+//! A simulation-wide arena of echelon bases: every node's rows in one slab.
+//!
+//! A gossip simulation holds one decoder basis per node. Backing each with
+//! its own growing [`EchelonBasis`](crate::EchelonBasis) means `n`
+//! independently reallocating `Vec`s — fine at experiment scale, but at
+//! `n = 10⁵` nodes with 1 KiB payloads it is both an allocation storm and a
+//! locality loss. [`BasisArena`] instead owns **one** contiguous byte slab
+//! with a fixed capacity of `pivot_width` rows per node (a basis can never
+//! exceed rank `pivot_width`), plus one flat pivot table and one rank
+//! counter per node. After construction, inserting rows performs **zero
+//! heap allocation**: an incoming row is reduced in the caller's buffer (or
+//! the arena's internal scratch) and, when innovative, copied into the
+//! node's next row slot.
+//!
+//! The arena is allocated zeroed, so physical memory is committed lazily by
+//! the OS as ranks actually grow — an incomplete run touches only the rows
+//! it stored.
+//!
+//! Elimination is literally the same code as `EchelonBasis` (the shared
+//! `core_ops` functions), so a packet stream replayed through both produces
+//! bit-identical verdicts, pivots and stored bytes; the differential suites
+//! in `ag-rlnc` and the golden trajectory pins in `algebraic-gossip` lock
+//! that equivalence end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use ag_gf::{Field, Gf256, SlabField};
+//! use ag_linalg::{BasisArena, Insertion};
+//!
+//! // Two nodes, width-2 bases, rows carry one payload symbol.
+//! let mut arena = BasisArena::<Gf256>::new(2, 2, 3);
+//! let row = Gf256::pack(&[Gf256::ONE, Gf256::ZERO, Gf256::new(9)]);
+//! assert_eq!(arena.insert_packed_slice(0, &row), Insertion::Innovative);
+//! assert_eq!(arena.insert_packed_slice(0, &row), Insertion::Redundant);
+//! assert_eq!(arena.rank(0), 1);
+//! assert_eq!(arena.rank(1), 0);
+//! ```
+
+use std::marker::PhantomData;
+
+use ag_gf::SlabField;
+
+use crate::echelon::{core_ops, Insertion};
+
+/// All of a simulation's echelon bases in one preallocated slab — see the
+/// [module docs](self).
+///
+/// Unlike [`EchelonBasis`](crate::EchelonBasis), whose row length is
+/// learned from the first inserted row, an arena fixes `row_elems`
+/// (coefficients + augmented tail) at construction; every row must match.
+/// Shape violations are bugs in the caller's wiring, not data-dependent
+/// conditions, so the arena asserts rather than returning typed errors —
+/// the decoder layer above re-checks shapes where untrusted input enters.
+#[derive(Debug, Clone)]
+pub struct BasisArena<F> {
+    /// Number of per-node bases.
+    nodes: usize,
+    /// Pivot (coefficient) width of every basis — also the per-node row
+    /// capacity.
+    pivot_width: usize,
+    /// Symbols per row (pivot prefix + augmented tail), fixed up front.
+    row_elems: usize,
+    /// Flat pivot tables: node `v`'s table is
+    /// `pivots[v * pivot_width .. (v + 1) * pivot_width]`, mapping a pivot
+    /// column to the node-local index of the stored row.
+    pivots: Vec<Option<usize>>,
+    /// Per-node rank.
+    ranks: Vec<usize>,
+    /// All rows: node `v`'s row `i` occupies `row_bytes` bytes at offset
+    /// `(v * pivot_width + i) * row_bytes`.
+    storage: Vec<u8>,
+    /// Reusable reduction buffer for [`BasisArena::insert_packed_slice`].
+    scratch: Vec<u8>,
+    _field: PhantomData<F>,
+}
+
+impl<F: SlabField> BasisArena<F> {
+    /// Creates an arena of `nodes` empty bases with `pivot_width` leading
+    /// coefficients and `row_elems` total symbols per row.
+    ///
+    /// Allocates the full `nodes · pivot_width · row_elems` symbol slab up
+    /// front (zeroed — the OS commits pages lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pivot_width == 0` or `row_elems < pivot_width`.
+    #[must_use]
+    pub fn new(nodes: usize, pivot_width: usize, row_elems: usize) -> Self {
+        assert!(pivot_width > 0, "pivot width must be positive");
+        assert!(
+            row_elems >= pivot_width,
+            "rows must at least cover the pivot prefix"
+        );
+        let row_bytes = row_elems * F::SYMBOL_BYTES;
+        BasisArena {
+            nodes,
+            pivot_width,
+            row_elems,
+            pivots: vec![None; nodes * pivot_width],
+            ranks: vec![0; nodes],
+            storage: vec![0; nodes * pivot_width * row_bytes],
+            scratch: Vec::new(),
+            _field: PhantomData,
+        }
+    }
+
+    /// Number of per-node bases.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The pivot (coefficient) width of every basis.
+    #[must_use]
+    pub fn pivot_width(&self) -> usize {
+        self.pivot_width
+    }
+
+    /// Symbols per row (pivot prefix + augmented tail).
+    #[must_use]
+    pub fn row_elems(&self) -> usize {
+        self.row_elems
+    }
+
+    /// Bytes per row.
+    #[must_use]
+    pub fn row_bytes(&self) -> usize {
+        self.row_elems * F::SYMBOL_BYTES
+    }
+
+    /// Node `node`'s current rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn rank(&self, node: usize) -> usize {
+        self.ranks[node]
+    }
+
+    /// True once node `node`'s basis spans the full coefficient space.
+    #[must_use]
+    pub fn is_full(&self, node: usize) -> bool {
+        self.ranks[node] == self.pivot_width
+    }
+
+    /// Byte offset of node `node`'s first row slot.
+    #[inline]
+    fn base(&self, node: usize) -> usize {
+        node * self.pivot_width * self.row_bytes()
+    }
+
+    /// Node `node`'s stored rows as one contiguous packed slab.
+    #[inline]
+    fn node_rows(&self, node: usize) -> &[u8] {
+        let base = self.base(node);
+        &self.storage[base..base + self.ranks[node] * self.row_bytes()]
+    }
+
+    /// Node `node`'s pivot table.
+    #[inline]
+    fn node_pivots(&self, node: usize) -> &[Option<usize>] {
+        &self.pivots[node * self.pivot_width..(node + 1) * self.pivot_width]
+    }
+
+    /// Row `i` of node `node` as a packed byte slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank(node)`.
+    #[must_use]
+    pub fn packed_row(&self, node: usize, i: usize) -> &[u8] {
+        assert!(i < self.ranks[node], "row index out of bounds");
+        let rb = self.row_bytes();
+        let start = self.base(node) + i * rb;
+        &self.storage[start..start + rb]
+    }
+
+    /// Iterates over node `node`'s stored rows in insertion order — the
+    /// same order [`EchelonBasis::packed_rows`](crate::EchelonBasis::packed_rows)
+    /// yields, which recoders rely on for identical coefficient draws.
+    pub fn packed_rows(&self, node: usize) -> impl Iterator<Item = &[u8]> {
+        self.node_rows(node).chunks_exact(self.row_bytes().max(1))
+    }
+
+    /// Inserts a packed row into node `node`'s basis, reducing it **in
+    /// place** in the caller's buffer (which is clobbered: on return it
+    /// holds the reduced/normalized remainder). This is the zero-copy hot
+    /// path for callers that own a reusable row buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `row.len() != row_bytes()`.
+    pub fn insert_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Insertion {
+        let rb = self.row_bytes();
+        assert_eq!(
+            row.len(),
+            rb,
+            "packed row length mismatch: got {}, arena rows are {rb} bytes",
+            row.len()
+        );
+        let rank = self.ranks[node];
+        let Some(pivot_col) =
+            core_ops::reduce::<F>(self.node_pivots(node), self.node_rows(node), rb, row, true)
+        else {
+            return Insertion::Redundant;
+        };
+        let base = self.base(node);
+        core_ops::normalize_and_back_substitute::<F>(
+            &mut self.storage[base..base + rank * rb],
+            rb,
+            rank,
+            pivot_col,
+            row,
+        );
+        self.storage[base + rank * rb..base + (rank + 1) * rb].copy_from_slice(row);
+        self.pivots[node * self.pivot_width + pivot_col] = Some(rank);
+        self.ranks[node] = rank + 1;
+        Insertion::Innovative
+    }
+
+    /// Borrowing variant of [`BasisArena::insert_packed_mut`]: copies the
+    /// row into the arena's internal scratch buffer first. Still
+    /// allocation-free once the scratch has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `row.len() != row_bytes()`.
+    pub fn insert_packed_slice(&mut self, node: usize, row: &[u8]) -> Insertion {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(row);
+        let outcome = self.insert_packed_mut(node, &mut scratch);
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Would this packed row raise node `node`'s rank? Non-mutating; `row`
+    /// may be a pivot-prefix-only slab. Allocates a temporary — a cold-path
+    /// query, not part of the round loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the packed pivot prefix.
+    #[must_use]
+    pub fn would_be_innovative_packed(&self, node: usize, row: &[u8]) -> bool {
+        assert!(row.len() >= self.pivot_width * F::SYMBOL_BYTES);
+        let mut tmp = row.to_vec();
+        core_ops::reduce::<F>(
+            self.node_pivots(node),
+            self.node_rows(node),
+            self.row_bytes(),
+            &mut tmp,
+            false,
+        )
+        .is_some()
+    }
+
+    /// Once node `node` is full, extracts its solution exactly as
+    /// [`EchelonBasis::solution`](crate::EchelonBasis::solution): row `i`
+    /// of the result is the augmented tail of the equation whose
+    /// coefficient vector is the `i`-th unit vector.
+    #[must_use]
+    pub fn solution(&self, node: usize) -> Option<Vec<Vec<F>>> {
+        if !self.is_full(node) {
+            return None;
+        }
+        let prefix = self.pivot_width * F::SYMBOL_BYTES;
+        let pivots = self.node_pivots(node);
+        let mut out = Vec::with_capacity(self.pivot_width);
+        for (c, pivot) in pivots.iter().enumerate() {
+            let ri = pivot.expect("full basis has all pivots");
+            let row = self.packed_row(node, ri);
+            debug_assert!(
+                (0..self.pivot_width).all(|j| {
+                    let v = core_ops::col::<F>(row, j);
+                    if j == c {
+                        v == F::ONE
+                    } else {
+                        v.is_zero()
+                    }
+                }),
+                "fully reduced basis rows must be unit vectors"
+            );
+            out.push(F::unpack(&row[prefix..]));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EchelonBasis;
+    use ag_gf::{Field, Gf2, Gf256};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random augmented row over F.
+    fn random_row<F: SlabField>(rng: &mut StdRng, elems: usize) -> Vec<u8> {
+        let row: Vec<F> = (0..elems).map(|_| F::random(rng)).collect();
+        F::pack(&row)
+    }
+
+    /// The load-bearing property: an arena node and a standalone
+    /// `EchelonBasis` fed the same stream stay bit-identical — verdicts,
+    /// ranks, stored rows, and solutions.
+    fn differential_vs_echelon<F: SlabField>(seed: u64, k: usize, tail: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = 3;
+        let elems = k + tail;
+        let mut arena = BasisArena::<F>::new(nodes, k, elems);
+        let mut bases: Vec<EchelonBasis<F>> = (0..nodes).map(|_| EchelonBasis::new(k)).collect();
+        for _ in 0..6 * k {
+            let node = rng.gen_range(0..nodes);
+            let row = random_row::<F>(&mut rng, elems);
+            let got = arena.insert_packed_slice(node, &row);
+            let want = bases[node].try_insert_packed(row).expect("shape-valid row");
+            assert_eq!(got, want);
+            assert_eq!(arena.rank(node), bases[node].rank());
+        }
+        for node in 0..nodes {
+            assert_eq!(arena.is_full(node), bases[node].is_full());
+            let arena_rows: Vec<&[u8]> = arena.packed_rows(node).collect();
+            let basis_rows: Vec<&[u8]> = bases[node].packed_rows().collect();
+            assert_eq!(arena_rows, basis_rows, "stored rows diverged");
+            if arena.is_full(node) {
+                assert_eq!(arena.solution(node), bases[node].solution());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_echelon_gf256() {
+        for seed in 0..4 {
+            differential_vs_echelon::<Gf256>(seed, 6, 3);
+        }
+    }
+
+    #[test]
+    fn arena_matches_echelon_gf2() {
+        // GF(2) produces many redundant rows — exercises the annihilation
+        // path heavily.
+        for seed in 0..4 {
+            differential_vs_echelon::<Gf2>(seed, 8, 2);
+        }
+    }
+
+    #[test]
+    fn full_node_rejects_everything_without_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = 4;
+        let mut arena = BasisArena::<Gf256>::new(1, k, k);
+        while !arena.is_full(0) {
+            let row = random_row::<Gf256>(&mut rng, k);
+            arena.insert_packed_slice(0, &row);
+        }
+        for _ in 0..20 {
+            let row = random_row::<Gf256>(&mut rng, k);
+            assert_eq!(arena.insert_packed_slice(0, &row), Insertion::Redundant);
+        }
+        assert_eq!(arena.rank(0), k);
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut arena = BasisArena::<Gf256>::new(2, 2, 2);
+        let e0 = Gf256::pack(&[Gf256::ONE, Gf256::ZERO]);
+        assert_eq!(arena.insert_packed_slice(0, &e0), Insertion::Innovative);
+        assert_eq!(arena.rank(0), 1);
+        assert_eq!(arena.rank(1), 0);
+        assert_eq!(arena.insert_packed_slice(1, &e0), Insertion::Innovative);
+        assert_eq!(arena.rank(1), 1);
+    }
+
+    #[test]
+    fn insert_packed_mut_reduces_in_callers_buffer() {
+        let mut arena = BasisArena::<Gf256>::new(1, 2, 2);
+        let mut row = Gf256::pack(&[Gf256::new(2), Gf256::ZERO]);
+        assert_eq!(arena.insert_packed_mut(0, &mut row), Insertion::Innovative);
+        // The buffer now holds the normalized row (pivot scaled to 1).
+        assert_eq!(row, Gf256::pack(&[Gf256::ONE, Gf256::ZERO]));
+        // A dependent row is annihilated in place.
+        let mut dep = Gf256::pack(&[Gf256::new(7), Gf256::ZERO]);
+        assert_eq!(arena.insert_packed_mut(0, &mut dep), Insertion::Redundant);
+        assert_eq!(dep, vec![0, 0]);
+    }
+
+    #[test]
+    fn would_be_innovative_matches_insert() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut arena = BasisArena::<Gf256>::new(1, 5, 5);
+        for _ in 0..30 {
+            let row = random_row::<Gf256>(&mut rng, 5);
+            let predicted = arena.would_be_innovative_packed(0, &row);
+            let actual = arena.insert_packed_slice(0, &row) == Insertion::Innovative;
+            assert_eq!(predicted, actual);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_row_length_panics() {
+        let mut arena = BasisArena::<Gf256>::new(1, 2, 3);
+        let _ = arena.insert_packed_slice(0, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot prefix")]
+    fn tail_shorter_than_pivot_rejected_at_construction() {
+        let _ = BasisArena::<Gf256>::new(1, 3, 2);
+    }
+}

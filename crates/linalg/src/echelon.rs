@@ -2,11 +2,15 @@
 //!
 //! Rows are stored as one contiguous slab of packed bytes (see
 //! [`ag_gf::slab`]) and every elimination step runs through the
-//! [`SlabField`] bulk kernels — for GF(2⁸) that is one table load plus an
-//! XOR per byte instead of two scalar table lookups, and for GF(2) a pure
-//! `u64`-chunked XOR. The scalar predecessor is preserved as
+//! [`SlabField`] bulk kernels — runtime-dispatched through the
+//! `ag_gf::Kernel` ladder (product tables / SWAR / SIMD) for GF(2⁸) and
+//! GF(2⁴), and a pure `u64`-chunked XOR for GF(2). The elimination itself
+//! lives in the `core_ops` functions shared with [`crate::BasisArena`],
+//! the simulation-wide arena that holds every node's basis in one
+//! preallocated slab — so the owned and arena-backed bases are
+//! bit-identical by construction. The scalar predecessor is preserved as
 //! [`crate::reference::ScalarBasis`] and a differential test suite in
-//! `ag-rlnc` pins the two to identical behaviour.
+//! `ag-rlnc` pins all of them to identical behaviour.
 
 use std::error::Error;
 use std::fmt;
@@ -88,6 +92,88 @@ impl fmt::Display for BasisError {
 
 impl Error for BasisError {}
 
+/// The shared Gauss–Jordan elimination core.
+///
+/// Both [`EchelonBasis`] (one growing basis, `Vec`-backed) and
+/// [`crate::BasisArena`] (all of a simulation's bases in one preallocated
+/// slab) run their eliminations through these functions, so the two are
+/// bit-identical by construction — the property the golden-trajectory and
+/// differential suites pin end to end.
+pub(crate) mod core_ops {
+    use ag_gf::SlabField;
+
+    /// Reads the symbol in column `c` of a packed row.
+    #[inline]
+    pub(crate) fn col<F: SlabField>(row: &[u8], c: usize) -> F {
+        F::read_symbol(&row[c * F::SYMBOL_BYTES..])
+    }
+
+    /// Reduces `row` in place against the stored rows.
+    ///
+    /// `storage` holds the stored rows contiguously (`row_bytes` each, in
+    /// insertion order) and `pivots[c]` names the stored row with pivot
+    /// column `c`. With `full = false` the walk stops at the first nonzero
+    /// coefficient in a pivot-free column and returns it (the cheap
+    /// would-be-innovative probe); with `full = true` every pivot column is
+    /// eliminated and the *leading* pivot-free column is returned, leaving
+    /// `row` ready to store. `None` means the row was annihilated — it was
+    /// already in the span. `row` may be a pivot-prefix-only slab shorter
+    /// than the stored rows.
+    pub(crate) fn reduce<F: SlabField>(
+        pivots: &[Option<usize>],
+        storage: &[u8],
+        row_bytes: usize,
+        row: &mut [u8],
+        full: bool,
+    ) -> Option<usize> {
+        let mut lead = None;
+        for (c, pivot) in pivots.iter().enumerate() {
+            let x = col::<F>(row, c);
+            if x.is_zero() {
+                continue;
+            }
+            match *pivot {
+                Some(ri) => {
+                    // Eliminate column c using the stored (normalized) row:
+                    // row += (-x) · stored, i.e. row -= x · stored.
+                    let stored = &storage[ri * row_bytes..(ri + 1) * row_bytes];
+                    F::mul_add_slice(-x, &stored[..row.len()], row);
+                    debug_assert!(col::<F>(row, c).is_zero());
+                }
+                None if full => {
+                    if lead.is_none() {
+                        lead = Some(c);
+                    }
+                }
+                None => return Some(c),
+            }
+        }
+        lead
+    }
+
+    /// Normalizes a fully reduced `row` (pivot entry becomes 1) and
+    /// back-substitutes it into every stored row so the basis stays in
+    /// reduced (Gauss–Jordan) form. The caller then appends `row` as the
+    /// newest stored row.
+    pub(crate) fn normalize_and_back_substitute<F: SlabField>(
+        storage: &mut [u8],
+        row_bytes: usize,
+        rank: usize,
+        pivot_col: usize,
+        row: &mut [u8],
+    ) {
+        let pinv = col::<F>(row, pivot_col).inv().expect("pivot is nonzero");
+        F::mul_slice(pinv, row);
+        for r in 0..rank {
+            let stored = &mut storage[r * row_bytes..(r + 1) * row_bytes];
+            let factor = col::<F>(stored, pivot_col);
+            if !factor.is_zero() {
+                F::mul_add_slice(-factor, row, stored);
+            }
+        }
+    }
+}
+
 /// A growing row-echelon basis of vectors of fixed width over `F`.
 ///
 /// Rows may carry an *augmented tail* (e.g. RLNC payload symbols) beyond the
@@ -97,7 +183,10 @@ impl Error for BasisError {}
 /// This is exactly Gauss–Jordan decoding of a network-coded generation.
 ///
 /// Inserting a row costs `O(rank · width)` symbol operations, executed as
-/// packed-slab axpys over the contiguous row storage.
+/// packed-slab axpys over the contiguous row storage. For simulations that
+/// hold one basis per node, [`crate::BasisArena`] provides the same
+/// elimination (literally the same `core_ops` code) over a single
+/// preallocated storage slab shared by all nodes.
 ///
 /// # Examples
 ///
@@ -111,7 +200,7 @@ impl Error for BasisError {}
 /// assert_eq!(basis.insert(e0), Insertion::Redundant);
 /// assert_eq!(basis.rank(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct EchelonBasis<F> {
     /// Width of the pivot (coefficient) prefix of every row.
     pivot_width: usize,
@@ -125,8 +214,27 @@ pub struct EchelonBasis<F> {
     /// All rows, packed and contiguous: row `i` occupies
     /// `storage[i * row_bytes .. (i + 1) * row_bytes]`.
     storage: Vec<u8>,
+    /// Reusable reduction buffer for the borrowing insert path
+    /// ([`EchelonBasis::try_insert_packed_slice`]); purely transient, not
+    /// part of the basis's logical state (excluded from `PartialEq`).
+    scratch: Vec<u8>,
     _field: PhantomData<F>,
 }
+
+/// Logical-state equality: two bases are equal iff they store the same
+/// rows with the same pivots — the transient `scratch` buffer never
+/// participates.
+impl<F> PartialEq for EchelonBasis<F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pivot_width == other.pivot_width
+            && self.row_elems == other.row_elems
+            && self.pivots == other.pivots
+            && self.rank == other.rank
+            && self.storage == other.storage
+    }
+}
+
+impl<F> Eq for EchelonBasis<F> {}
 
 impl<F: SlabField> EchelonBasis<F> {
     /// Creates an empty basis whose rows have `pivot_width` leading
@@ -139,6 +247,7 @@ impl<F: SlabField> EchelonBasis<F> {
             pivots: vec![None; pivot_width],
             rank: 0,
             storage: Vec::new(),
+            scratch: Vec::new(),
             _field: PhantomData,
         }
     }
@@ -209,7 +318,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// Reads the symbol in column `c` of a packed row.
     #[inline]
     fn col(row: &[u8], c: usize) -> F {
-        F::read_symbol(&row[c * F::SYMBOL_BYTES..])
+        core_ops::col::<F>(row, c)
     }
 
     /// Reduces `row` against the basis in place, stopping at the first
@@ -218,23 +327,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// used by [`EchelonBasis::would_be_innovative`]. `row` may be a
     /// pivot-prefix-only slab shorter than the stored rows.
     fn reduce(&self, row: &mut [u8]) -> Option<usize> {
-        for c in 0..self.pivot_width {
-            let x = Self::col(row, c);
-            if x.is_zero() {
-                continue;
-            }
-            match self.pivots[c] {
-                Some(ri) => {
-                    // Eliminate column c using the stored (normalized) row:
-                    // row += (-x) · stored, i.e. row -= x · stored.
-                    let stored = self.packed_row(ri);
-                    F::mul_add_slice(-x, &stored[..row.len()], row);
-                    debug_assert!(Self::col(row, c).is_zero());
-                }
-                None => return Some(c),
-            }
-        }
-        None
+        core_ops::reduce::<F>(&self.pivots, &self.storage, self.row_bytes(), row, false)
     }
 
     /// Fully reduces `row` against *every* pivot column (not just those up
@@ -242,26 +335,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// row survives. Required before storing a row so the basis remains in
     /// reduced (Gauss–Jordan) form.
     fn reduce_full(&self, row: &mut [u8]) -> Option<usize> {
-        let mut lead = None;
-        for c in 0..self.pivot_width {
-            let x = Self::col(row, c);
-            if x.is_zero() {
-                continue;
-            }
-            match self.pivots[c] {
-                Some(ri) => {
-                    let stored = self.packed_row(ri);
-                    F::mul_add_slice(-x, &stored[..row.len()], row);
-                    debug_assert!(Self::col(row, c).is_zero());
-                }
-                None => {
-                    if lead.is_none() {
-                        lead = Some(c);
-                    }
-                }
-            }
-        }
-        lead
+        core_ops::reduce::<F>(&self.pivots, &self.storage, self.row_bytes(), row, true)
     }
 
     /// Inserts an equation. Returns whether it was innovative.
@@ -310,6 +384,33 @@ impl<F: SlabField> EchelonBasis<F> {
         Ok(self.insert_validated(row))
     }
 
+    /// Like [`EchelonBasis::try_insert_packed`] but *borrowing* the row:
+    /// the bytes are copied into an internal reusable scratch buffer and
+    /// reduced there, so a redundant insertion costs **zero heap
+    /// allocations** once the scratch has warmed up — the contract the
+    /// engine's redundant-reception path relies on.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`EchelonBasis::try_insert_packed`] errors; the basis
+    /// (its logical state — `scratch` is transient) is unchanged on `Err`
+    /// *and* on a redundant insert.
+    pub fn try_insert_packed_slice(&mut self, row: &[u8]) -> Result<Insertion, BasisError> {
+        if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
+            return Err(BasisError::Misaligned {
+                len: row.len(),
+                symbol_bytes: F::SYMBOL_BYTES,
+            });
+        }
+        self.validate(row.len() / F::SYMBOL_BYTES)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(row);
+        let outcome = self.insert_validated_slice(&mut scratch);
+        self.scratch = scratch;
+        Ok(outcome)
+    }
+
     /// Shape checks shared by every insertion entry point.
     fn validate(&self, elems: usize) -> Result<(), BasisError> {
         if elems < self.pivot_width {
@@ -331,25 +432,27 @@ impl<F: SlabField> EchelonBasis<F> {
 
     /// The elimination core; `row` is packed and already shape-checked.
     fn insert_validated(&mut self, mut row: Vec<u8>) -> Insertion {
-        let Some(pivot_col) = self.reduce_full(&mut row) else {
+        self.insert_validated_slice(&mut row)
+    }
+
+    /// Borrowed-buffer elimination core: reduces `row` in place and, when
+    /// innovative, copies it into the contiguous storage. The caller's
+    /// buffer is clobbered either way (it ends up reduced/normalized).
+    fn insert_validated_slice(&mut self, row: &mut [u8]) -> Insertion {
+        let Some(pivot_col) = self.reduce_full(row) else {
             return Insertion::Redundant;
         };
-        // Normalize so the pivot entry is 1.
-        let pinv = Self::col(&row, pivot_col).inv().expect("pivot is nonzero");
-        F::mul_slice(pinv, &mut row);
-        // Back-substitute into existing rows to keep the basis fully
-        // reduced: stored -= factor · row.
         let rb = row.len();
-        for r in 0..self.rank {
-            let stored = &mut self.storage[r * rb..(r + 1) * rb];
-            let factor = Self::col(stored, pivot_col);
-            if !factor.is_zero() {
-                F::mul_add_slice(-factor, &row, stored);
-            }
-        }
+        core_ops::normalize_and_back_substitute::<F>(
+            &mut self.storage,
+            rb,
+            self.rank,
+            pivot_col,
+            row,
+        );
         self.pivots[pivot_col] = Some(self.rank);
         self.row_elems = Some(rb / F::SYMBOL_BYTES);
-        self.storage.extend_from_slice(&row);
+        self.storage.extend_from_slice(row);
         self.rank += 1;
         Insertion::Innovative
     }

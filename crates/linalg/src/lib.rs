@@ -10,6 +10,9 @@
 //! * [`EchelonBasis`] — an *incremental* row-echelon basis: the decoder hot
 //!   path that inserts one received equation at a time and reports whether
 //!   it was innovative (a "helpful message" in the paper's terminology),
+//! * [`BasisArena`] — a simulation-wide arena holding every node's basis in
+//!   one preallocated slab, for allocation-free insertion at large `n`
+//!   (same elimination code as [`EchelonBasis`], bit-identical results),
 //! * [`reference::ScalarBasis`] — the preserved scalar elimination path,
 //!   used by differential tests and the `bench_decoder_slab` baseline.
 //!
@@ -39,9 +42,11 @@
 //! assert!(m.matmul(&inv).unwrap().is_identity());
 //! ```
 
+mod arena;
 mod echelon;
 mod matrix;
 pub mod reference;
 
+pub use arena::BasisArena;
 pub use echelon::{BasisError, EchelonBasis, Insertion};
 pub use matrix::{Matrix, ShapeError};

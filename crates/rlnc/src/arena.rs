@@ -1,0 +1,451 @@
+//! All of a simulation's decoders in one arena: allocation-free RLNC.
+//!
+//! [`DecoderArena`] is the n-node counterpart of [`Decoder`]: per-node
+//! rank/receive/decode semantics identical to a `Vec<Decoder<F>>` (the
+//! differential suite in `tests/differential_decoder.rs` pins this packet
+//! for packet), but every node's equations live in one
+//! [`ag_linalg::BasisArena`] slab preallocated at construction. Combined
+//! with the [`crate::RowPool`] message buffers and the borrowing
+//! receive/emit entry points, a simulation's steady-state round loop
+//! performs zero per-message heap allocation.
+//!
+//! Recoding lives here too ([`DecoderArena::emit_packed_row_into`] and
+//! friends) rather than on a borrowed [`crate::Recoder`], because the
+//! recoder would need a per-node `Decoder` to borrow; the draw sequence and
+//! combination arithmetic are the recoder's exactly, which the differential
+//! tests verify under shared RNG streams.
+
+use ag_gf::SlabField;
+use ag_linalg::{BasisArena, Insertion};
+use rand::Rng;
+
+use crate::decoder::Reception;
+use crate::generation::Generation;
+use crate::packet::Packet;
+
+/// `n` decoders for one generation, backed by a single contiguous arena.
+///
+/// # Examples
+///
+/// ```
+/// use ag_gf::Gf256;
+/// use ag_rlnc::{DecoderArena, Generation, Reception};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = Generation::<Gf256>::random(4, 2, &mut rng);
+/// let mut arena = DecoderArena::new(2, 4, 2);
+/// arena.seed_all_messages(0, &g); // node 0 is the source
+/// let mut buf = Vec::new();
+/// while !arena.is_complete(1) {
+///     assert!(arena.emit_packed_row_into(0, &mut rng, &mut buf));
+///     arena.receive_packed_slice(1, &buf);
+/// }
+/// assert_eq!(arena.decode(1).unwrap(), g.messages());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecoderArena<F> {
+    k: usize,
+    payload_len: usize,
+    basis: BasisArena<F>,
+    innovative: Vec<u64>,
+    redundant: Vec<u64>,
+    /// Reusable row buffer for seeding and the slice-receive path.
+    scratch: Vec<u8>,
+}
+
+impl<F: SlabField> DecoderArena<F> {
+    /// An arena of `nodes` empty decoders for a generation of `k` messages
+    /// of `payload_len` symbols. Allocates all row storage up front
+    /// (zeroed; the OS commits pages lazily as ranks grow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(nodes: usize, k: usize, payload_len: usize) -> Self {
+        assert!(k > 0, "generation size must be positive");
+        DecoderArena {
+            k,
+            payload_len,
+            basis: BasisArena::new(nodes, k, k + payload_len),
+            innovative: vec![0; nodes],
+            redundant: vec![0; nodes],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of decoders.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.basis.nodes()
+    }
+
+    /// The generation size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Payload length `r` in symbols.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Bytes per packed augmented row `(k + r) · SYMBOL_BYTES`.
+    #[must_use]
+    pub fn row_bytes(&self) -> usize {
+        self.basis.row_bytes()
+    }
+
+    /// Node `node`'s current rank.
+    #[must_use]
+    pub fn rank(&self, node: usize) -> usize {
+        self.basis.rank(node)
+    }
+
+    /// True once node `node` can decode every message (rank = k).
+    #[must_use]
+    pub fn is_complete(&self, node: usize) -> bool {
+        self.basis.is_full(node)
+    }
+
+    /// Node `node`'s innovative receptions so far (excluding seeds).
+    #[must_use]
+    pub fn innovative_count(&self, node: usize) -> u64 {
+        self.innovative[node]
+    }
+
+    /// Node `node`'s redundant receptions so far.
+    #[must_use]
+    pub fn redundant_count(&self, node: usize) -> u64 {
+        self.redundant[node]
+    }
+
+    /// Sum of all nodes' ranks — the global progress measure.
+    #[must_use]
+    pub fn total_rank(&self) -> usize {
+        (0..self.nodes()).map(|v| self.basis.rank(v)).sum()
+    }
+
+    /// Total innovative receptions across all nodes.
+    #[must_use]
+    pub fn total_innovative(&self) -> u64 {
+        self.innovative.iter().sum()
+    }
+
+    /// Total redundant receptions across all nodes.
+    #[must_use]
+    pub fn total_redundant(&self) -> u64 {
+        self.redundant.iter().sum()
+    }
+
+    /// Seeds node `node` with source message `index`: inserts the unit
+    /// equation `e_index · x = x_index`. Counts as neither innovative nor
+    /// redundant traffic, exactly like [`Decoder::seed_message`].
+    ///
+    /// [`Decoder::seed_message`]: crate::Decoder::seed_message
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generation's shape differs from the arena's or
+    /// `index >= k`.
+    pub fn seed_message(&mut self, node: usize, generation: &Generation<F>, index: usize) {
+        assert_eq!(generation.k(), self.k, "generation size mismatch");
+        assert_eq!(
+            generation.message_len(),
+            self.payload_len,
+            "payload length mismatch"
+        );
+        let mut row = std::mem::take(&mut self.scratch);
+        row.clear();
+        row.resize(self.k * F::SYMBOL_BYTES, 0);
+        F::ONE.write_symbol(&mut row[index * F::SYMBOL_BYTES..]);
+        F::pack_into(generation.message(index), &mut row);
+        let _ = self.basis.insert_packed_mut(node, &mut row);
+        self.scratch = row;
+    }
+
+    /// Seeds node `node` with *all* messages (a full source).
+    pub fn seed_all_messages(&mut self, node: usize, generation: &Generation<F>) {
+        for i in 0..generation.k() {
+            self.seed_message(node, generation, i);
+        }
+    }
+
+    /// Delivers a packed augmented row to node `node`, reducing it in the
+    /// arena's internal scratch — the borrowing receive of the engine hot
+    /// path. Verdicts, rank growth and counters behave exactly as
+    /// [`Decoder::receive_packed_slice`].
+    ///
+    /// [`Decoder::receive_packed_slice`]: crate::Decoder::receive_packed_slice
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's byte length differs from
+    /// [`DecoderArena::row_bytes`].
+    pub fn receive_packed_slice(&mut self, node: usize, row: &[u8]) -> Reception {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(row);
+        let outcome = self.receive_packed_mut(node, &mut scratch);
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Zero-copy receive: reduces the row **in place** in the caller's
+    /// buffer (clobbering it) and stores it on an innovative verdict. The
+    /// engine delivery path uses this with its pooled message buffers so a
+    /// reception touches no scratch copy at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's byte length differs from
+    /// [`DecoderArena::row_bytes`].
+    pub fn receive_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Reception {
+        assert_eq!(
+            row.len(),
+            self.row_bytes(),
+            "packed row length mismatch: got {}, arena expects {}",
+            row.len(),
+            self.row_bytes()
+        );
+        match self.basis.insert_packed_mut(node, row) {
+            Insertion::Innovative => {
+                self.innovative[node] += 1;
+                Reception::Innovative
+            }
+            Insertion::Redundant => {
+                self.redundant[node] += 1;
+                Reception::Redundant
+            }
+        }
+    }
+
+    /// Emits one coded packed row from node `node` into `out` (cleared and
+    /// sized to the row width): a fresh random combination over everything
+    /// the node stores, drawing coefficients exactly like
+    /// [`Recoder::emit_packed_row`] under the same RNG state. Returns
+    /// `false` — leaving `out` empty — when the node stores nothing yet.
+    ///
+    /// [`Recoder::emit_packed_row`]: crate::Recoder::emit_packed_row
+    pub fn emit_packed_row_into<R: Rng + ?Sized>(
+        &self,
+        node: usize,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        out.clear();
+        if self.basis.rank(node) == 0 {
+            return false;
+        }
+        out.resize(self.row_bytes(), 0);
+        for row in self.basis.packed_rows(node) {
+            let c = F::random(rng);
+            if c.is_zero() {
+                continue;
+            }
+            F::mul_add_slice(c, row, out);
+        }
+        true
+    }
+
+    /// Sparse-recoding emit, drawing exactly like
+    /// [`Recoder::emit_sparse_packed_row`] under the same RNG state.
+    ///
+    /// [`Recoder::emit_sparse_packed_row`]: crate::Recoder::emit_sparse_packed_row
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
+        &self,
+        node: usize,
+        density: f64,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "coding density must be in (0, 1]"
+        );
+        out.clear();
+        let rank = self.basis.rank(node);
+        if rank == 0 {
+            return false;
+        }
+        out.resize(self.row_bytes(), 0);
+        let mut picked_any = false;
+        for row in self.basis.packed_rows(node) {
+            if !rng.gen_bool(density) {
+                continue;
+            }
+            picked_any = true;
+            let c = F::random_nonzero(rng);
+            F::mul_add_slice(c, row, out);
+        }
+        if !picked_any {
+            let row = self.basis.packed_row(node, rng.gen_range(0..rank));
+            out.copy_from_slice(row);
+        }
+        true
+    }
+
+    /// [`Packet`]-shaped emit (allocating), for the preserved pre-rework
+    /// message path — same draws as [`DecoderArena::emit_packed_row_into`].
+    #[must_use]
+    pub fn emit_packet<R: Rng + ?Sized>(&self, node: usize, rng: &mut R) -> Option<Packet<F>> {
+        let mut row = Vec::new();
+        self.emit_packed_row_into(node, rng, &mut row)
+            .then(|| Packet::from_packed_row(&row, self.k))
+    }
+
+    /// [`Packet`]-shaped sparse emit (allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
+    pub fn emit_sparse_packet<R: Rng + ?Sized>(
+        &self,
+        node: usize,
+        density: f64,
+        rng: &mut R,
+    ) -> Option<Packet<F>> {
+        let mut row = Vec::new();
+        self.emit_sparse_packed_row_into(node, density, rng, &mut row)
+            .then(|| Packet::from_packed_row(&row, self.k))
+    }
+
+    /// Solves node `node`'s system once complete; `None` before rank `k`.
+    #[must_use]
+    pub fn decode(&self, node: usize) -> Option<Vec<Vec<F>>> {
+        self.basis.solution(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decoder, Recoder};
+    use ag_gf::{Gf2, Gf256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The arena must track a `Vec<Decoder>` bit for bit when both consume
+    /// identical streams — including the RNG draw sequence of emits.
+    #[test]
+    fn arena_tracks_vec_of_decoders_under_shared_rng() {
+        let mut setup_rng = StdRng::seed_from_u64(42);
+        let k = 5;
+        let r = 3;
+        let nodes = 4;
+        let g = Generation::<Gf256>::random(k, r, &mut setup_rng);
+
+        let mut arena = DecoderArena::<Gf256>::new(nodes, k, r);
+        let mut decoders: Vec<Decoder<Gf256>> = (0..nodes).map(|_| Decoder::new(k, r)).collect();
+        for (msg, node) in [(0usize, 0usize), (1, 1), (2, 2), (3, 3), (4, 0)] {
+            arena.seed_message(node, &g, msg);
+            decoders[node].seed_message(&g, msg);
+        }
+
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut buf = Vec::new();
+        let mut traffic_rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let from = traffic_rng.gen_range(0..nodes);
+            let to = (from + 1 + traffic_rng.gen_range(0..nodes - 1)) % nodes;
+            let emitted_a = arena.emit_packed_row_into(from, &mut rng_a, &mut buf);
+            let emitted_b = Recoder::new(&decoders[from]).emit_packed_row(&mut rng_b);
+            assert_eq!(emitted_a, emitted_b.is_some(), "emit disagreement");
+            let Some(row_b) = emitted_b else { continue };
+            assert_eq!(buf, row_b, "emitted bytes diverged");
+            let got = arena.receive_packed_slice(to, &buf);
+            let want = decoders[to].receive_packed_slice(&row_b);
+            assert_eq!(got, want, "verdict diverged");
+            assert_eq!(arena.rank(to), decoders[to].rank());
+            assert_eq!(arena.innovative_count(to), decoders[to].innovative_count());
+            assert_eq!(arena.redundant_count(to), decoders[to].redundant_count());
+        }
+        for v in 0..nodes {
+            assert_eq!(arena.is_complete(v), decoders[v].is_complete());
+            assert_eq!(arena.decode(v), decoders[v].decode());
+        }
+    }
+
+    #[test]
+    fn sparse_emit_matches_recoder_draws() {
+        let mut setup_rng = StdRng::seed_from_u64(3);
+        let g = Generation::<Gf256>::random(6, 2, &mut setup_rng);
+        let mut arena = DecoderArena::<Gf256>::new(1, 6, 2);
+        let mut d = Decoder::new(6, 2);
+        for i in 0..6 {
+            arena.seed_message(0, &g, i);
+            d.seed_message(&g, i);
+        }
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut buf = Vec::new();
+        for density in [0.05, 0.4, 1.0] {
+            for _ in 0..20 {
+                assert!(arena.emit_sparse_packed_row_into(0, density, &mut rng_a, &mut buf));
+                let want = Recoder::new(&d)
+                    .emit_sparse_packed_row(density, &mut rng_b)
+                    .unwrap();
+                assert_eq!(buf, want, "density {density}");
+            }
+        }
+    }
+
+    #[test]
+    fn source_to_sink_completes_and_decodes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Generation::<Gf2>::random(8, 4, &mut rng);
+        let mut arena = DecoderArena::<Gf2>::new(2, 8, 4);
+        arena.seed_all_messages(0, &g);
+        assert!(arena.is_complete(0));
+        assert_eq!(arena.innovative_count(0), 0, "seeding is not traffic");
+        let mut buf = Vec::new();
+        let mut sent = 0;
+        while !arena.is_complete(1) {
+            assert!(arena.emit_packed_row_into(0, &mut rng, &mut buf));
+            arena.receive_packed_slice(1, &buf);
+            sent += 1;
+            assert!(sent < 200, "GF(2) source-to-sink failed to converge");
+        }
+        assert_eq!(arena.decode(1).unwrap(), g.messages());
+        assert_eq!(arena.innovative_count(1), 8);
+    }
+
+    #[test]
+    fn empty_node_emits_nothing() {
+        let arena = DecoderArena::<Gf256>::new(1, 3, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![1, 2, 3];
+        assert!(!arena.emit_packed_row_into(0, &mut rng, &mut buf));
+        assert!(buf.is_empty(), "failed emit must leave the buffer cleared");
+        assert!(arena.emit_packet(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn receive_packed_mut_consumes_callers_buffer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Generation::<Gf256>::random(2, 1, &mut rng);
+        let mut arena = DecoderArena::<Gf256>::new(2, 2, 1);
+        arena.seed_all_messages(0, &g);
+        let mut buf = Vec::new();
+        assert!(arena.emit_packed_row_into(0, &mut rng, &mut buf));
+        let before = buf.clone();
+        let _ = arena.receive_packed_mut(1, &mut buf);
+        assert_eq!(buf.len(), before.len(), "length preserved for reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_mismatch_panics() {
+        let mut arena = DecoderArena::<Gf256>::new(1, 3, 1);
+        let _ = arena.receive_packed_slice(0, &[1, 2]);
+    }
+}

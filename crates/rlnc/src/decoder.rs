@@ -260,6 +260,24 @@ impl<F: SlabField> Decoder<F> {
     /// Panics if the row's byte length does not match this decoder's
     /// `(k + r) · SYMBOL_BYTES` shape.
     pub fn receive_packed_row(&mut self, row: Vec<u8>) -> Reception {
+        self.receive_packed_slice(&row)
+    }
+
+    /// Borrowing variant of [`Decoder::receive_packed_row`]: the row is
+    /// reduced in the basis's internal reusable scratch buffer, so a
+    /// *redundant* reception costs zero heap allocations — an innovative
+    /// one only grows the basis storage itself, which happens at most `k`
+    /// times per decoder. This is what the engine's delivery path calls,
+    /// letting it keep ownership of (and recycle) its message buffers.
+    ///
+    /// Same elimination, counters and verdicts as
+    /// [`Decoder::receive_packed_row`] on equal bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's byte length does not match this decoder's
+    /// `(k + r) · SYMBOL_BYTES` shape.
+    pub fn receive_packed_slice(&mut self, row: &[u8]) -> Reception {
         let expected = (self.k + self.payload_len) * F::SYMBOL_BYTES;
         assert_eq!(
             row.len(),
@@ -269,7 +287,7 @@ impl<F: SlabField> Decoder<F> {
         );
         let outcome: Reception = self
             .basis
-            .try_insert_packed(row)
+            .try_insert_packed_slice(row)
             .expect("shape-checked row is valid for the basis")
             .into();
         match outcome {
@@ -399,6 +417,51 @@ mod tests {
         let mut d = Decoder::<Gf256>::new(3, 0);
         let z = Packet::new(vec![Gf256::ZERO; 3], vec![]);
         assert_eq!(d.receive(z), Reception::Redundant);
+    }
+
+    /// Regression test for the borrowing receive path: a redundant packed
+    /// row delivered through [`Decoder::receive_packed_slice`] must leave
+    /// the basis bit-identical (only the redundancy counter moves), and
+    /// the slice and owned entry points must agree verdict for verdict.
+    #[test]
+    fn receive_packed_slice_redundant_row_leaves_basis_untouched() {
+        let mut d = Decoder::<Gf256>::new(3, 2);
+        let p1 = pkt(&[1, 2, 3], &[7, 9]);
+        let p2 = pkt(&[0, 1, 1], &[4, 5]);
+        assert_eq!(
+            d.receive_packed_slice(&p1.to_packed_row()),
+            Reception::Innovative
+        );
+        assert_eq!(
+            d.receive_packed_slice(&p2.to_packed_row()),
+            Reception::Innovative
+        );
+        let before_rows: Vec<Vec<Gf256>> = (0..d.rank())
+            .map(|i| Gf256::unpack(d.basis().packed_row(i)))
+            .collect();
+
+        // The sum of the two inserted equations: redundant by construction.
+        let dep = pkt(&[1, 3, 2], &[3, 12]);
+        assert_eq!(
+            d.receive_packed_slice(&dep.to_packed_row()),
+            Reception::Redundant
+        );
+        assert_eq!(d.rank(), 2);
+        assert_eq!(d.redundant_count(), 1);
+        let after_rows: Vec<Vec<Gf256>> = (0..d.rank())
+            .map(|i| Gf256::unpack(d.basis().packed_row(i)))
+            .collect();
+        assert_eq!(after_rows, before_rows, "redundant row mutated the basis");
+
+        // The slice path tracks the owned path exactly on a twin decoder.
+        let mut owned = Decoder::<Gf256>::new(3, 2);
+        for p in [&p1, &p2, &dep] {
+            let _ = owned.receive_packed_row(p.to_packed_row());
+        }
+        assert_eq!(owned.rank(), d.rank());
+        assert_eq!(owned.innovative_count(), d.innovative_count());
+        assert_eq!(owned.redundant_count(), d.redundant_count());
+        assert_eq!(owned.decode(), d.decode());
     }
 
     #[test]

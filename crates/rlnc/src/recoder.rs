@@ -65,19 +65,31 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// coefficients as [`Recoder::emit`] under the same RNG state.
     #[must_use]
     pub fn emit_packed_row<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<u8>> {
+        let mut acc = Vec::new();
+        self.emit_packed_row_into(rng, &mut acc).then_some(acc)
+    }
+
+    /// Like [`Recoder::emit_packed_row`] but writing into a caller-provided
+    /// reusable buffer (cleared and sized to the row width), so the
+    /// steady-state emit path performs no heap allocation once `out` has
+    /// warmed up to capacity. Returns `false` — leaving `out` empty — when
+    /// the node stores nothing yet. Draws the same coefficients as
+    /// [`Recoder::emit`] under the same RNG state.
+    pub fn emit_packed_row_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<u8>) -> bool {
         let basis = self.decoder.basis();
+        out.clear();
         if basis.rank() == 0 {
-            return None;
+            return false;
         }
-        let mut acc = vec![0u8; basis.row_bytes()];
+        out.resize(basis.row_bytes(), 0);
         for row in basis.packed_rows() {
             let c = F::random(rng);
             if c.is_zero() {
                 continue;
             }
-            F::mul_add_slice(c, row, &mut acc);
+            F::mul_add_slice(c, row, out);
         }
-        Some(acc)
+        true
     }
 
     /// Emits a *sparse* coded packet: each stored row participates with
@@ -113,15 +125,33 @@ impl<'a, F: SlabField> Recoder<'a, F> {
         density: f64,
         rng: &mut R,
     ) -> Option<Vec<u8>> {
+        let mut acc = Vec::new();
+        self.emit_sparse_packed_row_into(density, rng, &mut acc)
+            .then_some(acc)
+    }
+
+    /// Caller-buffer variant of [`Recoder::emit_sparse_packed_row`] (see
+    /// [`Recoder::emit_packed_row_into`] for the buffer contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
+        &self,
+        density: f64,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> bool {
         assert!(
             density > 0.0 && density <= 1.0,
             "coding density must be in (0, 1]"
         );
         let basis = self.decoder.basis();
+        out.clear();
         if basis.rank() == 0 {
-            return None;
+            return false;
         }
-        let mut acc = vec![0u8; basis.row_bytes()];
+        out.resize(basis.row_bytes(), 0);
         let mut picked_any = false;
         for row in basis.packed_rows() {
             if !rng.gen_bool(density) {
@@ -129,14 +159,14 @@ impl<'a, F: SlabField> Recoder<'a, F> {
             }
             picked_any = true;
             let c = F::random_nonzero(rng);
-            F::mul_add_slice(c, row, &mut acc);
+            F::mul_add_slice(c, row, out);
         }
         if !picked_any {
             // Degenerate draw: forward one stored row unmodified.
             let row = basis.packed_row(rng.gen_range(0..basis.rank()));
-            acc.copy_from_slice(row);
+            out.copy_from_slice(row);
         }
-        Some(acc)
+        true
     }
 
     /// Emits a packet guaranteed to be *helpful to `target`* whenever the

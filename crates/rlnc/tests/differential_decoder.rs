@@ -1,11 +1,12 @@
 //! Differential test harness: the packed slab decoder vs the scalar
-//! reference, locked step for step.
+//! reference (and the simulation-wide decoder arena), locked step for step.
 //!
 //! The `reference` module wraps [`ag_linalg::reference::ScalarBasis`] — the
 //! pre-slab element-at-a-time elimination, preserved verbatim — in a
 //! decoder with the same receive/decode semantics as [`ag_rlnc::Decoder`].
-//! Every property replays one random packet stream through both
-//! implementations and asserts they agree on
+//! Every property replays one random packet stream through all
+//! implementations (including an [`ag_rlnc::DecoderArena`] slot, the
+//! arena-backed storage the engine hot path uses) and asserts they agree on
 //!
 //! * the per-packet [`Reception`] verdict,
 //! * the full rank trajectory (rank after every delivery),
@@ -18,7 +19,7 @@
 //! `PROPTEST_CASES=256` in CI for the elevated-coverage pass.
 
 use ag_gf::{Field, Gf16, Gf2, Gf256, SlabField};
-use ag_rlnc::{CodingError, Decoder, Generation, Packet, Recoder};
+use ag_rlnc::{CodingError, Decoder, DecoderArena, Generation, Packet, Recoder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,6 +108,9 @@ fn differential_stream<F: SlabField>(
 
     let mut packed = Decoder::<F>::new(k, r);
     let mut scalar = ScalarDecoder::<F>::new(k, r);
+    // Third lane: the same node as slot 0 of a DecoderArena — the
+    // simulation-wide storage must not change a single verdict.
+    let mut arena = DecoderArena::<F>::new(1, k, r);
 
     for step in 0..steps {
         // Mix of streams: recodings of the full source, raw random rows
@@ -132,15 +136,24 @@ fn differential_stream<F: SlabField>(
         let verdict = packed
             .try_receive(&packet)
             .expect("shape-valid packet must be accepted");
+        let arena_verdict = arena.receive_packed_slice(0, &packet.to_packed_row());
         let want = scalar.receive(packet);
         prop_assert_eq!(verdict, want, "verdict diverged at step {}", step);
+        prop_assert_eq!(
+            arena_verdict,
+            want,
+            "arena verdict diverged at step {}",
+            step
+        );
         prop_assert_eq!(
             packed.rank(),
             scalar.rank(),
             "rank trajectory diverged at step {}",
             step
         );
+        prop_assert_eq!(arena.rank(0), scalar.rank());
         prop_assert_eq!(packed.is_complete(), scalar.is_complete());
+        prop_assert_eq!(arena.is_complete(0), scalar.is_complete());
     }
 
     // Decoded output must be identical whenever available. (It need not
@@ -148,6 +161,7 @@ fn differential_stream<F: SlabField>(
     // equations by construction — `full_decode_agrees` covers ground-truth
     // correctness on consistent streams.)
     prop_assert_eq!(packed.decode(), scalar.decode());
+    prop_assert_eq!(arena.decode(0), scalar.decode());
     Ok(())
 }
 

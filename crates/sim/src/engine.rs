@@ -4,10 +4,13 @@
 //! intents, the outbox, dedup state) lives in buffers reused across rounds,
 //! same-sender deduplication is resolved analytically from the intent table
 //! instead of hashing `(from, to)` pairs, and the completion sweep walks an
-//! explicit list of still-incomplete nodes rather than all `n` flags. The
-//! pre-refactor loop is preserved verbatim in [`crate::reference`] so
-//! differential tests and the `bench_engine_scale` binary can prove the
-//! fast loop computes bit-identical results, faster.
+//! explicit list of still-incomplete nodes rather than all `n` flags.
+//! Messages the engine decides not to deliver (dedup, loss) are handed back
+//! through [`Protocol::discard`], so protocols that pool their message
+//! buffers (algebraic gossip's `RowPool`) stay allocation-free even on
+//! rounds with drops. The pre-refactor loop is preserved verbatim in
+//! [`crate::reference`] so differential tests and the `bench_engine_scale`
+//! binary can prove the fast loop computes bit-identical results, faster.
 
 use ag_graph::NodeId;
 use rand::rngs::StdRng;
@@ -372,6 +375,7 @@ impl Engine {
                             && matches!(intents[u], Some(i) if i.partner == v);
                         if dup {
                             stats.dedup_dropped += 1;
+                            proto.discard(m);
                         } else {
                             if dedup {
                                 fwd_live[v] = true;
@@ -393,6 +397,7 @@ impl Engine {
                             && matches!(intents[u], Some(i) if i.partner == v);
                         if dup {
                             stats.dedup_dropped += 1;
+                            proto.discard(m);
                         } else {
                             if dedup {
                                 bwd_live[v] = true;
@@ -409,6 +414,7 @@ impl Engine {
         for (from, to, tag, msg) in outbox.drain(..) {
             if lossy && self.rng.gen_bool(self.config.loss_prob) {
                 stats.lost += 1;
+                proto.discard(msg);
                 continue;
             }
             proto.deliver(from, to, tag, msg);
@@ -484,6 +490,7 @@ impl Engine {
             let Some(msg) = msg else { continue };
             if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
                 stats.lost += 1;
+                proto.discard(msg);
                 continue;
             }
             proto.deliver(from, to, intent.tag, msg);

@@ -92,6 +92,18 @@ pub trait Protocol {
     /// Delivers a previously composed message into `to`'s data state.
     fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: Self::Msg);
 
+    /// Reclaims a composed message the engine decided **not** to deliver —
+    /// same-sender dedup or loss injection. The default just drops it;
+    /// protocols that pool their message buffers (e.g. algebraic gossip's
+    /// `RowPool`) override this to recycle the allocation, which is what
+    /// keeps their round loop allocation-free even on rounds with dropped
+    /// messages. Must not mutate any state the simulation can observe:
+    /// drop accounting lives in the engine's `RunStats`, and both engines
+    /// invoke this hook identically.
+    fn discard(&mut self, msg: Self::Msg) {
+        drop(msg);
+    }
+
     /// Has this node individually completed its task? Used for per-node
     /// completion-time metrics; the run stops when [`Protocol::is_complete`].
     fn node_complete(&self, node: NodeId) -> bool;

@@ -171,11 +171,16 @@ impl ReferenceEngine {
         for (from, to, tag, msg) in outbox {
             if self.config.dedup_same_sender && !seen.insert((from, to)) {
                 stats.dedup_dropped += 1;
+                // Not an optimization — the same discard hook the fast
+                // engine invokes, so pooled protocols behave identically
+                // under both loops.
+                proto.discard(msg);
                 continue;
             }
             // 4. Loss injection.
             if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
                 stats.lost += 1;
+                proto.discard(msg);
                 continue;
             }
             // 5. Delivery.
@@ -244,6 +249,7 @@ impl ReferenceEngine {
             let Some(msg) = msg else { continue };
             if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
                 stats.lost += 1;
+                proto.discard(msg);
                 continue;
             }
             proto.deliver(from, to, intent.tag, msg);
