@@ -1,0 +1,11 @@
+//! Regenerates experiment [dynamic_fig] — the F9 dynamic-topology suite.
+//! Usage: `cargo run --release -p ag-bench --bin fig_dynamic` (set
+//! `AG_BENCH_SCALE=full` for the EXPERIMENTS.md sizes; `AG_CHURN_RATES`,
+//! `AG_CHURN_SEED` and `AG_CHURN_PERIOD` override the schedules). CI runs
+//! this at quick scale as the suite's smoke test.
+
+use ag_bench::{experiments, Scale};
+
+fn main() {
+    experiments::dynamic_fig::run(Scale::from_env()).print();
+}

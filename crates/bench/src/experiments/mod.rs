@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod barbell_fig;
 pub mod brr_fig;
+pub mod dynamic_fig;
 pub mod progress_fig;
 pub mod queue_fig;
 pub mod scaling_fig;

@@ -168,7 +168,7 @@ pub fn sweep_family(
         .enumerate()
         .map(|(i, &n)| {
             let cell_seed = seed0
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_mul(ag_graph::seedmix::GOLDEN_GAMMA)
                 .wrapping_add(i as u64);
             let graph = family.build(n, cell_seed);
             let median_rounds = median_rounds_protocol::<Gf256>(

@@ -29,5 +29,6 @@ pub fn all_reports(scale: Scale) -> Vec<ExperimentReport> {
         experiments::progress_fig::run(scale),
         experiments::stopping_time::run(scale),
         experiments::ablation::run(scale),
+        experiments::dynamic_fig::run(scale),
     ]
 }

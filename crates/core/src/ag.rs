@@ -1,7 +1,7 @@
 //! Uniform (and round-robin) algebraic gossip — the protocol of Theorem 1.
 
 use ag_gf::SlabField;
-use ag_graph::{Graph, GraphError, NodeId};
+use ag_graph::{Graph, GraphError, NodeId, Topology};
 use ag_rlnc::{DecoderArena, Generation, RowPool};
 use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector, Protocol};
 use rand::rngs::StdRng;
@@ -107,6 +107,15 @@ impl AgConfig {
 /// its rank reaches `k`, at which point [`AlgebraicGossip::decoded`]
 /// returns all the original messages.
 ///
+/// Neighbors are read through a [`Topology`] view `T`. The default
+/// `T = Graph` is the static case — zero overhead, bit-identical to the
+/// pre-abstraction protocol (pinned by the golden trajectory hashes). A
+/// [`ag_graph::ScheduledTopology`] makes the same protocol run over a
+/// churning graph: the engines' round-start hook advances the view to
+/// epoch `round − 1`, so partner selection (and nothing else — RLNC state
+/// is topology-oblivious, which is exactly the Haeupler-style robustness
+/// the F9 experiments measure) follows the schedule.
+///
 /// All `n` decoders live in one simulation-owned [`DecoderArena`] (every
 /// node's equations in a single slab preallocated at construction) and
 /// outgoing messages cycle through a [`RowPool`], so the engine's
@@ -118,8 +127,8 @@ impl AgConfig {
 ///
 /// Drive it with [`ag_sim::Engine`] under either time model.
 #[derive(Debug, Clone)]
-pub struct AlgebraicGossip<F: SlabField> {
-    graph: Graph,
+pub struct AlgebraicGossip<F: SlabField, T: Topology = Graph> {
+    topology: T,
     generation: Generation<F>,
     decoders: DecoderArena<F>,
     selector: PartnerSelector,
@@ -128,9 +137,12 @@ pub struct AlgebraicGossip<F: SlabField> {
     /// Recycles outgoing packed-row buffers through compose → outbox →
     /// deliver (or dedup/loss drop) → back to the pool.
     pool: RowPool,
+    /// How many buffers `pool` was pre-warmed with (recorded at
+    /// construction so the balance diagnostics never re-derive it).
+    pool_prewarm: usize,
 }
 
-impl<F: SlabField> AlgebraicGossip<F> {
+impl<F: SlabField> AlgebraicGossip<F, Graph> {
     /// Builds the protocol over `graph` with a random generation of
     /// `cfg.k` messages. `seed` controls the generation content, the
     /// placement, and round-robin pointer offsets (the engine has its own
@@ -141,12 +153,7 @@ impl<F: SlabField> AlgebraicGossip<F> {
     /// Returns [`GraphError::InvalidSize`] if `k == 0` or the graph is
     /// disconnected (dissemination could never complete).
     pub fn new(graph: &Graph, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
-        if cfg.k == 0 {
-            return Err(GraphError::InvalidSize("k must be positive".into()));
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
-        Self::new_with_generation(graph, cfg, generation, seed)
+        Self::on_topology(graph.clone(), cfg, seed)
     }
 
     /// Like [`AlgebraicGossip::new`] but disseminating the *given*
@@ -164,6 +171,50 @@ impl<F: SlabField> AlgebraicGossip<F> {
         generation: Generation<F>,
         seed: u64,
     ) -> Result<Self, GraphError> {
+        Self::on_topology_with_generation(graph.clone(), cfg, generation, seed)
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.topology
+    }
+}
+
+impl<F: SlabField, T: Topology> AlgebraicGossip<F, T> {
+    /// Builds the protocol over an owned [`Topology`] (static or
+    /// scheduled) with a random generation — the dynamic-scenario
+    /// counterpart of [`AlgebraicGossip::new`], with the identical seed
+    /// discipline (same seed ⇒ same generation, placement and round-robin
+    /// offsets, whatever the topology type).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0` or the topology's
+    /// initial (epoch-0) view is disconnected. Later epochs may
+    /// disconnect freely — surviving that is the point of the dynamic
+    /// scenarios.
+    pub fn on_topology(topology: T, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
+        if cfg.k == 0 {
+            return Err(GraphError::InvalidSize("k must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        Self::on_topology_with_generation(topology, cfg, generation, seed)
+    }
+
+    /// [`AlgebraicGossip::on_topology`] with the *given* generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] on shape mismatch or a
+    /// disconnected initial view.
+    pub fn on_topology_with_generation(
+        topology: T,
+        cfg: &AgConfig,
+        generation: Generation<F>,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
         if cfg.k != generation.k() || cfg.payload_len != generation.message_len() {
             return Err(GraphError::InvalidSize(format!(
                 "config shape (k={}, r={}) does not match generation (k={}, r={})",
@@ -173,17 +224,17 @@ impl<F: SlabField> AlgebraicGossip<F> {
                 generation.message_len()
             )));
         }
-        if !graph.is_connected() {
+        if !topology.is_connected_now() {
             return Err(GraphError::InvalidSize(
-                "dissemination requires a connected graph".into(),
+                "dissemination requires a connected (initial) graph".into(),
             ));
         }
-        // Advance the RNG identically to `new` so that placement and
-        // round-robin offsets agree between the two constructors.
+        // Advance the RNG identically to `on_topology` so that placement
+        // and round-robin offsets agree between the two constructors.
         let mut rng = StdRng::seed_from_u64(seed);
         let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
-        let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
-        let mut decoders = DecoderArena::new(graph.n(), cfg.k, cfg.payload_len);
+        let hosts = cfg.placement.assign(topology.n(), cfg.k, &mut rng);
+        let mut decoders = DecoderArena::new(topology.n(), cfg.k, cfg.payload_len);
         for (msg, &host) in hosts.iter().enumerate() {
             decoders.seed_message(host, &generation, msg);
         }
@@ -191,22 +242,24 @@ impl<F: SlabField> AlgebraicGossip<F> {
             cfg.coding_density > 0.0 && cfg.coding_density <= 1.0,
             "coding density must be in (0, 1]"
         );
-        let selector = PartnerSelector::new(graph, cfg.comm_model, &mut rng);
+        let selector = PartnerSelector::new(&topology, cfg.comm_model, &mut rng);
         // Pre-warm the message pool to the synchronous-round in-flight
         // ceiling (one buffer per contact direction per node), so the
         // round loop never allocates — not even while early-round traffic
         // is still ramping up to its high-water mark.
         let directions =
             usize::from(cfg.action.sends_forward()) + usize::from(cfg.action.sends_backward());
-        let pool = RowPool::preallocated(directions * graph.n(), decoders.row_bytes());
+        let pool_prewarm = directions * topology.n();
+        let pool = RowPool::preallocated(pool_prewarm, decoders.row_bytes());
         Ok(AlgebraicGossip {
-            graph: graph.clone(),
+            topology,
             generation,
             decoders,
             selector,
             action: cfg.action,
             coding_density: cfg.coding_density,
             pool,
+            pool_prewarm,
         })
     }
 
@@ -246,14 +299,32 @@ impl<F: SlabField> AlgebraicGossip<F> {
         self.decoders.total_redundant()
     }
 
-    /// The underlying graph.
+    /// The topology view partners are drawn from.
     #[must_use]
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
+    /// Message buffers currently resting in the [`RowPool`] — the
+    /// pool-balance diagnostic. Between rounds no message is in flight,
+    /// so this must equal the preallocated in-flight ceiling
+    /// ([`AlgebraicGossip::pool_prewarm`]) for the entire run; a shrinking
+    /// value means some wrapper dropped a pooled buffer instead of
+    /// routing it back through `deliver`/`discard`.
+    #[must_use]
+    pub fn pool_idle(&self) -> usize {
+        self.pool.idle()
+    }
+
+    /// The number of buffers the pool was pre-warmed with (one per
+    /// contact direction per node, recorded at construction).
+    #[must_use]
+    pub fn pool_prewarm(&self) -> usize {
+        self.pool_prewarm
     }
 }
 
-impl<F: SlabField> Protocol for AlgebraicGossip<F> {
+impl<F: SlabField, T: Topology> Protocol for AlgebraicGossip<F, T> {
     /// Messages travel as packed augmented rows (the
     /// [`ag_rlnc::Recoder::emit_packed_row`] wire format), in plain
     /// `Vec<u8>` buffers borrowed from the protocol's [`RowPool`] at
@@ -268,11 +339,17 @@ impl<F: SlabField> Protocol for AlgebraicGossip<F> {
     type Msg = Vec<u8>;
 
     fn num_nodes(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        // Round r runs on epoch r − 1 (epoch 0 = initial graph). A no-op
+        // for `T = Graph`, so the static path is unchanged.
+        self.topology.advance_to_epoch(round.saturating_sub(1));
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
-        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        let partner = self.selector.next_partner(&self.topology, node, rng)?;
         Some(ContactIntent {
             partner,
             action: self.action,
@@ -327,13 +404,17 @@ impl<F: SlabField> Protocol for AlgebraicGossip<F> {
 ///
 /// [`Packet`]: ag_rlnc::Packet
 #[derive(Debug, Clone)]
-pub struct PacketAlgebraicGossip<F: SlabField>(pub AlgebraicGossip<F>);
+pub struct PacketAlgebraicGossip<F: SlabField, T: Topology = Graph>(pub AlgebraicGossip<F, T>);
 
-impl<F: SlabField> Protocol for PacketAlgebraicGossip<F> {
+impl<F: SlabField, T: Topology> Protocol for PacketAlgebraicGossip<F, T> {
     type Msg = ag_rlnc::Packet<F>;
 
     fn num_nodes(&self) -> usize {
-        self.0.graph.n()
+        self.0.topology.n()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        self.0.on_round_start(round);
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {

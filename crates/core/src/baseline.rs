@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use ag_gf::Field;
-use ag_graph::{Graph, GraphError, NodeId};
+use ag_graph::{Graph, GraphError, NodeId, Topology};
 use ag_rlnc::Generation;
 use ag_sim::{Action, ContactIntent, PartnerSelector, Protocol};
 use rand::rngs::StdRng;
@@ -56,8 +56,8 @@ pub struct RawMsg<F> {
 /// assert_eq!(proto.held(0), 8);
 /// ```
 #[derive(Debug, Clone)]
-pub struct RandomMessageGossip<F: Field> {
-    graph: Graph,
+pub struct RandomMessageGossip<F: Field, T: Topology = Graph> {
+    topology: T,
     generation: Generation<F>,
     // BTreeSet, not HashSet: `compose` picks the nth held index, so the
     // iteration order must be deterministic for seeded runs to reproduce
@@ -67,7 +67,7 @@ pub struct RandomMessageGossip<F: Field> {
     action: Action,
 }
 
-impl<F: Field> RandomMessageGossip<F> {
+impl<F: Field> RandomMessageGossip<F, Graph> {
     /// Builds the baseline with a random generation, mirroring
     /// [`crate::AlgebraicGossip::new`] (same seed ⇒ same generation and
     /// placement, so comparisons are paired).
@@ -77,24 +77,39 @@ impl<F: Field> RandomMessageGossip<F> {
     /// Returns [`GraphError::InvalidSize`] if `k == 0` or the graph is
     /// disconnected.
     pub fn new(graph: &Graph, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
+        Self::on_topology(graph.clone(), cfg, seed)
+    }
+}
+
+impl<F: Field, T: Topology> RandomMessageGossip<F, T> {
+    /// Builds the baseline over an owned [`Topology`], mirroring
+    /// [`crate::AlgebraicGossip::on_topology`] — same seed ⇒ same
+    /// generation and placement, so coded-vs-uncoded comparisons stay
+    /// paired in the dynamic scenarios too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0` or the initial
+    /// view is disconnected.
+    pub fn on_topology(topology: T, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
         if cfg.k == 0 {
             return Err(GraphError::InvalidSize("k must be positive".into()));
         }
-        if !graph.is_connected() {
+        if !topology.is_connected_now() {
             return Err(GraphError::InvalidSize(
-                "dissemination requires a connected graph".into(),
+                "dissemination requires a connected (initial) graph".into(),
             ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
-        let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
-        let mut holdings: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); graph.n()];
+        let hosts = cfg.placement.assign(topology.n(), cfg.k, &mut rng);
+        let mut holdings: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); topology.n()];
         for (msg, &host) in hosts.iter().enumerate() {
             holdings[host].insert(msg);
         }
-        let selector = PartnerSelector::new(graph, cfg.comm_model, &mut rng);
+        let selector = PartnerSelector::new(&topology, cfg.comm_model, &mut rng);
         Ok(RandomMessageGossip {
-            graph: graph.clone(),
+            topology,
             generation,
             holdings,
             selector,
@@ -128,15 +143,19 @@ impl<F: Field> RandomMessageGossip<F> {
     }
 }
 
-impl<F: Field> Protocol for RandomMessageGossip<F> {
+impl<F: Field, T: Topology> Protocol for RandomMessageGossip<F, T> {
     type Msg = RawMsg<F>;
 
     fn num_nodes(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        self.topology.advance_to_epoch(round.saturating_sub(1));
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
-        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        let partner = self.selector.next_partner(&self.topology, node, rng)?;
         Some(ContactIntent {
             partner,
             action: self.action,

@@ -9,7 +9,7 @@
 //! probability 1 (via Lemma 2: degree sums along shortest paths are ≤ 3n)
 //! and `O(n)` asynchronous rounds w.h.p.
 
-use ag_graph::{Graph, GraphError, NodeId};
+use ag_graph::{Graph, GraphError, NodeId, Topology};
 use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,9 +22,14 @@ use crate::tree_protocol::TreeProtocol;
 /// matters — so `Msg = ()`. Informed nodes gossip every wakeup; an
 /// uninformed node still wakes (and, under EXCHANGE, thereby *pulls* from
 /// an informed partner, which the paper's EXCHANGE variant exploits).
+///
+/// Neighbors are read through a [`Topology`] view (default: the static
+/// [`Graph`], unchanged behavior); over a `ScheduledTopology` the contact
+/// schedule follows the churn, which is how TAG's Phase 1 degrades under
+/// the F9 bridge-cut adversary.
 #[derive(Debug, Clone)]
-pub struct BroadcastTree {
-    graph: Graph,
+pub struct BroadcastTree<T: Topology = Graph> {
+    topology: T,
     root: NodeId,
     informed: Vec<bool>,
     parent: Vec<Option<NodeId>>,
@@ -32,7 +37,7 @@ pub struct BroadcastTree {
     action: Action,
 }
 
-impl BroadcastTree {
+impl BroadcastTree<Graph> {
     /// Creates the protocol with the message initially at `root`.
     ///
     /// `comm` selects uniform gossip or the round-robin (`B_RR`) variant.
@@ -49,26 +54,45 @@ impl BroadcastTree {
         comm: CommModel,
         seed: u64,
     ) -> Result<Self, GraphError> {
-        if root >= graph.n() {
+        Self::on_topology(graph.clone(), root, comm, seed)
+    }
+}
+
+impl<T: Topology> BroadcastTree<T> {
+    /// [`BroadcastTree::new`] over an owned [`Topology`] (static or
+    /// scheduled), with the identical seed discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `root` is out of range or the initial
+    /// view is disconnected.
+    pub fn on_topology(
+        topology: T,
+        root: NodeId,
+        comm: CommModel,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if root >= topology.n() {
             return Err(GraphError::NodeOutOfRange {
                 node: root,
-                n: graph.n(),
+                n: topology.n(),
             });
         }
-        if !graph.is_connected() {
+        if !topology.is_connected_now() {
             return Err(GraphError::InvalidSize(
-                "broadcast requires a connected graph".into(),
+                "broadcast requires a connected (initial) graph".into(),
             ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let selector = PartnerSelector::new(graph, comm, &mut rng);
-        let mut informed = vec![false; graph.n()];
+        let selector = PartnerSelector::new(&topology, comm, &mut rng);
+        let mut informed = vec![false; topology.n()];
         informed[root] = true;
+        let parent = vec![None; topology.n()];
         Ok(BroadcastTree {
-            graph: graph.clone(),
+            topology,
             root,
             informed,
-            parent: vec![None; graph.n()],
+            parent,
             selector,
             action: Action::Exchange,
         })
@@ -95,21 +119,25 @@ impl BroadcastTree {
     }
 }
 
-impl TreeProtocol for BroadcastTree {
+impl<T: Topology> TreeProtocol for BroadcastTree<T> {
     type Msg = ();
 
     fn num_nodes(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
     }
 
     fn root(&self) -> NodeId {
         self.root
     }
 
+    fn on_round_start(&mut self, round: u64) {
+        self.topology.advance_to_epoch(round.saturating_sub(1));
+    }
+
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
         // Every node follows its schedule; uninformed nodes' contacts
         // still matter under EXCHANGE/PULL (they can pull the message).
-        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        let partner = self.selector.next_partner(&self.topology, node, rng)?;
         Some(ContactIntent {
             partner,
             action: self.action,

@@ -104,16 +104,26 @@ impl<P: Protocol> WithCrashes<P> {
     pub fn new(inner: P, plan: CrashPlan) -> Self {
         let n = inner.num_nodes();
         let mut crash_at = vec![None; n];
+        let mut crashed = vec![false; n];
         for &(v, at) in &plan.schedule {
             assert!(v < n, "crash plan names node {v} out of {n}");
             assert!(crash_at[v].is_none(), "node {v} scheduled to crash twice");
             crash_at[v] = Some(at);
+            // "Crashed from the very start" means exactly that: a node
+            // scheduled at (or before) its 1st wakeup must already be dead
+            // at construction. Deferring the flag to the first wakeup (as
+            // an earlier version did) let such a node answer `compose` and
+            // accept `deliver` in the asynchronous model until its wakeup
+            // slot happened to be drawn.
+            if at <= 1 {
+                crashed[v] = true;
+            }
         }
         WithCrashes {
             inner,
             crash_at,
             wakeups: vec![0; n],
-            crashed: vec![false; n],
+            crashed,
         }
     }
 
@@ -151,6 +161,12 @@ impl<P: Protocol> Protocol for WithCrashes<P> {
         self.inner.num_nodes()
     }
 
+    fn on_round_start(&mut self, round: u64) {
+        // Forward so a dynamic inner topology keeps advancing — crashes
+        // kill nodes, not the network's own evolution.
+        self.inner.on_round_start(round);
+    }
+
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
         if self.crashed[node] {
             return None;
@@ -174,9 +190,21 @@ impl<P: Protocol> Protocol for WithCrashes<P> {
 
     fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: P::Msg) {
         if self.crashed[to] {
-            return; // messages to the dead are dropped
+            // Messages to the dead are dropped — but through the inner
+            // protocol's `discard`, not a plain `drop`: pooled message
+            // buffers (algebraic gossip's `RowPool`) must be recycled or
+            // every contact with a dead node would leak one buffer out of
+            // the pool and re-introduce steady-state allocations.
+            self.inner.discard(msg);
+            return;
         }
         self.inner.deliver(from, to, tag, msg);
+    }
+
+    fn discard(&mut self, msg: P::Msg) {
+        // Forward the engine's dedup/loss drops; the default (plain drop)
+        // would silently break the inner protocol's pool discipline.
+        self.inner.discard(msg);
     }
 
     fn node_complete(&self, node: NodeId) -> bool {
@@ -243,6 +271,132 @@ mod tests {
         assert!(
             !stats.completed,
             "messages were lost; survivors cannot finish"
+        );
+    }
+
+    /// Regression for the dead-on-arrival bug: under the asynchronous
+    /// model a node scheduled with `at_wakeup = 1` used to answer
+    /// `compose` and accept `deliver` until its own wakeup slot was first
+    /// drawn. It must be dead from timeslot 0.
+    #[test]
+    fn dead_on_arrival_node_is_silent_in_async_model() {
+        // The sole holder of the lone message is dead on arrival: nothing
+        // can ever spread, under any seed. Before the fix, neighbors
+        // pulled coded packets out of the "dead" node via EXCHANGE until
+        // its first wakeup fired, so other ranks grew.
+        let g = builders::path(4).unwrap();
+        let cfg = AgConfig::new(2).with_placement(Placement::SingleSource(1));
+        for seed in 0..16u64 {
+            let inner = AlgebraicGossip::<Gf256>::new(&g, &cfg, seed).unwrap();
+            let mut proto = WithCrashes::new(inner, CrashPlan::explicit(vec![(1, 1)]));
+            assert!(proto.is_crashed(1), "DOA node must be dead at construction");
+            let stats =
+                Engine::new(EngineConfig::asynchronous(seed).with_max_rounds(50)).run(&mut proto);
+            assert!(!stats.completed, "seed {seed}: information was conjured");
+            for v in [0, 2, 3] {
+                assert_eq!(
+                    proto.inner().rank(v),
+                    0,
+                    "seed {seed}: node {v} heard from the dead"
+                );
+            }
+        }
+    }
+
+    /// Dead-on-arrival nodes also never *receive* in the async model: a
+    /// DOA sink's rank stays at its seeded value.
+    #[test]
+    fn dead_on_arrival_node_never_gains_rank_async() {
+        let g = builders::complete(6).unwrap();
+        let cfg = AgConfig::new(3);
+        for seed in 0..8u64 {
+            let inner = AlgebraicGossip::<Gf256>::new(&g, &cfg, seed).unwrap();
+            let doa = 5; // spread placement on k=3 seeds nodes 0, 1, 2
+            let seeded_rank = inner.rank(doa);
+            let mut proto = WithCrashes::new(inner, CrashPlan::explicit(vec![(doa, 1)]));
+            let _ =
+                Engine::new(EngineConfig::asynchronous(seed).with_max_rounds(200)).run(&mut proto);
+            assert_eq!(
+                proto.inner().rank(doa),
+                seeded_rank,
+                "seed {seed}: dead node accepted deliveries"
+            );
+        }
+    }
+
+    /// Regression for the pooled-row leaks: dedup/loss drops (engine →
+    /// `discard`) and deliveries to crashed nodes must both route the
+    /// buffer back to the inner `RowPool`. The pool-balance invariant —
+    /// between rounds every preallocated buffer is idle in the pool — must
+    /// hold for the whole run, under loss and crashes, in both time
+    /// models.
+    #[test]
+    fn crash_and_loss_run_keeps_the_pool_balanced() {
+        let g = builders::complete(12).unwrap();
+        let cfg = AgConfig::new(6).with_payload_len(4);
+        for (sync, seed) in [(true, 3u64), (false, 4u64)] {
+            let inner = AlgebraicGossip::<Gf256>::new(&g, &cfg, seed).unwrap();
+            let prewarm = inner.pool_prewarm();
+            assert_eq!(inner.pool_idle(), prewarm);
+            // Crash only nodes that hold no initial message (spread
+            // placement seeds 0..6), so the survivors can still finish.
+            let plan = CrashPlan::explicit(vec![(7, 1), (8, 2), (9, 4)]);
+            let mut proto = WithCrashes::new(inner, plan);
+            let ecfg = if sync {
+                EngineConfig::synchronous(seed)
+            } else {
+                EngineConfig::asynchronous(seed)
+            }
+            .with_loss(0.3)
+            .with_max_rounds(200_000);
+            let mut balanced = true;
+            let stats = Engine::new(ecfg).run_observed(&mut proto, |_, p| {
+                balanced &= p.inner().pool_idle() == prewarm;
+            });
+            assert!(stats.completed, "sync={sync}: survivors must finish");
+            assert!(
+                balanced,
+                "sync={sync}: a pooled buffer leaked mid-run (idle != prewarm at a round boundary)"
+            );
+            assert_eq!(
+                proto.inner().pool_idle(),
+                prewarm,
+                "sync={sync}: pool did not end balanced"
+            );
+        }
+    }
+
+    /// Crash-then-rewire recovery: crashing the star hub strands every
+    /// leaf on the static graph, but the same crash under rewiring churn
+    /// heals the topology around the dead hub and the survivors finish —
+    /// the dynamic-scenario counterpart of RLNC's crash robustness.
+    #[test]
+    fn rewire_churn_recovers_from_a_hub_crash() {
+        use ag_graph::{ChurnSchedule, ScheduledTopology};
+        let g = builders::star(10).unwrap();
+        let cfg = AgConfig::new(3).with_placement(Placement::SingleSource(0));
+        let seed = 6;
+        // The hub (the single source) answers exactly one round — each
+        // leaf ends round 1 with one random combo (rank 1 < k = 3), and
+        // the 9 combos collectively span the whole generation w.h.p. —
+        // then it dies. Statically the leaves are mutually unreachable.
+        let plan = CrashPlan::explicit(vec![(0, 2)]);
+        let inner = AlgebraicGossip::<Gf256>::new(&g, &cfg, seed).unwrap();
+        let mut static_run = WithCrashes::new(inner, plan.clone());
+        let s_static = Engine::new(EngineConfig::synchronous(seed).with_max_rounds(3_000))
+            .run(&mut static_run);
+        assert!(
+            !s_static.completed,
+            "static star with a dead hub must stall"
+        );
+        let topo = ScheduledTopology::new(&g, ChurnSchedule::rewire(0.2, 99));
+        let inner = AlgebraicGossip::<Gf256, _>::on_topology(topo, &cfg, seed).unwrap();
+        let mut dynamic_run = WithCrashes::new(inner, plan);
+        let s_dynamic = Engine::new(EngineConfig::synchronous(seed).with_max_rounds(3_000))
+            .run(&mut dynamic_run);
+        assert!(
+            s_dynamic.completed,
+            "rewiring should reconnect the survivors"
         );
     }
 

@@ -23,6 +23,17 @@
 //!   parent rule; and [`OracleTree`] — an oracle standing in for the exact
 //!   IS protocol, delivering a BFS tree after a configurable `t(S)`.
 //!
+//! Beyond the paper, the protocols form a **scenario engine**:
+//! [`AlgebraicGossip`], [`RandomMessageGossip`], [`Tag`] and
+//! [`BroadcastTree`] are generic over an [`ag_graph::Topology`] view
+//! (static [`ag_graph::Graph`] by default — zero overhead, bit-identical
+//! to the pre-abstraction behavior — or [`ag_graph::ScheduledTopology`]
+//! with deterministic churn: rewires, flips, bridge cuts, partitions),
+//! and [`WithCrashes`] layers crash-stop failures (including
+//! dead-on-arrival nodes) over any of them, forwarding the pooled-buffer
+//! `discard` discipline so crash scenarios stay allocation-free. The F9
+//! experiment family measures the combinations.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -14,19 +14,17 @@
 //!   bijection, so distinct protocol seeds can never share an engine
 //!   seed, and the two streams of one trial are decorrelated.
 
-/// Golden-ratio increment of the SplitMix64 sequence.
-pub(crate) const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Golden-ratio increment of the SplitMix64 sequence (the shared
+/// workspace definition — see [`ag_graph::seedmix`], which also feeds
+/// `ScheduledTopology`'s per-epoch churn streams).
+pub(crate) const GOLDEN_GAMMA: u64 = ag_graph::seedmix::GOLDEN_GAMMA;
 
 /// Salt separating the engine-seed domain from the protocol-seed domain.
 const ENGINE_SALT: u64 = 0x5EED_BA5E_D0C5_EED5;
 
 /// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
-#[must_use]
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Re-exported from the single workspace definition.
+pub use ag_graph::seedmix::splitmix64;
 
 /// The engine seed paired with a protocol seed. Bijective in
 /// `protocol_seed`, so two distinct protocol seeds never share an engine

@@ -1,7 +1,7 @@
 //! TAG: Tree-based Algebraic Gossip (Section 4).
 
 use ag_gf::SlabField;
-use ag_graph::{Graph, GraphError, NodeId, SpanningTree};
+use ag_graph::{Graph, GraphError, NodeId, SpanningTree, Topology};
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use ag_sim::{Action, ContactIntent, Protocol};
 use rand::rngs::StdRng;
@@ -51,15 +51,15 @@ const TAG_PHASE2: u32 = 2;
 /// assert!(stats.completed);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Tag<F: SlabField, S> {
-    graph: Graph,
+pub struct Tag<F: SlabField, S, T: Topology = Graph> {
+    topology: T,
     tree: S,
     generation: Generation<F>,
     decoders: Vec<Decoder<F>>,
     wakeups: Vec<u64>,
 }
 
-impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
+impl<F: SlabField, S: TreeProtocol> Tag<F, S, Graph> {
     /// Builds TAG over `graph` using `tree` as the Phase-1 protocol `S`.
     ///
     /// `cfg.comm_model` is ignored (Phase 2's partner is always the
@@ -71,12 +71,7 @@ impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
     /// Returns [`GraphError::InvalidSize`] if `k == 0`, the graph is
     /// disconnected, or `tree` is for a different node count.
     pub fn new(graph: &Graph, tree: S, cfg: &AgConfig, seed: u64) -> Result<Self, GraphError> {
-        if cfg.k == 0 {
-            return Err(GraphError::InvalidSize("k must be positive".into()));
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
-        Self::new_with_generation(graph, tree, cfg, generation, seed)
+        Self::on_topology(graph.clone(), tree, cfg, seed)
     }
 
     /// Like [`Tag::new`] but disseminating the *given* generation (real
@@ -93,6 +88,51 @@ impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
         generation: Generation<F>,
         seed: u64,
     ) -> Result<Self, GraphError> {
+        Self::on_topology_with_generation(graph.clone(), tree, cfg, generation, seed)
+    }
+}
+
+impl<F: SlabField, S: TreeProtocol, T: Topology> Tag<F, S, T> {
+    /// Builds TAG over an owned [`Topology`]. `tree` should read through
+    /// the *same* schedule (e.g. a clone of the same
+    /// `ScheduledTopology`): TAG forwards the engines' round-start hook
+    /// to both its own view and `tree`'s, so the two advance in lockstep.
+    /// Phase-2 contacts additionally check that the tree edge to the
+    /// parent still exists in the current view — a cut parent edge makes
+    /// the node sit the phase out, which is exactly how TAG's
+    /// static-tree advantage erodes under the F9 bridge-cut adversary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `k == 0`, the initial view
+    /// is disconnected, or `tree` is for a different node count.
+    pub fn on_topology(
+        topology: T,
+        tree: S,
+        cfg: &AgConfig,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if cfg.k == 0 {
+            return Err(GraphError::InvalidSize("k must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generation = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
+        Self::on_topology_with_generation(topology, tree, cfg, generation, seed)
+    }
+
+    /// [`Tag::on_topology`] with the *given* generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] on shape mismatch, a
+    /// disconnected initial view, or tree-size mismatch.
+    pub fn on_topology_with_generation(
+        topology: T,
+        tree: S,
+        cfg: &AgConfig,
+        generation: Generation<F>,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
         if cfg.k != generation.k() || cfg.payload_len != generation.message_len() {
             return Err(GraphError::InvalidSize(format!(
                 "config shape (k={}, r={}) does not match generation (k={}, r={})",
@@ -102,34 +142,35 @@ impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
                 generation.message_len()
             )));
         }
-        if !graph.is_connected() {
+        if !topology.is_connected_now() {
             return Err(GraphError::InvalidSize(
-                "dissemination requires a connected graph".into(),
+                "dissemination requires a connected (initial) graph".into(),
             ));
         }
-        if tree.num_nodes() != graph.n() {
+        if tree.num_nodes() != topology.n() {
             return Err(GraphError::InvalidSize(format!(
                 "tree protocol covers {} nodes but graph has {}",
                 tree.num_nodes(),
-                graph.n()
+                topology.n()
             )));
         }
-        // Advance the RNG identically to `new` so placement agrees.
+        // Advance the RNG identically to `on_topology` so placement agrees.
         let mut rng = StdRng::seed_from_u64(seed);
         let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
-        let hosts = cfg.placement.assign(graph.n(), cfg.k, &mut rng);
-        let mut decoders: Vec<Decoder<F>> = (0..graph.n())
+        let hosts = cfg.placement.assign(topology.n(), cfg.k, &mut rng);
+        let mut decoders: Vec<Decoder<F>> = (0..topology.n())
             .map(|_| Decoder::new(cfg.k, cfg.payload_len))
             .collect();
         for (msg, &host) in hosts.iter().enumerate() {
             decoders[host].seed_message(&generation, msg);
         }
+        let wakeups = vec![0; topology.n()];
         Ok(Tag {
-            graph: graph.clone(),
+            topology,
             tree,
             generation,
             decoders,
-            wakeups: vec![0; graph.n()],
+            wakeups,
         })
     }
 
@@ -164,11 +205,17 @@ impl<F: SlabField, S: TreeProtocol> Tag<F, S> {
     }
 }
 
-impl<F: SlabField, S: TreeProtocol> Protocol for Tag<F, S> {
+impl<F: SlabField, S: TreeProtocol, T: Topology> Protocol for Tag<F, S, T> {
     type Msg = TagMsg<S::Msg, F>;
 
     fn num_nodes(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        // Advance both views in lockstep (no-ops for static topologies).
+        self.topology.advance_to_epoch(round.saturating_sub(1));
+        self.tree.on_round_start(round);
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
@@ -179,8 +226,15 @@ impl<F: SlabField, S: TreeProtocol> Protocol for Tag<F, S> {
             intent.tag = TAG_PHASE1;
             Some(intent)
         } else {
-            // Phase 2: EXCHANGE algebraic gossip with the parent, if any.
+            // Phase 2: EXCHANGE algebraic gossip with the parent, if any —
+            // and only while the tree edge still exists in the current
+            // view. Statically a parent is always a neighbor (it was
+            // learned over a contact), so the check never fires; under
+            // churn a cut parent edge idles the phase.
             let parent = self.tree.parent(node)?;
+            if !self.topology.has_edge(node, parent) {
+                return None;
+            }
             Some(ContactIntent {
                 partner: parent,
                 action: Action::Exchange,

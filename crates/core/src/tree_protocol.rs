@@ -24,6 +24,15 @@ pub trait TreeProtocol {
     /// The designated root (the node that never obtains a parent).
     fn root(&self) -> NodeId;
 
+    /// Round-start hook, mirroring [`ag_sim::Protocol::on_round_start`]:
+    /// tree protocols over a dynamic [`ag_graph::Topology`] advance their
+    /// view to epoch `round − 1` here. Default: no-op. [`TreeRunner`]
+    /// forwards the engine hook here, and [`crate::Tag`] forwards its own
+    /// so Phase 1's view advances in lockstep with TAG's.
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+    }
+
     /// Node `node` takes a Phase-1 step; `None` = idle this wakeup.
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent>;
 
@@ -101,6 +110,10 @@ impl<S: TreeProtocol> Protocol for TreeRunner<S> {
 
     fn num_nodes(&self) -> usize {
         self.inner.num_nodes()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        self.inner.on_round_start(round);
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {

@@ -1,0 +1,113 @@
+//! Allocation audit for the crash wrapper: a `WithCrashes`-wrapped
+//! algebraic gossip run with loss injection must stay allocation-free in
+//! steady state, exactly like the bare protocol (`bench_rlnc_throughput`
+//! pins the bare case at n = 10⁵).
+//!
+//! This is the regression lock for two pooled-row leaks the wrapper used
+//! to have: it did not forward `Protocol::discard` (so the engine's
+//! dedup/loss drops hit the default `drop` instead of the `RowPool`
+//! recycle), and it dropped messages delivered to crashed nodes on the
+//! floor instead of routing them through `inner.discard`. Either leak
+//! shows up here immediately: once the pool drains, every subsequent
+//! `compose` allocates a fresh buffer, and the per-round allocator deltas
+//! stop being zero.
+//!
+//! One test only: the file has its own counting global allocator, and a
+//! sibling test running concurrently would pollute the per-round deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ag_gf::Gf256;
+use ag_graph::builders;
+use ag_sim::{Engine, EngineConfig};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, CrashPlan, WithCrashes};
+
+/// Counts every allocator entry so the round loop can be proven
+/// allocation-free (not just leak-free).
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a side channel.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn crash_and_loss_run_is_allocation_free_in_steady_state() {
+    let n = 96;
+    let k = 8;
+    let seed = 0xC4A5_4E57;
+    let mut grng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let graph = builders::random_regular(n, 3, &mut grng).expect("rr(3)");
+    let cfg = AgConfig::new(k).with_payload_len(32);
+    let inner = AlgebraicGossip::<Gf256>::new(&graph, &cfg, seed).expect("protocol");
+    let prewarm = inner.pool_prewarm();
+    // Crash a deterministic batch of non-holders (spread placement seeds
+    // 0..k) at staggered wakeups, including two dead-on-arrival nodes, so
+    // every gated path — DOA, mid-run crash, deliver-to-dead — runs.
+    let plan = CrashPlan::explicit(vec![(20, 1), (21, 1), (40, 2), (41, 3), (60, 5), (61, 8)]);
+    let mut proto = WithCrashes::new(inner, plan);
+
+    // Per-round allocator snapshots; preallocated so the observer itself
+    // never allocates inside the measured loop. The baseline snapshot
+    // taken before the run makes round 1's window observable too.
+    let mut snapshots: Vec<(u64, u64)> = Vec::with_capacity(4096);
+    snapshots.push((0, ALLOC_CALLS.load(Ordering::Relaxed)));
+    let ecfg = EngineConfig::synchronous(seed ^ 0x1)
+        .with_loss(0.3)
+        .with_max_rounds(3_000);
+    let stats = Engine::new(ecfg).run_observed(&mut proto, |round, _p| {
+        snapshots.push((round, ALLOC_CALLS.load(Ordering::Relaxed)));
+    });
+    assert!(stats.completed, "survivors must finish within the budget");
+    assert_eq!(proto.crashed_count(), 6);
+
+    let mut allocating_rounds = Vec::new();
+    for w in snapshots.windows(2) {
+        let delta = w[1].1 - w[0].1;
+        if delta > 0 {
+            allocating_rounds.push((w[1].0, delta));
+        }
+    }
+    // Round 1's window carries the engine's one-time per-run setup
+    // (RunStats buffers, round scratch); every later round — including
+    // every dedup drop, loss drop and delivery to a crashed node — must
+    // be allocation-free.
+    assert!(
+        allocating_rounds.iter().all(|&(round, _)| round <= 1),
+        "pooled buffers leaked: allocations in rounds {allocating_rounds:?}"
+    );
+    assert!(
+        stats.rounds >= 5,
+        "run too short ({} rounds) to call the loop steady",
+        stats.rounds
+    );
+    // And the pool itself ends exactly as pre-warmed: nothing leaked,
+    // nothing grew.
+    assert_eq!(
+        proto.inner().pool_idle(),
+        prewarm,
+        "pool did not end balanced"
+    );
+    // The scenario genuinely exercised the drop paths.
+    assert!(stats.lost > 0, "loss injection never fired");
+}

@@ -11,7 +11,12 @@
 //! * [`SpanningTree`] — rooted parent-pointer trees as produced by the
 //!   paper's spanning-tree gossip protocols,
 //! * [`metrics`] — degree sums along shortest paths (Lemma 2), cut
-//!   boundaries and cut conductance.
+//!   boundaries and cut conductance,
+//! * [`Topology`] — the (possibly time-varying) neighbor view gossip
+//!   protocols read: [`StaticTopology`] is the plain [`Graph`],
+//!   [`ScheduledTopology`] applies a deterministic [`ChurnSchedule`]
+//!   (random rewires/flips, adversarial bridge cuts and partitions) one
+//!   epoch per simulation round.
 //!
 //! # Examples
 //!
@@ -28,9 +33,12 @@
 pub mod builders;
 mod graph;
 pub mod metrics;
+pub mod seedmix;
+mod topology;
 mod traversal;
 mod tree;
 
 pub use graph::{Graph, GraphError, Neighbors, NodeId};
+pub use topology::{ChurnSchedule, ScheduledTopology, StaticTopology, Topology};
 pub use traversal::BfsResult;
 pub use tree::{SpanningTree, TreeError};

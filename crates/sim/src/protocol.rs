@@ -77,6 +77,22 @@ pub trait Protocol {
     /// Number of nodes.
     fn num_nodes(&self) -> usize;
 
+    /// Round-start hook: both engines call this exactly once before round
+    /// `round` (1-based) begins — ahead of every wakeup of a synchronous
+    /// round, and ahead of the first timeslot of each asynchronous round
+    /// group. This is the epoch-advance point for dynamic topologies:
+    /// protocols over an [`ag_graph::Topology`] advance their view to
+    /// epoch `round − 1` here, so round 1 always runs on the initial
+    /// graph. The default is a no-op (and a static topology's advance is
+    /// itself a no-op), so static protocols pay nothing. Must not touch
+    /// any engine-provided RNG — topology schedules carry their own
+    /// seeded streams — so the engine's draw sequence is independent of
+    /// whether a protocol overrides this. Wrapper protocols must forward
+    /// it to their inner protocol.
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+    }
+
     /// Node `node` wakes up; returns its contact for this wakeup, or
     /// `None` to stay idle. May mutate control state only — message
     /// content must not depend on mutations made here in a way that leaks

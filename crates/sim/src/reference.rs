@@ -114,6 +114,9 @@ impl ReferenceEngine {
             TimeModel::Asynchronous => {
                 let max_slots = self.config.max_rounds.saturating_mul(n as u64);
                 while stats.timeslots < max_slots {
+                    if stats.timeslots.is_multiple_of(n as u64) {
+                        proto.on_round_start(stats.timeslots / n as u64 + 1);
+                    }
                     self.async_slot(proto, &mut stats, &mut complete, &mut incomplete, n);
                     if stats.timeslots.is_multiple_of(n as u64) {
                         stats.rounds = stats.timeslots / n as u64;
@@ -143,6 +146,10 @@ impl ReferenceEngine {
         incomplete: &mut usize,
     ) {
         let n = proto.num_nodes();
+        // 0. Round-start hook — like the drop accounting, a semantic
+        //    contract shared with the fast engine: dynamic topologies must
+        //    see identical epoch sequences under both loops.
+        proto.on_round_start(stats.rounds + 1);
         // 1. Every node wakes and declares its contact.
         let intents: Vec<_> = (0..n).map(|v| proto.on_wakeup(v, &mut self.rng)).collect();
         // 2. Compose all messages against the (still unmodified) round-

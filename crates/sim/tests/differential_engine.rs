@@ -9,7 +9,7 @@
 //! be *invisible* in the results. This suite is the engine-level analogue
 //! of `crates/rlnc/tests/differential_decoder.rs`.
 
-use ag_graph::{builders, Graph, NodeId};
+use ag_graph::{builders, ChurnSchedule, Graph, NodeId, ScheduledTopology, Topology};
 use ag_sim::reference::ReferenceEngine;
 use ag_sim::{
     Action, CommModel, ContactIntent, Engine, EngineConfig, PartnerSelector, Protocol, RunStats,
@@ -20,21 +20,23 @@ use rand::SeedableRng;
 
 /// Epidemic flooding with a configurable action — every engine code path
 /// (forward, backward, both, empty sends via uninformed composers) fires.
-struct Flood {
-    graph: Graph,
+/// Generic over the topology view so the same protocol drives the static
+/// lanes and the dynamic (scheduled-churn) lane.
+struct Flood<T: Topology = Graph> {
+    topology: T,
     informed: Vec<bool>,
     selector: PartnerSelector,
     action: Action,
 }
 
-impl Flood {
-    fn new(graph: Graph, action: Action, comm: CommModel, seed: u64) -> Self {
+impl<T: Topology> Flood<T> {
+    fn new(topology: T, action: Action, comm: CommModel, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let selector = PartnerSelector::new(&graph, comm, &mut rng);
-        let mut informed = vec![false; graph.n()];
+        let selector = PartnerSelector::new(&topology, comm, &mut rng);
+        let mut informed = vec![false; topology.n()];
         informed[0] = true;
         Flood {
-            graph,
+            topology,
             informed,
             selector,
             action,
@@ -42,15 +44,19 @@ impl Flood {
     }
 }
 
-impl Protocol for Flood {
+impl<T: Topology> Protocol for Flood<T> {
     type Msg = ();
 
     fn num_nodes(&self) -> usize {
-        self.graph.n()
+        self.topology.n()
+    }
+
+    fn on_round_start(&mut self, round: u64) {
+        self.topology.advance_to_epoch(round.saturating_sub(1));
     }
 
     fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
-        let partner = self.selector.next_partner(&self.graph, node, rng)?;
+        let partner = self.selector.next_partner(&self.topology, node, rng)?;
         Some(ContactIntent {
             partner,
             action: self.action,
@@ -74,8 +80,37 @@ impl Protocol for Flood {
 /// Observer trace entry: round number plus a state fingerprint.
 type Trace = Vec<(u64, u64)>;
 
-fn flood_fingerprint(p: &Flood) -> u64 {
+fn flood_fingerprint<T: Topology>(p: &Flood<T>) -> u64 {
     p.informed.iter().map(|&b| u64::from(b)).sum()
+}
+
+fn run_both_on<T: Topology + Clone>(
+    topology: &T,
+    action: Action,
+    comm: CommModel,
+    cfg: EngineConfig,
+    proto_seed: u64,
+) -> ((RunStats, Trace), (RunStats, Trace)) {
+    let mut fast_proto = Flood::new(topology.clone(), action, comm, proto_seed);
+    let mut fast_trace = Trace::new();
+    let fast = Engine::new(cfg).run_observed(&mut fast_proto, |r, p| {
+        fast_trace.push((r, flood_fingerprint(p)));
+    });
+    let mut ref_proto = Flood::new(topology.clone(), action, comm, proto_seed);
+    let mut ref_trace = Trace::new();
+    let slow = ReferenceEngine::new(cfg).run_observed(&mut ref_proto, |r, p| {
+        ref_trace.push((r, flood_fingerprint(p)));
+    });
+    assert_eq!(
+        fast_proto.informed, ref_proto.informed,
+        "final state diverged"
+    );
+    assert_eq!(
+        fast_proto.topology.epoch(),
+        ref_proto.topology.epoch(),
+        "engines advanced topologies to different epochs"
+    );
+    ((fast, fast_trace), (slow, ref_trace))
 }
 
 fn run_both(
@@ -85,21 +120,7 @@ fn run_both(
     cfg: EngineConfig,
     proto_seed: u64,
 ) -> ((RunStats, Trace), (RunStats, Trace)) {
-    let mut fast_proto = Flood::new(graph.clone(), action, comm, proto_seed);
-    let mut fast_trace = Trace::new();
-    let fast = Engine::new(cfg).run_observed(&mut fast_proto, |r, p| {
-        fast_trace.push((r, flood_fingerprint(p)));
-    });
-    let mut ref_proto = Flood::new(graph.clone(), action, comm, proto_seed);
-    let mut ref_trace = Trace::new();
-    let slow = ReferenceEngine::new(cfg).run_observed(&mut ref_proto, |r, p| {
-        ref_trace.push((r, flood_fingerprint(p)));
-    });
-    assert_eq!(
-        fast_proto.informed, ref_proto.informed,
-        "final state diverged"
-    );
-    ((fast, fast_trace), (slow, ref_trace))
+    run_both_on(graph, action, comm, cfg, proto_seed)
 }
 
 proptest! {
@@ -142,6 +163,70 @@ proptest! {
             run_both(&graph, action, comm, cfg, seed ^ 0xD1FF);
         prop_assert_eq!(fast, slow);
         prop_assert_eq!(fast_trace, slow_trace);
+    }
+
+    /// The dynamic lane: fast and reference engines must call the
+    /// round-start hook at identical round boundaries, so a protocol over
+    /// a `ScheduledTopology` sees the same epoch sequence — and therefore
+    /// the same neighbors, messages, stats and traces — under both loops.
+    /// Runs every churn family, both time models, both partner models,
+    /// loss on and off. Completion is *not* asserted: churn may legally
+    /// disconnect the graph for the whole budget.
+    #[test]
+    fn dynamic_engines_are_bit_identical(
+        seed in any::<u64>(),
+        n in 4usize..20,
+        p_edge in 0.3f64..0.8,
+        schedule_pick in 0u8..4,
+        comm_pick in 0u8..2,
+        sync in any::<bool>(),
+        lossy in any::<bool>(),
+    ) {
+        let comm = if comm_pick == 0 { CommModel::Uniform } else { CommModel::RoundRobin };
+        let mut graph_rng = StdRng::seed_from_u64(seed);
+        let graph = builders::erdos_renyi_connected(n, p_edge, &mut graph_rng)
+            .unwrap_or_else(|_| builders::cycle(n.max(3)).unwrap());
+        let schedule = match schedule_pick {
+            0 => ChurnSchedule::rewire(0.3, seed),
+            1 => ChurnSchedule::Flip { count: 2, seed },
+            2 => {
+                let edge = graph.edges().next().expect("connected graph has edges");
+                ChurnSchedule::bridge_cut(edge, 2, 2)
+            }
+            _ => ChurnSchedule::partition_heal(graph.n() / 2, 2, 2),
+        };
+        let topo = ScheduledTopology::new(&graph, schedule);
+        let mut cfg = if sync {
+            EngineConfig::synchronous(seed)
+        } else {
+            EngineConfig::asynchronous(seed)
+        }
+        .with_max_rounds(2_000);
+        if lossy {
+            cfg = cfg.with_loss(0.3);
+        }
+        let ((fast, fast_trace), (slow, slow_trace)) =
+            run_both_on(&topo, Action::Exchange, comm, cfg, seed ^ 0xD74A);
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fast_trace, slow_trace);
+    }
+}
+
+/// The adversarial fixed case: a barbell whose bridge is cut 3 epochs out
+/// of 4. Both engines must agree round for round, and the run must
+/// actually exercise the cut (flooding crosses only during up windows).
+#[test]
+fn bridge_cut_barbell_matches_reference() {
+    let graph = builders::barbell(12).expect("barbell");
+    let bridge = (5, 6);
+    for seed in 0..20u64 {
+        let topo = ScheduledTopology::new(&graph, ChurnSchedule::bridge_cut(bridge, 1, 3));
+        let cfg = EngineConfig::synchronous(seed).with_max_rounds(5_000);
+        let ((fast, fast_trace), (slow, slow_trace)) =
+            run_both_on(&topo, Action::Exchange, CommModel::Uniform, cfg, seed);
+        assert!(fast.completed, "flooding must finish once the bridge is up");
+        assert_eq!(fast, slow, "stats diverged at seed {seed}");
+        assert_eq!(fast_trace, slow_trace, "traces diverged at seed {seed}");
     }
 }
 
