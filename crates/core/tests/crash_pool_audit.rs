@@ -14,8 +14,11 @@
 //!
 //! One test only: the file has its own counting global allocator, and a
 //! sibling test running concurrently would pollute the per-round deltas.
+//! The helpfulness-probe audit lives in its own file
+//! (`would_help_audit.rs`) for the same reason.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ag_gf::Gf256;
@@ -23,24 +26,42 @@ use ag_graph::builders;
 use ag_sim::{Engine, EngineConfig};
 use algebraic_gossip::{AgConfig, AlgebraicGossip, CrashPlan, WithCrashes};
 
-/// Counts every allocator entry so the round loop can be proven
-/// allocation-free (not just leak-free).
+/// Counts every allocator entry on the *armed* thread so the round loop can
+/// be proven allocation-free (not just leak-free).
 struct CountingAllocator;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Armed only on the test thread around the measured run. libtest's
+    /// harness threads allocate at their own pace (result channels, capture
+    /// buffers), and a process-wide counter intermittently picks those up;
+    /// gating on a thread-local keeps the per-round deltas deterministic.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn record_alloc() {
+    // `try_with`: TLS is unavailable during thread teardown, and the
+    // allocator can be entered from there.
+    let _ = COUNTING.try_with(|armed| {
+        if armed.get() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 // SAFETY: delegates verbatim to `System`; the counter is a side channel.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        record_alloc();
         System.alloc(layout)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        record_alloc();
         System.alloc_zeroed(layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        record_alloc();
         System.realloc(ptr, layout, new_size)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -71,6 +92,7 @@ fn crash_and_loss_run_is_allocation_free_in_steady_state() {
     // never allocates inside the measured loop. The baseline snapshot
     // taken before the run makes round 1's window observable too.
     let mut snapshots: Vec<(u64, u64)> = Vec::with_capacity(4096);
+    COUNTING.with(|armed| armed.set(true));
     snapshots.push((0, ALLOC_CALLS.load(Ordering::Relaxed)));
     let ecfg = EngineConfig::synchronous(seed ^ 0x1)
         .with_loss(0.3)
@@ -78,6 +100,7 @@ fn crash_and_loss_run_is_allocation_free_in_steady_state() {
     let stats = Engine::new(ecfg).run_observed(&mut proto, |round, _p| {
         snapshots.push((round, ALLOC_CALLS.load(Ordering::Relaxed)));
     });
+    COUNTING.with(|armed| armed.set(false));
     assert!(stats.completed, "survivors must finish within the budget");
     assert_eq!(proto.crashed_count(), 6);
 

@@ -149,14 +149,11 @@ impl SlabField for Gf256 {
     }
 
     fn mul_slice(c: Self, dst: &mut [u8]) {
-        // Short rows always take the reference kernel: the wide rungs
-        // build two 16-entry nibble tables per multiplier (~30 scalar
-        // products), which only amortizes over longer rows. All rungs are
-        // bit-identical, so this is a pure throughput decision.
-        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
-            return crate::reference::gf256_mul_slice(c.0, dst);
-        }
-        match Kernel::active() {
+        // Row-length routing (short rows → reference for table-build
+        // amortization, long rows demote SWAR) lives in
+        // `kernel::gf256_effective_kernel`; all rungs are bit-identical,
+        // so this is a pure throughput decision.
+        match crate::kernel::gf256_effective_kernel(Kernel::active(), dst.len()) {
             Kernel::Reference => crate::reference::gf256_mul_slice(c.0, dst),
             Kernel::Swar => crate::wide::gf256_mul_slice(c.0, dst),
             Kernel::Simd => crate::simd::gf256_mul_slice(c.0, dst),
@@ -164,13 +161,59 @@ impl SlabField for Gf256 {
     }
 
     fn mul_add_slice(c: Self, src: &[u8], dst: &mut [u8]) {
-        if dst.len() < crate::kernel::SHORT_ROW_BYTES {
-            return crate::reference::gf256_mul_add_slice(c.0, src, dst);
-        }
-        match Kernel::active() {
+        match crate::kernel::gf256_effective_kernel(Kernel::active(), dst.len()) {
             Kernel::Reference => crate::reference::gf256_mul_add_slice(c.0, src, dst),
             Kernel::Swar => crate::wide::gf256_mul_add_slice(c.0, src, dst),
             Kernel::Simd => crate::simd::gf256_mul_add_slice(c.0, src, dst),
+        }
+    }
+
+    fn mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        assert_eq!(
+            srcs.len(),
+            factors.len() * dst.len(),
+            "srcs must hold exactly one row of dst.len() bytes per factor"
+        );
+        if dst.is_empty() || factors.is_empty() {
+            return;
+        }
+        // Only the SIMD rung has a genuinely fused gather (GFNI keeps the
+        // destination tile in registers across sources); reference and
+        // SWAR loop single-row axpys, which is optimal for them because
+        // their per-coefficient tables must be rebuilt per source anyway.
+        match crate::kernel::gf256_effective_kernel(Kernel::active(), dst.len()) {
+            Kernel::Simd => crate::simd::gf256_mul_add_multi(factors, srcs, dst),
+            _ => {
+                for (&f, row) in factors.iter().zip(srcs.chunks_exact(dst.len())) {
+                    if f != 0 {
+                        Self::mul_add_slice(Gf256(f), row, dst);
+                    }
+                }
+            }
+        }
+    }
+
+    fn mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        assert_eq!(
+            dsts.len(),
+            factors.len() * src.len(),
+            "dsts must hold exactly one row of src.len() bytes per factor"
+        );
+        if src.is_empty() || factors.is_empty() {
+            return;
+        }
+        // The SIMD rung hoists the kernel dispatch and constant splat out
+        // of the per-row loop — back-substitution scatters one short pivot
+        // row onto every stored row, where per-row dispatch would dominate.
+        match crate::kernel::gf256_effective_kernel(Kernel::active(), src.len()) {
+            Kernel::Simd => crate::simd::gf256_mul_add_scatter(factors, src, dsts),
+            _ => {
+                for (&f, row) in factors.iter().zip(dsts.chunks_exact_mut(src.len())) {
+                    if f != 0 {
+                        Self::mul_add_slice(Gf256(f), src, row);
+                    }
+                }
+            }
         }
     }
 }

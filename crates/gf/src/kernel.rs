@@ -54,6 +54,36 @@ pub enum Kernel {
 /// simulations (rows of `k` bytes) keep their PR 2 throughput.
 pub const SHORT_ROW_BYTES: usize = 64;
 
+/// GF(2⁸) rows at least this long route the [`Kernel::Swar`] rung to the
+/// reference product-table kernel. Measured on the bench machine, SWAR
+/// loses the raw streaming axpy to reference at every length from 4 KiB up
+/// (1 MiB: 1853 vs 2441 MiB/s, the BENCH_rlnc_throughput.json regression
+/// this cutoff fixes), while decode-sized rows (~1–2 KiB, L1-resident) keep
+/// SWAR, which is ahead end-to-end there (10.52 vs 11.34 ms/decode in the
+/// same report) and is the only wide rung non-x86 hosts have. All rungs
+/// are bit-identical, so the routing is invisible to results.
+///
+/// GF(2⁴) is unaffected: split-nibble SWAR beats the reference kernel on
+/// every measured GF(2⁴) shape (raw axpy 3658 vs 2060 MiB/s).
+pub const GF256_SWAR_LONG_ROW_BYTES: usize = 4096;
+
+/// The rung a GF(2⁸) bulk operation over `row_bytes` actually executes
+/// when `active` is the selected kernel. This is the single routing
+/// decision both [`crate::Gf256`] slab ops and the pinning tests consult:
+/// short rows always take reference (table-build amortization), and long
+/// rows demote [`Kernel::Swar`] to reference per
+/// [`GF256_SWAR_LONG_ROW_BYTES`].
+#[must_use]
+pub fn gf256_effective_kernel(active: Kernel, row_bytes: usize) -> Kernel {
+    let short = row_bytes < SHORT_ROW_BYTES;
+    let swar_demoted = active == Kernel::Swar && row_bytes >= GF256_SWAR_LONG_ROW_BYTES;
+    if short || swar_demoted {
+        Kernel::Reference
+    } else {
+        active
+    }
+}
+
 /// `ACTIVE` sentinel: not yet resolved.
 const UNSET: u8 = u8::MAX;
 
@@ -187,5 +217,31 @@ mod tests {
     #[test]
     fn active_resolves_to_a_supported_kernel() {
         assert!(Kernel::active().is_supported());
+    }
+
+    #[test]
+    fn long_gf256_rows_never_run_swar() {
+        // The measured shapes from BENCH_rlnc_throughput.json: SWAR loses
+        // the 1 MiB streaming axpy to reference, so routing must demote it
+        // there — under an explicit Swar selection and a fortiori under
+        // auto-detect, which never picks a rung slower than reference on
+        // these shapes.
+        for k in Kernel::LADDER {
+            let eff = gf256_effective_kernel(k, 1 << 20);
+            assert_ne!(eff, Kernel::Swar, "1 MiB gf256 rows must not run SWAR");
+        }
+        assert_eq!(
+            gf256_effective_kernel(Kernel::Swar, GF256_SWAR_LONG_ROW_BYTES),
+            Kernel::Reference
+        );
+        // Decode-sized rows (k=128, 1 KiB payloads → 1152 bytes) keep the
+        // selected rung: SWAR wins end-to-end there.
+        assert_eq!(gf256_effective_kernel(Kernel::Swar, 1152), Kernel::Swar);
+        assert_eq!(gf256_effective_kernel(Kernel::Simd, 1 << 20), Kernel::Simd);
+        // Short rows keep the PR 2 reference path on every rung.
+        assert_eq!(
+            gf256_effective_kernel(Kernel::Simd, SHORT_ROW_BYTES - 1),
+            Kernel::Reference
+        );
     }
 }

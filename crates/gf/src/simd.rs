@@ -12,10 +12,18 @@
 //! Everything is runtime-detected (`is_x86_feature_detected!`) and compiled
 //! only on x86-64; other architectures transparently fall back to the SWAR
 //! rung, as does an x86-64 CPU without SSSE3. The detected level can be
-//! forced down with `AG_GF_SIMD=ssse3|avx2|gfni` for ladder benchmarks.
-//! Sub-block tails (&lt; 16/32 bytes) run through the SWAR rung, which
-//! produces bit-identical bytes; `proptest_kernels` pins all rungs to each
-//! other across every block-boundary geometry.
+//! forced down with `AG_GF_SIMD=ssse3|avx2|gfni|gfni512` for ladder
+//! benchmarks. Sub-block tails (&lt; 16/32 bytes) run through the SWAR
+//! rung, which produces bit-identical bytes; `proptest_kernels` pins all
+//! rungs to each other across every block-boundary geometry.
+//!
+//! The fused gather kernel [`gf256_mul_add_multi`] accumulates many source
+//! rows into one destination per memory pass, keeping a tile of the
+//! destination in vector registers across all sources. On GFNI machines it
+//! runs 128-byte (AVX2) or 256-byte (AVX-512, the `gfni512` level) tiles;
+//! below GFNI it degrades to a loop of single-row axpys, which is already
+//! optimal there because the nibble tables must be rebuilt per source
+//! coefficient anyway.
 
 #![allow(unsafe_code)]
 
@@ -63,6 +71,47 @@ pub fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     detail::gf256_mul_add_slice(c, src, dst);
 }
 
+/// Fused gather `dst[j] ^= Σᵢ factors[i] · srcs_row_i[j]` over GF(2⁸),
+/// SIMD rung. `srcs` holds one contiguous row of `dst.len()` bytes per
+/// factor; zero factors are skipped.
+///
+/// # Panics
+///
+/// Panics if `srcs.len() != factors.len() * dst.len()`.
+pub fn gf256_mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        srcs.len(),
+        factors.len() * dst.len(),
+        "srcs must hold exactly one row of dst.len() bytes per factor"
+    );
+    if dst.is_empty() || factors.is_empty() {
+        return;
+    }
+    detail::gf256_mul_add_multi(factors, srcs, dst);
+}
+
+/// Fused scatter `dsts_row_i ^= factors[i] · src` over GF(2⁸), SIMD rung.
+/// `dsts` holds one contiguous row of `src.len()` bytes per factor; zero
+/// factors are skipped. Hoists the kernel dispatch and constant splat out
+/// of the per-row loop — back-substitution applies one pivot row to every
+/// stored coefficient row, so on short rows the per-row dispatch of a
+/// plain axpy loop dominates the actual field work.
+///
+/// # Panics
+///
+/// Panics if `dsts.len() != factors.len() * src.len()`.
+pub fn gf256_mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+    assert_eq!(
+        dsts.len(),
+        factors.len() * src.len(),
+        "dsts must hold exactly one row of src.len() bytes per factor"
+    );
+    if src.is_empty() || factors.is_empty() {
+        return;
+    }
+    detail::gf256_mul_add_scatter(factors, src, dsts);
+}
+
 /// `dst[i] = c · dst[i]` over GF(2⁴), SIMD rung.
 pub fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
     if c == 1 {
@@ -108,10 +157,20 @@ mod detail {
         Avx2,
         /// GFNI + AVX2: `GF2P8MULB` for GF(2⁸); GF(2⁴) uses the AVX2 path.
         Gfni,
+        /// GFNI + AVX-512F/BW: 512-bit `GF2P8MULB` for the fused gather
+        /// kernel. Single-row axpys stay on the 256-bit path, where they
+        /// are already memory-bound and immune to zmm frequency effects.
+        Gfni512,
     }
 
     fn detect() -> Level {
-        let best = if is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2") {
+        let best = if is_x86_feature_detected!("gfni")
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx2")
+        {
+            Level::Gfni512
+        } else if is_x86_feature_detected!("gfni") && is_x86_feature_detected!("avx2") {
             Level::Gfni
         } else if is_x86_feature_detected!("avx2") {
             Level::Avx2
@@ -127,6 +186,7 @@ mod detail {
                     "ssse3" => Some(Level::Ssse3),
                     "avx2" => Some(Level::Avx2),
                     "gfni" => Some(Level::Gfni),
+                    "gfni512" => Some(Level::Gfni512),
                     _ => None,
                 });
         match forced {
@@ -148,6 +208,7 @@ mod detail {
 
     pub(super) fn level_name() -> &'static str {
         match level() {
+            Level::Gfni512 => "gfni512",
             Level::Gfni => "gfni",
             Level::Avx2 => "avx2",
             Level::Ssse3 => "ssse3",
@@ -159,7 +220,7 @@ mod detail {
         match level() {
             // SAFETY: the matched level was runtime-detected (detect()
             // never reports a level the CPU lacks).
-            Level::Gfni => unsafe { gf256_mul_add_gfni(c, src, dst) },
+            Level::Gfni512 | Level::Gfni => unsafe { gf256_mul_add_gfni(c, src, dst) },
             Level::Avx2 => unsafe { mul_add_avx2::<true>(&gf256_nibble_tables(c), src, dst) },
             Level::Ssse3 => unsafe { mul_add_ssse3::<true>(&gf256_nibble_tables(c), src, dst) },
             Level::None => wide::gf256_mul_add_slice(c, src, dst),
@@ -169,17 +230,51 @@ mod detail {
     pub(super) fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
         match level() {
             // SAFETY: level was runtime-detected.
-            Level::Gfni => unsafe { gf256_mul_gfni(c, dst) },
+            Level::Gfni512 | Level::Gfni => unsafe { gf256_mul_gfni(c, dst) },
             Level::Avx2 => unsafe { mul_avx2::<true>(&gf256_nibble_tables(c), dst) },
             Level::Ssse3 => unsafe { mul_ssse3::<true>(&gf256_nibble_tables(c), dst) },
             Level::None => wide::gf256_mul_slice(c, dst),
         }
     }
 
+    pub(super) fn gf256_mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        match level() {
+            // SAFETY: level was runtime-detected.
+            Level::Gfni512 => unsafe { gf256_mul_add_multi_gfni512(factors, srcs, dst) },
+            Level::Gfni => unsafe { gf256_mul_add_multi_gfni(factors, srcs, dst) },
+            // Below GFNI a fused pass buys nothing: the per-coefficient
+            // nibble tables must be rebuilt per source row either way.
+            _ => {
+                for (&f, row) in factors.iter().zip(srcs.chunks_exact(dst.len())) {
+                    if f != 0 {
+                        super::gf256_mul_add_slice(f, row, dst);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn gf256_mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        match level() {
+            // SAFETY: level was runtime-detected.
+            Level::Gfni512 => unsafe { gf256_mul_add_scatter_gfni512(factors, src, dsts) },
+            Level::Gfni => unsafe { gf256_mul_add_scatter_gfni(factors, src, dsts) },
+            // Below GFNI each row needs its per-coefficient nibble tables
+            // built anyway; the plain axpy loop is already optimal.
+            _ => {
+                for (&f, row) in factors.iter().zip(dsts.chunks_exact_mut(src.len())) {
+                    if f != 0 {
+                        super::gf256_mul_add_slice(f, src, row);
+                    }
+                }
+            }
+        }
+    }
+
     pub(super) fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         match level() {
             // SAFETY: level was runtime-detected; Gfni implies AVX2.
-            Level::Gfni | Level::Avx2 => unsafe {
+            Level::Gfni512 | Level::Gfni | Level::Avx2 => unsafe {
                 mul_add_avx2::<false>(&gf16_nibble_tables(c), src, dst)
             },
             Level::Ssse3 => unsafe { mul_add_ssse3::<false>(&gf16_nibble_tables(c), src, dst) },
@@ -190,7 +285,9 @@ mod detail {
     pub(super) fn gf16_mul_slice(c: u8, dst: &mut [u8]) {
         match level() {
             // SAFETY: level was runtime-detected; Gfni implies AVX2.
-            Level::Gfni | Level::Avx2 => unsafe { mul_avx2::<false>(&gf16_nibble_tables(c), dst) },
+            Level::Gfni512 | Level::Gfni | Level::Avx2 => unsafe {
+                mul_avx2::<false>(&gf16_nibble_tables(c), dst)
+            },
             Level::Ssse3 => unsafe { mul_ssse3::<false>(&gf16_nibble_tables(c), dst) },
             Level::None => wide::gf16_mul_slice(c, dst),
         }
@@ -335,6 +432,269 @@ mod detail {
         }
     }
 
+    /// Fused gather over 128-byte destination tiles: the tile lives in four
+    /// ymm accumulators across *all* source rows, so `dst` is read and
+    /// written once per pass instead of once per source.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_mul_add_multi_gfni(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        const TILE: usize = 128;
+        let rb = dst.len();
+        let tiles = rb / TILE;
+        for t in 0..tiles {
+            let base = t * TILE;
+            let dp = dst.as_mut_ptr().add(base);
+            let mut acc0 = _mm256_loadu_si256(dp.cast());
+            let mut acc1 = _mm256_loadu_si256(dp.add(32).cast());
+            let mut acc2 = _mm256_loadu_si256(dp.add(64).cast());
+            let mut acc3 = _mm256_loadu_si256(dp.add(96).cast());
+            for (i, &f) in factors.iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let cv = _mm256_set1_epi8(f as i8);
+                let sp = srcs.as_ptr().add(i * rb + base);
+                acc0 = _mm256_xor_si256(
+                    acc0,
+                    _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp.cast()), cv),
+                );
+                acc1 = _mm256_xor_si256(
+                    acc1,
+                    _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp.add(32).cast()), cv),
+                );
+                acc2 = _mm256_xor_si256(
+                    acc2,
+                    _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp.add(64).cast()), cv),
+                );
+                acc3 = _mm256_xor_si256(
+                    acc3,
+                    _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp.add(96).cast()), cv),
+                );
+            }
+            _mm256_storeu_si256(dp.cast(), acc0);
+            _mm256_storeu_si256(dp.add(32).cast(), acc1);
+            _mm256_storeu_si256(dp.add(64).cast(), acc2);
+            _mm256_storeu_si256(dp.add(96).cast(), acc3);
+        }
+        gf256_multi_tail_gfni(factors, srcs, dst, tiles * TILE);
+    }
+
+    /// Fused sub-tile tail shared by both gather kernels: everything past
+    /// `base` in 32-byte ymm chunks kept in an accumulator across all
+    /// sources, then a per-source table tail for the last < 32 bytes.
+    /// Short rows (a `k`-byte coefficient slab row is often smaller than a
+    /// full tile) would otherwise fall back to one axpy pass per source —
+    /// the exact read-`dst`-per-source pattern the fused kernel exists to
+    /// avoid.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support, and that `srcs`
+    /// holds `factors.len()` rows of `dst.len()` bytes.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_multi_tail_gfni(factors: &[u8], srcs: &[u8], dst: &mut [u8], base: usize) {
+        let rb = dst.len();
+        let mut base = base;
+        while base + 32 <= rb {
+            let dp = dst.as_mut_ptr().add(base);
+            let mut acc = _mm256_loadu_si256(dp.cast());
+            for (i, &f) in factors.iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let cv = _mm256_set1_epi8(f as i8);
+                let sp = srcs.as_ptr().add(i * rb + base);
+                acc =
+                    _mm256_xor_si256(acc, _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp.cast()), cv));
+            }
+            _mm256_storeu_si256(dp.cast(), acc);
+            base += 32;
+        }
+        if base < rb {
+            for (i, &f) in factors.iter().enumerate() {
+                if f != 0 {
+                    gf256_mul_add_gfni(f, &srcs[i * rb + base..(i + 1) * rb], &mut dst[base..]);
+                }
+            }
+        }
+    }
+
+    /// As [`gf256_mul_add_multi_gfni`] with 256-byte tiles in four zmm
+    /// accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI, AVX-512F, AVX-512BW and AVX2 support.
+    #[target_feature(enable = "gfni,avx512f,avx512bw,avx2")]
+    unsafe fn gf256_mul_add_multi_gfni512(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        const TILE: usize = 256;
+        let rb = dst.len();
+        let tiles = rb / TILE;
+        for t in 0..tiles {
+            let base = t * TILE;
+            let dp = dst.as_mut_ptr().add(base);
+            let mut acc0 = _mm512_loadu_si512(dp.cast());
+            let mut acc1 = _mm512_loadu_si512(dp.add(64).cast());
+            let mut acc2 = _mm512_loadu_si512(dp.add(128).cast());
+            let mut acc3 = _mm512_loadu_si512(dp.add(192).cast());
+            for (i, &f) in factors.iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let cv = _mm512_set1_epi8(f as i8);
+                let sp = srcs.as_ptr().add(i * rb + base);
+                acc0 = _mm512_xor_si512(
+                    acc0,
+                    _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.cast()), cv),
+                );
+                acc1 = _mm512_xor_si512(
+                    acc1,
+                    _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.add(64).cast()), cv),
+                );
+                acc2 = _mm512_xor_si512(
+                    acc2,
+                    _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.add(128).cast()), cv),
+                );
+                acc3 = _mm512_xor_si512(
+                    acc3,
+                    _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.add(192).cast()), cv),
+                );
+            }
+            _mm512_storeu_si512(dp.cast(), acc0);
+            _mm512_storeu_si512(dp.add(64).cast(), acc1);
+            _mm512_storeu_si512(dp.add(128).cast(), acc2);
+            _mm512_storeu_si512(dp.add(192).cast(), acc3);
+        }
+        // Fused sub-tile tails. Without these, rows shorter than a full
+        // tile would degrade to one axpy pass per source. The 128-byte
+        // block (the whole coefficient row of a k = 128 basis) splits the
+        // sources between two accumulator pairs so the xor chain is half
+        // as deep as a single-accumulator loop.
+        let mut base = tiles * TILE;
+        while base + 128 <= rb {
+            let dp = dst.as_mut_ptr().add(base);
+            let mut a0 = _mm512_loadu_si512(dp.cast());
+            let mut a1 = _mm512_setzero_si512();
+            let mut b0 = _mm512_loadu_si512(dp.add(64).cast());
+            let mut b1 = _mm512_setzero_si512();
+            let n = factors.len();
+            let mut i = 0;
+            while i < n {
+                let f = *factors.get_unchecked(i);
+                if f != 0 {
+                    let cv = _mm512_set1_epi8(f as i8);
+                    let sp = srcs.as_ptr().add(i * rb + base);
+                    a0 = _mm512_xor_si512(
+                        a0,
+                        _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.cast()), cv),
+                    );
+                    b0 = _mm512_xor_si512(
+                        b0,
+                        _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.add(64).cast()), cv),
+                    );
+                }
+                i += 1;
+                if i < n {
+                    let f = *factors.get_unchecked(i);
+                    if f != 0 {
+                        let cv = _mm512_set1_epi8(f as i8);
+                        let sp = srcs.as_ptr().add(i * rb + base);
+                        a1 = _mm512_xor_si512(
+                            a1,
+                            _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.cast()), cv),
+                        );
+                        b1 = _mm512_xor_si512(
+                            b1,
+                            _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.add(64).cast()), cv),
+                        );
+                    }
+                    i += 1;
+                }
+            }
+            _mm512_storeu_si512(dp.cast(), _mm512_xor_si512(a0, a1));
+            _mm512_storeu_si512(dp.add(64).cast(), _mm512_xor_si512(b0, b1));
+            base += 128;
+        }
+        while base + 64 <= rb {
+            let dp = dst.as_mut_ptr().add(base);
+            let mut acc = _mm512_loadu_si512(dp.cast());
+            for (i, &f) in factors.iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let cv = _mm512_set1_epi8(f as i8);
+                let sp = srcs.as_ptr().add(i * rb + base);
+                acc =
+                    _mm512_xor_si512(acc, _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp.cast()), cv));
+            }
+            _mm512_storeu_si512(dp.cast(), acc);
+            base += 64;
+        }
+        gf256_multi_tail_gfni(factors, srcs, dst, base);
+    }
+
+    /// Fused scatter: each destination row gets `factors[i] · src` in one
+    /// pass with the dispatch and constant splat hoisted out of the row
+    /// loop; `src` stays cache-hot across rows.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_mul_add_scatter_gfni(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        let rb = src.len();
+        let blocks = rb / 32;
+        for (i, &f) in factors.iter().enumerate() {
+            if f == 0 {
+                continue;
+            }
+            let cv = _mm256_set1_epi8(f as i8);
+            let row = &mut dsts[i * rb..(i + 1) * rb];
+            for b in 0..blocks {
+                let sp = src.as_ptr().add(b * 32).cast();
+                let dp: *mut __m256i = row.as_mut_ptr().add(b * 32).cast();
+                let p = _mm256_gf2p8mul_epi8(_mm256_loadu_si256(sp), cv);
+                _mm256_storeu_si256(dp, _mm256_xor_si256(_mm256_loadu_si256(dp.cast_const()), p));
+            }
+            if blocks * 32 < rb {
+                gf256_mul_add_gfni(f, &src[blocks * 32..], &mut row[blocks * 32..]);
+            }
+        }
+    }
+
+    /// As [`gf256_mul_add_scatter_gfni`] with 64-byte zmm blocks.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI, AVX-512F, AVX-512BW and AVX2 support.
+    #[target_feature(enable = "gfni,avx512f,avx512bw,avx2")]
+    unsafe fn gf256_mul_add_scatter_gfni512(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        let rb = src.len();
+        let blocks = rb / 64;
+        for (i, &f) in factors.iter().enumerate() {
+            if f == 0 {
+                continue;
+            }
+            let cv = _mm512_set1_epi8(f as i8);
+            let row = &mut dsts[i * rb..(i + 1) * rb];
+            for b in 0..blocks {
+                let sp = src.as_ptr().add(b * 64).cast();
+                let dp = row.as_mut_ptr().add(b * 64);
+                let p = _mm512_gf2p8mul_epi8(_mm512_loadu_si512(sp), cv);
+                _mm512_storeu_si512(
+                    dp.cast(),
+                    _mm512_xor_si512(_mm512_loadu_si512(dp.cast()), p),
+                );
+            }
+            if blocks * 64 < rb {
+                gf256_mul_add_gfni(f, &src[blocks * 64..], &mut row[blocks * 64..]);
+            }
+        }
+    }
+
     /// # Safety
     ///
     /// Caller must have verified GFNI and AVX2 support.
@@ -372,6 +732,22 @@ mod detail {
 
     pub(super) fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
         wide::gf256_mul_slice(c, dst);
+    }
+
+    pub(super) fn gf256_mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        for (&f, row) in factors.iter().zip(srcs.chunks_exact(dst.len())) {
+            if f != 0 {
+                wide::gf256_mul_add_slice(f, row, dst);
+            }
+        }
+    }
+
+    pub(super) fn gf256_mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        for (&f, row) in factors.iter().zip(dsts.chunks_exact_mut(src.len())) {
+            if f != 0 {
+                wide::gf256_mul_add_slice(f, src, row);
+            }
+        }
     }
 
     pub(super) fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
@@ -420,6 +796,31 @@ mod tests {
                 gf16_mul_add_slice(c, &src[..len], &mut got);
                 assert_eq!(got, want, "gf16 axpy c={c} len={len}");
             }
+        }
+    }
+
+    #[test]
+    fn fused_multi_matches_reference_loop_across_tile_boundaries() {
+        // Row lengths straddle the 128-byte (AVX2) and 256-byte (AVX-512)
+        // tile sizes plus the sub-32-byte scalar tail.
+        let factors: Vec<u8> = vec![0x00, 0x01, 0x57, 0x8E, 0xFF, 0x02, 0x00, 0xC3];
+        let srcs: Vec<u8> = (0..factors.len() * 520)
+            .map(|i| (i as u8).wrapping_mul(167).wrapping_add(13))
+            .collect();
+        for rb in [
+            0usize, 1, 31, 32, 33, 127, 128, 129, 255, 256, 257, 300, 511, 512, 520,
+        ] {
+            let packed: Vec<u8> = srcs
+                .chunks_exact(520)
+                .flat_map(|row| row[..rb].to_vec())
+                .collect();
+            let mut want = vec![0x5Au8; rb];
+            for (f, row) in factors.iter().zip(packed.chunks_exact(rb.max(1))) {
+                crate::reference::gf256_mul_add_slice(*f, row, &mut want);
+            }
+            let mut got = vec![0x5Au8; rb];
+            gf256_mul_add_multi(&factors, &packed, &mut got);
+            assert_eq!(got, want, "fused gather rb={rb}");
         }
     }
 

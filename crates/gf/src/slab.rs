@@ -9,7 +9,11 @@
 //!
 //! * [`SlabField::add_slice`] — `dst += src`,
 //! * [`SlabField::mul_slice`] — `dst *= c`,
-//! * [`SlabField::mul_add_slice`] — `dst += c · src` (the axpy kernel).
+//! * [`SlabField::mul_add_slice`] — `dst += c · src` (the axpy kernel),
+//! * [`SlabField::mul_add_multi`] — fused gather `dst += Σᵢ cᵢ · srcᵢ`
+//!   over contiguous source rows (the batched-elimination kernel),
+//! * [`SlabField::mul_add_scatter`] — fused scatter `dstᵢ += cᵢ · src`
+//!   (the back-substitution kernel).
 //!
 //! Every field gets a correct scalar fallback (unpack, apply [`Field`] ops,
 //! repack), and the fields that matter for throughput override it:
@@ -176,6 +180,83 @@ pub trait SlabField: Field {
             (Self::read_symbol(d) + c * Self::read_symbol(s)).write_symbol(d);
         }
     }
+
+    /// Fused gather: `dst += Σᵢ factors[i] · srcs_row_i` in one call.
+    ///
+    /// `factors` holds `n` packed symbols; `srcs` holds `n` contiguous rows
+    /// of exactly `dst.len()` bytes each (row `i` starts at byte
+    /// `i * dst.len()`). Rows whose factor is zero are skipped, so callers
+    /// may pass a sparse factor vector without pre-filtering.
+    ///
+    /// This is the batched-elimination kernel: one destination row is
+    /// accumulated from many sources per memory pass, which lets SIMD rungs
+    /// keep the accumulator in registers instead of re-reading `dst` once
+    /// per source row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` or `dst` is misaligned, or if
+    /// `srcs.len() != n * dst.len()`.
+    fn mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
+        check_one::<Self>(factors);
+        check_one::<Self>(dst);
+        let n = factors.len() / Self::SYMBOL_BYTES;
+        assert_eq!(
+            srcs.len(),
+            n * dst.len(),
+            "srcs must hold exactly one row of dst.len() bytes per factor"
+        );
+        if dst.is_empty() {
+            return;
+        }
+        for (f, row) in factors
+            .chunks_exact(Self::SYMBOL_BYTES)
+            .zip(srcs.chunks_exact(dst.len()))
+        {
+            let c = Self::read_symbol(f);
+            if !c.is_zero() {
+                Self::mul_add_slice(c, row, dst);
+            }
+        }
+    }
+
+    /// Fused scatter: `dsts_row_i += factors[i] · src` for every row.
+    ///
+    /// The transpose of [`SlabField::mul_add_multi`]: `factors` holds `n`
+    /// packed symbols and `dsts` holds `n` contiguous rows of exactly
+    /// `src.len()` bytes each. Rows with a zero factor are untouched.
+    ///
+    /// This is the back-substitution kernel: one new pivot row is applied to
+    /// every stored row in a single pass. The default loop is kept even on
+    /// SIMD rungs — `src` stays cache-hot across iterations, so fusing the
+    /// writes buys nothing the loop does not already get.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` or `src` is misaligned, or if
+    /// `dsts.len() != n * src.len()`.
+    fn mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
+        check_one::<Self>(factors);
+        check_one::<Self>(src);
+        let n = factors.len() / Self::SYMBOL_BYTES;
+        assert_eq!(
+            dsts.len(),
+            n * src.len(),
+            "dsts must hold exactly one row of src.len() bytes per factor"
+        );
+        if src.is_empty() {
+            return;
+        }
+        for (f, row) in factors
+            .chunks_exact(Self::SYMBOL_BYTES)
+            .zip(dsts.chunks_exact_mut(src.len()))
+        {
+            let c = Self::read_symbol(f);
+            if !c.is_zero() {
+                Self::mul_add_slice(c, src, row);
+            }
+        }
+    }
 }
 
 #[inline]
@@ -254,6 +335,51 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut dst = vec![0u8; 4];
         Gf256::mul_add_slice(Gf256::ONE, &[1, 2, 3], &mut dst);
+    }
+
+    #[test]
+    fn mul_add_multi_matches_axpy_loop() {
+        let rows: Vec<u8> = (0u8..=255).chain(0..=255).take(3 * 96).collect();
+        let factors = [0x00, 0x57, 0x01];
+        let mut fused = vec![0xAAu8; 96];
+        let mut looped = fused.clone();
+        Gf256::mul_add_multi(&factors, &rows, &mut fused);
+        for (f, row) in factors.iter().zip(rows.chunks_exact(96)) {
+            Gf256::mul_add_slice(Gf256::new(*f), row, &mut looped);
+        }
+        assert_eq!(fused, looped);
+    }
+
+    #[test]
+    fn mul_add_scatter_matches_axpy_loop() {
+        let src: Vec<u8> = (1u8..=64).collect();
+        let factors = [0x03, 0x00, 0xFF];
+        let mut fused: Vec<u8> = (0u8..192).collect();
+        let mut looped = fused.clone();
+        Gf256::mul_add_scatter(&factors, &src, &mut fused);
+        for (f, row) in factors.iter().zip(looped.chunks_exact_mut(64)) {
+            Gf256::mul_add_slice(Gf256::new(*f), &src, row);
+        }
+        assert_eq!(fused, looped);
+    }
+
+    #[test]
+    fn fused_kernels_accept_empty_rows() {
+        // Zero-width rows (rank-only bases) must be no-ops for any factor
+        // count, including zero factors over zero rows.
+        let mut dst: Vec<u8> = Vec::new();
+        Gf256::mul_add_multi(&[1, 2, 3], &[], &mut dst);
+        Gf256::mul_add_multi(&[], &[], &mut dst);
+        let mut dsts: Vec<u8> = Vec::new();
+        Gf256::mul_add_scatter(&[1, 2, 3], &[], &mut dsts);
+        assert!(dst.is_empty() && dsts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one row of dst.len() bytes per factor")]
+    fn mul_add_multi_rejects_ragged_slabs() {
+        let mut dst = vec![0u8; 4];
+        Gf256::mul_add_multi(&[1, 2], &[0u8; 7], &mut dst);
     }
 
     #[test]

@@ -139,6 +139,80 @@ fn gf16_rungs_agree(seed: u64, len: usize, off: usize, sel: u8) -> Result<(), Te
     Ok(())
 }
 
+/// The fused gather `mul_add_multi` against a loop of single-row scalar
+/// axpys, for any field — pins the fused kernels (GFNI tiles, tails, zero
+/// factors) and the generic default to the same bytes.
+fn fused_multi_matches_loop<F: SlabField>(
+    seed: u64,
+    n: usize,
+    len: usize,
+    zero_mask: u8,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<F> = (0..n)
+        .map(|i| {
+            if zero_mask & (1 << (i % 8)) != 0 {
+                F::ZERO
+            } else {
+                F::random(&mut rng)
+            }
+        })
+        .collect();
+    let rows: Vec<Vec<F>> = (0..n)
+        .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+        .collect();
+    let dst: Vec<F> = (0..len).map(|_| F::random(&mut rng)).collect();
+
+    let pf = F::pack(&factors);
+    let mut psrcs = Vec::new();
+    for r in &rows {
+        F::pack_into(r, &mut psrcs);
+    }
+    let mut fused = F::pack(&dst);
+    F::mul_add_multi(&pf, &psrcs, &mut fused);
+
+    let want: Vec<F> = (0..len)
+        .map(|j| {
+            let mut acc = dst[j];
+            for (c, r) in factors.iter().zip(&rows) {
+                acc += *c * r[j];
+            }
+            acc
+        })
+        .collect();
+    prop_assert_eq!(F::unpack(&fused), want);
+    Ok(())
+}
+
+/// `mul_add_scatter` against a loop of single-row scalar axpys.
+fn scatter_matches_loop<F: SlabField>(
+    seed: u64,
+    n: usize,
+    len: usize,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<F> = (0..n).map(|_| F::random(&mut rng)).collect();
+    let src: Vec<F> = (0..len).map(|_| F::random(&mut rng)).collect();
+    let rows: Vec<Vec<F>> = (0..n)
+        .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+        .collect();
+
+    let pf = F::pack(&factors);
+    let psrc = F::pack(&src);
+    let mut pdsts = Vec::new();
+    for r in &rows {
+        F::pack_into(r, &mut pdsts);
+    }
+    F::mul_add_scatter(&pf, &psrc, &mut pdsts);
+
+    for (i, (c, row)) in factors.iter().zip(&rows).enumerate() {
+        let want: Vec<F> = row.iter().zip(&src).map(|(&d, &s)| d + *c * s).collect();
+        let rb = len * F::SYMBOL_BYTES;
+        prop_assert_eq!(F::unpack(&pdsts[i * rb..(i + 1) * rb]), want, "row {}", i);
+    }
+    Ok(())
+}
+
 /// The dispatched `SlabField` surface (whatever kernel is active) against
 /// the scalar oracle, for every field — pins the dispatch layer itself.
 fn dispatch_matches_scalar<F: SlabField>(
@@ -190,6 +264,65 @@ proptest! {
         sel in 0u8..5,
     ) {
         gf16_rungs_agree(seed, len, off, sel)?;
+    }
+
+    #[test]
+    fn fused_multi_matches_loop_gf256(
+        seed in any::<u64>(),
+        n in 0usize..20,
+        // Straddles the 128/256-byte GFNI tile sizes and the scalar tail.
+        len in 0usize..300,
+        zero_mask in any::<u8>(),
+    ) {
+        fused_multi_matches_loop::<Gf256>(seed, n, len, zero_mask)?;
+    }
+
+    #[test]
+    fn fused_multi_matches_loop_gf16(
+        seed in any::<u64>(),
+        n in 0usize..12,
+        len in 0usize..80,
+        zero_mask in any::<u8>(),
+    ) {
+        fused_multi_matches_loop::<Gf16>(seed, n, len, zero_mask)?;
+    }
+
+    #[test]
+    fn fused_multi_matches_loop_gf2(
+        seed in any::<u64>(),
+        n in 0usize..12,
+        len in 0usize..80,
+        zero_mask in any::<u8>(),
+    ) {
+        fused_multi_matches_loop::<ag_gf::Gf2>(seed, n, len, zero_mask)?;
+    }
+
+    #[test]
+    fn fused_multi_matches_loop_f257(
+        seed in any::<u64>(),
+        n in 0usize..8,
+        len in 0usize..40,
+        zero_mask in any::<u8>(),
+    ) {
+        fused_multi_matches_loop::<ag_gf::F257>(seed, n, len, zero_mask)?;
+    }
+
+    #[test]
+    fn scatter_matches_loop_gf256(
+        seed in any::<u64>(),
+        n in 0usize..16,
+        len in 0usize..150,
+    ) {
+        scatter_matches_loop::<Gf256>(seed, n, len)?;
+    }
+
+    #[test]
+    fn scatter_matches_loop_gf16(
+        seed in any::<u64>(),
+        n in 0usize..10,
+        len in 0usize..80,
+    ) {
+        scatter_matches_loop::<Gf16>(seed, n, len)?;
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! its own growing [`EchelonBasis`](crate::EchelonBasis) means `n`
 //! independently reallocating `Vec`s — fine at experiment scale, but at
 //! `n = 10⁵` nodes with 1 KiB payloads it is both an allocation storm and a
-//! locality loss. [`BasisArena`] instead owns **one** contiguous byte slab
+//! locality loss. [`BasisArena`] instead owns a few contiguous byte slabs
 //! with a fixed capacity of `pivot_width` rows per node (a basis can never
 //! exceed rank `pivot_width`), plus one flat pivot table and one rank
 //! counter per node. After construction, inserting rows performs **zero
@@ -12,7 +12,12 @@
 //! the arena's internal scratch) and, when innovative, copied into the
 //! node's next row slot.
 //!
-//! The arena is allocated zeroed, so physical memory is committed lazily by
+//! The arena mirrors the [coefficient/payload split](crate::echelon) of
+//! `EchelonBasis`: per node there is an eagerly reduced coefficient slab
+//! (all rank/innovation decisions read only this), a payload slab whose
+//! rows are appended raw, and an elimination log replayed onto the payloads
+//! in fused multi-row passes only when payload bytes are observed. All
+//! slabs are allocated zeroed, so physical memory is committed lazily by
 //! the OS as ranks actually grow — an incomplete run touches only the rows
 //! it stored.
 //!
@@ -37,13 +42,43 @@
 //! assert_eq!(arena.rank(1), 0);
 //! ```
 
+use std::cell::RefCell;
 use std::marker::PhantomData;
 
 use ag_gf::SlabField;
 
 use crate::echelon::{core_ops, Insertion};
 
-/// All of a simulation's echelon bases in one preallocated slab — see the
+/// Lazily maintained payload state for every node, mirroring the per-basis
+/// ledger of [`EchelonBasis`](crate::EchelonBasis). Interior-mutable
+/// because materialization is triggered from `&self` read paths.
+#[derive(Debug, Clone)]
+struct ArenaLedger {
+    /// Payload tails: node `v`'s row `i` occupies `pay_bytes` bytes at
+    /// offset `(v * pivot_width + i) * pay_bytes`. Rows `< flushed[v]` are
+    /// materialized (reduced); later rows are raw as received.
+    pay: Vec<u8>,
+    /// Elimination logs: node `v`'s events pack at byte offset
+    /// `v * pivot_width² * SYMBOL_BYTES` per [`core_ops::log_offset`].
+    log: Vec<u8>,
+    /// Per-node count of events already replayed onto `pay`.
+    flushed: Vec<usize>,
+}
+
+/// Reusable scratch buffers; transient, never part of logical state.
+#[derive(Debug, Clone)]
+struct ArenaScratch {
+    /// Row-indexed reduction multipliers.
+    factors: Vec<u8>,
+    /// Row-indexed back-substitution multipliers.
+    back: Vec<u8>,
+    /// Coefficient-prefix probe row for `&self` innovation verdicts.
+    probe: Vec<u8>,
+    /// Row copy for [`BasisArena::insert_packed_slice`].
+    insert: Vec<u8>,
+}
+
+/// All of a simulation's echelon bases in preallocated slabs — see the
 /// [module docs](self).
 ///
 /// Unlike [`EchelonBasis`](crate::EchelonBasis), whose row length is
@@ -65,13 +100,20 @@ pub struct BasisArena<F> {
     /// `pivots[v * pivot_width .. (v + 1) * pivot_width]`, mapping a pivot
     /// column to the node-local index of the stored row.
     pivots: Vec<Option<usize>>,
+    /// Row-indexed inverse of `pivots`: node `v`'s stored row `i` has
+    /// pivot column `pivot_cols[v * pivot_width + i]`. Lets the reduction
+    /// gather iterate stored rows (`O(rank)`) instead of scanning columns.
+    pivot_cols: Vec<usize>,
     /// Per-node rank.
     ranks: Vec<usize>,
-    /// All rows: node `v`'s row `i` occupies `row_bytes` bytes at offset
-    /// `(v * pivot_width + i) * row_bytes`.
-    storage: Vec<u8>,
-    /// Reusable reduction buffer for [`BasisArena::insert_packed_slice`].
-    scratch: Vec<u8>,
+    /// Reduced coefficient prefixes: node `v`'s row `i` occupies
+    /// `coeff_bytes` bytes at offset `(v * pivot_width + i) * coeff_bytes`.
+    /// Always fully reduced (Gauss–Jordan).
+    coeff: Vec<u8>,
+    /// Raw payload tails + elimination logs, replayed on demand.
+    ledger: RefCell<ArenaLedger>,
+    /// Reusable buffers (transient).
+    scratch: RefCell<ArenaScratch>,
     _field: PhantomData<F>,
 }
 
@@ -79,8 +121,10 @@ impl<F: SlabField> BasisArena<F> {
     /// Creates an arena of `nodes` empty bases with `pivot_width` leading
     /// coefficients and `row_elems` total symbols per row.
     ///
-    /// Allocates the full `nodes · pivot_width · row_elems` symbol slab up
-    /// front (zeroed — the OS commits pages lazily).
+    /// Allocates the full coefficient, payload and elimination-log slabs up
+    /// front (zeroed — the OS commits pages lazily): per node,
+    /// `pivot_width²` coefficient symbols, `pivot_width · tail` payload
+    /// symbols and `pivot_width²` log symbols.
     ///
     /// # Panics
     ///
@@ -92,15 +136,28 @@ impl<F: SlabField> BasisArena<F> {
             row_elems >= pivot_width,
             "rows must at least cover the pivot prefix"
         );
-        let row_bytes = row_elems * F::SYMBOL_BYTES;
+        let sb = F::SYMBOL_BYTES;
+        let kb = pivot_width * sb;
+        let pb = (row_elems - pivot_width) * sb;
         BasisArena {
             nodes,
             pivot_width,
             row_elems,
             pivots: vec![None; nodes * pivot_width],
+            pivot_cols: vec![0; nodes * pivot_width],
             ranks: vec![0; nodes],
-            storage: vec![0; nodes * pivot_width * row_bytes],
-            scratch: Vec::new(),
+            coeff: vec![0; nodes * pivot_width * kb],
+            ledger: RefCell::new(ArenaLedger {
+                pay: vec![0; nodes * pivot_width * pb],
+                log: vec![0; nodes * pivot_width * pivot_width * sb],
+                flushed: vec![0; nodes],
+            }),
+            scratch: RefCell::new(ArenaScratch {
+                factors: Vec::with_capacity(kb),
+                back: Vec::with_capacity(kb),
+                probe: Vec::with_capacity(kb),
+                insert: Vec::with_capacity(row_elems * sb),
+            }),
             _field: PhantomData,
         }
     }
@@ -129,6 +186,18 @@ impl<F: SlabField> BasisArena<F> {
         self.row_elems * F::SYMBOL_BYTES
     }
 
+    /// Bytes of the packed coefficient prefix of every row.
+    #[must_use]
+    pub fn coeff_bytes(&self) -> usize {
+        self.pivot_width * F::SYMBOL_BYTES
+    }
+
+    /// Bytes of the payload tail of every row.
+    #[must_use]
+    pub fn pay_bytes(&self) -> usize {
+        (self.row_elems - self.pivot_width) * F::SYMBOL_BYTES
+    }
+
     /// Node `node`'s current rank.
     ///
     /// # Panics
@@ -145,17 +214,17 @@ impl<F: SlabField> BasisArena<F> {
         self.ranks[node] == self.pivot_width
     }
 
-    /// Byte offset of node `node`'s first row slot.
+    /// Byte offset of node `node`'s first coefficient row slot.
     #[inline]
-    fn base(&self, node: usize) -> usize {
-        node * self.pivot_width * self.row_bytes()
+    fn coeff_base(&self, node: usize) -> usize {
+        node * self.pivot_width * self.coeff_bytes()
     }
 
-    /// Node `node`'s stored rows as one contiguous packed slab.
+    /// Node `node`'s stored coefficient rows as one contiguous slab.
     #[inline]
-    fn node_rows(&self, node: usize) -> &[u8] {
-        let base = self.base(node);
-        &self.storage[base..base + self.ranks[node] * self.row_bytes()]
+    fn node_coeff(&self, node: usize) -> &[u8] {
+        let base = self.coeff_base(node);
+        &self.coeff[base..base + self.ranks[node] * self.coeff_bytes()]
     }
 
     /// Node `node`'s pivot table.
@@ -164,30 +233,100 @@ impl<F: SlabField> BasisArena<F> {
         &self.pivots[node * self.pivot_width..(node + 1) * self.pivot_width]
     }
 
-    /// Row `i` of node `node` as a packed byte slab.
+    /// The reduced coefficient prefix of row `i` of node `node`.
     ///
     /// # Panics
     ///
     /// Panics if `i >= rank(node)`.
     #[must_use]
-    pub fn packed_row(&self, node: usize, i: usize) -> &[u8] {
+    pub fn coeff_row(&self, node: usize, i: usize) -> &[u8] {
         assert!(i < self.ranks[node], "row index out of bounds");
-        let rb = self.row_bytes();
-        let start = self.base(node) + i * rb;
-        &self.storage[start..start + rb]
+        let kb = self.coeff_bytes();
+        let start = self.coeff_base(node) + i * kb;
+        &self.coeff[start..start + kb]
     }
 
-    /// Iterates over node `node`'s stored rows in insertion order — the
-    /// same order [`EchelonBasis::packed_rows`](crate::EchelonBasis::packed_rows)
+    /// Iterates over node `node`'s stored rows' reduced coefficient
+    /// prefixes, in insertion order — the same order
+    /// [`EchelonBasis::coeff_rows`](crate::EchelonBasis::coeff_rows)
     /// yields, which recoders rely on for identical coefficient draws.
-    pub fn packed_rows(&self, node: usize) -> impl Iterator<Item = &[u8]> {
-        self.node_rows(node).chunks_exact(self.row_bytes().max(1))
+    /// Payloads are untouched.
+    pub fn coeff_rows(&self, node: usize) -> impl Iterator<Item = &[u8]> {
+        self.node_coeff(node).chunks_exact(self.coeff_bytes())
     }
 
-    /// Inserts a packed row into node `node`'s basis, reducing it **in
-    /// place** in the caller's buffer (which is clobbered: on return it
-    /// holds the reduced/normalized remainder). This is the zero-copy hot
-    /// path for callers that own a reusable row buffer.
+    /// Materializes full row `i` of node `node` (coefficients + reduced
+    /// payload) into `out`, replaying the node's pending payload
+    /// elimination first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank(node)`.
+    pub fn copy_packed_row_into(&self, node: usize, i: usize, out: &mut Vec<u8>) {
+        assert!(i < self.ranks[node], "row index out of bounds");
+        self.flush_node(node);
+        let pb = self.pay_bytes();
+        out.clear();
+        out.extend_from_slice(self.coeff_row(node, i));
+        let led = self.ledger.borrow();
+        let start = (node * self.pivot_width + i) * pb;
+        out.extend_from_slice(&led.pay[start..start + pb]);
+    }
+
+    /// Accumulates `Σᵢ factors[i] · row_i` of node `node`'s stored rows
+    /// into `out` (`out += …`), materializing the node's payloads first.
+    /// `factors` holds one packed symbol per stored row; zero factors are
+    /// skipped. This is the recoder's emit kernel: two fused gathers per
+    /// packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is not exactly `rank(node)` packed symbols or
+    /// `out` is not exactly [`BasisArena::row_bytes`] long.
+    pub fn accumulate_rows_into(&self, node: usize, factors: &[u8], out: &mut [u8]) {
+        assert_eq!(
+            factors.len(),
+            self.ranks[node] * F::SYMBOL_BYTES,
+            "one packed factor per stored row"
+        );
+        assert_eq!(out.len(), self.row_bytes(), "out must be one full row");
+        self.flush_node(node);
+        let (oc, op) = out.split_at_mut(self.coeff_bytes());
+        F::mul_add_multi(factors, self.node_coeff(node), oc);
+        let led = self.ledger.borrow();
+        let pb = self.pay_bytes();
+        let base = node * self.pivot_width * pb;
+        F::mul_add_multi(factors, &led.pay[base..base + self.ranks[node] * pb], op);
+    }
+
+    /// Replays node `node`'s pending elimination events onto its payload
+    /// rows. Idempotent; a no-op when nothing is pending or rows carry no
+    /// payload.
+    fn flush_node(&self, node: usize) {
+        let mut led = self.ledger.borrow_mut();
+        let rank = self.ranks[node];
+        let pb = self.pay_bytes();
+        if pb == 0 {
+            led.flushed[node] = rank;
+            return;
+        }
+        let k = self.pivot_width;
+        let sb = F::SYMBOL_BYTES;
+        let ArenaLedger { pay, log, flushed } = &mut *led;
+        let pay = &mut pay[node * k * pb..(node * k + rank) * pb];
+        let log = &log[node * k * k * sb..(node + 1) * k * k * sb];
+        while flushed[node] < rank {
+            core_ops::replay_event::<F>(pay, log, flushed[node], pb);
+            flushed[node] += 1;
+        }
+    }
+
+    /// Inserts a packed row into node `node`'s basis, reducing its
+    /// coefficient prefix **in place** in the caller's buffer (which is
+    /// clobbered: on return the prefix holds the reduced/normalized
+    /// remainder, while the payload tail is untouched — its elimination is
+    /// deferred to the node's log). This is the zero-copy hot path for
+    /// callers that own a reusable row buffer.
     ///
     /// # Panics
     ///
@@ -200,22 +339,41 @@ impl<F: SlabField> BasisArena<F> {
             "packed row length mismatch: got {}, arena rows are {rb} bytes",
             row.len()
         );
+        let sb = F::SYMBOL_BYTES;
+        let k = self.pivot_width;
+        let kb = k * sb;
         let rank = self.ranks[node];
-        let Some(pivot_col) =
-            core_ops::reduce::<F>(self.node_pivots(node), self.node_rows(node), rb, row, true)
-        else {
+        let (crow, pay_in) = row.split_at_mut(kb);
+        let sc = self.scratch.get_mut();
+        let cbase = node * k * kb;
+        let Some(pivot_col) = core_ops::reduce_coeff::<F>(
+            &self.pivot_cols[node * k..node * k + rank],
+            &self.coeff[cbase..cbase + rank * kb],
+            crow,
+            &mut sc.factors,
+        ) else {
             return Insertion::Redundant;
         };
-        let base = self.base(node);
-        core_ops::normalize_and_back_substitute::<F>(
-            &mut self.storage[base..base + rank * rb],
-            rb,
+        let (existing, slot) = self.coeff[cbase..cbase + (rank + 1) * kb].split_at_mut(rank * kb);
+        let pinv = core_ops::normalize_and_back_substitute::<F>(
+            existing,
             rank,
             pivot_col,
-            row,
+            crow,
+            &mut sc.back,
         );
-        self.storage[base + rank * rb..base + (rank + 1) * rb].copy_from_slice(row);
-        self.pivots[node * self.pivot_width + pivot_col] = Some(rank);
+        slot.copy_from_slice(crow);
+        // Payload: raw memcpy now, elimination deferred to the log.
+        let led = self.ledger.get_mut();
+        let pb = (self.row_elems - k) * sb;
+        let pstart = (node * k + rank) * pb;
+        led.pay[pstart..pstart + pb].copy_from_slice(pay_in);
+        let lbase = node * k * k * sb + core_ops::log_offset::<F>(rank);
+        led.log[lbase..lbase + rank * sb].copy_from_slice(&sc.factors);
+        pinv.write_symbol(&mut led.log[lbase + rank * sb..]);
+        led.log[lbase + (rank + 1) * sb..lbase + (2 * rank + 1) * sb].copy_from_slice(&sc.back);
+        self.pivots[node * k + pivot_col] = Some(rank);
+        self.pivot_cols[node * k + rank] = pivot_col;
         self.ranks[node] = rank + 1;
         Insertion::Innovative
     }
@@ -228,31 +386,35 @@ impl<F: SlabField> BasisArena<F> {
     ///
     /// Panics if `node` is out of range or `row.len() != row_bytes()`.
     pub fn insert_packed_slice(&mut self, node: usize, row: &[u8]) -> Insertion {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(row);
-        let outcome = self.insert_packed_mut(node, &mut scratch);
-        self.scratch = scratch;
+        let mut buf = std::mem::take(&mut self.scratch.get_mut().insert);
+        buf.clear();
+        buf.extend_from_slice(row);
+        let outcome = self.insert_packed_mut(node, &mut buf);
+        self.scratch.get_mut().insert = buf;
         outcome
     }
 
     /// Would this packed row raise node `node`'s rank? Non-mutating; `row`
-    /// may be a pivot-prefix-only slab. Allocates a temporary — a cold-path
-    /// query, not part of the round loop.
+    /// may be a pivot-prefix-only slab or a full row — only the prefix is
+    /// read, through reusable scratch buffers, so the probe is
+    /// allocation-free once warmed up and never touches payload state.
     ///
     /// # Panics
     ///
     /// Panics if `row` is shorter than the packed pivot prefix.
     #[must_use]
     pub fn would_be_innovative_packed(&self, node: usize, row: &[u8]) -> bool {
-        assert!(row.len() >= self.pivot_width * F::SYMBOL_BYTES);
-        let mut tmp = row.to_vec();
-        core_ops::reduce::<F>(
-            self.node_pivots(node),
-            self.node_rows(node),
-            self.row_bytes(),
-            &mut tmp,
-            false,
+        let kb = self.coeff_bytes();
+        assert!(row.len() >= kb, "row shorter than the packed pivot prefix");
+        let mut sc = self.scratch.borrow_mut();
+        let ArenaScratch { factors, probe, .. } = &mut *sc;
+        probe.clear();
+        probe.extend_from_slice(&row[..kb]);
+        core_ops::reduce_coeff::<F>(
+            &self.pivot_cols[node * self.pivot_width..node * self.pivot_width + self.ranks[node]],
+            self.node_coeff(node),
+            probe,
+            factors,
         )
         .is_some()
     }
@@ -260,21 +422,23 @@ impl<F: SlabField> BasisArena<F> {
     /// Once node `node` is full, extracts its solution exactly as
     /// [`EchelonBasis::solution`](crate::EchelonBasis::solution): row `i`
     /// of the result is the augmented tail of the equation whose
-    /// coefficient vector is the `i`-th unit vector.
+    /// coefficient vector is the `i`-th unit vector. Settles the node's
+    /// deferred payload elimination in one blocked replay first.
     #[must_use]
     pub fn solution(&self, node: usize) -> Option<Vec<Vec<F>>> {
         if !self.is_full(node) {
             return None;
         }
-        let prefix = self.pivot_width * F::SYMBOL_BYTES;
+        self.flush_node(node);
+        let pb = self.pay_bytes();
+        let led = self.ledger.borrow();
         let pivots = self.node_pivots(node);
         let mut out = Vec::with_capacity(self.pivot_width);
         for (c, pivot) in pivots.iter().enumerate() {
             let ri = pivot.expect("full basis has all pivots");
-            let row = self.packed_row(node, ri);
             debug_assert!(
                 (0..self.pivot_width).all(|j| {
-                    let v = core_ops::col::<F>(row, j);
+                    let v: F = core_ops::col::<F>(self.coeff_row(node, ri), j);
                     if j == c {
                         v == F::ONE
                     } else {
@@ -283,7 +447,8 @@ impl<F: SlabField> BasisArena<F> {
                 }),
                 "fully reduced basis rows must be unit vectors"
             );
-            out.push(F::unpack(&row[prefix..]));
+            let start = (node * self.pivot_width + ri) * pb;
+            out.push(F::unpack(&led.pay[start..start + pb]));
         }
         Some(out)
     }
@@ -320,11 +485,18 @@ mod tests {
             assert_eq!(got, want);
             assert_eq!(arena.rank(node), bases[node].rank());
         }
+        let mut arena_row = Vec::new();
+        let mut basis_row = Vec::new();
         for node in 0..nodes {
             assert_eq!(arena.is_full(node), bases[node].is_full());
-            let arena_rows: Vec<&[u8]> = arena.packed_rows(node).collect();
-            let basis_rows: Vec<&[u8]> = bases[node].packed_rows().collect();
-            assert_eq!(arena_rows, basis_rows, "stored rows diverged");
+            let arena_headers: Vec<&[u8]> = arena.coeff_rows(node).collect();
+            let basis_headers: Vec<&[u8]> = bases[node].coeff_rows().collect();
+            assert_eq!(arena_headers, basis_headers, "coefficient rows diverged");
+            for i in 0..arena.rank(node) {
+                arena.copy_packed_row_into(node, i, &mut arena_row);
+                bases[node].copy_packed_row_into(i, &mut basis_row);
+                assert_eq!(arena_row, basis_row, "materialized rows diverged");
+            }
             if arena.is_full(node) {
                 assert_eq!(arena.solution(node), bases[node].solution());
             }
@@ -381,7 +553,7 @@ mod tests {
         assert_eq!(arena.insert_packed_mut(0, &mut row), Insertion::Innovative);
         // The buffer now holds the normalized row (pivot scaled to 1).
         assert_eq!(row, Gf256::pack(&[Gf256::ONE, Gf256::ZERO]));
-        // A dependent row is annihilated in place.
+        // A dependent row's coefficient prefix is annihilated in place.
         let mut dep = Gf256::pack(&[Gf256::new(7), Gf256::ZERO]);
         assert_eq!(arena.insert_packed_mut(0, &mut dep), Insertion::Redundant);
         assert_eq!(dep, vec![0, 0]);
@@ -396,6 +568,35 @@ mod tests {
             let predicted = arena.would_be_innovative_packed(0, &row);
             let actual = arena.insert_packed_slice(0, &row) == Insertion::Innovative;
             assert_eq!(predicted, actual);
+        }
+    }
+
+    #[test]
+    fn interleaved_materialization_matches_deferred() {
+        // Forcing one node's payload flush mid-stream must not perturb any
+        // node's verdicts or final solution.
+        let mut rng = StdRng::seed_from_u64(33);
+        let k = 5;
+        let r = 4;
+        let mut arena = BasisArena::<Gf256>::new(2, k, k + r);
+        let mut oracle = BasisArena::<Gf256>::new(2, k, k + r);
+        let mut buf = Vec::new();
+        let mut step = 0;
+        while !(arena.is_full(0) && arena.is_full(1)) {
+            let node = rng.gen_range(0..2);
+            let row = random_row::<Gf256>(&mut rng, k + r);
+            assert_eq!(
+                arena.insert_packed_slice(node, &row),
+                oracle.insert_packed_slice(node, &row)
+            );
+            step += 1;
+            if step % 3 == 0 && arena.rank(0) > 0 {
+                // Materialize node 0 in `arena` only; `oracle` stays lazy.
+                arena.copy_packed_row_into(0, arena.rank(0) - 1, &mut buf);
+            }
+        }
+        for node in 0..2 {
+            assert_eq!(arena.solution(node), oracle.solution(node));
         }
     }
 

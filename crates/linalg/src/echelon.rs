@@ -1,17 +1,43 @@
 //! Incremental row-echelon basis: the RLNC decoder hot path.
 //!
-//! Rows are stored as one contiguous slab of packed bytes (see
-//! [`ag_gf::slab`]) and every elimination step runs through the
-//! [`SlabField`] bulk kernels — runtime-dispatched through the
-//! `ag_gf::Kernel` ladder (product tables / SWAR / SIMD) for GF(2⁸) and
-//! GF(2⁴), and a pure `u64`-chunked XOR for GF(2). The elimination itself
-//! lives in the `core_ops` functions shared with [`crate::BasisArena`],
-//! the simulation-wide arena that holds every node's basis in one
-//! preallocated slab — so the owned and arena-backed bases are
-//! bit-identical by construction. The scalar predecessor is preserved as
-//! [`crate::reference::ScalarBasis`] and a differential test suite in
-//! `ag-rlnc` pins all of them to identical behaviour.
+//! # The coefficient/payload split
+//!
+//! Every inserted row is an augmented equation `[k coefficients | payload]`,
+//! but only the `k`-symbol coefficient prefix ever decides anything: pivot
+//! selection, innovation verdicts, rank. Since PR 6 the basis therefore
+//! stores the two parts separately:
+//!
+//! * **coefficient slab** — one packed `pivot_width`-symbol row per stored
+//!   equation, kept *eagerly* in reduced (Gauss–Jordan) form. Inserts,
+//!   [`EchelonBasis::would_be_innovative`] probes and
+//!   [`EchelonBasis::is_helped_by`] touch only this slab, so a reception
+//!   costs `O(rank · k)` regardless of payload size — and a *redundant*
+//!   reception does **zero** payload work.
+//! * **payload slab + elimination log** — payload tails are appended
+//!   verbatim (one `memcpy`) and the elimination applied to the coefficient
+//!   prefix is recorded instead of executed: per innovative insert the log
+//!   stores the row-indexed reduction multipliers, the pivot normalizer,
+//!   and the back-substitution multipliers. The log is *replayed* onto the
+//!   payload slab in fused multi-row passes ([`SlabField::mul_add_multi`] /
+//!   [`SlabField::mul_add_scatter`]) only when payload bytes are actually
+//!   observed: [`EchelonBasis::solution`], row materialization, or a
+//!   recoder combining stored rows.
+//!
+//! Lazy replay executes the *same field operations* eager elimination
+//! would, merely batched and reordered within single output symbols; field
+//! arithmetic is exact, so every materialized byte — and every verdict,
+//! which never depends on payloads at all — is bit-identical to the eager
+//! path. The `ag-rlnc` differential suite pins this against the preserved
+//! scalar [`crate::reference::ScalarBasis`] oracle.
+//!
+//! Elimination itself runs through the [`SlabField`] bulk kernels —
+//! runtime-dispatched through the `ag_gf::Kernel` ladder (product tables /
+//! SWAR / SIMD). The shared `core_ops` functions are also used by
+//! [`crate::BasisArena`], the simulation-wide arena that holds every
+//! node's basis in one preallocated slab, so the owned and arena-backed
+//! bases are bit-identical by construction.
 
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 use std::marker::PhantomData;
@@ -108,85 +134,159 @@ pub(crate) mod core_ops {
         F::read_symbol(&row[c * F::SYMBOL_BYTES..])
     }
 
-    /// Reduces `row` in place against the stored rows.
+    /// Reduces the coefficient prefix `crow` against the stored (reduced)
+    /// coefficient slab in one fused pass, leaving the row-indexed
+    /// elimination multipliers in `factors` (one packed symbol per stored
+    /// row; zero where the row was unused). Returns the leading pivot-free
+    /// nonzero column — the new pivot — or `None` when the row was
+    /// annihilated (already in the span).
     ///
-    /// `storage` holds the stored rows contiguously (`row_bytes` each, in
-    /// insertion order) and `pivots[c]` names the stored row with pivot
-    /// column `c`. With `full = false` the walk stops at the first nonzero
-    /// coefficient in a pivot-free column and returns it (the cheap
-    /// would-be-innovative probe); with `full = true` every pivot column is
-    /// eliminated and the *leading* pivot-free column is returned, leaving
-    /// `row` ready to store. `None` means the row was annihilated — it was
-    /// already in the span. `row` may be a pivot-prefix-only slab shorter
-    /// than the stored rows.
-    pub(crate) fn reduce<F: SlabField>(
-        pivots: &[Option<usize>],
-        storage: &[u8],
-        row_bytes: usize,
-        row: &mut [u8],
-        full: bool,
+    /// The multipliers can be assembled *before* any elimination runs
+    /// because the slab is in reduced form: stored rows carry zeros at
+    /// every pivot column but their own, so eliminating one pivot never
+    /// changes `crow`'s value at another pivot column — the multiplier for
+    /// stored row `ri` with pivot column `pivot_cols[ri]` is simply
+    /// `-crow[pivot_cols[ri]]` as received. For the same reason the
+    /// surviving value at every pivot-free column equals what sequential
+    /// column-order elimination would have produced, making the returned
+    /// pivot (and the verdict) identical to the scalar oracle's.
+    ///
+    /// `pivot_cols` is the row-indexed pivot map (`rank` entries, one per
+    /// stored row in insertion order) — iterating stored rows directly
+    /// keeps this gather `O(rank)` instead of scanning every column.
+    pub(crate) fn reduce_coeff<F: SlabField>(
+        pivot_cols: &[usize],
+        coeff: &[u8],
+        crow: &mut [u8],
+        factors: &mut Vec<u8>,
     ) -> Option<usize> {
-        let mut lead = None;
-        for (c, pivot) in pivots.iter().enumerate() {
-            let x = col::<F>(row, c);
-            if x.is_zero() {
-                continue;
-            }
-            match *pivot {
-                Some(ri) => {
-                    // Eliminate column c using the stored (normalized) row:
-                    // row += (-x) · stored, i.e. row -= x · stored.
-                    let stored = &storage[ri * row_bytes..(ri + 1) * row_bytes];
-                    F::mul_add_slice(-x, &stored[..row.len()], row);
-                    debug_assert!(col::<F>(row, c).is_zero());
-                }
-                None if full => {
-                    if lead.is_none() {
-                        lead = Some(c);
-                    }
-                }
-                None => return Some(c),
+        let sb = F::SYMBOL_BYTES;
+        let rank = pivot_cols.len();
+        factors.clear();
+        factors.resize(rank * sb, 0);
+        for (ri, &c) in pivot_cols.iter().enumerate() {
+            let x = col::<F>(crow, c);
+            if !x.is_zero() {
+                (-x).write_symbol(&mut factors[ri * sb..]);
             }
         }
+        F::mul_add_multi(factors, coeff, crow);
+        // Pivot columns were annihilated exactly, so the leading nonzero
+        // column is automatically pivot-free.
+        let lead = (0..crow.len() / sb).find(|&c| !col::<F>(crow, c).is_zero());
+        debug_assert!(
+            lead.is_none_or(|c| !pivot_cols.contains(&c)),
+            "pivot columns must be fully eliminated"
+        );
         lead
     }
 
-    /// Normalizes a fully reduced `row` (pivot entry becomes 1) and
-    /// back-substitutes it into every stored row so the basis stays in
-    /// reduced (Gauss–Jordan) form. The caller then appends `row` as the
-    /// newest stored row.
+    /// Normalizes a fully reduced coefficient row (pivot entry becomes 1)
+    /// and back-substitutes it into every stored row in one fused scatter,
+    /// leaving the row-indexed back-substitution multipliers in `back`.
+    /// Returns the pivot normalizer `pinv`. The caller then appends `crow`
+    /// as the newest stored row and logs `(factors, pinv, back)` for the
+    /// deferred payload replay.
     pub(crate) fn normalize_and_back_substitute<F: SlabField>(
-        storage: &mut [u8],
-        row_bytes: usize,
+        coeff: &mut [u8],
         rank: usize,
         pivot_col: usize,
-        row: &mut [u8],
-    ) {
-        let pinv = col::<F>(row, pivot_col).inv().expect("pivot is nonzero");
-        F::mul_slice(pinv, row);
+        crow: &mut [u8],
+        back: &mut Vec<u8>,
+    ) -> F {
+        let sb = F::SYMBOL_BYTES;
+        let kb = crow.len();
+        let pinv = col::<F>(crow, pivot_col).inv().expect("pivot is nonzero");
+        F::mul_slice(pinv, crow);
+        back.clear();
+        back.resize(rank * sb, 0);
         for r in 0..rank {
-            let stored = &mut storage[r * row_bytes..(r + 1) * row_bytes];
-            let factor = col::<F>(stored, pivot_col);
-            if !factor.is_zero() {
-                F::mul_add_slice(-factor, row, stored);
+            let g: F = col::<F>(&coeff[r * kb..], pivot_col);
+            if !g.is_zero() {
+                (-g).write_symbol(&mut back[r * sb..]);
             }
         }
+        F::mul_add_scatter(back, crow, &mut coeff[..rank * kb]);
+        pinv
     }
+
+    /// Byte offset of logged event `e` in an elimination log.
+    ///
+    /// Event `e` records `[e reduce multipliers | pinv | e back-substitution
+    /// multipliers]` — `(2e + 1)` symbols — so the events pack contiguously
+    /// at offset `Σ_{i<e} (2i + 1) = e²` symbols.
+    #[inline]
+    pub(crate) fn log_offset<F: SlabField>(e: usize) -> usize {
+        e * e * F::SYMBOL_BYTES
+    }
+
+    /// Replays logged elimination event `e` onto the payload slab: the
+    /// exact field operations eager elimination would have applied to the
+    /// payload tails when stored row `e` was inserted, executed as two
+    /// fused passes. On entry `pay` rows `0..e` are materialized (reduced)
+    /// and row `e` still holds the raw received payload; on exit row `e`
+    /// is materialized too.
+    pub(crate) fn replay_event<F: SlabField>(
+        pay: &mut [u8],
+        log: &[u8],
+        e: usize,
+        pay_bytes: usize,
+    ) {
+        let sb = F::SYMBOL_BYTES;
+        let ev = &log[log_offset::<F>(e)..];
+        let (fwd, rest) = ev.split_at(e * sb);
+        let (pinv, back) = rest[..(e + 1) * sb].split_at(sb);
+        let (done, tail) = pay.split_at_mut(e * pay_bytes);
+        let row_e = &mut tail[..pay_bytes];
+        F::mul_add_multi(fwd, done, row_e);
+        F::mul_slice(F::read_symbol(pinv), row_e);
+        F::mul_add_scatter(back, row_e, done);
+    }
+}
+
+/// Lazily maintained payload state: raw tails plus the elimination log
+/// that turns them into reduced rows on demand. Interior-mutable because
+/// materialization is triggered from `&self` read paths (solution, row
+/// views, recoder combination).
+#[derive(Debug, Clone)]
+struct PayLedger {
+    /// Payload tails, one `pay_bytes` row per stored row. Rows `< flushed`
+    /// are materialized (reduced); rows `>= flushed` are raw as received.
+    pay: Vec<u8>,
+    /// Elimination events, packed per [`core_ops::log_offset`].
+    log: Vec<u8>,
+    /// Number of events already replayed onto `pay`.
+    flushed: usize,
+}
+
+/// Reusable scratch buffers; transient, never part of logical state.
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Row-indexed reduction multipliers (`rank` symbols).
+    factors: Vec<u8>,
+    /// Row-indexed back-substitution multipliers (`rank` symbols).
+    back: Vec<u8>,
+    /// Coefficient-prefix probe row for `&self` innovation verdicts.
+    probe: Vec<u8>,
+    /// Row copy for the borrowing insert path.
+    insert: Vec<u8>,
 }
 
 /// A growing row-echelon basis of vectors of fixed width over `F`.
 ///
 /// Rows may carry an *augmented tail* (e.g. RLNC payload symbols) beyond the
 /// `pivot_width` leading coefficients: only the leading `pivot_width`
-/// entries participate in pivot selection, but eliminations are applied to
-/// entire rows, so the tail stays consistent with the coefficient part.
-/// This is exactly Gauss–Jordan decoding of a network-coded generation.
+/// entries participate in pivot selection, and since PR 6 the tails are not
+/// even eliminated eagerly — see the [module docs](self) for the
+/// coefficient/payload split. Observed state (verdicts, ranks, materialized
+/// rows, solutions) is bit-identical to eager Gauss–Jordan decoding.
 ///
-/// Inserting a row costs `O(rank · width)` symbol operations, executed as
-/// packed-slab axpys over the contiguous row storage. For simulations that
-/// hold one basis per node, [`crate::BasisArena`] provides the same
-/// elimination (literally the same `core_ops` code) over a single
-/// preallocated storage slab shared by all nodes.
+/// Inserting a row costs `O(rank · pivot_width)` symbol operations over the
+/// coefficient slab plus one payload `memcpy`; the deferred payload
+/// elimination is paid once per stored row when payloads are next observed,
+/// in fused multi-row kernel passes. For simulations that hold one basis
+/// per node, [`crate::BasisArena`] provides the same split (literally the
+/// same `core_ops` code) over preallocated slabs shared by all nodes.
 ///
 /// # Examples
 ///
@@ -209,45 +309,66 @@ pub struct EchelonBasis<F> {
     row_elems: Option<usize>,
     /// `pivots[c]` = index of the stored row whose pivot is column `c`.
     pivots: Vec<Option<usize>>,
+    /// Row-indexed inverse of `pivots`: `pivot_cols[ri]` = pivot column of
+    /// stored row `ri`, in insertion order. Lets the reduction gather
+    /// iterate stored rows (`O(rank)`) instead of scanning every column.
+    pivot_cols: Vec<usize>,
     /// Independent rows stored so far.
     rank: usize,
-    /// All rows, packed and contiguous: row `i` occupies
-    /// `storage[i * row_bytes .. (i + 1) * row_bytes]`.
-    storage: Vec<u8>,
-    /// Reusable reduction buffer for the borrowing insert path
-    /// ([`EchelonBasis::try_insert_packed_slice`]); purely transient, not
-    /// part of the basis's logical state (excluded from `PartialEq`).
-    scratch: Vec<u8>,
+    /// Reduced coefficient prefixes, packed and contiguous: row `i`
+    /// occupies `coeff[i * kb .. (i + 1) * kb]` for `kb = pivot_width`
+    /// packed symbols. Always fully reduced (Gauss–Jordan).
+    coeff: Vec<u8>,
+    /// Raw payload tails + elimination log, replayed on demand.
+    ledger: RefCell<PayLedger>,
+    /// Reusable buffers (excluded from `PartialEq`).
+    scratch: RefCell<Scratch>,
     _field: PhantomData<F>,
 }
 
 /// Logical-state equality: two bases are equal iff they store the same
-/// rows with the same pivots — the transient `scratch` buffer never
-/// participates.
-impl<F> PartialEq for EchelonBasis<F> {
+/// rows with the same pivots. Payloads are compared materialized (both
+/// sides are flushed first); the transient scratch buffers and log
+/// histories never participate.
+impl<F: SlabField> PartialEq for EchelonBasis<F> {
     fn eq(&self, other: &Self) -> bool {
+        self.flush_payloads();
+        other.flush_payloads();
         self.pivot_width == other.pivot_width
             && self.row_elems == other.row_elems
             && self.pivots == other.pivots
             && self.rank == other.rank
-            && self.storage == other.storage
+            && self.coeff == other.coeff
+            && self.ledger.borrow().pay == other.ledger.borrow().pay
     }
 }
 
-impl<F> Eq for EchelonBasis<F> {}
+impl<F: SlabField> Eq for EchelonBasis<F> {}
 
 impl<F: SlabField> EchelonBasis<F> {
     /// Creates an empty basis whose rows have `pivot_width` leading
     /// coefficient entries.
     #[must_use]
     pub fn new(pivot_width: usize) -> Self {
+        let sb = F::SYMBOL_BYTES;
         EchelonBasis {
             pivot_width,
             row_elems: None,
             pivots: vec![None; pivot_width],
+            pivot_cols: Vec::with_capacity(pivot_width),
             rank: 0,
-            storage: Vec::new(),
-            scratch: Vec::new(),
+            coeff: Vec::new(),
+            ledger: RefCell::new(PayLedger {
+                pay: Vec::new(),
+                log: Vec::new(),
+                flushed: 0,
+            }),
+            scratch: RefCell::new(Scratch {
+                factors: Vec::with_capacity(pivot_width * sb),
+                back: Vec::with_capacity(pivot_width * sb),
+                probe: Vec::with_capacity(pivot_width * sb),
+                insert: Vec::new(),
+            }),
             _field: PhantomData,
         }
     }
@@ -276,66 +397,122 @@ impl<F: SlabField> EchelonBasis<F> {
         self.row_elems.unwrap_or(0) * F::SYMBOL_BYTES
     }
 
-    /// Row `i` as a packed byte slab.
+    /// Bytes of the packed coefficient prefix of every row.
+    #[must_use]
+    pub fn coeff_bytes(&self) -> usize {
+        self.pivot_width * F::SYMBOL_BYTES
+    }
+
+    /// Bytes of the payload tail of every stored row (0 before the first
+    /// row is stored, or when rows are pivot-prefix-only).
+    #[must_use]
+    pub fn pay_bytes(&self) -> usize {
+        self.row_elems
+            .map_or(0, |re| (re - self.pivot_width) * F::SYMBOL_BYTES)
+    }
+
+    /// The reduced coefficient prefix of row `i` as a packed slab.
     ///
     /// # Panics
     ///
     /// Panics if `i >= rank`.
     #[must_use]
-    pub fn packed_row(&self, i: usize) -> &[u8] {
+    pub fn coeff_row(&self, i: usize) -> &[u8] {
         assert!(i < self.rank, "row index out of bounds");
-        let rb = self.row_bytes();
-        &self.storage[i * rb..(i + 1) * rb]
+        let kb = self.coeff_bytes();
+        &self.coeff[i * kb..(i + 1) * kb]
     }
 
-    /// Iterates over the stored rows as packed byte slabs, in insertion
-    /// order.
-    pub fn packed_rows(&self) -> impl Iterator<Item = &[u8]> {
-        // `max(1)` only matters for the empty basis, where storage is empty
-        // anyway; a nonempty basis always has positive row_bytes.
-        self.storage
-            .chunks_exact(self.row_bytes().max(1))
+    /// Iterates over the stored rows' reduced coefficient prefixes, in
+    /// insertion order. Payloads are untouched — this is the hot-path view
+    /// for helpfulness scans.
+    pub fn coeff_rows(&self) -> impl Iterator<Item = &[u8]> {
+        // `max(1)` only matters for a zero-width basis, where coeff is
+        // empty anyway.
+        self.coeff
+            .chunks_exact(self.coeff_bytes().max(1))
             .take(self.rank)
     }
 
-    /// Row `i` decoded back to field elements.
+    /// Materializes full row `i` (coefficients + reduced payload) into
+    /// `out`, replaying any pending payload elimination first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    pub fn copy_packed_row_into(&self, i: usize, out: &mut Vec<u8>) {
+        assert!(i < self.rank, "row index out of bounds");
+        self.flush_payloads();
+        let pb = self.pay_bytes();
+        out.clear();
+        out.extend_from_slice(self.coeff_row(i));
+        let led = self.ledger.borrow();
+        out.extend_from_slice(&led.pay[i * pb..(i + 1) * pb]);
+    }
+
+    /// Row `i` decoded back to field elements (materialized).
     ///
     /// # Panics
     ///
     /// Panics if `i >= rank`.
     #[must_use]
     pub fn row(&self, i: usize) -> Vec<F> {
-        F::unpack(self.packed_row(i))
+        assert!(i < self.rank, "row index out of bounds");
+        self.flush_payloads();
+        let pb = self.pay_bytes();
+        let mut v = F::unpack(self.coeff_row(i));
+        let led = self.ledger.borrow();
+        v.extend(F::unpack(&led.pay[i * pb..(i + 1) * pb]));
+        v
     }
 
     /// All stored rows, materialized as element vectors. Prefer
-    /// [`EchelonBasis::packed_rows`] on hot paths.
+    /// [`EchelonBasis::coeff_rows`] on hot paths that only need headers.
     #[must_use]
     pub fn rows(&self) -> Vec<Vec<F>> {
-        self.packed_rows().map(|r| F::unpack(r)).collect()
+        (0..self.rank).map(|i| self.row(i)).collect()
     }
 
-    /// Reads the symbol in column `c` of a packed row.
-    #[inline]
-    fn col(row: &[u8], c: usize) -> F {
-        core_ops::col::<F>(row, c)
+    /// Accumulates the linear combination `Σᵢ factors[i] · row_i` of the
+    /// stored rows into `out` (`out += …`), materializing payloads first.
+    /// `factors` holds one packed symbol per stored row; zero factors are
+    /// skipped. This is the recoder's emit kernel: two fused gathers (one
+    /// over the coefficient slab, one over the payload slab) per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is not exactly `rank` packed symbols or `out` is
+    /// not exactly [`EchelonBasis::row_bytes`] long.
+    pub fn accumulate_rows_into(&self, factors: &[u8], out: &mut [u8]) {
+        assert_eq!(
+            factors.len(),
+            self.rank * F::SYMBOL_BYTES,
+            "one packed factor per stored row"
+        );
+        assert_eq!(out.len(), self.row_bytes(), "out must be one full row");
+        self.flush_payloads();
+        let (oc, op) = out.split_at_mut(self.coeff_bytes());
+        F::mul_add_multi(factors, &self.coeff, oc);
+        let led = self.ledger.borrow();
+        F::mul_add_multi(factors, &led.pay, op);
     }
 
-    /// Reduces `row` against the basis in place, stopping at the first
-    /// nonzero coefficient in a pivot-free column. Returns that column, or
-    /// `None` if the row is annihilated (i.e. is in the span). Cheap check
-    /// used by [`EchelonBasis::would_be_innovative`]. `row` may be a
-    /// pivot-prefix-only slab shorter than the stored rows.
-    fn reduce(&self, row: &mut [u8]) -> Option<usize> {
-        core_ops::reduce::<F>(&self.pivots, &self.storage, self.row_bytes(), row, false)
-    }
-
-    /// Fully reduces `row` against *every* pivot column (not just those up
-    /// to the leading one), returning the leading pivot-free column if the
-    /// row survives. Required before storing a row so the basis remains in
-    /// reduced (Gauss–Jordan) form.
-    fn reduce_full(&self, row: &mut [u8]) -> Option<usize> {
-        core_ops::reduce::<F>(&self.pivots, &self.storage, self.row_bytes(), row, true)
+    /// Replays every pending elimination event onto the payload slab.
+    /// After this, payload rows are exactly what eager elimination would
+    /// have produced. Idempotent; a no-op when nothing is pending or rows
+    /// carry no payload.
+    fn flush_payloads(&self) {
+        let mut led = self.ledger.borrow_mut();
+        let pb = self.pay_bytes();
+        if pb == 0 {
+            led.flushed = self.rank;
+            return;
+        }
+        let led = &mut *led;
+        while led.flushed < self.rank {
+            core_ops::replay_event::<F>(&mut led.pay, &led.log, led.flushed, pb);
+            led.flushed += 1;
+        }
     }
 
     /// Inserts an equation. Returns whether it was innovative.
@@ -393,7 +570,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// # Errors
     ///
     /// Exactly the [`EchelonBasis::try_insert_packed`] errors; the basis
-    /// (its logical state — `scratch` is transient) is unchanged on `Err`
+    /// (its logical state — scratch is transient) is unchanged on `Err`
     /// *and* on a redundant insert.
     pub fn try_insert_packed_slice(&mut self, row: &[u8]) -> Result<Insertion, BasisError> {
         if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
@@ -403,12 +580,34 @@ impl<F: SlabField> EchelonBasis<F> {
             });
         }
         self.validate(row.len() / F::SYMBOL_BYTES)?;
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(row);
-        let outcome = self.insert_validated_slice(&mut scratch);
-        self.scratch = scratch;
+        let mut buf = std::mem::take(&mut self.scratch.get_mut().insert);
+        buf.clear();
+        buf.extend_from_slice(row);
+        let outcome = self.insert_validated_slice(&mut buf);
+        self.scratch.get_mut().insert = buf;
         Ok(outcome)
+    }
+
+    /// Like [`EchelonBasis::try_insert_packed_slice`] but reducing directly
+    /// in the caller's buffer — no copy, no allocation ever. The
+    /// coefficient prefix of `row` is clobbered by the elimination (the
+    /// payload tail is left untouched; its elimination is deferred to the
+    /// log), so callers that need the original bytes afterwards must keep
+    /// their own copy.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`EchelonBasis::try_insert_packed`] errors; the basis's
+    /// logical state is unchanged on `Err` and on a redundant insert.
+    pub fn try_insert_packed_mut(&mut self, row: &mut [u8]) -> Result<Insertion, BasisError> {
+        if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
+            return Err(BasisError::Misaligned {
+                len: row.len(),
+                symbol_bytes: F::SYMBOL_BYTES,
+            });
+        }
+        self.validate(row.len() / F::SYMBOL_BYTES)?;
+        Ok(self.insert_validated_slice(row))
     }
 
     /// Shape checks shared by every insertion entry point.
@@ -435,24 +634,38 @@ impl<F: SlabField> EchelonBasis<F> {
         self.insert_validated_slice(&mut row)
     }
 
-    /// Borrowed-buffer elimination core: reduces `row` in place and, when
-    /// innovative, copies it into the contiguous storage. The caller's
-    /// buffer is clobbered either way (it ends up reduced/normalized).
+    /// Borrowed-buffer elimination core. Only the coefficient prefix of
+    /// `row` is reduced in place; the payload tail is left exactly as
+    /// passed (it is copied raw — its elimination is deferred to the log).
     fn insert_validated_slice(&mut self, row: &mut [u8]) -> Insertion {
-        let Some(pivot_col) = self.reduce_full(row) else {
+        let sb = F::SYMBOL_BYTES;
+        let kb = self.pivot_width * sb;
+        let (crow, pay_in) = row.split_at_mut(kb);
+        let sc = self.scratch.get_mut();
+        let Some(pivot_col) =
+            core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, crow, &mut sc.factors)
+        else {
             return Insertion::Redundant;
         };
-        let rb = row.len();
-        core_ops::normalize_and_back_substitute::<F>(
-            &mut self.storage,
-            rb,
+        let pinv = core_ops::normalize_and_back_substitute::<F>(
+            &mut self.coeff,
             self.rank,
             pivot_col,
-            row,
+            crow,
+            &mut sc.back,
         );
+        self.coeff.extend_from_slice(crow);
+        // Payload: raw memcpy now, elimination deferred to the log.
+        let led = self.ledger.get_mut();
+        led.pay.extend_from_slice(pay_in);
+        led.log.extend_from_slice(&sc.factors);
+        let at = led.log.len();
+        led.log.resize(at + sb, 0);
+        pinv.write_symbol(&mut led.log[at..]);
+        led.log.extend_from_slice(&sc.back);
         self.pivots[pivot_col] = Some(self.rank);
-        self.row_elems = Some(rb / F::SYMBOL_BYTES);
-        self.storage.extend_from_slice(row);
+        self.pivot_cols.push(pivot_col);
+        self.row_elems = Some(row.len() / sb);
         self.rank += 1;
         Insertion::Innovative
     }
@@ -461,34 +674,44 @@ impl<F: SlabField> EchelonBasis<F> {
     ///
     /// This implements the paper's helpfulness check: node `x` is a
     /// *helpful node* for node `y` iff some vector in `x`'s subspace is
-    /// independent of `y`'s subspace.
+    /// independent of `y`'s subspace. Only the coefficient prefix is
+    /// consulted, through reusable scratch buffers — the probe is
+    /// allocation-free once warmed up and never touches payload state.
     #[must_use]
     pub fn would_be_innovative(&self, row: &[F]) -> bool {
         assert!(row.len() >= self.pivot_width);
-        let mut packed = F::pack(row);
-        self.reduce(&mut packed).is_some()
+        let mut sc = self.scratch.borrow_mut();
+        let Scratch { factors, probe, .. } = &mut *sc;
+        probe.clear();
+        F::pack_into(&row[..self.pivot_width], probe);
+        core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, probe, factors).is_some()
     }
 
-    /// Packed-slab variant of [`EchelonBasis::would_be_innovative`].
+    /// Packed-slab variant of [`EchelonBasis::would_be_innovative`]; `row`
+    /// may be a full packed row — only the pivot prefix is read.
     ///
     /// # Panics
     ///
     /// Panics if `row` is shorter than the packed pivot prefix.
     #[must_use]
     pub fn would_be_innovative_packed(&self, row: &[u8]) -> bool {
-        assert!(row.len() >= self.pivot_width * F::SYMBOL_BYTES);
-        let mut tmp = row.to_vec();
-        self.reduce(&mut tmp).is_some()
+        let kb = self.coeff_bytes();
+        assert!(row.len() >= kb);
+        let mut sc = self.scratch.borrow_mut();
+        let Scratch { factors, probe, .. } = &mut *sc;
+        probe.clear();
+        probe.extend_from_slice(&row[..kb]);
+        core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, probe, factors).is_some()
     }
 
     /// True iff `other`'s span contains a vector outside `self`'s span,
-    /// i.e. `other` (as a node) is helpful to `self`.
+    /// i.e. `other` (as a node) is helpful to `self`. Touches only
+    /// coefficient headers on both sides.
     #[must_use]
     pub fn is_helped_by(&self, other: &EchelonBasis<F>) -> bool {
-        let prefix = self.pivot_width * F::SYMBOL_BYTES;
         other
-            .packed_rows()
-            .any(|r| self.would_be_innovative_packed(&r[..prefix.min(r.len())]))
+            .coeff_rows()
+            .any(|r| self.would_be_innovative_packed(r))
     }
 
     /// Once full, extracts the solution: row `i` of the result is the tail
@@ -496,20 +719,23 @@ impl<F: SlabField> EchelonBasis<F> {
     /// `i`-th unit vector. Returns `None` while rank < pivot width.
     ///
     /// With RLNC augmentation the tails are exactly the decoded source
-    /// messages.
+    /// messages. This is where deferred payload elimination is settled:
+    /// one blocked replay of the log (fused multi-row passes) materializes
+    /// every tail, then the rows are read out in pivot order.
     #[must_use]
     pub fn solution(&self) -> Option<Vec<Vec<F>>> {
         if !self.is_full() {
             return None;
         }
-        let prefix = self.pivot_width * F::SYMBOL_BYTES;
+        self.flush_payloads();
+        let pb = self.pay_bytes();
+        let led = self.ledger.borrow();
         let mut out = Vec::with_capacity(self.pivot_width);
         for c in 0..self.pivot_width {
             let ri = self.pivots[c].expect("full basis has all pivots");
-            let row = self.packed_row(ri);
             debug_assert!(
                 (0..self.pivot_width).all(|j| {
-                    let v = Self::col(row, j);
+                    let v: F = core_ops::col::<F>(self.coeff_row(ri), j);
                     if j == c {
                         v == F::ONE
                     } else {
@@ -518,7 +744,7 @@ impl<F: SlabField> EchelonBasis<F> {
                 }),
                 "fully reduced basis rows must be unit vectors"
             );
-            out.push(F::unpack(&row[prefix..]));
+            out.push(F::unpack(&led.pay[ri * pb..(ri + 1) * pb]));
         }
         Some(out)
     }
@@ -701,9 +927,9 @@ mod tests {
     }
 
     #[test]
-    fn packed_rows_round_trip_through_element_view() {
+    fn materialized_rows_round_trip_through_element_view() {
         let mut b = EchelonBasis::<Gf256>::new(3);
-        assert_eq!(b.packed_rows().count(), 0);
+        assert_eq!(b.coeff_rows().count(), 0);
         b.insert(vec![
             Gf256::new(5),
             Gf256::new(1),
@@ -717,11 +943,59 @@ mod tests {
             Gf256::new(8),
         ]);
         assert_eq!(b.row_bytes(), 4);
-        for (i, packed) in b.packed_rows().enumerate() {
-            assert_eq!(Gf256::unpack(packed), b.row(i));
-            assert_eq!(packed, b.packed_row(i));
+        assert_eq!(b.coeff_bytes(), 3);
+        assert_eq!(b.pay_bytes(), 1);
+        let mut buf = Vec::new();
+        for i in 0..b.rank() {
+            b.copy_packed_row_into(i, &mut buf);
+            assert_eq!(Gf256::unpack(&buf), b.row(i));
+            assert_eq!(&buf[..b.coeff_bytes()], b.coeff_row(i));
         }
         assert_eq!(b.rows().len(), 2);
+    }
+
+    #[test]
+    fn interleaved_flush_matches_deferred_flush() {
+        // Forcing materialization after every insert and deferring it to
+        // the very end must yield identical bases and solutions: lazy
+        // replay applies the same field ops eager elimination would.
+        let mut rng = StdRng::seed_from_u64(21);
+        let k = 6;
+        let r = 5;
+        let mut eager = EchelonBasis::<Gf256>::new(k);
+        let mut lazy = EchelonBasis::<Gf256>::new(k);
+        for _ in 0..3 * k {
+            let row: Vec<Gf256> = (0..k + r).map(|_| Gf256::random(&mut rng)).collect();
+            assert_eq!(eager.insert(row.clone()), lazy.insert(row));
+            // `rows()` flushes `eager`'s payload ledger every step.
+            let _ = eager.rows();
+            assert_eq!(eager.rank(), lazy.rank());
+        }
+        assert_eq!(eager, lazy);
+        assert_eq!(eager.solution(), lazy.solution());
+    }
+
+    #[test]
+    fn accumulate_rows_into_matches_materialized_axpys() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let k = 5;
+        let r = 3;
+        let mut b = EchelonBasis::<Gf256>::new(k);
+        for _ in 0..k {
+            let row: Vec<Gf256> = (0..k + r).map(|_| Gf256::random(&mut rng)).collect();
+            b.insert(row);
+        }
+        let factors: Vec<Gf256> = (0..b.rank()).map(|_| Gf256::random(&mut rng)).collect();
+        let packed_factors = Gf256::pack(&factors);
+        let mut fused = vec![0u8; b.row_bytes()];
+        b.accumulate_rows_into(&packed_factors, &mut fused);
+        let mut want = vec![0u8; b.row_bytes()];
+        let mut rowbuf = Vec::new();
+        for (i, c) in factors.iter().enumerate() {
+            b.copy_packed_row_into(i, &mut rowbuf);
+            Gf256::mul_add_slice(*c, &rowbuf, &mut want);
+        }
+        assert_eq!(fused, want);
     }
 
     #[test]

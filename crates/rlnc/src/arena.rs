@@ -15,6 +15,8 @@
 //! combination arithmetic are the recoder's exactly, which the differential
 //! tests verify under shared RNG streams.
 
+use std::cell::RefCell;
+
 use ag_gf::SlabField;
 use ag_linalg::{BasisArena, Insertion};
 use rand::Rng;
@@ -52,6 +54,9 @@ pub struct DecoderArena<F> {
     redundant: Vec<u64>,
     /// Reusable row buffer for seeding and the slice-receive path.
     scratch: Vec<u8>,
+    /// Reusable packed recoding-factor buffer for the emit paths
+    /// (interior-mutable: emits take `&self`).
+    emit_factors: RefCell<Vec<u8>>,
 }
 
 impl<F: SlabField> DecoderArena<F> {
@@ -71,7 +76,11 @@ impl<F: SlabField> DecoderArena<F> {
             basis: BasisArena::new(nodes, k, k + payload_len),
             innovative: vec![0; nodes],
             redundant: vec![0; nodes],
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity((k + payload_len) * F::SYMBOL_BYTES),
+            // Full-rank capacity up front: emits must not allocate even as
+            // ranks grow mid-run (the completion-run allocation audit
+            // snapshots every round).
+            emit_factors: RefCell::new(Vec::with_capacity(k * F::SYMBOL_BYTES)),
         }
     }
 
@@ -237,17 +246,20 @@ impl<F: SlabField> DecoderArena<F> {
         out: &mut Vec<u8>,
     ) -> bool {
         out.clear();
-        if self.basis.rank(node) == 0 {
+        let rank = self.basis.rank(node);
+        if rank == 0 {
             return false;
         }
         out.resize(self.row_bytes(), 0);
-        for row in self.basis.packed_rows(node) {
-            let c = F::random(rng);
-            if c.is_zero() {
-                continue;
-            }
-            F::mul_add_slice(c, row, out);
+        let mut factors = self.emit_factors.borrow_mut();
+        factors.clear();
+        factors.resize(rank * F::SYMBOL_BYTES, 0);
+        // One uniform draw per stored row, in insertion order — the exact
+        // sequence `Recoder` draws under the same RNG state.
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
+            F::random(rng).write_symbol(slot);
         }
+        self.basis.accumulate_rows_into(node, &factors, out);
         true
     }
 
@@ -275,19 +287,23 @@ impl<F: SlabField> DecoderArena<F> {
         if rank == 0 {
             return false;
         }
-        out.resize(self.row_bytes(), 0);
+        let mut factors = self.emit_factors.borrow_mut();
+        factors.clear();
+        factors.resize(rank * F::SYMBOL_BYTES, 0);
         let mut picked_any = false;
-        for row in self.basis.packed_rows(node) {
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
             if !rng.gen_bool(density) {
                 continue;
             }
             picked_any = true;
-            let c = F::random_nonzero(rng);
-            F::mul_add_slice(c, row, out);
+            F::random_nonzero(rng).write_symbol(slot);
         }
-        if !picked_any {
-            let row = self.basis.packed_row(node, rng.gen_range(0..rank));
-            out.copy_from_slice(row);
+        if picked_any {
+            out.resize(self.row_bytes(), 0);
+            self.basis.accumulate_rows_into(node, &factors, out);
+        } else {
+            self.basis
+                .copy_packed_row_into(node, rng.gen_range(0..rank), out);
         }
         true
     }

@@ -1,5 +1,17 @@
 //! The progressive Gauss–Jordan decoder: a node's stored equations.
+//!
+//! The decoder is a thin counting shell around [`EchelonBasis`], which
+//! since PR 6 keeps coefficient vectors and payloads split: receptions and
+//! helpfulness queries ([`Decoder::would_help`],
+//! [`Decoder::is_helpful_node`]) read and reduce only the `k`-symbol
+//! coefficient headers — allocation-free through reusable scratch — while
+//! payload elimination is logged and replayed in fused batches when
+//! [`Decoder::decode`] or a recoder emit actually observes payload bytes.
+//! Verdicts and decoded bytes are bit-identical to eager elimination (the
+//! differential suite pins this against the scalar oracle); only the
+//! *when* of the payload arithmetic changes.
 
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 
@@ -109,6 +121,13 @@ pub struct Decoder<F> {
     basis: EchelonBasis<F>,
     innovative_count: u64,
     redundant_count: u64,
+    /// Reusable packed recoding-factor buffer for the [`crate::Recoder`]
+    /// emit paths (interior-mutable: recoders borrow the decoder shared).
+    emit_factors: RefCell<Vec<u8>>,
+    /// Reusable packed-row buffer for [`Decoder::try_receive`]: packets
+    /// are packed here and reduced in place, so a reception performs no
+    /// heap allocation.
+    recv_row: Vec<u8>,
 }
 
 impl<F: SlabField> Decoder<F> {
@@ -127,6 +146,11 @@ impl<F: SlabField> Decoder<F> {
             basis: EchelonBasis::new(k),
             innovative_count: 0,
             redundant_count: 0,
+            // Full-rank capacity up front: emits must not allocate even as
+            // the rank grows mid-run (the steady-state allocation audits
+            // cover recode emits).
+            emit_factors: RefCell::new(Vec::with_capacity(k * F::SYMBOL_BYTES)),
+            recv_row: Vec::with_capacity((k + payload_len) * F::SYMBOL_BYTES),
         }
     }
 
@@ -237,11 +261,14 @@ impl<F: SlabField> Decoder<F> {
                 got: packet.payload_len(),
             });
         }
+        let mut row = std::mem::take(&mut self.recv_row);
+        packet.write_packed_row_into(&mut row);
         let outcome: Reception = self
             .basis
-            .try_insert_packed(packet.to_packed_row())
+            .try_insert_packed_mut(&mut row)
             .expect("shape-checked row is valid for the basis")
             .into();
+        self.recv_row = row;
         match outcome {
             Reception::Innovative => self.innovative_count += 1,
             Reception::Redundant => self.redundant_count += 1,
@@ -314,6 +341,11 @@ impl<F: SlabField> Decoder<F> {
     /// The underlying packed basis, exposed for recoding.
     pub(crate) fn basis(&self) -> &EchelonBasis<F> {
         &self.basis
+    }
+
+    /// The reusable recoding-factor buffer, exposed for recoding.
+    pub(crate) fn emit_factors(&self) -> &RefCell<Vec<u8>> {
+        &self.emit_factors
     }
 
     /// Solves the system once complete; `None` before rank `k`.
@@ -436,9 +468,7 @@ mod tests {
             d.receive_packed_slice(&p2.to_packed_row()),
             Reception::Innovative
         );
-        let before_rows: Vec<Vec<Gf256>> = (0..d.rank())
-            .map(|i| Gf256::unpack(d.basis().packed_row(i)))
-            .collect();
+        let before_rows: Vec<Vec<Gf256>> = (0..d.rank()).map(|i| d.basis().row(i)).collect();
 
         // The sum of the two inserted equations: redundant by construction.
         let dep = pkt(&[1, 3, 2], &[3, 12]);
@@ -448,9 +478,7 @@ mod tests {
         );
         assert_eq!(d.rank(), 2);
         assert_eq!(d.redundant_count(), 1);
-        let after_rows: Vec<Vec<Gf256>> = (0..d.rank())
-            .map(|i| Gf256::unpack(d.basis().packed_row(i)))
-            .collect();
+        let after_rows: Vec<Vec<Gf256>> = (0..d.rank()).map(|i| d.basis().row(i)).collect();
         assert_eq!(after_rows, before_rows, "redundant row mutated the basis");
 
         // The slice path tracks the owned path exactly on a twin decoder.

@@ -115,6 +115,16 @@ impl<F: SlabField> Packet<F> {
         row
     }
 
+    /// Packs the augmented row into a caller-owned buffer (cleared first)
+    /// — the allocation-free sibling of [`Packet::to_packed_row`] for hot
+    /// receive loops that deliver many packets through one scratch row.
+    pub fn write_packed_row_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve((self.coefficients.len() + self.payload.len()) * F::SYMBOL_BYTES);
+        F::pack_into(&self.coefficients, out);
+        F::pack_into(&self.payload, out);
+    }
+
     /// Rebuilds a packet from a packed augmented row (the inverse of
     /// [`Packet::to_packed_row`]).
     ///

@@ -49,8 +49,8 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// Emits one coded packet, or `None` when the node stores nothing yet
     /// (rank 0 — it has nothing to say).
     ///
-    /// The combination accumulates over the decoder's packed rows with one
-    /// slab axpy per stored equation.
+    /// The combination runs as fused multi-row gathers over the decoder's
+    /// coefficient and payload slabs (one memory pass each).
     #[must_use]
     pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Packet<F>> {
         self.emit_packed_row(rng)
@@ -75,6 +75,12 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// warmed up to capacity. Returns `false` — leaving `out` empty — when
     /// the node stores nothing yet. Draws the same coefficients as
     /// [`Recoder::emit`] under the same RNG state.
+    ///
+    /// The drawn factors are packed into the decoder's reusable buffer and
+    /// the combination runs as two fused multi-row gathers (coefficient
+    /// slab, then payload slab) via
+    /// [`ag_linalg::EchelonBasis::accumulate_rows_into`] — which also
+    /// settles any payload elimination the basis had deferred.
     pub fn emit_packed_row_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<u8>) -> bool {
         let basis = self.decoder.basis();
         out.clear();
@@ -82,13 +88,15 @@ impl<'a, F: SlabField> Recoder<'a, F> {
             return false;
         }
         out.resize(basis.row_bytes(), 0);
-        for row in basis.packed_rows() {
-            let c = F::random(rng);
-            if c.is_zero() {
-                continue;
-            }
-            F::mul_add_slice(c, row, out);
+        let mut factors = self.decoder.emit_factors().borrow_mut();
+        factors.clear();
+        factors.resize(basis.rank() * F::SYMBOL_BYTES, 0);
+        // One uniform draw per stored row, in insertion order — the exact
+        // sequence the eager per-row axpy loop drew (zeros included).
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
+            F::random(rng).write_symbol(slot);
         }
+        basis.accumulate_rows_into(&factors, out);
         true
     }
 
@@ -151,20 +159,23 @@ impl<'a, F: SlabField> Recoder<'a, F> {
         if basis.rank() == 0 {
             return false;
         }
-        out.resize(basis.row_bytes(), 0);
+        let mut factors = self.decoder.emit_factors().borrow_mut();
+        factors.clear();
+        factors.resize(basis.rank() * F::SYMBOL_BYTES, 0);
         let mut picked_any = false;
-        for row in basis.packed_rows() {
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
             if !rng.gen_bool(density) {
                 continue;
             }
             picked_any = true;
-            let c = F::random_nonzero(rng);
-            F::mul_add_slice(c, row, out);
+            F::random_nonzero(rng).write_symbol(slot);
         }
-        if !picked_any {
+        if picked_any {
+            out.resize(basis.row_bytes(), 0);
+            basis.accumulate_rows_into(&factors, out);
+        } else {
             // Degenerate draw: forward one stored row unmodified.
-            let row = basis.packed_row(rng.gen_range(0..basis.rank()));
-            out.copy_from_slice(row);
+            basis.copy_packed_row_into(rng.gen_range(0..basis.rank()), out);
         }
         true
     }
@@ -191,11 +202,13 @@ impl<'a, F: SlabField> Recoder<'a, F> {
                 }
             }
         }
-        self.decoder
-            .basis()
-            .packed_rows()
-            .map(|row| Packet::from_packed_row(row, self.decoder.k()))
-            .find(|p| target.would_help(p))
+        let basis = self.decoder.basis();
+        let mut buf = Vec::new();
+        (0..basis.rank()).find_map(|i| {
+            basis.copy_packed_row_into(i, &mut buf);
+            let p = Packet::from_packed_row(&buf, self.decoder.k());
+            target.would_help(&p).then_some(p)
+        })
     }
 }
 

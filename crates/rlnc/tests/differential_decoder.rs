@@ -86,6 +86,20 @@ mod reference {
             self.basis.would_be_innovative(packet.coefficients())
         }
 
+        /// The stored (eagerly reduced) rows — the oracle the lazy lane's
+        /// emit mirror recombines.
+        pub fn rows(&self) -> &[Vec<F>] {
+            self.basis.rows()
+        }
+
+        /// Scalar mirror of `Decoder::is_helpful_node`.
+        pub fn is_helped_by(&self, other: &ScalarDecoder<F>) -> bool {
+            other
+                .rows()
+                .iter()
+                .any(|row| self.basis.would_be_innovative(&row[..self.k]))
+        }
+
         pub fn decode(&self) -> Option<Vec<Vec<F>>> {
             self.basis.solution()
         }
@@ -165,6 +179,153 @@ fn differential_stream<F: SlabField>(
     Ok(())
 }
 
+/// Scalar mirror of `Recoder::emit`: one uniform draw per stored row in
+/// insertion order (zeros included), accumulated in scalar arithmetic.
+/// Under a shared RNG state this must reproduce the packed emit byte for
+/// byte — including when the packed basis still has payload elimination
+/// pending and the emit forces a mid-stream flush.
+fn scalar_emit<F: SlabField>(
+    rows: &[Vec<F>],
+    k: usize,
+    r: usize,
+    rng: &mut StdRng,
+) -> Option<Packet<F>> {
+    if rows.is_empty() {
+        return None;
+    }
+    let mut acc = vec![F::ZERO; k + r];
+    for row in rows {
+        let c = F::random(rng);
+        if c.is_zero() {
+            continue;
+        }
+        for (a, &x) in acc.iter_mut().zip(row.iter()) {
+            *a += c * x;
+        }
+    }
+    let payload = acc.split_off(k);
+    Some(Packet::new(acc, payload))
+}
+
+/// The lazy-elimination lane: interleaves receptions, recode-emits from
+/// *partially filled* bases, helpfulness probes and mid-stream decode
+/// attempts. Every relay emit recombines a basis whose payload ledger has
+/// pending elimination events (the emit itself forces the flush), so this
+/// pins the deferred replay — verdicts, rank trajectories, emitted bytes
+/// and decoded output — against the eager scalar oracle, across the
+/// packed decoder AND the arena-backed decoder.
+fn lazy_interleaved_stream<F: SlabField>(
+    seed: u64,
+    k: usize,
+    r: usize,
+    steps: usize,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generation = Generation::<F>::random(k, r, &mut rng);
+    let source = Decoder::with_all_messages(&generation);
+
+    // Two relay nodes per lane: node 0 receives from the source, node 1
+    // receives node 0's recodings (built from a partially-eliminated basis).
+    let mut packed = [Decoder::<F>::new(k, r), Decoder::<F>::new(k, r)];
+    let mut scalar = [ScalarDecoder::<F>::new(k, r), ScalarDecoder::<F>::new(k, r)];
+    let mut arena = DecoderArena::<F>::new(2, k, r);
+
+    // All three lanes draw their recoding coefficients from identically
+    // seeded RNG streams, so equal draw *sequences* imply equal bytes.
+    let mut emit_a = StdRng::seed_from_u64(seed ^ 0xE717);
+    let mut emit_b = emit_a.clone();
+    let mut emit_c = emit_a.clone();
+    let mut buf = Vec::new();
+
+    for step in 0..steps {
+        match step % 5 {
+            // Source recoding into node 0.
+            0 | 1 => {
+                let p = Recoder::new(&source).emit(&mut rng).expect("source emits");
+                prop_assert_eq!(
+                    packed[0].would_help(&p),
+                    scalar[0].would_help(&p),
+                    "would_help diverged at step {}",
+                    step
+                );
+                let va = packed[0].try_receive(&p).expect("shape-valid packet");
+                let vb = arena.receive_packed_slice(0, &p.to_packed_row());
+                let vc = scalar[0].receive(p);
+                prop_assert_eq!(va, vc, "verdict diverged at step {}", step);
+                prop_assert_eq!(vb, vc, "arena verdict diverged at step {}", step);
+            }
+            // Relay: node 0 recodes from its partially filled basis into
+            // node 1. The packed/arena emits flush node 0's pending payload
+            // events; the bytes must still match the scalar recombination.
+            2 | 3 => {
+                let row_a = Recoder::new(&packed[0]).emit_packed_row(&mut emit_a);
+                let emitted_b = arena.emit_packed_row_into(0, &mut emit_b, &mut buf);
+                let pkt_c = scalar_emit::<F>(scalar[0].rows(), k, r, &mut emit_c);
+                prop_assert_eq!(row_a.is_some(), emitted_b);
+                prop_assert_eq!(row_a.is_some(), pkt_c.is_some());
+                let (Some(row_a), Some(pkt_c)) = (row_a, pkt_c) else {
+                    continue;
+                };
+                prop_assert_eq!(&row_a, &buf, "arena emit bytes diverged at step {}", step);
+                prop_assert_eq!(
+                    &row_a,
+                    &pkt_c.to_packed_row(),
+                    "recoded bytes diverged from scalar at step {} (flush bug)",
+                    step
+                );
+                prop_assert_eq!(
+                    packed[1].would_help(&pkt_c),
+                    scalar[1].would_help(&pkt_c),
+                    "relay would_help diverged at step {}",
+                    step
+                );
+                let va = packed[1].receive_packed_slice(&row_a);
+                let vb = arena.receive_packed_slice(1, &row_a);
+                let vc = scalar[1].receive(pkt_c);
+                prop_assert_eq!(va, vc, "relay verdict diverged at step {}", step);
+                prop_assert_eq!(vb, vc, "relay arena verdict diverged at step {}", step);
+            }
+            // Mid-stream observation: decode attempts (forcing a payload
+            // flush once complete) and cross-node helpfulness.
+            _ => {
+                for node in 0..2 {
+                    prop_assert_eq!(
+                        packed[node].decode(),
+                        scalar[node].decode(),
+                        "mid-stream decode diverged at step {}",
+                        step
+                    );
+                    prop_assert_eq!(arena.decode(node), scalar[node].decode());
+                }
+                prop_assert_eq!(
+                    packed[1].is_helpful_node(&packed[0]),
+                    scalar[1].is_helped_by(&scalar[0]),
+                    "helpful-node diverged at step {}",
+                    step
+                );
+            }
+        }
+        for node in 0..2 {
+            prop_assert_eq!(packed[node].rank(), scalar[node].rank());
+            prop_assert_eq!(arena.rank(node), scalar[node].rank());
+        }
+    }
+
+    // Every delivered packet was a consistent combination of the source
+    // messages, so a completed node must decode the generation exactly.
+    for node in 0..2 {
+        prop_assert_eq!(packed[node].decode(), scalar[node].decode());
+        prop_assert_eq!(arena.decode(node), scalar[node].decode());
+        if packed[node].is_complete() {
+            prop_assert_eq!(
+                packed[node].decode().expect("complete"),
+                generation.messages().to_vec()
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -193,6 +354,33 @@ proptest! {
         r in 0usize..8,
     ) {
         differential_stream::<Gf256>(seed, k, r, 4 * k + 6)?;
+    }
+
+    #[test]
+    fn gf2_lazy_interleaved_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..10,
+        r in 0usize..6,
+    ) {
+        lazy_interleaved_stream::<Gf2>(seed, k, r, 10 * k + 10)?;
+    }
+
+    #[test]
+    fn gf16_lazy_interleaved_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..9,
+        r in 0usize..6,
+    ) {
+        lazy_interleaved_stream::<Gf16>(seed, k, r, 8 * k + 10)?;
+    }
+
+    #[test]
+    fn gf256_lazy_interleaved_matches_scalar(
+        seed in any::<u64>(),
+        k in 1usize..9,
+        r in 0usize..8,
+    ) {
+        lazy_interleaved_stream::<Gf256>(seed, k, r, 8 * k + 10)?;
     }
 
     /// A complete dissemination (source -> sink until full rank) decodes to
