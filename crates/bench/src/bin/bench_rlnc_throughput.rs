@@ -54,7 +54,7 @@ use ag_bench::Scale;
 use ag_gf::{set_kernel, Gf16, Gf256, Kernel, SlabField};
 use ag_rlnc::{Decoder, Generation, Packet, Recoder};
 use ag_sim::{Engine, EngineConfig};
-use algebraic_gossip::{AgConfig, AlgebraicGossip, Placement};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, ArenaGrowth, Placement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -239,9 +239,13 @@ fn completion_run(n: usize) -> CompletionRun {
     let r = 1024; // 1 KiB payload per message over GF(2^8)
     let mut grng = StdRng::seed_from_u64(SEED ^ 0xE0);
     let graph = ag_graph::builders::random_regular(n, 3, &mut grng).expect("rr(3) graph");
+    // The audit pins the *preallocated* arena: the chunked default grows
+    // row storage as ranks rise, which is a deliberate (and separately
+    // benchmarked) trade of steady-state allocation freedom for memory.
     let cfg = AgConfig::new(k)
         .with_payload_len(r)
-        .with_placement(Placement::Spread);
+        .with_placement(Placement::Spread)
+        .with_arena_growth(ArenaGrowth::Preallocated);
     let mut proto = AlgebraicGossip::<Gf256>::new(&graph, &cfg, SEED).expect("protocol");
 
     // Per-round allocator snapshots; preallocated so the observer itself

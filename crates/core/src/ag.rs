@@ -2,8 +2,10 @@
 
 use ag_gf::SlabField;
 use ag_graph::{Graph, GraphError, NodeId, Topology};
-use ag_rlnc::{DecoderArena, Generation, RowPool};
-use ag_sim::{Action, CommModel, ContactIntent, PartnerSelector, Protocol};
+use ag_rlnc::{ArenaGrowth, DecoderArena, DecoderShard, Generation, RowPool};
+use ag_sim::{
+    Action, CommModel, ContactIntent, PartnerSelector, Protocol, ProtocolShard, ShardableProtocol,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,6 +40,12 @@ pub struct AgConfig {
     /// Sparse-recoding density in `(0, 1]`; `1.0` (default) is the
     /// paper's dense combination over all stored rows.
     pub coding_density: f64,
+    /// How the decoder arena provisions per-node row storage. The default
+    /// [`ArenaGrowth::Chunked`] allocates rows as rank grows (bit-identical
+    /// trajectories, far less memory at large `n`);
+    /// [`ArenaGrowth::Preallocated`] reserves everything up front for
+    /// strictly allocation-free steady-state rounds.
+    pub arena_growth: ArenaGrowth,
 }
 
 impl AgConfig {
@@ -52,6 +60,7 @@ impl AgConfig {
             action: Action::Exchange,
             placement: Placement::Spread,
             coding_density: 1.0,
+            arena_growth: ArenaGrowth::default(),
         }
     }
 
@@ -95,6 +104,13 @@ impl AgConfig {
             "coding density must be in (0, 1]"
         );
         self.coding_density = density;
+        self
+    }
+
+    /// Sets the decoder-arena growth policy (builder-style).
+    #[must_use]
+    pub fn with_arena_growth(mut self, growth: ArenaGrowth) -> Self {
+        self.arena_growth = growth;
         self
     }
 }
@@ -234,7 +250,8 @@ impl<F: SlabField, T: Topology> AlgebraicGossip<F, T> {
         let mut rng = StdRng::seed_from_u64(seed);
         let _ = Generation::<F>::random(cfg.k, cfg.payload_len, &mut rng);
         let hosts = cfg.placement.assign(topology.n(), cfg.k, &mut rng);
-        let mut decoders = DecoderArena::new(topology.n(), cfg.k, cfg.payload_len);
+        let mut decoders =
+            DecoderArena::with_growth(topology.n(), cfg.k, cfg.payload_len, cfg.arena_growth);
         for (msg, &host) in hosts.iter().enumerate() {
             decoders.seed_message(host, &generation, msg);
         }
@@ -322,6 +339,14 @@ impl<F: SlabField, T: Topology> AlgebraicGossip<F, T> {
     pub fn pool_prewarm(&self) -> usize {
         self.pool_prewarm
     }
+
+    /// Heap bytes currently committed by the decoder arena — the
+    /// memory-model measurement the sharding bench records (bytes/node
+    /// under [`ArenaGrowth::Chunked`] vs the preallocated ceiling).
+    #[must_use]
+    pub fn arena_allocated_bytes(&self) -> usize {
+        self.decoders.allocated_bytes()
+    }
 }
 
 impl<F: SlabField, T: Topology> Protocol for AlgebraicGossip<F, T> {
@@ -387,6 +412,97 @@ impl<F: SlabField, T: Topology> Protocol for AlgebraicGossip<F, T> {
 
     fn node_complete(&self, node: NodeId) -> bool {
         self.decoders.is_complete(node)
+    }
+}
+
+/// One shard of [`AlgebraicGossip`] for the sharded engine: a
+/// [`DecoderShard`] over a contiguous node range plus a *stash* of message
+/// buffers pre-drawn from the protocol's [`RowPool`] on the main thread
+/// (the pool is `Rc`-based and must never cross threads).
+///
+/// Buffer discipline: `compose` pops one stash buffer per call — the
+/// engine sizes the stash to the shard's exact send count — and every
+/// buffer the shard is left holding (unemitted stash, spent delivery
+/// rows) comes back through [`AgShard::into_residue`] to be re-pooled via
+/// [`Protocol::discard`]. The stash ceiling is the same one-buffer-per-
+/// contact-direction bound the pool was pre-warmed with, so
+/// `pool_idle == pool_prewarm` still holds at every round boundary.
+pub struct AgShard<'a, F: SlabField> {
+    dec: DecoderShard<'a, F>,
+    coding_density: f64,
+    stash: Vec<Vec<u8>>,
+    residue: Vec<Vec<u8>>,
+}
+
+impl<F: SlabField + Send> ProtocolShard for AgShard<'_, F> {
+    type Msg = Vec<u8>;
+
+    fn compose(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        _tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<Vec<u8>> {
+        let mut row = self
+            .stash
+            .pop()
+            .expect("stash holds one buffer per planned send");
+        let emitted = if self.coding_density < 1.0 {
+            self.dec
+                .emit_sparse_packed_row_into(from, self.coding_density, rng, &mut row)
+        } else {
+            self.dec.emit_packed_row_into(from, rng, &mut row)
+        };
+        if emitted {
+            Some(row)
+        } else {
+            // Rank-0 node: nothing to say; the buffer rides the residue
+            // back to the pool.
+            self.residue.push(row);
+            None
+        }
+    }
+
+    fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, mut msg: Vec<u8>) {
+        let _ = self.dec.receive_packed_mut(to, &mut msg);
+        self.residue.push(msg);
+    }
+
+    fn discard(&mut self, msg: Vec<u8>) {
+        self.residue.push(msg);
+    }
+
+    fn into_residue(mut self) -> Vec<Vec<u8>> {
+        self.residue.append(&mut self.stash);
+        self.residue
+    }
+}
+
+impl<F: SlabField + Send, T: Topology> ShardableProtocol for AlgebraicGossip<F, T> {
+    type Shard<'a>
+        = AgShard<'a, F>
+    where
+        Self: 'a;
+
+    fn make_shards(
+        &mut self,
+        bounds: &[(usize, usize)],
+        send_counts: &[usize],
+    ) -> Vec<AgShard<'_, F>> {
+        let pool = &self.pool;
+        let coding_density = self.coding_density;
+        self.decoders
+            .shards_mut(bounds)
+            .into_iter()
+            .zip(send_counts)
+            .map(|(dec, &count)| AgShard {
+                dec,
+                coding_density,
+                stash: (0..count).map(|_| pool.take()).collect(),
+                residue: Vec::new(),
+            })
+            .collect()
     }
 }
 

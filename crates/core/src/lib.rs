@@ -68,11 +68,12 @@ mod tag;
 mod tree_ag;
 mod tree_protocol;
 
-pub use ag::{AgConfig, AlgebraicGossip, PacketAlgebraicGossip};
+pub use ag::{AgConfig, AgShard, AlgebraicGossip, PacketAlgebraicGossip};
+pub use ag_rlnc::ArenaGrowth;
 pub use ag_sim::{Action, CommModel, TimeModel};
 pub use baseline::{RandomMessageGossip, RawMsg};
 pub use broadcast::BroadcastTree;
-pub use crash::{CrashPlan, WithCrashes};
+pub use crash::{CrashPlan, CrashShard, WithCrashes};
 pub use is_tree::{HeardSet, IsTree};
 pub use oracle::OracleTree;
 pub use placement::Placement;

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ag_gf::Gf256;
 use ag_graph::builders;
 use ag_sim::{Engine, EngineConfig};
-use algebraic_gossip::{AgConfig, AlgebraicGossip, CrashPlan, WithCrashes};
+use algebraic_gossip::{AgConfig, AlgebraicGossip, ArenaGrowth, CrashPlan, WithCrashes};
 
 /// Counts every allocator entry on the *armed* thread so the round loop can
 /// be proven allocation-free (not just leak-free).
@@ -79,7 +79,12 @@ fn crash_and_loss_run_is_allocation_free_in_steady_state() {
     let seed = 0xC4A5_4E57;
     let mut grng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let graph = builders::random_regular(n, 3, &mut grng).expect("rr(3)");
-    let cfg = AgConfig::new(k).with_payload_len(32);
+    // Pin the preallocated arena: the chunked default trades steady-state
+    // allocation freedom for memory (rows materialize as ranks grow),
+    // which is exactly what this audit must not see.
+    let cfg = AgConfig::new(k)
+        .with_payload_len(32)
+        .with_arena_growth(ArenaGrowth::Preallocated);
     let inner = AlgebraicGossip::<Gf256>::new(&graph, &cfg, seed).expect("protocol");
     let prewarm = inner.pool_prewarm();
     // Crash a deterministic batch of non-holders (spread placement seeds

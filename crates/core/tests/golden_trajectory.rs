@@ -16,7 +16,7 @@
 
 use ag_gf::Gf256;
 use ag_graph::builders;
-use ag_sim::{Engine, EngineConfig, TrajectoryHash};
+use ag_sim::{Engine, EngineConfig, ShardedEngine, TrajectoryHash};
 use algebraic_gossip::{
     AgConfig, AlgebraicGossip, Placement, ProtocolKind, RandomMessageGossip, RunSpec, TrialPlan,
 };
@@ -25,6 +25,12 @@ use algebraic_gossip::{
 const GOLDEN_AG_TRAJECTORY: u64 = 0xA356_9144_C8B2_03DD;
 /// Pinned hash of the UncodedRandom holdings trajectory for the run below.
 const GOLDEN_BASELINE_TRAJECTORY: u64 = 0xE080_65FA_EB0B_DAEA;
+/// Pinned hash of the same AG run under the *sharded* engine. The value
+/// differs from [`GOLDEN_AG_TRAJECTORY`] by design — the sharded loop
+/// draws per-slot compose RNGs instead of one interleaved stream — but it
+/// must be identical at every shard count and every thread count (CI
+/// re-runs this file under `RAYON_NUM_THREADS=1` and `=4`).
+const GOLDEN_SHARDED_AG_TRAJECTORY: u64 = 0xC2B0_ECC9_946E_1A35;
 
 /// One AG protocol: uniform algebraic gossip over GF(256) on a 4×4 grid,
 /// k = 8 with payloads, synchronous rounds, all seeds fixed.
@@ -67,6 +73,33 @@ fn baseline_trajectory() -> (u64, bool) {
     (hash.finish(), stats.completed)
 }
 
+/// The same protocol, config and seeds as [`ag_trajectory`], driven by the
+/// sharded engine with the given shard count.
+fn sharded_ag_trajectory(shards: usize) -> (u64, bool) {
+    let g = builders::grid(4, 4).expect("grid");
+    let cfg = AgConfig::new(8)
+        .with_payload_len(4)
+        .with_placement(Placement::Spread);
+    let mut proto = AlgebraicGossip::<Gf256>::new(&g, &cfg, 0xA11CE).expect("protocol");
+    let mut hash = TrajectoryHash::new();
+    let stats = ShardedEngine::new(
+        EngineConfig::synchronous(0xBEEF).with_max_rounds(100_000),
+        shards,
+    )
+    .run_observed(&mut proto, |round, p| {
+        hash.observe(round);
+        hash.observe(p.total_rank() as u64);
+    });
+    assert!(stats.completed, "golden sharded AG run must complete");
+    for v in 0..g.n() {
+        assert_eq!(
+            proto.decoded(v).expect("complete node decodes"),
+            proto.generation().messages()
+        );
+    }
+    (hash.finish(), stats.completed)
+}
+
 #[test]
 fn golden_ag_rank_trajectory_is_pinned() {
     let (hash, completed) = ag_trajectory();
@@ -86,6 +119,22 @@ fn golden_baseline_trajectory_is_pinned() {
         hash, GOLDEN_BASELINE_TRAJECTORY,
         "UncodedRandom per-round holdings trajectory changed: got {hash:#018X}"
     );
+}
+
+#[test]
+fn golden_sharded_trajectory_is_pinned_at_every_shard_count() {
+    // 1 shard is the serial reference; larger counts (including more
+    // shards than would ever be useful at n = 16) must reproduce it
+    // bit-for-bit — the tentpole's determinism contract, pinned.
+    for shards in [1usize, 2, 4, 16] {
+        let (hash, completed) = sharded_ag_trajectory(shards);
+        assert!(completed);
+        assert_eq!(
+            hash, GOLDEN_SHARDED_AG_TRAJECTORY,
+            "sharded AG trajectory changed at {shards} shard(s): got {hash:#018X} — \
+             the sharded merge is no longer a pure function of (seed, round, slot)"
+        );
+    }
 }
 
 #[test]

@@ -1,31 +1,42 @@
-//! A simulation-wide arena of echelon bases: every node's rows in one slab.
+//! A simulation-wide arena of echelon bases: one rank-bounded store per node.
 //!
 //! A gossip simulation holds one decoder basis per node. Backing each with
 //! its own growing [`EchelonBasis`](crate::EchelonBasis) means `n`
-//! independently reallocating `Vec`s — fine at experiment scale, but at
-//! `n = 10⁵` nodes with 1 KiB payloads it is both an allocation storm and a
-//! locality loss. [`BasisArena`] instead owns a few contiguous byte slabs
-//! with a fixed capacity of `pivot_width` rows per node (a basis can never
-//! exceed rank `pivot_width`), plus one flat pivot table and one rank
-//! counter per node. After construction, inserting rows performs **zero
-//! heap allocation**: an incoming row is reduced in the caller's buffer (or
-//! the arena's internal scratch) and, when innovative, copied into the
-//! node's next row slot.
+//! independently reallocating `Vec`s with no shared discipline — fine at
+//! experiment scale, but an allocation storm at `n = 10⁵`. [`BasisArena`]
+//! owns every node's rows behind one type with two growth policies
+//! ([`ArenaGrowth`]):
+//!
+//! - [`ArenaGrowth::Chunked`] (the default): each node starts empty and its
+//!   coefficient/payload/log storage grows in geometric chunks as its rank
+//!   actually grows, capped at the full-rank footprint. Most nodes sit far
+//!   below full rank for most of a run, so the arena's resident footprint
+//!   tracks `Σ rank(v)` instead of `n · pivot_width` — the difference
+//!   between n = 10⁵ and n = 10⁶ fitting in memory. Rank-only runs
+//!   (`row_elems == pivot_width`) skip the elimination log entirely: it
+//!   would never be replayed.
+//! - [`ArenaGrowth::Preallocated`]: every node reserves its full-rank
+//!   capacity up front, so inserting rows performs **zero heap allocation**
+//!   after construction — the policy the counting-allocator audits pin.
 //!
 //! The arena mirrors the [coefficient/payload split](crate::echelon) of
 //! `EchelonBasis`: per node there is an eagerly reduced coefficient slab
 //! (all rank/innovation decisions read only this), a payload slab whose
 //! rows are appended raw, and an elimination log replayed onto the payloads
-//! in fused multi-row passes only when payload bytes are observed. All
-//! slabs are allocated zeroed, so physical memory is committed lazily by
-//! the OS as ranks actually grow — an incomplete run touches only the rows
-//! it stored.
+//! in fused multi-row passes only when payload bytes are observed.
 //!
 //! Elimination is literally the same code as `EchelonBasis` (the shared
-//! `core_ops` functions), so a packet stream replayed through both produces
-//! bit-identical verdicts, pivots and stored bytes; the differential suites
-//! in `ag-rlnc` and the golden trajectory pins in `algebraic-gossip` lock
-//! that equivalence end to end.
+//! `core_ops` functions), so a packet stream replayed through both — or
+//! through either growth policy — produces bit-identical verdicts, pivots
+//! and stored bytes; the differential suites in `ag-rlnc` and the golden
+//! trajectory pins in `algebraic-gossip` lock that equivalence end to end.
+//!
+//! For parallel round execution, [`BasisArena::shards_mut`] splits the
+//! arena into disjoint contiguous [`BasisShard`]s. Per-node state lives in
+//! `RefCell`s purely so `&self` read paths (emit, probe, solution) can
+//! materialize payloads lazily; a shard accesses its nodes through
+//! `&mut [RefCell<…>]` + `get_mut`, which is `Send` without any locking —
+//! disjointness is enforced by the slice split, not at runtime.
 //!
 //! # Examples
 //!
@@ -43,26 +54,303 @@
 //! ```
 
 use std::cell::RefCell;
+use std::fmt;
 use std::marker::PhantomData;
 
 use ag_gf::SlabField;
 
 use crate::echelon::{core_ops, Insertion};
 
-/// Lazily maintained payload state for every node, mirroring the per-basis
-/// ledger of [`EchelonBasis`](crate::EchelonBasis). Interior-mutable
-/// because materialization is triggered from `&self` read paths.
+/// How a [`BasisArena`] provisions per-node row storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArenaGrowth {
+    /// Rank-bounded growth: storage is reserved in geometric chunks as a
+    /// node's rank grows, capped at the full-rank footprint. Inserts that
+    /// cross a chunk boundary allocate; resident memory tracks actual
+    /// ranks.
+    #[default]
+    Chunked,
+    /// Full-rank capacity reserved per node at construction: inserts never
+    /// allocate. The policy for allocation-audited runs.
+    Preallocated,
+}
+
+/// Typed sizing failures from [`BasisArena::try_with_growth`].
+///
+/// The capacity math (`nodes · pivot_width · row_elems · SYMBOL_BYTES`
+/// plus the `pivot_width²` log) runs through `checked_mul`, so impossible
+/// shapes surface as [`ArenaError::CapacityOverflow`] with the computed
+/// byte count instead of a silent wrap or an opaque allocator abort, and
+/// failed reservations surface as [`ArenaError::AllocationFailure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The full-rank footprint does not fit in `usize`.
+    CapacityOverflow {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested pivot (coefficient) width.
+        pivot_width: usize,
+        /// Requested symbols per row.
+        row_elems: usize,
+        /// The full-rank footprint that overflowed, in bytes (exact, in
+        /// `u128`).
+        bytes: u128,
+    },
+    /// The allocator refused a reservation of `bytes` bytes.
+    AllocationFailure {
+        /// Size of the refused reservation.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::CapacityOverflow {
+                nodes,
+                pivot_width,
+                row_elems,
+                bytes,
+            } => write!(
+                f,
+                "arena capacity overflows usize: {nodes} nodes × {pivot_width} rows × \
+                 {row_elems} symbols (+ elimination log) = {bytes} bytes"
+            ),
+            ArenaError::AllocationFailure { bytes } => {
+                write!(
+                    f,
+                    "arena allocation failed: could not reserve {bytes} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+/// Per-row byte widths, precomputed once per call tree so [`NodeBasis`]
+/// methods need no back-reference to the arena.
+#[derive(Debug, Clone, Copy)]
+struct Dims {
+    /// Pivot (coefficient) width in symbols — also the per-node row cap.
+    pivot_width: usize,
+    /// Bytes of the packed coefficient prefix of every row.
+    kb: usize,
+    /// Bytes of the payload tail of every row.
+    pb: usize,
+}
+
+/// Smallest chunk a growing slab reserves at a time: below this, geometric
+/// doubling degenerates into per-row reallocation.
+const MIN_CHUNK_BYTES: usize = 64;
+
+/// Grows `vec`'s capacity to hold `needed` bytes, reserving geometrically
+/// (at least doubling, at least [`MIN_CHUNK_BYTES`]) but never past the
+/// `full`-rank footprint. No-op when capacity already suffices — which is
+/// always, under [`ArenaGrowth::Preallocated`].
+fn reserve_chunked(vec: &mut Vec<u8>, needed: usize, full: usize) {
+    debug_assert!(needed <= full, "rank-bounded growth exceeded full rank");
+    if vec.capacity() >= needed {
+        return;
+    }
+    let target = needed
+        .max(vec.capacity().saturating_mul(2))
+        .max(MIN_CHUNK_BYTES)
+        .min(full);
+    vec.reserve_exact(target - vec.len());
+}
+
+/// One node's basis: reduced coefficient rows, raw payload tails, and the
+/// elimination log that materializes them on demand. All slabs are exactly
+/// `rank` rows long (the log holds `rank` events); capacity is governed by
+/// the arena's [`ArenaGrowth`] policy.
 #[derive(Debug, Clone)]
-struct ArenaLedger {
-    /// Payload tails: node `v`'s row `i` occupies `pay_bytes` bytes at
-    /// offset `(v * pivot_width + i) * pay_bytes`. Rows `< flushed[v]` are
+struct NodeBasis {
+    /// Row-indexed pivot map: stored row `i` has pivot column
+    /// `pivot_cols[i]`. `rank == pivot_cols.len()`.
+    pivot_cols: Vec<usize>,
+    /// Reduced coefficient prefixes, `kb` bytes per row, fully reduced
+    /// (Gauss–Jordan) at all times.
+    coeff: Vec<u8>,
+    /// Payload tails, `pb` bytes per row. Rows `< flushed` are
     /// materialized (reduced); later rows are raw as received.
     pay: Vec<u8>,
-    /// Elimination logs: node `v`'s events pack at byte offset
-    /// `v * pivot_width² * SYMBOL_BYTES` per [`core_ops::log_offset`].
+    /// Elimination events packed per [`core_ops::log_offset`]. Empty for
+    /// rank-only arenas (`pb == 0`): never written, never replayed.
     log: Vec<u8>,
-    /// Per-node count of events already replayed onto `pay`.
-    flushed: Vec<usize>,
+    /// Events already replayed onto `pay`.
+    flushed: usize,
+}
+
+impl NodeBasis {
+    fn empty() -> Self {
+        NodeBasis {
+            pivot_cols: Vec::new(),
+            coeff: Vec::new(),
+            pay: Vec::new(),
+            log: Vec::new(),
+            flushed: 0,
+        }
+    }
+
+    #[inline]
+    fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+
+    /// Heap bytes currently reserved by this node's storage.
+    fn heap_bytes(&self) -> usize {
+        self.coeff.capacity()
+            + self.pay.capacity()
+            + self.log.capacity()
+            + self.pivot_cols.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Reserves the full-rank footprint, so later inserts never allocate.
+    fn try_preallocate<F: SlabField>(&mut self, d: Dims) -> Result<(), ArenaError> {
+        let k = d.pivot_width;
+        let sb = F::SYMBOL_BYTES;
+        let reserve = |vec: &mut Vec<u8>, bytes: usize| {
+            vec.try_reserve_exact(bytes)
+                .map_err(|_| ArenaError::AllocationFailure { bytes })
+        };
+        reserve(&mut self.coeff, k * d.kb)?;
+        reserve(&mut self.pay, k * d.pb)?;
+        if d.pb > 0 {
+            reserve(&mut self.log, k * k * sb)?;
+        }
+        self.pivot_cols
+            .try_reserve_exact(k)
+            .map_err(|_| ArenaError::AllocationFailure {
+                bytes: k * std::mem::size_of::<usize>(),
+            })
+    }
+
+    /// Replays pending elimination events onto the payload rows.
+    /// Idempotent; trivial for rank-only rows.
+    fn flush<F: SlabField>(&mut self, d: Dims) {
+        let rank = self.rank();
+        if d.pb == 0 {
+            self.flushed = rank;
+            return;
+        }
+        let pay = &mut self.pay[..rank * d.pb];
+        while self.flushed < rank {
+            core_ops::replay_event::<F>(pay, &self.log, self.flushed, d.pb);
+            self.flushed += 1;
+        }
+    }
+
+    /// The insert hot path shared by the serial arena and the shards; the
+    /// same elimination calls, in the same order, as
+    /// [`EchelonBasis`](crate::EchelonBasis).
+    fn insert_packed<F: SlabField>(
+        &mut self,
+        d: Dims,
+        row: &mut [u8],
+        sc: &mut ArenaScratch,
+    ) -> Insertion {
+        let rank = self.rank();
+        let (crow, pay_in) = row.split_at_mut(d.kb);
+        let Some(pivot_col) =
+            core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, crow, &mut sc.factors)
+        else {
+            return Insertion::Redundant;
+        };
+        let k = d.pivot_width;
+        reserve_chunked(&mut self.coeff, (rank + 1) * d.kb, k * d.kb);
+        self.coeff.resize((rank + 1) * d.kb, 0);
+        let (existing, slot) = self.coeff.split_at_mut(rank * d.kb);
+        let pinv = core_ops::normalize_and_back_substitute::<F>(
+            existing,
+            rank,
+            pivot_col,
+            crow,
+            &mut sc.back,
+        );
+        slot.copy_from_slice(crow);
+        if d.pb > 0 {
+            // Payload: raw memcpy now, elimination deferred to the log.
+            let sb = F::SYMBOL_BYTES;
+            reserve_chunked(&mut self.pay, (rank + 1) * d.pb, k * d.pb);
+            self.pay.extend_from_slice(pay_in);
+            let lbase = core_ops::log_offset::<F>(rank);
+            let lend = lbase + (2 * rank + 1) * sb;
+            reserve_chunked(&mut self.log, lend, k * k * sb);
+            self.log.resize(lend, 0);
+            self.log[lbase..lbase + rank * sb].copy_from_slice(&sc.factors);
+            pinv.write_symbol(&mut self.log[lbase + rank * sb..]);
+            self.log[lbase + (rank + 1) * sb..lend].copy_from_slice(&sc.back);
+        } else {
+            // No payload means no log: the row is trivially materialized.
+            self.flushed = rank + 1;
+        }
+        if self.pivot_cols.capacity() == rank {
+            // Same rank-bounded discipline as the byte slabs: geometric,
+            // never past the full-rank row count.
+            let target = (rank * 2).max(4).min(k).max(rank + 1);
+            self.pivot_cols.reserve_exact(target - rank);
+        }
+        self.pivot_cols.push(pivot_col);
+        Insertion::Innovative
+    }
+
+    /// Non-mutating innovation probe against the coefficient slab only.
+    fn would_be_innovative<F: SlabField>(
+        &self,
+        d: Dims,
+        row: &[u8],
+        sc: &mut ArenaScratch,
+    ) -> bool {
+        let ArenaScratch { factors, probe, .. } = sc;
+        probe.clear();
+        probe.extend_from_slice(&row[..d.kb]);
+        core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, probe, factors).is_some()
+    }
+
+    fn copy_packed_row_into<F: SlabField>(&mut self, d: Dims, i: usize, out: &mut Vec<u8>) {
+        self.flush::<F>(d);
+        out.clear();
+        out.extend_from_slice(&self.coeff[i * d.kb..(i + 1) * d.kb]);
+        out.extend_from_slice(&self.pay[i * d.pb..(i + 1) * d.pb]);
+    }
+
+    fn accumulate_rows_into<F: SlabField>(&mut self, d: Dims, factors: &[u8], out: &mut [u8]) {
+        self.flush::<F>(d);
+        let (oc, op) = out.split_at_mut(d.kb);
+        F::mul_add_multi(factors, &self.coeff, oc);
+        F::mul_add_multi(factors, &self.pay, op);
+    }
+
+    fn solution<F: SlabField>(&mut self, d: Dims) -> Option<Vec<Vec<F>>> {
+        let k = d.pivot_width;
+        if self.rank() != k {
+            return None;
+        }
+        self.flush::<F>(d);
+        // Invert the row-indexed pivot map: a full basis has every column.
+        let mut row_of_col = vec![usize::MAX; k];
+        for (ri, &c) in self.pivot_cols.iter().enumerate() {
+            row_of_col[c] = ri;
+        }
+        let mut out = Vec::with_capacity(k);
+        for (c, &ri) in row_of_col.iter().enumerate() {
+            assert_ne!(ri, usize::MAX, "full basis has all pivots");
+            debug_assert!(
+                (0..k).all(|j| {
+                    let v: F = core_ops::col::<F>(&self.coeff[ri * d.kb..], j);
+                    if j == c {
+                        v == F::ONE
+                    } else {
+                        v.is_zero()
+                    }
+                }),
+                "fully reduced basis rows must be unit vectors"
+            );
+            out.push(F::unpack(&self.pay[ri * d.pb..(ri + 1) * d.pb]));
+        }
+        Some(out)
+    }
 }
 
 /// Reusable scratch buffers; transient, never part of logical state.
@@ -78,7 +366,18 @@ struct ArenaScratch {
     insert: Vec<u8>,
 }
 
-/// All of a simulation's echelon bases in preallocated slabs — see the
+impl ArenaScratch {
+    fn new() -> Self {
+        ArenaScratch {
+            factors: Vec::new(),
+            back: Vec::new(),
+            probe: Vec::new(),
+            insert: Vec::new(),
+        }
+    }
+}
+
+/// All of a simulation's echelon bases, rank-bounded per node — see the
 /// [module docs](self).
 ///
 /// Unlike [`EchelonBasis`](crate::EchelonBasis), whose row length is
@@ -87,31 +386,20 @@ struct ArenaScratch {
 /// Shape violations are bugs in the caller's wiring, not data-dependent
 /// conditions, so the arena asserts rather than returning typed errors —
 /// the decoder layer above re-checks shapes where untrusted input enters.
+/// *Sizing* failures, in contrast, are data-dependent (they scale with
+/// `n`), so [`BasisArena::try_with_growth`] reports them as [`ArenaError`].
 #[derive(Debug, Clone)]
 pub struct BasisArena<F> {
-    /// Number of per-node bases.
-    nodes: usize,
+    /// Per-node bases. `RefCell` so `&self` read paths can materialize
+    /// payloads lazily; shards take disjoint `&mut` slices instead.
+    nodes: Vec<RefCell<NodeBasis>>,
     /// Pivot (coefficient) width of every basis — also the per-node row
-    /// capacity.
+    /// cap.
     pivot_width: usize,
     /// Symbols per row (pivot prefix + augmented tail), fixed up front.
     row_elems: usize,
-    /// Flat pivot tables: node `v`'s table is
-    /// `pivots[v * pivot_width .. (v + 1) * pivot_width]`, mapping a pivot
-    /// column to the node-local index of the stored row.
-    pivots: Vec<Option<usize>>,
-    /// Row-indexed inverse of `pivots`: node `v`'s stored row `i` has
-    /// pivot column `pivot_cols[v * pivot_width + i]`. Lets the reduction
-    /// gather iterate stored rows (`O(rank)`) instead of scanning columns.
-    pivot_cols: Vec<usize>,
-    /// Per-node rank.
-    ranks: Vec<usize>,
-    /// Reduced coefficient prefixes: node `v`'s row `i` occupies
-    /// `coeff_bytes` bytes at offset `(v * pivot_width + i) * coeff_bytes`.
-    /// Always fully reduced (Gauss–Jordan).
-    coeff: Vec<u8>,
-    /// Raw payload tails + elimination logs, replayed on demand.
-    ledger: RefCell<ArenaLedger>,
+    /// Storage policy.
+    growth: ArenaGrowth,
     /// Reusable buffers (transient).
     scratch: RefCell<ArenaScratch>,
     _field: PhantomData<F>,
@@ -119,53 +407,119 @@ pub struct BasisArena<F> {
 
 impl<F: SlabField> BasisArena<F> {
     /// Creates an arena of `nodes` empty bases with `pivot_width` leading
-    /// coefficients and `row_elems` total symbols per row.
-    ///
-    /// Allocates the full coefficient, payload and elimination-log slabs up
-    /// front (zeroed — the OS commits pages lazily): per node,
-    /// `pivot_width²` coefficient symbols, `pivot_width · tail` payload
-    /// symbols and `pivot_width²` log symbols.
+    /// coefficients and `row_elems` total symbols per row, growing storage
+    /// in rank-bounded chunks ([`ArenaGrowth::Chunked`]).
     ///
     /// # Panics
     ///
-    /// Panics if `pivot_width == 0` or `row_elems < pivot_width`.
+    /// Panics if `pivot_width == 0`, `row_elems < pivot_width`, or the
+    /// full-rank capacity math fails (see [`BasisArena::try_with_growth`]
+    /// for the non-panicking form).
     #[must_use]
     pub fn new(nodes: usize, pivot_width: usize, row_elems: usize) -> Self {
+        Self::with_growth(nodes, pivot_width, row_elems, ArenaGrowth::default())
+    }
+
+    /// [`BasisArena::new`] with an explicit [`ArenaGrowth`] policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape violations and on [`ArenaError`].
+    #[must_use]
+    pub fn with_growth(
+        nodes: usize,
+        pivot_width: usize,
+        row_elems: usize,
+        growth: ArenaGrowth,
+    ) -> Self {
+        match Self::try_with_growth(nodes, pivot_width, row_elems, growth) {
+            Ok(arena) => arena,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: checks the full-rank capacity math with
+    /// `checked_mul` (returning [`ArenaError::CapacityOverflow`] with the
+    /// exact byte count) and, under [`ArenaGrowth::Preallocated`], reserves
+    /// every node's storage via `try_reserve` (returning
+    /// [`ArenaError::AllocationFailure`] instead of aborting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pivot_width == 0` or `row_elems < pivot_width` — shape
+    /// bugs, not sizing conditions.
+    pub fn try_with_growth(
+        nodes: usize,
+        pivot_width: usize,
+        row_elems: usize,
+        growth: ArenaGrowth,
+    ) -> Result<Self, ArenaError> {
         assert!(pivot_width > 0, "pivot width must be positive");
         assert!(
             row_elems >= pivot_width,
             "rows must at least cover the pivot prefix"
         );
         let sb = F::SYMBOL_BYTES;
-        let kb = pivot_width * sb;
-        let pb = (row_elems - pivot_width) * sb;
-        BasisArena {
-            nodes,
+        let tail = row_elems - pivot_width;
+        // Full-rank footprint per node, in symbols: k·k coefficients,
+        // k·tail payload, k² log events (only when a payload exists).
+        let log_syms = if tail > 0 {
+            pivot_width * pivot_width
+        } else {
+            0
+        };
+        let overflow = || {
+            let per_node = (pivot_width as u128) * (row_elems as u128) + log_syms as u128;
+            ArenaError::CapacityOverflow {
+                nodes,
+                pivot_width,
+                row_elems,
+                bytes: (nodes as u128) * per_node * sb as u128,
+            }
+        };
+        pivot_width
+            .checked_mul(row_elems)
+            .and_then(|s| s.checked_add(log_syms))
+            .and_then(|s| s.checked_mul(sb))
+            .and_then(|b| b.checked_mul(nodes))
+            .ok_or_else(overflow)?;
+        let mut cells = Vec::new();
+        cells
+            .try_reserve_exact(nodes)
+            .map_err(|_| ArenaError::AllocationFailure {
+                bytes: nodes.saturating_mul(std::mem::size_of::<RefCell<NodeBasis>>()),
+            })?;
+        cells.extend((0..nodes).map(|_| RefCell::new(NodeBasis::empty())));
+        let mut arena = BasisArena {
+            nodes: cells,
             pivot_width,
             row_elems,
-            pivots: vec![None; nodes * pivot_width],
-            pivot_cols: vec![0; nodes * pivot_width],
-            ranks: vec![0; nodes],
-            coeff: vec![0; nodes * pivot_width * kb],
-            ledger: RefCell::new(ArenaLedger {
-                pay: vec![0; nodes * pivot_width * pb],
-                log: vec![0; nodes * pivot_width * pivot_width * sb],
-                flushed: vec![0; nodes],
-            }),
-            scratch: RefCell::new(ArenaScratch {
-                factors: Vec::with_capacity(kb),
-                back: Vec::with_capacity(kb),
-                probe: Vec::with_capacity(kb),
-                insert: Vec::with_capacity(row_elems * sb),
-            }),
+            growth,
+            scratch: RefCell::new(ArenaScratch::new()),
             _field: PhantomData,
+        };
+        if growth == ArenaGrowth::Preallocated {
+            let dims = arena.dims();
+            for cell in &mut arena.nodes {
+                cell.get_mut().try_preallocate::<F>(dims)?;
+            }
+        }
+        Ok(arena)
+    }
+
+    #[inline]
+    fn dims(&self) -> Dims {
+        Dims {
+            pivot_width: self.pivot_width,
+            kb: self.pivot_width * F::SYMBOL_BYTES,
+            pb: (self.row_elems - self.pivot_width) * F::SYMBOL_BYTES,
         }
     }
 
     /// Number of per-node bases.
     #[must_use]
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.nodes.len()
     }
 
     /// The pivot (coefficient) width of every basis.
@@ -198,6 +552,23 @@ impl<F: SlabField> BasisArena<F> {
         (self.row_elems - self.pivot_width) * F::SYMBOL_BYTES
     }
 
+    /// The storage policy this arena was built with.
+    #[must_use]
+    pub fn growth(&self) -> ArenaGrowth {
+        self.growth
+    }
+
+    /// Heap bytes currently reserved across every node's row storage
+    /// (slab capacities plus per-node headers) — the number the memory
+    /// model in the benches reports per node.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|c| c.borrow().heap_bytes() + std::mem::size_of::<RefCell<NodeBasis>>())
+            .sum()
+    }
+
     /// Node `node`'s current rank.
     ///
     /// # Panics
@@ -205,54 +576,13 @@ impl<F: SlabField> BasisArena<F> {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn rank(&self, node: usize) -> usize {
-        self.ranks[node]
+        self.nodes[node].borrow().rank()
     }
 
     /// True once node `node`'s basis spans the full coefficient space.
     #[must_use]
     pub fn is_full(&self, node: usize) -> bool {
-        self.ranks[node] == self.pivot_width
-    }
-
-    /// Byte offset of node `node`'s first coefficient row slot.
-    #[inline]
-    fn coeff_base(&self, node: usize) -> usize {
-        node * self.pivot_width * self.coeff_bytes()
-    }
-
-    /// Node `node`'s stored coefficient rows as one contiguous slab.
-    #[inline]
-    fn node_coeff(&self, node: usize) -> &[u8] {
-        let base = self.coeff_base(node);
-        &self.coeff[base..base + self.ranks[node] * self.coeff_bytes()]
-    }
-
-    /// Node `node`'s pivot table.
-    #[inline]
-    fn node_pivots(&self, node: usize) -> &[Option<usize>] {
-        &self.pivots[node * self.pivot_width..(node + 1) * self.pivot_width]
-    }
-
-    /// The reduced coefficient prefix of row `i` of node `node`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= rank(node)`.
-    #[must_use]
-    pub fn coeff_row(&self, node: usize, i: usize) -> &[u8] {
-        assert!(i < self.ranks[node], "row index out of bounds");
-        let kb = self.coeff_bytes();
-        let start = self.coeff_base(node) + i * kb;
-        &self.coeff[start..start + kb]
-    }
-
-    /// Iterates over node `node`'s stored rows' reduced coefficient
-    /// prefixes, in insertion order — the same order
-    /// [`EchelonBasis::coeff_rows`](crate::EchelonBasis::coeff_rows)
-    /// yields, which recoders rely on for identical coefficient draws.
-    /// Payloads are untouched.
-    pub fn coeff_rows(&self, node: usize) -> impl Iterator<Item = &[u8]> {
-        self.node_coeff(node).chunks_exact(self.coeff_bytes())
+        self.rank(node) == self.pivot_width
     }
 
     /// Materializes full row `i` of node `node` (coefficients + reduced
@@ -263,14 +593,9 @@ impl<F: SlabField> BasisArena<F> {
     ///
     /// Panics if `i >= rank(node)`.
     pub fn copy_packed_row_into(&self, node: usize, i: usize, out: &mut Vec<u8>) {
-        assert!(i < self.ranks[node], "row index out of bounds");
-        self.flush_node(node);
-        let pb = self.pay_bytes();
-        out.clear();
-        out.extend_from_slice(self.coeff_row(node, i));
-        let led = self.ledger.borrow();
-        let start = (node * self.pivot_width + i) * pb;
-        out.extend_from_slice(&led.pay[start..start + pb]);
+        let mut nb = self.nodes[node].borrow_mut();
+        assert!(i < nb.rank(), "row index out of bounds");
+        nb.copy_packed_row_into::<F>(self.dims(), i, out);
     }
 
     /// Accumulates `Σᵢ factors[i] · row_i` of node `node`'s stored rows
@@ -284,41 +609,14 @@ impl<F: SlabField> BasisArena<F> {
     /// Panics if `factors` is not exactly `rank(node)` packed symbols or
     /// `out` is not exactly [`BasisArena::row_bytes`] long.
     pub fn accumulate_rows_into(&self, node: usize, factors: &[u8], out: &mut [u8]) {
+        let mut nb = self.nodes[node].borrow_mut();
         assert_eq!(
             factors.len(),
-            self.ranks[node] * F::SYMBOL_BYTES,
+            nb.rank() * F::SYMBOL_BYTES,
             "one packed factor per stored row"
         );
         assert_eq!(out.len(), self.row_bytes(), "out must be one full row");
-        self.flush_node(node);
-        let (oc, op) = out.split_at_mut(self.coeff_bytes());
-        F::mul_add_multi(factors, self.node_coeff(node), oc);
-        let led = self.ledger.borrow();
-        let pb = self.pay_bytes();
-        let base = node * self.pivot_width * pb;
-        F::mul_add_multi(factors, &led.pay[base..base + self.ranks[node] * pb], op);
-    }
-
-    /// Replays node `node`'s pending elimination events onto its payload
-    /// rows. Idempotent; a no-op when nothing is pending or rows carry no
-    /// payload.
-    fn flush_node(&self, node: usize) {
-        let mut led = self.ledger.borrow_mut();
-        let rank = self.ranks[node];
-        let pb = self.pay_bytes();
-        if pb == 0 {
-            led.flushed[node] = rank;
-            return;
-        }
-        let k = self.pivot_width;
-        let sb = F::SYMBOL_BYTES;
-        let ArenaLedger { pay, log, flushed } = &mut *led;
-        let pay = &mut pay[node * k * pb..(node * k + rank) * pb];
-        let log = &log[node * k * k * sb..(node + 1) * k * k * sb];
-        while flushed[node] < rank {
-            core_ops::replay_event::<F>(pay, log, flushed[node], pb);
-            flushed[node] += 1;
-        }
+        nb.accumulate_rows_into::<F>(self.dims(), factors, out);
     }
 
     /// Inserts a packed row into node `node`'s basis, reducing its
@@ -339,43 +637,11 @@ impl<F: SlabField> BasisArena<F> {
             "packed row length mismatch: got {}, arena rows are {rb} bytes",
             row.len()
         );
-        let sb = F::SYMBOL_BYTES;
-        let k = self.pivot_width;
-        let kb = k * sb;
-        let rank = self.ranks[node];
-        let (crow, pay_in) = row.split_at_mut(kb);
-        let sc = self.scratch.get_mut();
-        let cbase = node * k * kb;
-        let Some(pivot_col) = core_ops::reduce_coeff::<F>(
-            &self.pivot_cols[node * k..node * k + rank],
-            &self.coeff[cbase..cbase + rank * kb],
-            crow,
-            &mut sc.factors,
-        ) else {
-            return Insertion::Redundant;
-        };
-        let (existing, slot) = self.coeff[cbase..cbase + (rank + 1) * kb].split_at_mut(rank * kb);
-        let pinv = core_ops::normalize_and_back_substitute::<F>(
-            existing,
-            rank,
-            pivot_col,
-            crow,
-            &mut sc.back,
-        );
-        slot.copy_from_slice(crow);
-        // Payload: raw memcpy now, elimination deferred to the log.
-        let led = self.ledger.get_mut();
-        let pb = (self.row_elems - k) * sb;
-        let pstart = (node * k + rank) * pb;
-        led.pay[pstart..pstart + pb].copy_from_slice(pay_in);
-        let lbase = node * k * k * sb + core_ops::log_offset::<F>(rank);
-        led.log[lbase..lbase + rank * sb].copy_from_slice(&sc.factors);
-        pinv.write_symbol(&mut led.log[lbase + rank * sb..]);
-        led.log[lbase + (rank + 1) * sb..lbase + (2 * rank + 1) * sb].copy_from_slice(&sc.back);
-        self.pivots[node * k + pivot_col] = Some(rank);
-        self.pivot_cols[node * k + rank] = pivot_col;
-        self.ranks[node] = rank + 1;
-        Insertion::Innovative
+        let dims = self.dims();
+        let BasisArena { nodes, scratch, .. } = self;
+        nodes[node]
+            .get_mut()
+            .insert_packed::<F>(dims, row, scratch.get_mut())
     }
 
     /// Borrowing variant of [`BasisArena::insert_packed_mut`]: copies the
@@ -407,16 +673,9 @@ impl<F: SlabField> BasisArena<F> {
         let kb = self.coeff_bytes();
         assert!(row.len() >= kb, "row shorter than the packed pivot prefix");
         let mut sc = self.scratch.borrow_mut();
-        let ArenaScratch { factors, probe, .. } = &mut *sc;
-        probe.clear();
-        probe.extend_from_slice(&row[..kb]);
-        core_ops::reduce_coeff::<F>(
-            &self.pivot_cols[node * self.pivot_width..node * self.pivot_width + self.ranks[node]],
-            self.node_coeff(node),
-            probe,
-            factors,
-        )
-        .is_some()
+        self.nodes[node]
+            .borrow()
+            .would_be_innovative::<F>(self.dims(), row, &mut sc)
     }
 
     /// Once node `node` is full, extracts its solution exactly as
@@ -426,31 +685,134 @@ impl<F: SlabField> BasisArena<F> {
     /// deferred payload elimination in one blocked replay first.
     #[must_use]
     pub fn solution(&self, node: usize) -> Option<Vec<Vec<F>>> {
-        if !self.is_full(node) {
-            return None;
-        }
-        self.flush_node(node);
-        let pb = self.pay_bytes();
-        let led = self.ledger.borrow();
-        let pivots = self.node_pivots(node);
-        let mut out = Vec::with_capacity(self.pivot_width);
-        for (c, pivot) in pivots.iter().enumerate() {
-            let ri = pivot.expect("full basis has all pivots");
-            debug_assert!(
-                (0..self.pivot_width).all(|j| {
-                    let v: F = core_ops::col::<F>(self.coeff_row(node, ri), j);
-                    if j == c {
-                        v == F::ONE
-                    } else {
-                        v.is_zero()
-                    }
-                }),
-                "fully reduced basis rows must be unit vectors"
+        self.nodes[node].borrow_mut().solution::<F>(self.dims())
+    }
+
+    /// Splits the arena into disjoint contiguous shards for parallel round
+    /// execution. `bounds` must partition `0..nodes()` in order:
+    /// `[(0, b₁), (b₁, b₂), …, (bₘ₋₁, nodes())]` (empty shards allowed).
+    /// Each shard owns fresh scratch buffers, so shards are independent
+    /// `Send` values; the borrow of `self` ends when they drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ordered contiguous partition.
+    pub fn shards_mut(&mut self, bounds: &[(usize, usize)]) -> Vec<BasisShard<'_, F>> {
+        let dims = self.dims();
+        let total = self.nodes.len();
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut rest = self.nodes.as_mut_slice();
+        let mut consumed = 0;
+        for &(start, end) in bounds {
+            assert!(
+                start == consumed && end >= start && end <= total,
+                "shard bounds must partition the arena contiguously"
             );
-            let start = (node * self.pivot_width + ri) * pb;
-            out.push(F::unpack(&led.pay[start..start + pb]));
+            let (cells, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            consumed = end;
+            out.push(BasisShard {
+                cells,
+                start,
+                dims,
+                scratch: ArenaScratch::new(),
+                _field: PhantomData,
+            });
         }
-        Some(out)
+        assert_eq!(consumed, total, "shard bounds must cover every node");
+        out
+    }
+}
+
+/// A disjoint contiguous slice of a [`BasisArena`], addressable by the
+/// original (global) node ids. `Send` by construction — per-node state is
+/// reached through `&mut [RefCell<…>]` + `get_mut`, no locks, no aliasing —
+/// so shards can run on worker threads while the arena itself stays single-
+/// threaded. Each shard carries its own scratch buffers.
+#[derive(Debug)]
+pub struct BasisShard<'a, F> {
+    cells: &'a mut [RefCell<NodeBasis>],
+    /// Global id of `cells[0]`.
+    start: usize,
+    dims: Dims,
+    scratch: ArenaScratch,
+    _field: PhantomData<F>,
+}
+
+impl<F: SlabField> BasisShard<'_, F> {
+    /// Global node ids covered: `start..start + len`.
+    #[must_use]
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.cells.len()
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, node: usize) -> &mut NodeBasis {
+        self.cells[node - self.start].get_mut()
+    }
+
+    /// Node `node`'s current rank (`node` is a global id inside
+    /// [`BasisShard::node_range`]).
+    #[must_use]
+    pub fn rank(&self, node: usize) -> usize {
+        self.cells[node - self.start].borrow().rank()
+    }
+
+    /// Shard-local [`BasisArena::insert_packed_mut`] — same elimination
+    /// code, same verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the shard or the row length mismatches.
+    pub fn insert_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Insertion {
+        let rb = (self.dims.kb) + (self.dims.pb);
+        assert_eq!(
+            row.len(),
+            rb,
+            "packed row length mismatch: got {}, arena rows are {rb} bytes",
+            row.len()
+        );
+        let dims = self.dims;
+        let BasisShard {
+            cells,
+            start,
+            scratch,
+            ..
+        } = self;
+        cells[node - *start]
+            .get_mut()
+            .insert_packed::<F>(dims, row, scratch)
+    }
+
+    /// Shard-local [`BasisArena::copy_packed_row_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the shard or `i >= rank(node)`.
+    pub fn copy_packed_row_into(&mut self, node: usize, i: usize, out: &mut Vec<u8>) {
+        let dims = self.dims;
+        let nb = self.cell_mut(node);
+        assert!(i < nb.rank(), "row index out of bounds");
+        nb.copy_packed_row_into::<F>(dims, i, out);
+    }
+
+    /// Shard-local [`BasisArena::accumulate_rows_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the shard, `factors` is not exactly
+    /// `rank(node)` packed symbols, or `out` is not one full row.
+    pub fn accumulate_rows_into(&mut self, node: usize, factors: &[u8], out: &mut [u8]) {
+        let dims = self.dims;
+        let rb = dims.kb + dims.pb;
+        let nb = self.cell_mut(node);
+        assert_eq!(
+            factors.len(),
+            nb.rank() * F::SYMBOL_BYTES,
+            "one packed factor per stored row"
+        );
+        assert_eq!(out.len(), rb, "out must be one full row");
+        nb.accumulate_rows_into::<F>(dims, factors, out);
     }
 }
 
@@ -468,14 +830,19 @@ mod tests {
         F::pack(&row)
     }
 
-    /// The load-bearing property: an arena node and a standalone
-    /// `EchelonBasis` fed the same stream stay bit-identical — verdicts,
-    /// ranks, stored rows, and solutions.
-    fn differential_vs_echelon<F: SlabField>(seed: u64, k: usize, tail: usize) {
+    /// The load-bearing property: an arena node (under either growth
+    /// policy) and a standalone `EchelonBasis` fed the same stream stay
+    /// bit-identical — verdicts, ranks, stored rows, and solutions.
+    fn differential_vs_echelon<F: SlabField>(
+        seed: u64,
+        k: usize,
+        tail: usize,
+        growth: ArenaGrowth,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let nodes = 3;
         let elems = k + tail;
-        let mut arena = BasisArena::<F>::new(nodes, k, elems);
+        let mut arena = BasisArena::<F>::with_growth(nodes, k, elems, growth);
         let mut bases: Vec<EchelonBasis<F>> = (0..nodes).map(|_| EchelonBasis::new(k)).collect();
         for _ in 0..6 * k {
             let node = rng.gen_range(0..nodes);
@@ -489,13 +856,13 @@ mod tests {
         let mut basis_row = Vec::new();
         for node in 0..nodes {
             assert_eq!(arena.is_full(node), bases[node].is_full());
-            let arena_headers: Vec<&[u8]> = arena.coeff_rows(node).collect();
-            let basis_headers: Vec<&[u8]> = bases[node].coeff_rows().collect();
-            assert_eq!(arena_headers, basis_headers, "coefficient rows diverged");
             for i in 0..arena.rank(node) {
                 arena.copy_packed_row_into(node, i, &mut arena_row);
                 bases[node].copy_packed_row_into(i, &mut basis_row);
                 assert_eq!(arena_row, basis_row, "materialized rows diverged");
+                let kb = arena.coeff_bytes();
+                let header: Vec<&[u8]> = bases[node].coeff_rows().collect();
+                assert_eq!(&arena_row[..kb], header[i], "coefficient rows diverged");
             }
             if arena.is_full(node) {
                 assert_eq!(arena.solution(node), bases[node].solution());
@@ -506,7 +873,8 @@ mod tests {
     #[test]
     fn arena_matches_echelon_gf256() {
         for seed in 0..4 {
-            differential_vs_echelon::<Gf256>(seed, 6, 3);
+            differential_vs_echelon::<Gf256>(seed, 6, 3, ArenaGrowth::Chunked);
+            differential_vs_echelon::<Gf256>(seed, 6, 3, ArenaGrowth::Preallocated);
         }
     }
 
@@ -515,8 +883,141 @@ mod tests {
         // GF(2) produces many redundant rows — exercises the annihilation
         // path heavily.
         for seed in 0..4 {
-            differential_vs_echelon::<Gf2>(seed, 8, 2);
+            differential_vs_echelon::<Gf2>(seed, 8, 2, ArenaGrowth::Chunked);
+            differential_vs_echelon::<Gf2>(seed, 8, 2, ArenaGrowth::Preallocated);
         }
+    }
+
+    /// The two growth policies are the same arena, byte for byte: only
+    /// capacity provisioning differs, never verdicts, rows or solutions.
+    #[test]
+    fn chunked_and_preallocated_are_bit_identical() {
+        let k = 7;
+        let r = 5;
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let mut chunked = BasisArena::<Gf256>::with_growth(2, k, k + r, ArenaGrowth::Chunked);
+            let mut prealloc =
+                BasisArena::<Gf256>::with_growth(2, k, k + r, ArenaGrowth::Preallocated);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for _ in 0..8 * k {
+                let node = rng.gen_range(0..2);
+                let row = random_row::<Gf256>(&mut rng, k + r);
+                assert_eq!(
+                    chunked.insert_packed_slice(node, &row),
+                    prealloc.insert_packed_slice(node, &row)
+                );
+                assert_eq!(chunked.rank(node), prealloc.rank(node));
+            }
+            for node in 0..2 {
+                for i in 0..chunked.rank(node) {
+                    chunked.copy_packed_row_into(node, i, &mut a);
+                    prealloc.copy_packed_row_into(node, i, &mut b);
+                    assert_eq!(a, b, "stored rows diverged across growth policies");
+                }
+                assert_eq!(chunked.solution(node), prealloc.solution(node));
+            }
+            // Chunked growth stays within the preallocated footprint.
+            assert!(chunked.allocated_bytes() <= prealloc.allocated_bytes());
+        }
+    }
+
+    /// Shards over disjoint node ranges replay the exact serial inserts.
+    #[test]
+    fn shards_match_serial_inserts() {
+        let k = 6;
+        let r = 3;
+        let nodes = 5;
+        let mut rng = StdRng::seed_from_u64(77);
+        let stream: Vec<(usize, Vec<u8>)> = (0..6 * k * nodes)
+            .map(|_| {
+                (
+                    rng.gen_range(0..nodes),
+                    random_row::<Gf256>(&mut rng, k + r),
+                )
+            })
+            .collect();
+        let mut serial = BasisArena::<Gf256>::new(nodes, k, k + r);
+        let serial_verdicts: Vec<Insertion> = stream
+            .iter()
+            .map(|(node, row)| serial.insert_packed_slice(*node, row))
+            .collect();
+        let mut sharded = BasisArena::<Gf256>::new(nodes, k, k + r);
+        {
+            let mut shards = sharded.shards_mut(&[(0, 2), (2, 2), (2, nodes)]);
+            let mut buf = Vec::new();
+            for ((node, row), want) in stream.iter().zip(&serial_verdicts) {
+                let shard = shards
+                    .iter_mut()
+                    .find(|s| s.node_range().contains(node))
+                    .expect("bounds cover every node");
+                buf.clear();
+                buf.extend_from_slice(row);
+                assert_eq!(shard.insert_packed_mut(*node, &mut buf), *want);
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for node in 0..nodes {
+            assert_eq!(serial.rank(node), sharded.rank(node));
+            for i in 0..serial.rank(node) {
+                serial.copy_packed_row_into(node, i, &mut a);
+                sharded.copy_packed_row_into(node, i, &mut b);
+                assert_eq!(a, b);
+            }
+            assert_eq!(serial.solution(node), sharded.solution(node));
+        }
+    }
+
+    #[test]
+    fn shard_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BasisShard<'_, Gf256>>();
+    }
+
+    #[test]
+    fn capacity_overflow_is_typed_and_reports_bytes() {
+        let err = BasisArena::<Gf256>::try_with_growth(usize::MAX / 4, 8, 16, ArenaGrowth::Chunked)
+            .expect_err("must overflow");
+        assert!(matches!(err, ArenaError::CapacityOverflow { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("bytes"), "byte count missing from: {msg}");
+        // The exact u128 byte count appears in the message.
+        let want = (usize::MAX as u128 / 4) * (8 * 16 + 64);
+        assert!(
+            msg.contains(&want.to_string()),
+            "computed count missing: {msg}"
+        );
+    }
+
+    #[test]
+    fn preallocated_inserts_do_not_grow_allocated_bytes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = 6;
+        let mut arena = BasisArena::<Gf256>::with_growth(2, k, k + 4, ArenaGrowth::Preallocated);
+        let before = arena.allocated_bytes();
+        while !arena.is_full(0) || !arena.is_full(1) {
+            let node = rng.gen_range(0..2);
+            let row = random_row::<Gf256>(&mut rng, k + 4);
+            arena.insert_packed_slice(node, &row);
+        }
+        assert_eq!(arena.allocated_bytes(), before);
+    }
+
+    #[test]
+    fn rank_only_arena_skips_payload_and_log_storage() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let k = 8;
+        let mut arena = BasisArena::<Gf256>::new(1, k, k);
+        while !arena.is_full(0) {
+            let row = random_row::<Gf256>(&mut rng, k);
+            arena.insert_packed_slice(0, &row);
+        }
+        // Coefficients only: k rows × k bytes, plus the pivot map. No pay,
+        // no log — nothing will ever replay them.
+        assert!(arena.allocated_bytes() < 4 * k * k + 256);
+        assert!(arena.solution(0).is_some());
     }
 
     #[test]
@@ -611,5 +1112,12 @@ mod tests {
     #[should_panic(expected = "pivot prefix")]
     fn tail_shorter_than_pivot_rejected_at_construction() {
         let _ = BasisArena::<Gf256>::new(1, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the arena contiguously")]
+    fn overlapping_shard_bounds_panic() {
+        let mut arena = BasisArena::<Gf256>::new(4, 2, 2);
+        let _ = arena.shards_mut(&[(0, 3), (2, 4)]);
     }
 }

@@ -10,9 +10,12 @@
 //! * [`EchelonBasis`] — an *incremental* row-echelon basis: the decoder hot
 //!   path that inserts one received equation at a time and reports whether
 //!   it was innovative (a "helpful message" in the paper's terminology),
-//! * [`BasisArena`] — a simulation-wide arena holding every node's basis in
-//!   one preallocated slab, for allocation-free insertion at large `n`
-//!   (same elimination code as [`EchelonBasis`], bit-identical results),
+//! * [`BasisArena`] — a simulation-wide arena holding every node's basis
+//!   with rank-bounded storage ([`ArenaGrowth::Chunked`]) or fully
+//!   preallocated rows for allocation-free insertion
+//!   ([`ArenaGrowth::Preallocated`]), splittable into `Send`
+//!   [`BasisShard`]s for parallel round execution (same elimination code
+//!   as [`EchelonBasis`], bit-identical results),
 //! * [`reference::ScalarBasis`] — the preserved scalar elimination path,
 //!   used by differential tests and the `bench_decoder_slab` baseline.
 //!
@@ -47,6 +50,6 @@ mod echelon;
 mod matrix;
 pub mod reference;
 
-pub use arena::BasisArena;
+pub use arena::{ArenaError, ArenaGrowth, BasisArena, BasisShard};
 pub use echelon::{BasisError, EchelonBasis, Insertion};
 pub use matrix::{Matrix, ShapeError};

@@ -18,7 +18,7 @@
 use std::cell::RefCell;
 
 use ag_gf::SlabField;
-use ag_linalg::{BasisArena, Insertion};
+use ag_linalg::{ArenaError, ArenaGrowth, BasisArena, BasisShard, Insertion};
 use rand::Rng;
 
 use crate::decoder::Reception;
@@ -61,19 +61,52 @@ pub struct DecoderArena<F> {
 
 impl<F: SlabField> DecoderArena<F> {
     /// An arena of `nodes` empty decoders for a generation of `k` messages
-    /// of `payload_len` symbols. Allocates all row storage up front
-    /// (zeroed; the OS commits pages lazily as ranks grow).
+    /// of `payload_len` symbols, with rank-bounded row storage
+    /// ([`ArenaGrowth::Chunked`]): each node's slabs grow in geometric
+    /// chunks as its rank grows, capped at the full-rank footprint.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
+    /// Panics if `k == 0` or on [`ArenaError`].
     #[must_use]
     pub fn new(nodes: usize, k: usize, payload_len: usize) -> Self {
+        Self::with_growth(nodes, k, payload_len, ArenaGrowth::default())
+    }
+
+    /// [`DecoderArena::new`] with an explicit [`ArenaGrowth`] policy.
+    /// [`ArenaGrowth::Preallocated`] reserves full-rank capacity per node
+    /// up front so receptions never allocate — the policy the counting-
+    /// allocator audits run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or on [`ArenaError`].
+    #[must_use]
+    pub fn with_growth(nodes: usize, k: usize, payload_len: usize, growth: ArenaGrowth) -> Self {
+        match Self::try_with_growth(nodes, k, payload_len, growth) {
+            Ok(arena) => arena,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: overflowing capacity math and refused
+    /// reservations surface as a typed [`ArenaError`] (with the computed
+    /// byte count) instead of a silent wrap or allocator abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (a shape bug, not a sizing condition).
+    pub fn try_with_growth(
+        nodes: usize,
+        k: usize,
+        payload_len: usize,
+        growth: ArenaGrowth,
+    ) -> Result<Self, ArenaError> {
         assert!(k > 0, "generation size must be positive");
-        DecoderArena {
+        Ok(DecoderArena {
             k,
             payload_len,
-            basis: BasisArena::new(nodes, k, k + payload_len),
+            basis: BasisArena::try_with_growth(nodes, k, k + payload_len, growth)?,
             innovative: vec![0; nodes],
             redundant: vec![0; nodes],
             scratch: Vec::with_capacity((k + payload_len) * F::SYMBOL_BYTES),
@@ -81,7 +114,15 @@ impl<F: SlabField> DecoderArena<F> {
             // ranks grow mid-run (the completion-run allocation audit
             // snapshots every round).
             emit_factors: RefCell::new(Vec::with_capacity(k * F::SYMBOL_BYTES)),
-        }
+        })
+    }
+
+    /// Heap bytes currently reserved by the per-node row storage — the
+    /// memory-model number (`allocated_bytes() / nodes()` is the measured
+    /// bytes/node the benches report).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.basis.allocated_bytes()
     }
 
     /// Number of decoders.
@@ -339,6 +380,168 @@ impl<F: SlabField> DecoderArena<F> {
     pub fn decode(&self, node: usize) -> Option<Vec<Vec<F>>> {
         self.basis.solution(node)
     }
+
+    /// Splits the arena into disjoint contiguous [`DecoderShard`]s for
+    /// parallel round execution. `bounds` must partition `0..nodes()` in
+    /// order (see [`BasisArena::shards_mut`]); each shard is `Send`,
+    /// addresses its nodes by global id, and owns its own emit scratch, so
+    /// shard receive/emit sequences are byte-identical to the serial
+    /// arena's under the same RNG streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ordered contiguous partition.
+    pub fn shards_mut(&mut self, bounds: &[(usize, usize)]) -> Vec<DecoderShard<'_, F>> {
+        let row_bytes = self.row_bytes();
+        let basis_shards = self.basis.shards_mut(bounds);
+        let mut innovative = self.innovative.as_mut_slice();
+        let mut redundant = self.redundant.as_mut_slice();
+        let mut out = Vec::with_capacity(bounds.len());
+        for basis in basis_shards {
+            let len = basis.node_range().len();
+            let (inno, irest) = innovative.split_at_mut(len);
+            let (redu, rrest) = redundant.split_at_mut(len);
+            innovative = irest;
+            redundant = rrest;
+            out.push(DecoderShard {
+                start: basis.node_range().start,
+                basis,
+                innovative: inno,
+                redundant: redu,
+                row_bytes,
+                emit_factors: Vec::new(),
+            });
+        }
+        out
+    }
+}
+
+/// A disjoint contiguous slice of a [`DecoderArena`]: the same
+/// receive/emit entry points, addressed by global node ids, `Send` by
+/// construction (see [`BasisShard`]). Emits draw coefficients in exactly
+/// the serial order, so a shard fed the same per-message RNG streams
+/// produces byte-identical traffic.
+#[derive(Debug)]
+pub struct DecoderShard<'a, F> {
+    basis: BasisShard<'a, F>,
+    /// Global id of the first node in this shard.
+    start: usize,
+    innovative: &'a mut [u64],
+    redundant: &'a mut [u64],
+    row_bytes: usize,
+    /// Shard-local packed recoding-factor buffer.
+    emit_factors: Vec<u8>,
+}
+
+impl<F: SlabField> DecoderShard<'_, F> {
+    /// Global node ids covered by this shard.
+    #[must_use]
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        self.basis.node_range()
+    }
+
+    /// Node `node`'s current rank (`node` is a global id in
+    /// [`DecoderShard::node_range`]).
+    #[must_use]
+    pub fn rank(&self, node: usize) -> usize {
+        self.basis.rank(node)
+    }
+
+    /// Shard-local [`DecoderArena::receive_packed_mut`]: same verdicts,
+    /// same counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the shard or the row length mismatches.
+    pub fn receive_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Reception {
+        assert_eq!(
+            row.len(),
+            self.row_bytes,
+            "packed row length mismatch: got {}, arena expects {}",
+            row.len(),
+            self.row_bytes
+        );
+        match self.basis.insert_packed_mut(node, row) {
+            Insertion::Innovative => {
+                self.innovative[node - self.start] += 1;
+                Reception::Innovative
+            }
+            Insertion::Redundant => {
+                self.redundant[node - self.start] += 1;
+                Reception::Redundant
+            }
+        }
+    }
+
+    /// Shard-local [`DecoderArena::emit_packed_row_into`] — one uniform
+    /// draw per stored row, in insertion order, exactly the serial
+    /// sequence.
+    pub fn emit_packed_row_into<R: Rng + ?Sized>(
+        &mut self,
+        node: usize,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        out.clear();
+        let rank = self.basis.rank(node);
+        if rank == 0 {
+            return false;
+        }
+        out.resize(self.row_bytes, 0);
+        let mut factors = std::mem::take(&mut self.emit_factors);
+        factors.clear();
+        factors.resize(rank * F::SYMBOL_BYTES, 0);
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
+            F::random(rng).write_symbol(slot);
+        }
+        self.basis.accumulate_rows_into(node, &factors, out);
+        self.emit_factors = factors;
+        true
+    }
+
+    /// Shard-local [`DecoderArena::emit_sparse_packed_row_into`] — same
+    /// draw sequence as the serial sparse emit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
+        &mut self,
+        node: usize,
+        density: f64,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "coding density must be in (0, 1]"
+        );
+        out.clear();
+        let rank = self.basis.rank(node);
+        if rank == 0 {
+            return false;
+        }
+        let mut factors = std::mem::take(&mut self.emit_factors);
+        factors.clear();
+        factors.resize(rank * F::SYMBOL_BYTES, 0);
+        let mut picked_any = false;
+        for slot in factors.chunks_exact_mut(F::SYMBOL_BYTES) {
+            if !rng.gen_bool(density) {
+                continue;
+            }
+            picked_any = true;
+            F::random_nonzero(rng).write_symbol(slot);
+        }
+        if picked_any {
+            out.resize(self.row_bytes, 0);
+            self.basis.accumulate_rows_into(node, &factors, out);
+        } else {
+            self.basis
+                .copy_packed_row_into(node, rng.gen_range(0..rank), out);
+        }
+        self.emit_factors = factors;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -463,5 +666,92 @@ mod tests {
     fn shape_mismatch_panics() {
         let mut arena = DecoderArena::<Gf256>::new(1, 3, 1);
         let _ = arena.receive_packed_slice(0, &[1, 2]);
+    }
+
+    /// Shard receive/emit must be byte-identical to the serial arena under
+    /// the same RNG streams — the property the sharded engine rests on.
+    #[test]
+    fn shards_track_serial_arena_under_shared_rng() {
+        let mut setup_rng = StdRng::seed_from_u64(21);
+        let k = 6;
+        let r = 3;
+        let nodes = 5;
+        let g = Generation::<Gf256>::random(k, r, &mut setup_rng);
+        let mut serial = DecoderArena::<Gf256>::new(nodes, k, r);
+        let mut sharded = DecoderArena::<Gf256>::new(nodes, k, r);
+        for v in 0..nodes {
+            serial.seed_message(v, &g, v % k);
+            sharded.seed_message(v, &g, v % k);
+        }
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let mut traffic = StdRng::seed_from_u64(5);
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        {
+            let mut shards = sharded.shards_mut(&[(0, 2), (2, nodes)]);
+            for _ in 0..300 {
+                let from = traffic.gen_range(0..nodes);
+                let to = (from + 1 + traffic.gen_range(0..nodes - 1)) % nodes;
+                let density = if traffic.gen_bool(0.5) { 1.0 } else { 0.3 };
+                let a = if density < 1.0 {
+                    serial.emit_sparse_packed_row_into(from, density, &mut rng_a, &mut buf_a)
+                } else {
+                    serial.emit_packed_row_into(from, &mut rng_a, &mut buf_a)
+                };
+                let sf = shards
+                    .iter_mut()
+                    .position(|s| s.node_range().contains(&from))
+                    .unwrap();
+                let b = if density < 1.0 {
+                    shards[sf].emit_sparse_packed_row_into(from, density, &mut rng_b, &mut buf_b)
+                } else {
+                    shards[sf].emit_packed_row_into(from, &mut rng_b, &mut buf_b)
+                };
+                assert_eq!(a, b, "emit disagreement");
+                assert_eq!(buf_a, buf_b, "emitted bytes diverged");
+                if !a {
+                    continue;
+                }
+                let want = serial.receive_packed_mut(to, &mut buf_a);
+                let st = shards
+                    .iter_mut()
+                    .position(|s| s.node_range().contains(&to))
+                    .unwrap();
+                let got = shards[st].receive_packed_mut(to, &mut buf_b);
+                assert_eq!(got, want, "verdict diverged");
+            }
+        }
+        for v in 0..nodes {
+            assert_eq!(serial.rank(v), sharded.rank(v));
+            assert_eq!(serial.innovative_count(v), sharded.innovative_count(v));
+            assert_eq!(serial.redundant_count(v), sharded.redundant_count(v));
+            assert_eq!(serial.decode(v), sharded.decode(v));
+        }
+    }
+
+    /// Growth policy is invisible to decoder semantics; chunked stays
+    /// within the preallocated footprint.
+    #[test]
+    fn growth_policies_decode_identically() {
+        use ag_linalg::ArenaGrowth;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = Generation::<Gf256>::random(8, 4, &mut rng);
+        let mut chunked = DecoderArena::<Gf256>::with_growth(2, 8, 4, ArenaGrowth::Chunked);
+        let mut prealloc = DecoderArena::<Gf256>::with_growth(2, 8, 4, ArenaGrowth::Preallocated);
+        chunked.seed_all_messages(0, &g);
+        prealloc.seed_all_messages(0, &g);
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let mut buf = Vec::new();
+        while !chunked.is_complete(1) {
+            assert!(chunked.emit_packed_row_into(0, &mut rng_a, &mut buf));
+            chunked.receive_packed_slice(1, &buf);
+            assert!(prealloc.emit_packed_row_into(0, &mut rng_b, &mut buf));
+            prealloc.receive_packed_slice(1, &buf);
+        }
+        assert_eq!(chunked.decode(1), prealloc.decode(1));
+        assert_eq!(chunked.decode(1).unwrap(), g.messages());
+        assert!(chunked.allocated_bytes() <= prealloc.allocated_bytes());
     }
 }

@@ -51,7 +51,8 @@ mod packet;
 mod pool;
 mod recoder;
 
-pub use arena::DecoderArena;
+pub use ag_linalg::{ArenaError, ArenaGrowth};
+pub use arena::{DecoderArena, DecoderShard};
 pub use block::{BlockDecoder, BlockEncoder};
 pub use decoder::{CodingError, Decoder, Reception};
 pub use generation::{Generation, GenerationError};

@@ -118,8 +118,8 @@ impl EngineConfig {
 
 /// Per-round observation hook, monomorphized so the no-observer path
 /// compiles to nothing (no closure call, no round bookkeeping between
-/// asynchronous round boundaries).
-trait Observe<P: Protocol> {
+/// asynchronous round boundaries). Shared with [`crate::ShardedEngine`].
+pub(crate) trait Observe<P: Protocol> {
     /// Whether observations are wanted at all. `false` lets the loop skip
     /// observation-only work entirely.
     const ENABLED: bool;
@@ -127,7 +127,7 @@ trait Observe<P: Protocol> {
 }
 
 /// The [`Engine::run_batch`] hot path: observations statically disabled.
-struct NoObserver;
+pub(crate) struct NoObserver;
 
 impl<P: Protocol> Observe<P> for NoObserver {
     const ENABLED: bool = false;
@@ -136,7 +136,7 @@ impl<P: Protocol> Observe<P> for NoObserver {
 }
 
 /// Adapter for the `run_observed` closure.
-struct FnObserver<F>(F);
+pub(crate) struct FnObserver<F>(pub(crate) F);
 
 impl<P: Protocol, F: FnMut(u64, &P)> Observe<P> for FnObserver<F> {
     const ENABLED: bool = true;
@@ -264,7 +264,11 @@ impl Engine {
         self.run_inner(proto, FnObserver(observer))
     }
 
-    fn run_inner<P: Protocol, O: Observe<P>>(&mut self, proto: &mut P, mut obs: O) -> RunStats {
+    pub(crate) fn run_inner<P: Protocol, O: Observe<P>>(
+        &mut self,
+        proto: &mut P,
+        mut obs: O,
+    ) -> RunStats {
         let n = proto.num_nodes();
         assert!(n > 0, "protocol must have at least one node");
         let mut stats = RunStats::new(n);

@@ -36,14 +36,23 @@
 //! so degree changes under churn never skip or repeat neighbors; static
 //! graphs implement the view with no-ops and keep their exact
 //! pre-abstraction behavior.
+//!
+//! For synchronous runs at very large n, [`ShardedEngine`] partitions the
+//! node set across rayon workers and composes shards in parallel behind a
+//! deterministic slot-ordered merge: protocols opt in via
+//! [`ShardableProtocol`], and the result is a pure function of
+//! `(seed, round, slot)` — bit-identical at every shard count and thread
+//! count (see the module docs in `sharded`).
 
 mod comm;
 mod engine;
 mod protocol;
 pub mod reference;
+mod sharded;
 mod stats;
 
 pub use comm::{CommModel, PartnerSelector};
 pub use engine::{Engine, EngineConfig, TimeModel};
 pub use protocol::{Action, ContactIntent, Protocol};
+pub use sharded::{ProtocolShard, ShardableProtocol, ShardedEngine};
 pub use stats::{RunStats, TrajectoryHash};

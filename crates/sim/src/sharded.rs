@@ -1,0 +1,838 @@
+//! The sharded synchronous round loop: compose and deliver in parallel,
+//! merge deterministically.
+//!
+//! # Determinism contract
+//!
+//! [`ShardedEngine`] partitions the node set into `num_shards` contiguous
+//! shards and runs the two data-parallel phases of a synchronous round —
+//! message *composition* (grouped by sender shard) and message *delivery*
+//! (grouped by receiver shard) — on rayon workers. Everything that orders
+//! the round is a **pure function of `(seed, round, slot)`** and never of
+//! scheduling:
+//!
+//! * Wakeups, loss draws, dedup resolution and the delivery order run
+//!   serially on the main engine RNG, exactly like [`crate::Engine`].
+//! * Every composition *slot* (slot `2v` = the forward message of node
+//!   `v`'s intent, slot `2v + 1` = the backward message) gets its own
+//!   `StdRng` seeded `splitmix64(round_key ^ slot · GOLDEN_GAMMA)` with
+//!   `round_key = splitmix64(seed ^ round · GOLDEN_GAMMA)`, so a
+//!   message's randomness does not depend on which worker composed it, or
+//!   on how many workers exist.
+//! * The merge replays the slots in ascending order, which is precisely
+//!   the serial engine's compose order, so the same-sender dedup rule
+//!   picks the same survivor it would pick serially.
+//!
+//! Consequently the output is **bit-identical across shard counts and
+//! thread counts**: `num_shards = 1` is the serial reference, and any
+//! `num_shards ≥ 2` under any `RAYON_NUM_THREADS` reproduces it exactly.
+//! (The per-slot RNG discipline means the *stream* differs from
+//! [`crate::Engine`]'s single interleaved RNG, whose compose draw counts
+//! are data-dependent and therefore unparallelizable; protocols that draw
+//! no compose/wakeup randomness — like the relay in the tests below —
+//! produce identical stats under both engines.)
+//!
+//! Protocols opt in by implementing [`ShardableProtocol`]: splitting their
+//! per-node state into [`ProtocolShard`]s that are `Send` and own disjoint
+//! contiguous node ranges. Message buffers flow out of shards through
+//! [`ProtocolShard::into_residue`] and back into the protocol through
+//! [`Protocol::discard`], so pooled-buffer protocols stay balanced at
+//! every round boundary.
+//!
+//! The asynchronous time model wakes one node per timeslot with immediate
+//! delivery — inherently sequential — so [`ShardedEngine`] delegates those
+//! runs to the serial [`crate::Engine`] unchanged.
+
+use ag_graph::seedmix::{splitmix64, GOLDEN_GAMMA};
+use ag_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::engine::{Engine, EngineConfig, FnObserver, NoObserver, Observe, TimeModel};
+use crate::protocol::{ContactIntent, Protocol};
+use crate::stats::RunStats;
+
+/// One shard's view of a [`ShardableProtocol`]: exclusive ownership of a
+/// contiguous node range, movable to a worker thread.
+///
+/// All node ids passed to shard methods are **global**; the engine
+/// guarantees `from` lies in this shard's range for [`ProtocolShard::compose`]
+/// and `to` lies in it for [`ProtocolShard::deliver`].
+pub trait ProtocolShard: Send {
+    /// Message type, matching the parent protocol's.
+    type Msg: Send;
+
+    /// Composes the message `from → to` from pre-round data state.
+    /// `rng` is the slot's private RNG — fresh per `(seed, round, slot)`.
+    fn compose(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tag: u32,
+        rng: &mut StdRng,
+    ) -> Option<Self::Msg>;
+
+    /// Delivers a message into `to`'s data state. Spent message buffers
+    /// that should return to a pool go into the shard's residue.
+    fn deliver(&mut self, from: NodeId, to: NodeId, tag: u32, msg: Self::Msg);
+
+    /// Reclaims a message this shard decided not to apply (e.g. a wrapper
+    /// suppressing delivery to a crashed node): the message joins the
+    /// shard's residue so its buffer still flows back to the protocol.
+    /// The engine itself never calls this — undelivered messages on the
+    /// main thread go through [`Protocol::discard`] directly.
+    fn discard(&mut self, msg: Self::Msg);
+
+    /// Tears the shard down, returning every message buffer it still
+    /// holds (unconsumed emit stash, spent delivery buffers). The engine
+    /// hands each one back through [`Protocol::discard`] on the main
+    /// thread, where pooled protocols recycle it.
+    fn into_residue(self) -> Vec<Self::Msg>;
+}
+
+/// A [`Protocol`] whose synchronous round can be sharded.
+pub trait ShardableProtocol: Protocol<Msg: Send> {
+    /// The shard type borrowing from `self`.
+    type Shard<'a>: ProtocolShard<Msg = Self::Msg>
+    where
+        Self: 'a;
+
+    /// Splits the protocol into shards over the given contiguous node
+    /// ranges (`bounds[s] = (start, end)`, covering `0..n` in order).
+    /// `send_counts[s]` is the number of messages shard `s` will be asked
+    /// to compose this phase — pooled protocols pre-draw that many
+    /// buffers from their pool into the shard (0 for the delivery phase).
+    fn make_shards(
+        &mut self,
+        bounds: &[(usize, usize)],
+        send_counts: &[usize],
+    ) -> Vec<Self::Shard<'_>>;
+}
+
+/// One routed message: `(from, to, tag, msg)`.
+type Delivery<M> = (NodeId, NodeId, u32, M);
+/// A compose shard's return: slot-indexed results plus pooled-buffer
+/// residue for the serial merge to discard.
+type ComposeResult<M> = (Vec<(usize, Option<M>)>, Vec<M>);
+/// A delivery shard's return: the drained input list (handed back so its
+/// capacity is reused) plus residue.
+type DeliverResult<M> = (Vec<Delivery<M>>, Vec<M>);
+
+/// Per-round scratch for the sharded loop, reused across rounds.
+struct ShardScratch<M> {
+    /// Start-of-round contact intents, one slot per node.
+    intents: Vec<Option<ContactIntent>>,
+    /// Slot plan: `slots[2v]` = forward of `v`'s intent, `slots[2v+1]` =
+    /// backward, as `(from, to, tag)`.
+    slots: Vec<Option<(NodeId, NodeId, u32)>>,
+    /// Composed messages, indexed by slot.
+    composed: Vec<Option<M>>,
+    /// Post-merge outbox awaiting loss + delivery partitioning.
+    outbox: Vec<Delivery<M>>,
+    /// Same-sender dedup state (see [`crate::Engine`]).
+    fwd_live: Vec<bool>,
+    bwd_live: Vec<bool>,
+    /// Per-sender-shard compose worklists (slot indices, ascending).
+    worklists: Vec<Vec<usize>>,
+    /// Per-receiver-shard delivery lists, in outbox (slot) order.
+    delivery: Vec<Vec<Delivery<M>>>,
+    /// `node_shard[v]`: the shard owning node `v`.
+    node_shard: Vec<usize>,
+}
+
+impl<M> ShardScratch<M> {
+    fn new(n: usize, bounds: &[(usize, usize)]) -> Self {
+        let mut node_shard = vec![0; n];
+        for (s, &(start, end)) in bounds.iter().enumerate() {
+            for owner in &mut node_shard[start..end] {
+                *owner = s;
+            }
+        }
+        ShardScratch {
+            intents: Vec::with_capacity(n),
+            slots: Vec::with_capacity(2 * n),
+            composed: Vec::with_capacity(2 * n),
+            outbox: Vec::with_capacity(2 * n),
+            fwd_live: vec![false; n],
+            bwd_live: vec![false; n],
+            worklists: bounds.iter().map(|_| Vec::new()).collect(),
+            delivery: bounds.iter().map(|_| Vec::new()).collect(),
+            node_shard,
+        }
+    }
+}
+
+/// Drives a [`ShardableProtocol`] with the sharded synchronous round loop.
+///
+/// Construction mirrors [`Engine`]; `num_shards` picks the partition
+/// width (clamped to `[1, n]` at run time). Output is a pure function of
+/// the config — see the module docs for the determinism contract.
+///
+/// # Examples
+///
+/// ```
+/// use ag_sim::{EngineConfig, ShardedEngine};
+/// # use ag_sim::{ContactIntent, Protocol, ProtocolShard, ShardableProtocol};
+/// # use ag_graph::NodeId;
+/// # use rand::rngs::StdRng;
+/// # struct Noop;
+/// # struct NoopShard;
+/// # impl ProtocolShard for NoopShard {
+/// #     type Msg = ();
+/// #     fn compose(&mut self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> { None }
+/// #     fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _: ()) {}
+/// #     fn discard(&mut self, _: ()) {}
+/// #     fn into_residue(self) -> Vec<()> { Vec::new() }
+/// # }
+/// # impl Protocol for Noop {
+/// #     type Msg = ();
+/// #     fn num_nodes(&self) -> usize { 2 }
+/// #     fn on_wakeup(&mut self, _: NodeId, _: &mut StdRng) -> Option<ContactIntent> { None }
+/// #     fn compose(&self, _: NodeId, _: NodeId, _: u32, _: &mut StdRng) -> Option<()> { None }
+/// #     fn deliver(&mut self, _: NodeId, _: NodeId, _: u32, _: ()) {}
+/// #     fn node_complete(&self, _: NodeId) -> bool { true }
+/// # }
+/// # impl ShardableProtocol for Noop {
+/// #     type Shard<'a> = NoopShard;
+/// #     fn make_shards(&mut self, bounds: &[(usize, usize)], _: &[usize]) -> Vec<NoopShard> {
+/// #         bounds.iter().map(|_| NoopShard).collect()
+/// #     }
+/// # }
+/// let stats = ShardedEngine::new(EngineConfig::synchronous(42), 4).run(&mut Noop);
+/// assert!(stats.completed);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+    num_shards: usize,
+    rng: StdRng,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine with its own seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "shard count must be positive");
+        ShardedEngine {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            num_shards,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The configured shard count (before clamping to the node count).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Runs the protocol to completion or budget; returns statistics.
+    pub fn run<P: ShardableProtocol>(&mut self, proto: &mut P) -> RunStats {
+        self.run_batch(proto)
+    }
+
+    /// The no-trace hot path, mirroring [`Engine::run_batch`].
+    pub fn run_batch<P: ShardableProtocol>(&mut self, proto: &mut P) -> RunStats {
+        self.run_inner(proto, NoObserver)
+    }
+
+    /// Like [`ShardedEngine::run`] but invokes `observer(round, proto)`
+    /// after every completed round, mirroring [`Engine::run_observed`].
+    pub fn run_observed<P: ShardableProtocol>(
+        &mut self,
+        proto: &mut P,
+        observer: impl FnMut(u64, &P),
+    ) -> RunStats {
+        self.run_inner(proto, FnObserver(observer))
+    }
+
+    fn run_inner<P: ShardableProtocol, O: Observe<P>>(
+        &mut self,
+        proto: &mut P,
+        mut obs: O,
+    ) -> RunStats {
+        if self.config.time_model == TimeModel::Asynchronous {
+            // One wakeup per timeslot with immediate delivery is
+            // inherently sequential: delegate to the serial engine
+            // (bit-identical to running it directly).
+            return Engine::new(self.config).run_inner(proto, obs);
+        }
+        let n = proto.num_nodes();
+        assert!(n > 0, "protocol must have at least one node");
+        let mut stats = RunStats::new(n);
+        let mut incomplete = n;
+        for v in 0..n {
+            if proto.node_complete(v) {
+                stats.node_completion_rounds[v] = Some(0);
+                incomplete -= 1;
+            }
+        }
+        if incomplete == 0 {
+            stats.completed = true;
+            return stats;
+        }
+        let mut pending: Vec<NodeId> = (0..n)
+            .filter(|&v| stats.node_completion_rounds[v].is_none())
+            .collect();
+        let shards = self.num_shards.min(n);
+        let bounds: Vec<(usize, usize)> = (0..shards)
+            .map(|s| (s * n / shards, (s + 1) * n / shards))
+            .collect();
+        let mut scratch = ShardScratch::new(n, &bounds);
+        while stats.rounds < self.config.max_rounds {
+            self.sync_round(proto, &mut stats, &mut scratch, &mut pending, &bounds);
+            if O::ENABLED {
+                obs.observe(stats.rounds, proto);
+            }
+            if pending.is_empty() {
+                stats.completed = true;
+                break;
+            }
+        }
+        stats
+    }
+
+    /// One sharded synchronous round. Semantically identical to
+    /// [`Engine`]'s round (wakeups → compose from pre-round state →
+    /// dedup/loss → deliver), with compose and deliver fanned out across
+    /// shards and merged back in slot order.
+    fn sync_round<P: ShardableProtocol>(
+        &mut self,
+        proto: &mut P,
+        stats: &mut RunStats,
+        scratch: &mut ShardScratch<P::Msg>,
+        pending: &mut Vec<NodeId>,
+        bounds: &[(usize, usize)],
+    ) {
+        let n = proto.num_nodes();
+        let round = stats.rounds + 1;
+        let ShardScratch {
+            intents,
+            slots,
+            composed,
+            outbox,
+            fwd_live,
+            bwd_live,
+            worklists,
+            delivery,
+            node_shard,
+        } = scratch;
+        // 0. Round-start hook (epoch advance for dynamic topologies).
+        proto.on_round_start(round);
+        // 1. Every node wakes and declares its contact — serial, on the
+        //    main engine RNG, in node order (the wakeup stream must not
+        //    depend on sharding).
+        intents.clear();
+        intents.extend((0..n).map(|v| proto.on_wakeup(v, &mut self.rng)));
+        // 2. Slot plan: slot 2v is the forward message of v's intent,
+        //    slot 2v+1 the backward one. Ascending slot order is exactly
+        //    the serial engine's compose order.
+        slots.clear();
+        slots.resize(2 * n, None);
+        for (v, intent) in intents.iter().enumerate() {
+            let Some(intent) = intent else { continue };
+            let u = intent.partner;
+            debug_assert_ne!(u, v, "self-contact");
+            if intent.action.sends_forward() {
+                slots[2 * v] = Some((v, u, intent.tag));
+            }
+            if intent.action.sends_backward() {
+                slots[2 * v + 1] = Some((u, v, intent.tag));
+            }
+        }
+        // 3. Group slots into per-sender-shard worklists (ascending
+        //    within each shard).
+        for wl in worklists.iter_mut() {
+            wl.clear();
+        }
+        for (slot, plan) in slots.iter().enumerate() {
+            if let Some((from, _, _)) = plan {
+                worklists[node_shard[*from]].push(slot);
+            }
+        }
+        let send_counts: Vec<usize> = worklists.iter().map(Vec::len).collect();
+        // 4. Parallel compose: each shard walks its worklist; every slot
+        //    draws from its own (seed, round, slot)-keyed RNG, so the
+        //    message content is independent of scheduling.
+        let round_key = splitmix64(self.config.seed ^ round.wrapping_mul(GOLDEN_GAMMA));
+        let plan: &[Option<(NodeId, NodeId, u32)>] = slots;
+        let jobs: Vec<(P::Shard<'_>, &[usize])> = proto
+            .make_shards(bounds, &send_counts)
+            .into_iter()
+            .zip(worklists.iter().map(Vec::as_slice))
+            .collect();
+        let results: Vec<ComposeResult<P::Msg>> = jobs
+            .into_par_iter()
+            .map(|(mut shard, worklist)| {
+                let mut out = Vec::with_capacity(worklist.len());
+                for &slot in worklist {
+                    let (from, to, tag) = plan[slot].expect("worklist slots are planned");
+                    let mut slot_rng = StdRng::seed_from_u64(splitmix64(
+                        round_key ^ (slot as u64).wrapping_mul(GOLDEN_GAMMA),
+                    ));
+                    out.push((slot, shard.compose(from, to, tag, &mut slot_rng)));
+                }
+                (out, shard.into_residue())
+            })
+            .collect();
+        composed.clear();
+        composed.resize_with(2 * n, || None);
+        for (outs, residue) in results {
+            for (slot, msg) in outs {
+                composed[slot] = msg;
+            }
+            for msg in residue {
+                proto.discard(msg);
+            }
+        }
+        // 5. Merge in slot order, replicating the serial engine's
+        //    same-sender dedup exactly (see Engine::sync_round: a pair
+        //    (from, to) occurs at most twice, and "keep the first" is two
+        //    O(1) intent-table lookups).
+        let dedup = self.config.dedup_same_sender;
+        if dedup {
+            fwd_live.iter_mut().for_each(|b| *b = false);
+            bwd_live.iter_mut().for_each(|b| *b = false);
+        }
+        for v in 0..n {
+            let Some(intent) = intents[v] else { continue };
+            let u = intent.partner;
+            if intent.action.sends_forward() {
+                match composed[2 * v].take() {
+                    Some(m) => {
+                        let dup = dedup
+                            && u < v
+                            && bwd_live[u]
+                            && matches!(intents[u], Some(i) if i.partner == v);
+                        if dup {
+                            stats.dedup_dropped += 1;
+                            proto.discard(m);
+                        } else {
+                            if dedup {
+                                fwd_live[v] = true;
+                            }
+                            outbox.push((v, u, intent.tag, m));
+                        }
+                    }
+                    None => stats.empty_sends += 1,
+                }
+            }
+            if intent.action.sends_backward() {
+                match composed[2 * v + 1].take() {
+                    Some(m) => {
+                        let dup = dedup
+                            && u < v
+                            && fwd_live[u]
+                            && matches!(intents[u], Some(i) if i.partner == v);
+                        if dup {
+                            stats.dedup_dropped += 1;
+                            proto.discard(m);
+                        } else {
+                            if dedup {
+                                bwd_live[v] = true;
+                            }
+                            outbox.push((u, v, intent.tag, m));
+                        }
+                    }
+                    None => stats.empty_sends += 1,
+                }
+            }
+        }
+        // 6. Loss injection on the main RNG in outbox (slot) order, then
+        //    partition survivors by receiver shard.
+        let lossy = self.config.loss_prob > 0.0;
+        for dl in delivery.iter_mut() {
+            dl.clear();
+        }
+        for (from, to, tag, msg) in outbox.drain(..) {
+            if lossy && self.rng.gen_bool(self.config.loss_prob) {
+                stats.lost += 1;
+                proto.discard(msg);
+                continue;
+            }
+            stats.messages_delivered += 1;
+            delivery[node_shard[to]].push((from, to, tag, msg));
+        }
+        // 7. Parallel delivery, each shard in its list's (slot) order.
+        let zero_counts = vec![0usize; bounds.len()];
+        let jobs: Vec<_> = proto
+            .make_shards(bounds, &zero_counts)
+            .into_iter()
+            .zip(delivery.iter_mut().map(std::mem::take))
+            .collect();
+        let results: Vec<DeliverResult<P::Msg>> = jobs
+            .into_par_iter()
+            .map(|(mut shard, mut list)| {
+                for (from, to, tag, msg) in list.drain(..) {
+                    shard.deliver(from, to, tag, msg);
+                }
+                (list, shard.into_residue())
+            })
+            .collect();
+        for (s, (list, residue)) in results.into_iter().enumerate() {
+            // Hand the (drained) list back so its capacity is reused.
+            delivery[s] = list;
+            for msg in residue {
+                proto.discard(msg);
+            }
+        }
+        stats.rounds += 1;
+        stats.timeslots += n as u64;
+        // 8. Completion sweep over the still-incomplete nodes only.
+        let round = stats.rounds;
+        pending.retain(|&v| {
+            if proto.node_complete(v) {
+                stats.node_completion_rounds[v] = Some(round);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Action;
+
+    /// The engine tests' relay ring, made shardable: node v pushes its
+    /// value to v+1 mod n, receivers take the max. Draws no randomness,
+    /// so sharded stats must be bit-identical to the serial [`Engine`].
+    struct Relay {
+        values: Vec<u8>,
+    }
+
+    impl Relay {
+        fn new(n: usize) -> Self {
+            let mut values = vec![0; n];
+            values[0] = 1;
+            Relay { values }
+        }
+    }
+
+    impl Protocol for Relay {
+        type Msg = u8;
+
+        fn num_nodes(&self) -> usize {
+            self.values.len()
+        }
+
+        fn on_wakeup(&mut self, node: NodeId, _rng: &mut StdRng) -> Option<ContactIntent> {
+            Some(ContactIntent {
+                partner: (node + 1) % self.values.len(),
+                action: Action::Push,
+                tag: 0,
+            })
+        }
+
+        fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, _rng: &mut StdRng) -> Option<u8> {
+            Some(self.values[from])
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: u8) {
+            self.values[to] = self.values[to].max(msg);
+        }
+
+        fn node_complete(&self, node: NodeId) -> bool {
+            self.values[node] == 1
+        }
+    }
+
+    struct RelayShard<'a> {
+        values: &'a mut [u8],
+        start: usize,
+    }
+
+    impl ProtocolShard for RelayShard<'_> {
+        type Msg = u8;
+
+        fn compose(
+            &mut self,
+            from: NodeId,
+            _to: NodeId,
+            _tag: u32,
+            _rng: &mut StdRng,
+        ) -> Option<u8> {
+            Some(self.values[from - self.start])
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: u8) {
+            let v = &mut self.values[to - self.start];
+            *v = (*v).max(msg);
+        }
+
+        fn discard(&mut self, _msg: u8) {}
+
+        fn into_residue(self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    impl ShardableProtocol for Relay {
+        type Shard<'a> = RelayShard<'a>;
+
+        fn make_shards(
+            &mut self,
+            bounds: &[(usize, usize)],
+            _send_counts: &[usize],
+        ) -> Vec<RelayShard<'_>> {
+            let mut rest: &mut [u8] = &mut self.values;
+            let mut taken = 0;
+            let mut shards = Vec::with_capacity(bounds.len());
+            for &(start, end) in bounds {
+                assert_eq!(start, taken, "bounds must be contiguous");
+                let (head, tail) = rest.split_at_mut(end - start);
+                shards.push(RelayShard {
+                    values: head,
+                    start,
+                });
+                rest = tail;
+                taken = end;
+            }
+            shards
+        }
+    }
+
+    /// A randomized exchange protocol exercising every seam the merge has
+    /// to keep deterministic: random partners (wakeup RNG), random
+    /// message content (compose RNG), EXCHANGE contacts (dedup pairs),
+    /// and pooled-style residue accounting via an emit budget.
+    struct NoisyExchange {
+        values: Vec<u64>,
+        /// Compose returns None once a node's value exceeds this (so the
+        /// empty-send path and residue path both run).
+        saturation: u64,
+    }
+
+    impl NoisyExchange {
+        fn new(n: usize) -> Self {
+            NoisyExchange {
+                values: (0..n as u64).collect(),
+                saturation: u64::MAX,
+            }
+        }
+
+        fn target(&self) -> u64 {
+            // Sum high-water mark every node must reach.
+            1_000
+        }
+    }
+
+    impl Protocol for NoisyExchange {
+        type Msg = u64;
+
+        fn num_nodes(&self) -> usize {
+            self.values.len()
+        }
+
+        fn on_wakeup(&mut self, node: NodeId, rng: &mut StdRng) -> Option<ContactIntent> {
+            let n = self.values.len();
+            let offset = rng.gen_range(1..n);
+            Some(ContactIntent {
+                partner: (node + offset) % n,
+                action: Action::Exchange,
+                tag: 0,
+            })
+        }
+
+        fn compose(&self, from: NodeId, _to: NodeId, _tag: u32, rng: &mut StdRng) -> Option<u64> {
+            if self.values[from] > self.saturation {
+                return None;
+            }
+            Some(self.values[from].wrapping_add(rng.gen_range(0..64)))
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: u64) {
+            self.values[to] = self.values[to].max(msg).wrapping_add(1);
+        }
+
+        fn node_complete(&self, node: NodeId) -> bool {
+            self.values[node] >= self.target()
+        }
+    }
+
+    struct NoisyShard<'a> {
+        values: &'a mut [u64],
+        start: usize,
+        saturation: u64,
+    }
+
+    impl ProtocolShard for NoisyShard<'_> {
+        type Msg = u64;
+
+        fn compose(
+            &mut self,
+            from: NodeId,
+            _to: NodeId,
+            _tag: u32,
+            rng: &mut StdRng,
+        ) -> Option<u64> {
+            let v = self.values[from - self.start];
+            if v > self.saturation {
+                return None;
+            }
+            Some(v.wrapping_add(rng.gen_range(0..64)))
+        }
+
+        fn deliver(&mut self, _from: NodeId, to: NodeId, _tag: u32, msg: u64) {
+            let v = &mut self.values[to - self.start];
+            *v = (*v).max(msg).wrapping_add(1);
+        }
+
+        fn discard(&mut self, _msg: u64) {}
+
+        fn into_residue(self) -> Vec<u64> {
+            Vec::new()
+        }
+    }
+
+    impl ShardableProtocol for NoisyExchange {
+        type Shard<'a> = NoisyShard<'a>;
+
+        fn make_shards(
+            &mut self,
+            bounds: &[(usize, usize)],
+            _send_counts: &[usize],
+        ) -> Vec<NoisyShard<'_>> {
+            let saturation = self.saturation;
+            let mut rest: &mut [u64] = &mut self.values;
+            let mut taken = 0;
+            let mut shards = Vec::with_capacity(bounds.len());
+            for &(start, end) in bounds {
+                assert_eq!(start, taken, "bounds must be contiguous");
+                let (head, tail) = rest.split_at_mut(end - start);
+                shards.push(NoisyShard {
+                    values: head,
+                    start,
+                    saturation,
+                });
+                rest = tail;
+                taken = end;
+            }
+            shards
+        }
+    }
+
+    #[test]
+    fn rng_free_protocol_matches_serial_engine_exactly() {
+        // Relay draws no wakeup/compose randomness, so the sharded
+        // engine's per-slot RNG discipline is invisible: stats must be
+        // bit-identical to the serial Engine, at every shard count.
+        for shards in [1, 2, 3, 6, 9] {
+            let mut serial = Relay::new(6);
+            let want = Engine::new(EngineConfig::synchronous(1)).run(&mut serial);
+            let mut proto = Relay::new(6);
+            let got = ShardedEngine::new(EngineConfig::synchronous(1), shards).run(&mut proto);
+            assert_eq!(got, want, "shards = {shards}");
+            assert_eq!(proto.values, serial.values);
+        }
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_run() {
+        // Random partners + random payload contents + exchange dedup +
+        // loss: the full merge surface. Every shard count reproduces the
+        // 1-shard (serial reference) run bit-for-bit.
+        let run = |shards: usize| {
+            let cfg = EngineConfig::synchronous(0xD15EA5E)
+                .with_loss(0.1)
+                .with_max_rounds(400);
+            let mut proto = NoisyExchange::new(23);
+            let stats = ShardedEngine::new(cfg, shards).run(&mut proto);
+            (stats, proto.values)
+        };
+        let (want_stats, want_values) = run(1);
+        assert!(want_stats.completed);
+        assert!(want_stats.dedup_dropped > 0, "dedup must be exercised");
+        assert!(want_stats.lost > 0, "loss must be exercised");
+        for shards in [2, 3, 7, 23, 64] {
+            let (stats, values) = run(shards);
+            assert_eq!(stats, want_stats, "shards = {shards}");
+            assert_eq!(values, want_values, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn observed_traces_match_across_shard_counts() {
+        let trace = |shards: usize| {
+            let cfg = EngineConfig::synchronous(7).with_max_rounds(300);
+            let mut proto = NoisyExchange::new(11);
+            let mut rounds = Vec::new();
+            let stats = ShardedEngine::new(cfg, shards).run_observed(&mut proto, |round, p| {
+                rounds.push((round, p.values.iter().sum::<u64>()));
+            });
+            (stats, rounds)
+        };
+        let want = trace(1);
+        assert!(want.0.completed);
+        for shards in [2, 5] {
+            assert_eq!(trace(shards), want, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn empty_sends_are_counted_once_per_silent_direction() {
+        // Saturated nodes stop composing; the sharded engine must count
+        // those the way the serial merge would.
+        let run = |shards: usize| {
+            let cfg = EngineConfig::synchronous(3).with_max_rounds(50);
+            let mut proto = NoisyExchange::new(9);
+            proto.saturation = 40;
+            let stats = ShardedEngine::new(cfg, shards).run(&mut proto);
+            (stats, proto.values)
+        };
+        let want = run(1);
+        assert!(
+            want.0.empty_sends > 0,
+            "saturation must trigger empty sends"
+        );
+        for shards in [2, 4] {
+            assert_eq!(run(shards), want, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn async_model_delegates_to_serial_engine() {
+        let cfg = EngineConfig::asynchronous(5);
+        let mut serial = Relay::new(8);
+        let want = Engine::new(cfg).run(&mut serial);
+        let mut proto = Relay::new(8);
+        let got = ShardedEngine::new(cfg, 4).run(&mut proto);
+        assert_eq!(got, want);
+        assert_eq!(proto.values, serial.values);
+    }
+
+    #[test]
+    fn run_batch_and_run_observed_agree() {
+        let cfg = EngineConfig::synchronous(5).with_max_rounds(200);
+        let batch = ShardedEngine::new(cfg, 3).run_batch(&mut NoisyExchange::new(10));
+        let observed =
+            ShardedEngine::new(cfg, 3).run_observed(&mut NoisyExchange::new(10), |_, _| {});
+        assert_eq!(batch, observed);
+    }
+
+    #[test]
+    fn already_complete_protocol_runs_zero_rounds() {
+        let mut proto = Relay::new(1);
+        let stats = ShardedEngine::new(EngineConfig::synchronous(0), 4).run(&mut proto);
+        assert!(stats.completed);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::new(EngineConfig::synchronous(0), 0);
+    }
+}

@@ -154,7 +154,27 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = crate::current_num_threads().min(items.len());
+    par_apply_with_threads(items, op, crate::current_num_threads())
+}
+
+/// [`par_apply`] with an explicit worker count — the auditable core of the
+/// shim's determinism contract.
+///
+/// The thread count influences **scheduling only**: items are pulled from
+/// one shared queue (so which worker computes which item, and in what
+/// order, is nondeterministic), but each result lands in the slot of its
+/// *input index* and the output is read back in input order. No chunking,
+/// partitioning or sizing decision anywhere in the shim depends on
+/// `threads` — sharded-engine merges built on this are pure functions of
+/// their input, never of `RAYON_NUM_THREADS`. Pinned by the
+/// `thread_count_cannot_change_results` test.
+pub fn par_apply_with_threads<T, R, F>(items: Vec<T>, op: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
     if threads <= 1 {
         return items.into_iter().map(op).collect();
     }

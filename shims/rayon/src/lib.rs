@@ -69,6 +69,30 @@ mod tests {
         assert_eq!(err.unwrap_err(), "boom");
     }
 
+    /// The sharded-engine determinism contract: results are a pure
+    /// function of the input, never of the worker count. Forcing every
+    /// plausible thread count (including more threads than items and the
+    /// degenerate 0/1) over an uneven workload must give byte-identical
+    /// output — if any partitioning or chunk sizing ever consulted the
+    /// thread count, this is the test that breaks.
+    #[test]
+    fn thread_count_cannot_change_results() {
+        let items: Vec<u64> = (0..257).rev().collect();
+        let op = |x: u64| {
+            // Uneven per-item cost so workers genuinely interleave.
+            let mut acc = x;
+            for i in 0..(x % 17) * 500 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let want = crate::iter::par_apply_with_threads(items.clone(), &op, 1);
+        for threads in [0, 2, 3, 4, 8, 64, 1024] {
+            let got = crate::iter::par_apply_with_threads(items.clone(), &op, threads);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
     #[test]
     fn uneven_work_still_ordered() {
         let input: Vec<usize> = (0..64).collect();
