@@ -4,6 +4,10 @@
 //! The full-scale versions are produced by
 //! `AG_BENCH_SCALE=full cargo run --release -p ag-bench --bin all_experiments`.
 
+// Timing harness: wall-clock reads are this binary's job; the
+// workspace-wide ban exists for simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use ag_bench::{all_reports, Scale};

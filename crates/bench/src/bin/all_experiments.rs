@@ -3,6 +3,10 @@
 //! Usage: `cargo run --release -p ag-bench --bin all_experiments [out.md]`
 //! (set `AG_BENCH_SCALE=full` for the larger committed configuration).
 
+// Timing harness: wall-clock reads are this binary's job; the
+// workspace-wide ban exists for simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

@@ -18,6 +18,10 @@
 //! Usage: `cargo run --release -p ag-bench --bin bench_decoder_slab`
 //! (optionally `AG_BENCH_DECODER_REPS=n` to resize the timed batch).
 
+// Timing harness: wall-clock reads are this binary's job; the
+// workspace-wide ban exists for simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

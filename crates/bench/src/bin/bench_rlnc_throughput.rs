@@ -45,6 +45,10 @@
 //! (`AG_BENCH_SCALE=full` for the committed n = 10⁵ configuration,
 //! `AG_BENCH_RLNC_REPS=n` to resize the timed decode batches).
 
+// Timing harness: wall-clock reads are this binary's job; the
+// workspace-wide ban exists for simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,18 +70,24 @@ static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: delegates verbatim to `System`; the counter is a side channel.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards `layout` untouched to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: forwards `layout` untouched to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
+    // SAFETY: forwards the caller's `ptr`/`layout`/`new_size` (valid per
+    // the GlobalAlloc contract) untouched to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: forwards the caller's `ptr`/`layout` (valid per the
+    // GlobalAlloc contract) untouched to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -96,7 +96,7 @@ impl SweepFamily {
                 builders::grid(side, side).expect("grid")
             }
             SweepFamily::RandomRegular => {
-                let n = if n % 2 == 0 { n } else { n + 1 };
+                let n = if n.is_multiple_of(2) { n } else { n + 1 };
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
                 builders::random_regular(n, 3, &mut rng).expect("random regular")
             }

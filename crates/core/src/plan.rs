@@ -235,6 +235,8 @@ impl TrialSet {
     }
 }
 
+// Test-only duplicate probes: insert/contains, order never observed.
+#[allow(clippy::disallowed_types)]
 #[cfg(test)]
 mod tests {
     use super::*;

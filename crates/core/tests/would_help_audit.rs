@@ -51,18 +51,24 @@ fn record_alloc() {
 
 // SAFETY: delegates verbatim to `System`; the counter is a side channel.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards `layout` untouched to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         record_alloc();
         System.alloc(layout)
     }
+    // SAFETY: forwards `layout` untouched to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         record_alloc();
         System.alloc_zeroed(layout)
     }
+    // SAFETY: forwards the caller's `ptr`/`layout`/`new_size` (valid per
+    // the GlobalAlloc contract) untouched to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         record_alloc();
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: forwards the caller's `ptr`/`layout` (valid per the
+    // GlobalAlloc contract) untouched to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -216,6 +216,8 @@ impl Neg for Gf16 {
     }
 }
 
+// Test-only duplicate probes: insert/contains, order never observed.
+#[allow(clippy::disallowed_types)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -165,6 +165,9 @@ impl Kernel {
     /// rather than erroring — a simulation should not abort over a typo'd
     /// tuning knob.
     fn resolve() -> Kernel {
+        // ag-lint: allow(wall-clock) — AG_GF_KERNEL picks which proven-
+        // bit-identical rung runs; resolved once per process at first use,
+        // so the choice cannot vary mid-simulation.
         if let Ok(v) = std::env::var("AG_GF_KERNEL") {
             if let Some(k) = Kernel::from_name(&v) {
                 if k.is_supported() {

@@ -180,6 +180,9 @@ mod detail {
             Level::None
         };
         let forced =
+            // ag-lint: allow(wall-clock) — AG_GF_SIMD forces a *lower*
+            // SIMD level among rungs the differential suite pins as
+            // bit-identical; read once per process via the level() lock.
             std::env::var("AG_GF_SIMD")
                 .ok()
                 .and_then(|v| match v.to_ascii_lowercase().as_str() {
@@ -219,9 +222,11 @@ mod detail {
     pub(super) fn gf256_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         match level() {
             // SAFETY: the matched level was runtime-detected (detect()
-            // never reports a level the CPU lacks).
+            // never reports a level the CPU lacks), so gfni+avx2 are legal.
             Level::Gfni512 | Level::Gfni => unsafe { gf256_mul_add_gfni(c, src, dst) },
+            // SAFETY: this arm runs only when detect() observed avx2.
             Level::Avx2 => unsafe { mul_add_avx2::<true>(&gf256_nibble_tables(c), src, dst) },
+            // SAFETY: this arm runs only when detect() observed ssse3.
             Level::Ssse3 => unsafe { mul_add_ssse3::<true>(&gf256_nibble_tables(c), src, dst) },
             Level::None => wide::gf256_mul_add_slice(c, src, dst),
         }
@@ -229,9 +234,11 @@ mod detail {
 
     pub(super) fn gf256_mul_slice(c: u8, dst: &mut [u8]) {
         match level() {
-            // SAFETY: level was runtime-detected.
+            // SAFETY: level was runtime-detected, so gfni+avx2 are legal.
             Level::Gfni512 | Level::Gfni => unsafe { gf256_mul_gfni(c, dst) },
+            // SAFETY: this arm runs only when detect() observed avx2.
             Level::Avx2 => unsafe { mul_avx2::<true>(&gf256_nibble_tables(c), dst) },
+            // SAFETY: this arm runs only when detect() observed ssse3.
             Level::Ssse3 => unsafe { mul_ssse3::<true>(&gf256_nibble_tables(c), dst) },
             Level::None => wide::gf256_mul_slice(c, dst),
         }
@@ -239,8 +246,10 @@ mod detail {
 
     pub(super) fn gf256_mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
         match level() {
-            // SAFETY: level was runtime-detected.
+            // SAFETY: level was runtime-detected; Gfni512 means
+            // avx512f+avx512bw+gfni were all observed.
             Level::Gfni512 => unsafe { gf256_mul_add_multi_gfni512(factors, srcs, dst) },
+            // SAFETY: this arm runs only when detect() observed gfni+avx2.
             Level::Gfni => unsafe { gf256_mul_add_multi_gfni(factors, srcs, dst) },
             // Below GFNI a fused pass buys nothing: the per-coefficient
             // nibble tables must be rebuilt per source row either way.
@@ -256,8 +265,10 @@ mod detail {
 
     pub(super) fn gf256_mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
         match level() {
-            // SAFETY: level was runtime-detected.
+            // SAFETY: level was runtime-detected; Gfni512 means
+            // avx512f+avx512bw+gfni were all observed.
             Level::Gfni512 => unsafe { gf256_mul_add_scatter_gfni512(factors, src, dsts) },
+            // SAFETY: this arm runs only when detect() observed gfni+avx2.
             Level::Gfni => unsafe { gf256_mul_add_scatter_gfni(factors, src, dsts) },
             // Below GFNI each row needs its per-coefficient nibble tables
             // built anyway; the plain axpy loop is already optimal.
@@ -277,6 +288,7 @@ mod detail {
             Level::Gfni512 | Level::Gfni | Level::Avx2 => unsafe {
                 mul_add_avx2::<false>(&gf16_nibble_tables(c), src, dst)
             },
+            // SAFETY: this arm runs only when detect() observed ssse3.
             Level::Ssse3 => unsafe { mul_add_ssse3::<false>(&gf16_nibble_tables(c), src, dst) },
             Level::None => wide::gf16_mul_add_slice(c, src, dst),
         }
@@ -288,6 +300,7 @@ mod detail {
             Level::Gfni512 | Level::Gfni | Level::Avx2 => unsafe {
                 mul_avx2::<false>(&gf16_nibble_tables(c), dst)
             },
+            // SAFETY: this arm runs only when detect() observed ssse3.
             Level::Ssse3 => unsafe { mul_ssse3::<false>(&gf16_nibble_tables(c), dst) },
             Level::None => wide::gf16_mul_slice(c, dst),
         }
@@ -312,6 +325,8 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified AVX2 support.
+    // SAFETY: register-only intrinsics — no memory access; the avx2
+    // requirement is discharged by the caller contract above.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn product_block_avx2<const SPLIT: bool>(
@@ -332,6 +347,9 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified AVX2 support.
+    // SAFETY: unaligned loads/stores only. Table pointers cover the 16-byte
+    // arrays in `t`; `sp`/`dp` offsets stay below `blocks * 32 <= src.len()`
+    // and the public wrapper asserts `src.len() == dst.len()`.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_add_avx2<const SPLIT: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
         let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
@@ -350,6 +368,8 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified AVX2 support.
+    // SAFETY: unaligned loads/stores only; `dp` offsets stay below
+    // `blocks * 32 <= dst.len()`, in-place within the one slice.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_avx2<const SPLIT: bool>(t: &NibbleTables, dst: &mut [u8]) {
         let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast()));
@@ -367,6 +387,9 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified SSSE3 support.
+    // SAFETY: unaligned loads/stores only; `sp`/`dp` offsets stay below
+    // `blocks * 16 <= src.len()` and the public wrapper asserts
+    // `src.len() == dst.len()`.
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_add_ssse3<const SPLIT: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
         let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
@@ -390,6 +413,8 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified SSSE3 support.
+    // SAFETY: unaligned loads/stores only; `dp` offsets stay below
+    // `blocks * 16 <= dst.len()`, in-place within the one slice.
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_ssse3<const SPLIT: bool>(t: &NibbleTables, dst: &mut [u8]) {
         let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
@@ -412,6 +437,9 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI and AVX2 support.
+    // SAFETY: unaligned loads/stores only; `sp`/`dp` offsets stay below
+    // `blocks * 32 <= src.len()` and every caller passes equal-length
+    // src/dst (public wrapper asserts it; internal tails re-slice both).
     #[target_feature(enable = "gfni,avx2")]
     unsafe fn gf256_mul_add_gfni(c: u8, src: &[u8], dst: &mut [u8]) {
         let cv = _mm256_set1_epi8(c as i8);
@@ -439,6 +467,10 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI and AVX2 support.
+    // SAFETY: unaligned loads/stores only. `dp` tile offsets stay below
+    // `tiles * 128 <= dst.len()`; `sp` row offsets stay inside `srcs`
+    // because the public wrapper asserts `srcs.len() == factors.len() *
+    // dst.len()` and `i < factors.len()`, `base + 127 < rb`.
     #[target_feature(enable = "gfni,avx2")]
     unsafe fn gf256_mul_add_multi_gfni(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
         const TILE: usize = 128;
@@ -494,6 +526,9 @@ mod detail {
     ///
     /// Caller must have verified GFNI and AVX2 support, and that `srcs`
     /// holds `factors.len()` rows of `dst.len()` bytes.
+    // SAFETY: unaligned loads/stores only; the ymm loop guards
+    // `base + 32 <= rb` before touching `dst[base..]` and the caller
+    // contract above bounds each `sp` row pointer inside `srcs`.
     #[target_feature(enable = "gfni,avx2")]
     unsafe fn gf256_multi_tail_gfni(factors: &[u8], srcs: &[u8], dst: &mut [u8], base: usize) {
         let rb = dst.len();
@@ -528,6 +563,10 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI, AVX-512F, AVX-512BW and AVX2 support.
+    // SAFETY: unaligned loads/stores only. Tile and sub-tile loops guard
+    // `base + {256,128,64} <= rb` before touching `dst[base..]`; `sp` row
+    // offsets stay inside `srcs` (wrapper asserts `srcs.len() ==
+    // factors.len() * dst.len()`); `get_unchecked(i)` has `i < n`.
     #[target_feature(enable = "gfni,avx512f,avx512bw,avx2")]
     unsafe fn gf256_mul_add_multi_gfni512(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
         const TILE: usize = 256;
@@ -643,6 +682,9 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI and AVX2 support.
+    // SAFETY: unaligned loads/stores only; `sp` stays below `blocks * 32
+    // <= src.len()` and `dp` points into `row`, a checked slice of `dsts`
+    // with exactly `rb = src.len()` bytes.
     #[target_feature(enable = "gfni,avx2")]
     unsafe fn gf256_mul_add_scatter_gfni(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
         let rb = src.len();
@@ -670,6 +712,9 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI, AVX-512F, AVX-512BW and AVX2 support.
+    // SAFETY: unaligned loads/stores only; `sp` stays below `blocks * 64
+    // <= src.len()` and `dp` points into `row`, a checked slice of `dsts`
+    // with exactly `rb = src.len()` bytes.
     #[target_feature(enable = "gfni,avx512f,avx512bw,avx2")]
     unsafe fn gf256_mul_add_scatter_gfni512(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
         let rb = src.len();
@@ -698,6 +743,8 @@ mod detail {
     /// # Safety
     ///
     /// Caller must have verified GFNI and AVX2 support.
+    // SAFETY: unaligned loads/stores only; `dp` offsets stay below
+    // `blocks * 32 <= dst.len()`, in-place within the one slice.
     #[target_feature(enable = "gfni,avx2")]
     unsafe fn gf256_mul_gfni(c: u8, dst: &mut [u8]) {
         let cv = _mm256_set1_epi8(c as i8);

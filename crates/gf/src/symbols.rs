@@ -79,6 +79,8 @@ pub fn bytes_to_symbols<F: Field>(bytes: &[u8]) -> Vec<F> {
             2 => 1,
             4 => 2,
             16 => 4,
+            // ag-lint: allow(panic-policy) — spb > 1 only for the three
+            // sub-byte field sizes matched above.
             _ => unreachable!("symbols_per_byte covered these"),
         };
         let mask = (1u16 << bits) - 1;
@@ -127,7 +129,9 @@ pub fn symbols_to_bytes<F: Field>(symbols: &[F], byte_len: usize) -> Vec<u8> {
             2 => 1,
             4 => 2,
             16 => 4,
-            _ => unreachable!(),
+            // ag-lint: allow(panic-policy) — spb > 1 only for the three
+            // sub-byte field sizes matched above.
+            _ => unreachable!("symbols_per_byte covered these"),
         };
         for group in symbols.chunks(spb).take(byte_len) {
             let mut b: u16 = 0;

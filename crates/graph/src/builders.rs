@@ -290,6 +290,8 @@ pub fn random_regular<R: Rng + ?Sized>(
         let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut edges = Vec::with_capacity(n * d / 2);
+        // Insert-only duplicate-edge probe: order is never observed.
+        #[allow(clippy::disallowed_types)]
         let mut seen = std::collections::HashSet::new();
         for pair in stubs.chunks(2) {
             let (u, v) = (pair[0], pair[1]);
@@ -352,6 +354,8 @@ pub fn dumbbell(clique: usize, bridge_len: usize) -> Result<Graph, GraphError> {
     Graph::from_edges(n, &edges)
 }
 
+// Test-only duplicate probes: insert/contains, order never observed.
+#[allow(clippy::disallowed_types)]
 #[cfg(test)]
 mod tests {
     use super::*;

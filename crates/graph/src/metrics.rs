@@ -8,6 +8,10 @@
 //!   measures; the barbell's single bridge edge is the canonical low-
 //!   conductance cut that makes uniform gossip slow.
 
+// `HashSet` node sets are fine here: every consumer is either keyed
+// (`contains`) or order-independent (waived sum in `volume`).
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashSet;
 
 use crate::graph::{Graph, NodeId};
@@ -57,6 +61,8 @@ pub fn cut_boundary(g: &Graph, set: &HashSet<NodeId>) -> usize {
 /// Volume of a node set: the sum of its degrees.
 #[must_use]
 pub fn volume(g: &Graph, set: &HashSet<NodeId>) -> usize {
+    // ag-lint: allow(hash-iteration) — a commutative sum over degrees;
+    // the result is independent of iteration order.
     set.iter().map(|&v| g.degree(v)).sum()
 }
 

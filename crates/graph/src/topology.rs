@@ -44,6 +44,8 @@
 //! assert_eq!(topo.edge_count(), 8); // rewires preserve the edge count
 //! ```
 
+// Keyed lookup only, never iterated — see lint.toml [rules.hash-iteration].
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
@@ -273,6 +275,8 @@ impl ChurnSchedule {
 /// assert!(topo.has_edge(3, 4)); // healed again
 /// ```
 #[derive(Debug, Clone)]
+// `edge_pos` is keyed lookup only, never iterated.
+#[allow(clippy::disallowed_types)]
 pub struct ScheduledTopology {
     /// Sorted neighbor lists of the current epoch's view.
     adj: Vec<Vec<NodeId>>,

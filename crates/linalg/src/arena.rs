@@ -434,6 +434,8 @@ impl<F: SlabField> BasisArena<F> {
     ) -> Self {
         match Self::try_with_growth(nodes, pivot_width, row_elems, growth) {
             Ok(arena) => arena,
+            // ag-lint: allow(panic-policy) — documented panicking wrapper;
+            // try_with_growth is the typed-error twin.
             Err(e) => panic!("{e}"),
         }
     }

@@ -525,6 +525,8 @@ impl<F: SlabField> EchelonBasis<F> {
     pub fn insert(&mut self, row: Vec<F>) -> Insertion {
         match self.try_insert(row) {
             Ok(outcome) => outcome,
+            // ag-lint: allow(panic-policy) — documented panicking wrapper;
+            // try_insert is the typed-error twin.
             Err(e) => panic!("{e}"),
         }
     }

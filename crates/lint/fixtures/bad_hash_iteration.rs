@@ -1,0 +1,31 @@
+//! Known-bad: the pre-PR-1 `RandomMessageGossip` bug class — picking a
+//! message by iterating a `HashSet`, so hash order leaks into protocol
+//! behavior. Never compiled; linted by the self-tests only.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Node {
+    received: HashSet<u64>,
+    neighbors: HashMap<u32, u32>,
+}
+
+impl Node {
+    pub fn pick_message(&self) -> Option<u64> {
+        // BAD (line 15): first element in hash iteration order.
+        self.received.iter().next().copied()
+    }
+
+    pub fn fanout(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        // BAD (line 21): for-loop over a hash-ordered map.
+        for (_, &peer) in &self.neighbors {
+            out.push(peer);
+        }
+        out
+    }
+
+    pub fn drop_delivered(&mut self) {
+        // BAD (line 29): retain observes hash order.
+        self.received.retain(|&m| m % 2 == 0);
+    }
+}

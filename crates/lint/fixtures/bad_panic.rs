@@ -1,0 +1,29 @@
+//! Known-bad: panic-policy violations, with waiver / cfg(test) /
+//! expect-with-invariant escape hatches exercised alongside.
+
+pub fn first(v: &[i32]) -> i32 {
+    // BAD (line 6): unwrap in library code.
+    let head = v.first().unwrap();
+    // OK (line 8): expect-with-invariant is allowed by default…
+    let tail = v.last().expect("nonempty checked by caller");
+    // …but fires when allow_expect = false.
+    // BAD (line 12): panic! in library code.
+    if v.len() > 1024 {
+        panic!("too long");
+    }
+    // ag-lint: allow(panic-policy) — waived on purpose for the self-test.
+    let waived = v.get(1).unwrap();
+    // BAD-if-forbid_indexing (line 17): direct indexing.
+    let indexed = v[0];
+    head + tail + waived + indexed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<i32> = vec![1];
+        // OK: inside #[cfg(test)] with include_tests = false.
+        let _ = v.first().unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Known-bad: truncating casts in seed-mixing code, with widening casts
+//! as a must-not-fire control.
+
+pub fn mix(seed: u64, node: u32) -> u64 {
+    // BAD (line 6): drops the high 32 bits of the seed domain.
+    let low = seed as u32;
+    // BAD (line 8): byte-truncation of a mixed value.
+    let tag = (seed ^ u64::from(node)) as u8;
+    // OK (line 10): widening never loses seed bits.
+    let wide = node as u64;
+    // OK (line 12): usize is not in the narrowing set (word-sized here).
+    let idx = seed as usize;
+    low as u64 ^ u64::from(tag) ^ wide ^ idx as u64
+}

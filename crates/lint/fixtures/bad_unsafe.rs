@@ -1,0 +1,14 @@
+//! Known-bad: `unsafe` without `// SAFETY:` justification.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    // BAD (line 5): undocumented unsafe block.
+    unsafe { *v.as_ptr() }
+}
+
+/// # Safety
+///
+/// A doc-level caller contract is not a site justification: this fn must
+/// still fire (line 12).
+pub unsafe fn deref(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,10 @@
+//! Known-bad: waivers that are themselves invalid — no reason, or an
+//! unknown rule name. Both must fire `invalid-waiver`.
+
+pub fn f(v: &[i32]) -> i32 {
+    // ag-lint: allow(panic-policy)
+    let a = v.first().unwrap();
+    // ag-lint: allow(made-up-rule) — the rule name does not exist.
+    let b = v.last().unwrap();
+    a + b
+}

@@ -1,0 +1,13 @@
+//! Known-bad: wall-clock and environment reads in deterministic code.
+
+pub fn jitter_seed() -> u64 {
+    // BAD (line 5): wall-clock read.
+    let t = std::time::Instant::now();
+    let _ = t;
+    // BAD (line 8): system time feeds a seed.
+    let s = std::time::SystemTime::now();
+    let _ = s;
+    // BAD (line 11): ambient environment configuration.
+    let threads = std::env::var("THREADS").ok();
+    threads.map_or(0, |v| v.len() as u64)
+}

@@ -1,0 +1,29 @@
+//! Known-good: keyed `HashMap`/`HashSet` access in the style of
+//! `Topology::edge_pos` — O(1) lookups whose results never depend on
+//! iteration order. Must produce zero findings.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Topology {
+    edge_pos: HashMap<(u32, u32), usize>,
+    alive: HashSet<u32>,
+}
+
+impl Topology {
+    pub fn position(&self, e: (u32, u32)) -> Option<usize> {
+        self.edge_pos.get(&e).copied()
+    }
+
+    pub fn insert(&mut self, e: (u32, u32), pos: usize) {
+        self.edge_pos.insert(e, pos);
+        self.alive.insert(e.0);
+    }
+
+    pub fn is_alive(&self, v: u32) -> bool {
+        self.alive.contains(&v)
+    }
+
+    pub fn forget(&mut self, e: (u32, u32)) {
+        self.edge_pos.remove(&e);
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-good: every `unsafe` site carries a `// SAFETY:` comment.
+
+pub fn read_first(v: &[u8]) -> Option<u8> {
+    if v.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees at least one byte.
+    Some(unsafe { *v.as_ptr() })
+}
+
+// SAFETY: the pointer must come from a live allocation; callers uphold
+// this via the slice they derive it from.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    *p
+}

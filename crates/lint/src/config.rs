@@ -1,0 +1,385 @@
+//! `lint.toml` — rule scopes, exemptions and knobs.
+//!
+//! The build environment is fully offline, so instead of a TOML crate the
+//! config is parsed by a deliberately minimal TOML-subset reader: table
+//! headers (`[rules.hash-iteration]`), `key = value` pairs with string /
+//! bool / integer / string-array values (arrays may span lines), and `#`
+//! comments. Unknown tables and keys are hard errors — a typo'd scope
+//! entry must fail the gate, not silently lint nothing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::RuleId;
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+/// Configuration of a single rule family.
+#[derive(Debug, Clone)]
+pub struct RuleCfg {
+    pub enabled: bool,
+    /// Glob patterns (workspace-relative, `/`-separated) a file must
+    /// match for the rule to apply. `**` crosses directory boundaries.
+    pub scope: Vec<String>,
+    /// Glob patterns carved back out of `scope`.
+    pub exempt: Vec<String>,
+    /// Lint code inside `#[cfg(test)]` items too?
+    pub include_tests: bool,
+    /// Panic policy only: is `.expect("invariant message")` the
+    /// sanctioned escape hatch (true) or forbidden like `unwrap` (false)?
+    pub allow_expect: bool,
+    /// Panic policy only: also forbid `x[i]` indexing expressions.
+    pub forbid_indexing: bool,
+}
+
+impl Default for RuleCfg {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            scope: Vec::new(),
+            exempt: Vec::new(),
+            include_tests: false,
+            allow_expect: true,
+            forbid_indexing: false,
+        }
+    }
+}
+
+/// The whole tool configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) walked for `.rs` files.
+    pub source_roots: Vec<String>,
+    /// Glob patterns excluded from every rule (fixtures, build output).
+    pub exclude: Vec<String>,
+    /// Path (workspace-relative) of the generated unsafe inventory.
+    pub inventory_path: String,
+    rules: BTreeMap<RuleId, RuleCfg>,
+}
+
+impl Config {
+    /// The configuration of one rule family (default if absent).
+    #[must_use]
+    pub fn rule(&self, id: RuleId) -> RuleCfg {
+        self.rules.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Does `rule` apply to the workspace-relative `path` (before the
+    /// per-line test filter)?
+    #[must_use]
+    pub fn applies(&self, id: RuleId, path: &str) -> bool {
+        let rc = self.rule(id);
+        rc.enabled
+            && rc.scope.iter().any(|p| glob_match(p, path))
+            && !rc.exempt.iter().any(|p| glob_match(p, path))
+    }
+
+    /// Parse a `lint.toml` document.
+    pub fn from_toml_str(src: &str) -> Result<Self, ConfigError> {
+        let tables = parse_tables(src)?;
+        let mut cfg = Config {
+            source_roots: Vec::new(),
+            exclude: Vec::new(),
+            inventory_path: "UNSAFE_INVENTORY.md".to_owned(),
+            rules: BTreeMap::new(),
+        };
+        for (table, entries) in tables {
+            if table.is_empty() {
+                for (key, value) in entries {
+                    match (key.as_str(), value) {
+                        ("version", Value::Int(_)) => {}
+                        ("source_roots", Value::StrArray(v)) => cfg.source_roots = v,
+                        ("exclude", Value::StrArray(v)) => cfg.exclude = v,
+                        ("inventory", Value::Str(s)) => cfg.inventory_path = s,
+                        (k, _) => return Err(ConfigError::UnknownKey(k.to_owned())),
+                    }
+                }
+            } else if let Some(rule_name) = table.strip_prefix("rules.") {
+                let id = RuleId::parse(rule_name)
+                    .ok_or_else(|| ConfigError::UnknownRule(rule_name.to_owned()))?;
+                let mut rc = RuleCfg::default();
+                for (key, value) in entries {
+                    match (key.as_str(), value) {
+                        ("enabled", Value::Bool(b)) => rc.enabled = b,
+                        ("scope", Value::StrArray(v)) => rc.scope = v,
+                        ("exempt", Value::StrArray(v)) => rc.exempt = v,
+                        ("include_tests", Value::Bool(b)) => rc.include_tests = b,
+                        ("allow_expect", Value::Bool(b)) => rc.allow_expect = b,
+                        ("forbid_indexing", Value::Bool(b)) => rc.forbid_indexing = b,
+                        (k, _) => {
+                            return Err(ConfigError::UnknownKey(format!("rules.{rule_name}.{k}")))
+                        }
+                    }
+                }
+                cfg.rules.insert(id, rc);
+            } else {
+                return Err(ConfigError::UnknownKey(format!("[{table}]")));
+            }
+        }
+        if cfg.source_roots.is_empty() {
+            return Err(ConfigError::Missing("source_roots"));
+        }
+        Ok(cfg)
+    }
+}
+
+/// Errors from [`Config::from_toml_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line the subset parser could not read, with its 1-based number.
+    Syntax(usize, String),
+    UnknownKey(String),
+    UnknownRule(String),
+    Missing(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Syntax(line, text) => write!(f, "lint.toml:{line}: cannot parse: {text}"),
+            ConfigError::UnknownKey(k) => write!(f, "lint.toml: unknown key `{k}`"),
+            ConfigError::UnknownRule(r) => write!(f, "lint.toml: unknown rule `{r}`"),
+            ConfigError::Missing(k) => write!(f, "lint.toml: missing required key `{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+type Tables = Vec<(String, Vec<(String, Value)>)>;
+
+fn parse_tables(src: &str) -> Result<Tables, ConfigError> {
+    let mut tables: Tables = vec![(String::new(), Vec::new())];
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| ConfigError::Syntax(idx + 1, raw.to_owned()))?;
+            tables.push((header.trim().to_owned(), Vec::new()));
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| ConfigError::Syntax(idx + 1, raw.to_owned()))?;
+        let key = key.trim().to_owned();
+        let mut value_text = rest.trim().to_owned();
+        // Multi-line array: accumulate until the closing bracket.
+        if value_text.starts_with('[') {
+            while !array_closed(&value_text) {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError::Syntax(idx + 1, raw.to_owned()));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(cont).trim());
+            }
+        }
+        let value =
+            parse_value(&value_text).ok_or_else(|| ConfigError::Syntax(idx + 1, raw.to_owned()))?;
+        tables
+            .last_mut()
+            .expect("tables always holds the root table")
+            .1
+            .push((key, value));
+    }
+    Ok(tables)
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn array_closed(text: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    let text = text.trim();
+    if text == "true" {
+        return Some(Value::Bool(true));
+    }
+    if text == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let s = inner.strip_suffix('"')?;
+        return (!s.contains('"')).then(|| Value::Str(s.to_owned()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']')?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                _ => return None,
+            }
+        }
+        return Some(Value::StrArray(items));
+    }
+    text.parse::<i64>().ok().map(Value::Int)
+}
+
+/// Split on commas outside strings.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+/// Match a `/`-separated glob against a `/`-separated relative path.
+/// `**` matches any number of path segments (including zero), `*`
+/// matches within one segment.
+#[must_use]
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => (0..=segs.len()).any(|skip| match_segments(&pat[1..], &segs[skip..])),
+        Some(p) => match segs.first() {
+            Some(s) if match_one(p, s) => match_segments(&pat[1..], &segs[1..]),
+            _ => false,
+        },
+    }
+}
+
+/// Match one glob segment (with `*` wildcards) against one path segment.
+fn match_one(pat: &str, seg: &str) -> bool {
+    let pb: Vec<char> = pat.chars().collect();
+    let sb: Vec<char> = seg.chars().collect();
+    match_chars(&pb, &sb)
+}
+
+fn match_chars(pat: &[char], seg: &[char]) -> bool {
+    match pat.first() {
+        None => seg.is_empty(),
+        Some('*') => (0..=seg.len()).any(|skip| match_chars(&pat[1..], &seg[skip..])),
+        Some(c) => seg.first() == Some(c) && match_chars(&pat[1..], &seg[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globs_match_segments_and_wildcards() {
+        assert!(glob_match("crates/sim/**", "crates/sim/src/engine.rs"));
+        assert!(glob_match("crates/*/src/**", "crates/gf/src/simd.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("**/*.rs", "a/b/c.rs"));
+        assert!(glob_match("**/*.rs", "c.rs"));
+        assert!(glob_match(
+            "crates/core/src/seeding.rs",
+            "crates/core/src/seeding.rs"
+        ));
+        assert!(!glob_match("crates/sim/**", "crates/gf/src/simd.rs"));
+        assert!(!glob_match("crates/*/src/*.rs", "crates/gf/src/bin/x.rs"));
+    }
+
+    #[test]
+    fn minimal_toml_round_trips() {
+        let cfg = Config::from_toml_str(concat!(
+            "version = 1\n",
+            "source_roots = [\"crates\", \"src\"] # comment\n",
+            "exclude = [\n",
+            "    \"crates/lint/fixtures/**\", # deliberate violations\n",
+            "    \"target/**\",\n",
+            "]\n",
+            "inventory = \"UNSAFE_INVENTORY.md\"\n",
+            "\n",
+            "[rules.panic-policy]\n",
+            "scope = [\"crates/gf/src/*.rs\"]\n",
+            "allow_expect = false\n",
+            "forbid_indexing = true\n",
+        ))
+        .expect("config parses");
+        assert_eq!(cfg.source_roots, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude.len(), 2);
+        let rc = cfg.rule(RuleId::PanicPolicy);
+        assert!(!rc.allow_expect);
+        assert!(rc.forbid_indexing);
+        assert!(cfg.applies(RuleId::PanicPolicy, "crates/gf/src/simd.rs"));
+        assert!(!cfg.applies(RuleId::PanicPolicy, "crates/sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_and_rules_are_hard_errors() {
+        assert!(matches!(
+            Config::from_toml_str("source_roots = [\"crates\"]\n[rules.no-such-rule]\n"),
+            Err(ConfigError::UnknownRule(_))
+        ));
+        assert!(matches!(
+            Config::from_toml_str("source_roots = [\"crates\"]\ntypo_key = 3\n"),
+            Err(ConfigError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            Config::from_toml_str("[rules.panic-policy]\nscopes = []\n"),
+            Err(ConfigError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn exempt_carves_out_of_scope() {
+        let cfg = Config::from_toml_str(concat!(
+            "source_roots = [\"crates\"]\n",
+            "[rules.wall-clock]\n",
+            "scope = [\"crates/**\"]\n",
+            "exempt = [\"crates/bench/**\"]\n",
+        ))
+        .expect("config parses");
+        assert!(cfg.applies(RuleId::WallClock, "crates/sim/src/engine.rs"));
+        assert!(!cfg.applies(RuleId::WallClock, "crates/bench/src/bin/b.rs"));
+    }
+}

@@ -1,0 +1,125 @@
+//! `ag-lint` — the workspace's static-analysis pass.
+//!
+//! The repo's central claim is that simulation runs are a *pure function
+//! of the seed*: bit-identical across shard counts, thread counts and
+//! reruns. Runtime tests (golden pins, differential suites) defend that
+//! claim after the fact; this crate defends it *statically*, because the
+//! bug classes that break it are lexically recognizable:
+//!
+//! * iteration over hash-ordered collections (the exact latent bug PR 1
+//!   fixed in `RandomMessageGossip`, where `HashSet` iteration order
+//!   leaked into message picks),
+//! * wall-clock and environment reads inside the simulation stack,
+//! * truncating casts in seed-mixing/RNG-keying code.
+//!
+//! Two more families turn implicit repo policy into checked policy: every
+//! `unsafe` site must carry a `// SAFETY:` justification (and is listed
+//! in a committed, drift-checked `UNSAFE_INVENTORY.md`), and library code
+//! must not `unwrap`/`panic!` — `.expect("invariant")` with a real
+//! message, typed errors, or an explicit waiver are the only outs.
+//!
+//! Everything is pure `std` (the container is offline), driven by a
+//! lightweight lexer/line scanner — no `syn`, no type information. The
+//! rules, their per-crate scopes and the waiver syntax live in the root
+//! `lint.toml`; see the README's static-analysis section for the rule
+//! table and `crates/lint/fixtures/` for known-good/known-bad examples
+//! every rule family is self-tested against.
+
+pub mod config;
+pub mod inventory;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::{Finding, RuleId};
+use scan::{scan, ScannedFile};
+
+/// Result of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_honored: usize,
+    /// Rendered `UNSAFE_INVENTORY.md` content for this tree.
+    pub inventory: String,
+}
+
+/// Run the whole pass over the workspace rooted at `root`.
+pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut paths: Vec<String> = Vec::new();
+    for src_root in &cfg.source_roots {
+        collect_rs_files(root, Path::new(src_root), &mut paths)?;
+    }
+    paths.sort();
+    paths.dedup();
+    paths.retain(|p| !cfg.exclude.iter().any(|pat| config::glob_match(pat, p)));
+
+    let mut findings = Vec::new();
+    let mut waivers_honored = 0usize;
+    let mut scanned: Vec<(String, ScannedFile)> = Vec::new();
+    for rel in &paths {
+        let text = fs::read_to_string(root.join(rel))?;
+        let file = scan(&text);
+        let (mut file_findings, honored) = rules::lint_file(rel, &file, cfg);
+        findings.append(&mut file_findings);
+        waivers_honored += honored;
+        scanned.push((rel.clone(), file));
+    }
+
+    let audit_files: Vec<(String, &ScannedFile)> = scanned
+        .iter()
+        .filter(|(p, _)| cfg.applies(RuleId::UnsafeAudit, p))
+        .map(|(p, f)| (p.clone(), f))
+        .collect();
+    let inventory = inventory::render(&audit_files);
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(Report {
+        findings,
+        files_scanned: paths.len(),
+        waivers_honored,
+        inventory,
+    })
+}
+
+/// Recursively collect `.rs` files under `root/dir` as workspace-relative
+/// `/`-separated paths. A missing source root is not an error (the
+/// config lists optional roots like `examples`).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&abs)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &dir.join(name), out)?;
+        } else if name.ends_with(".rs") {
+            let rel = dir.join(name);
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Load the `lint.toml` at `root`.
+pub fn load_config(root: &Path) -> io::Result<Config> {
+    let text = fs::read_to_string(root.join("lint.toml"))?;
+    Config::from_toml_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

@@ -1,0 +1,889 @@
+//! The three rule families, plus waiver handling.
+//!
+//! Every rule is a scanner over [`crate::scan::ScannedFile`] — substring
+//! and token matching over comment-free, literal-free code text. That is
+//! deliberately weaker than type-aware analysis and deliberately stronger
+//! than reviewer vigilance: each family targets a bug class that is
+//! *lexically* recognizable in this codebase, and the fixture self-tests
+//! pin exactly what fires and what passes.
+//!
+//! * **`hash-iteration`** — iteration over `HashMap`/`HashSet` in the
+//!   simulation crates. Hash iteration order is randomized per process
+//!   and per instance, so any iteration that feeds a decision breaks the
+//!   runs-are-a-pure-function-of-the-seed guarantee (the exact latent bug
+//!   PR 1 fixed in `RandomMessageGossip`). Keyed lookup stays legal: the
+//!   rule tracks which identifiers are hash-typed and fires only on
+//!   iteration forms (`iter`/`keys`/`values`/`drain`/`retain`/`for … in`).
+//! * **`wall-clock`** — `SystemTime`/`Instant::now`/`std::env` reads in
+//!   library crates. Time and environment are the two ambient inputs a
+//!   deterministic simulation must not consume outside the bench harness.
+//! * **`truncating-cast`** — `as u8/u16/u32/i8/i16/i32` in seed-mixing
+//!   and RNG-keying code, where silently dropping high bits collapses
+//!   distinct seed domains onto each other.
+//! * **`unsafe-audit`** — every `unsafe` fn/impl/block/trait must carry a
+//!   `// SAFETY:` comment stating its actual precondition.
+//! * **`panic-policy`** — no `unwrap`/`panic!`-family macros in library
+//!   code; `.expect("invariant message")` is the configurable escape
+//!   hatch, and indexing can additionally be forbidden per scope.
+//!
+//! Findings are suppressed by inline waivers with a mandatory reason —
+//! for example `// ag-lint: allow(hash-iteration) — order-independent sum`
+//! — either on the offending line or on comment lines directly above it.
+//! A waiver without a reason, or naming an unknown rule, is itself a
+//! finding (`invalid-waiver`) that cannot be waived.
+
+use std::fmt;
+
+use crate::config::{Config, RuleCfg};
+use crate::scan::{is_ident_char, ScannedFile};
+
+/// Identifier of a rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    HashIteration,
+    WallClock,
+    TruncatingCast,
+    UnsafeAudit,
+    PanicPolicy,
+    /// Malformed waivers; internal, never configured, never waivable.
+    InvalidWaiver,
+}
+
+impl RuleId {
+    /// All configurable rules, in reporting order.
+    pub const CONFIGURABLE: [RuleId; 5] = [
+        RuleId::HashIteration,
+        RuleId::WallClock,
+        RuleId::TruncatingCast,
+        RuleId::UnsafeAudit,
+        RuleId::PanicPolicy,
+    ];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashIteration => "hash-iteration",
+            RuleId::WallClock => "wall-clock",
+            RuleId::TruncatingCast => "truncating-cast",
+            RuleId::UnsafeAudit => "unsafe-audit",
+            RuleId::PanicPolicy => "panic-policy",
+            RuleId::InvalidWaiver => "invalid-waiver",
+        }
+    }
+
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::CONFIGURABLE.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed inline waiver.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rules: Vec<RuleId>,
+    /// Line the waiver applies to (the waiver's own line, or the next
+    /// code-bearing line when the waiver sits on a comment-only line).
+    has_reason: bool,
+}
+
+/// Lint one scanned file. Returns surviving findings and the number of
+/// waivers that actually suppressed something.
+#[must_use]
+pub fn lint_file(path: &str, file: &ScannedFile, cfg: &Config) -> (Vec<Finding>, usize) {
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for rule in RuleId::CONFIGURABLE {
+        if !cfg.applies(rule, path) {
+            continue;
+        }
+        let rc = cfg.rule(rule);
+        match rule {
+            RuleId::HashIteration => check_hash_iteration(path, file, &rc, &mut raw),
+            RuleId::WallClock => check_wall_clock(path, file, &rc, &mut raw),
+            RuleId::TruncatingCast => check_truncating_cast(path, file, &rc, &mut raw),
+            RuleId::UnsafeAudit => check_unsafe(path, file, &rc, &mut raw),
+            RuleId::PanicPolicy => check_panic_policy(path, file, &rc, &mut raw),
+            RuleId::InvalidWaiver => unreachable!("not in CONFIGURABLE"),
+        }
+    }
+
+    // Waiver application: a finding on line L is suppressed when a
+    // well-formed waiver naming its rule covers L.
+    let mut findings = Vec::new();
+    let mut honored = 0usize;
+    for finding in raw {
+        if finding.rule != RuleId::InvalidWaiver
+            && waivers_covering(file, finding.line - 1)
+                .iter()
+                .any(|w| w.has_reason && w.rules.contains(&finding.rule))
+        {
+            honored += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+
+    // Malformed waivers are findings in *every* scanned file, regardless
+    // of rule scopes: a waiver that silently fails to parse is exactly
+    // the silent exemption the tool exists to forbid.
+    for (i, line) in file.lines.iter().enumerate() {
+        if let Some(err) = waiver_syntax_error(&line.comment) {
+            findings.push(Finding {
+                path: path.to_owned(),
+                line: i + 1,
+                rule: RuleId::InvalidWaiver,
+                message: err,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    (findings, honored)
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+const WAIVER_MARK: &str = "ag-lint:";
+
+/// Waivers covering line `idx` (0-based): waivers on the line itself plus
+/// waivers on directly preceding comment-only / attribute-only lines.
+fn waivers_covering(file: &ScannedFile, idx: usize) -> Vec<Waiver> {
+    let mut out = parse_waivers(&file.lines[idx].comment);
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        if line.has_code() && !line.is_attr_only() {
+            break;
+        }
+        out.extend(parse_waivers(&line.comment));
+    }
+    out
+}
+
+/// Parse every well-formed waiver in one comment string.
+fn parse_waivers(comment: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(WAIVER_MARK) {
+        rest = &rest[pos + WAIVER_MARK.len()..];
+        if let Some((waiver, tail)) = parse_one_waiver(rest) {
+            out.push(waiver);
+            rest = tail;
+        }
+    }
+    out
+}
+
+/// Parse the `allow(rule, …) — reason` tail that follows the waiver
+/// marker. Returns `None` on malformed syntax (reported via
+/// [`waiver_syntax_error`]).
+fn parse_one_waiver(text: &str) -> Option<(Waiver, &str)> {
+    let text = text.trim_start();
+    let args = text.strip_prefix("allow(")?;
+    let close = args.find(')')?;
+    let mut rules = Vec::new();
+    for name in args[..close].split(',') {
+        rules.push(RuleId::parse(name.trim())?);
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = &args[close + 1..];
+    // Mandatory reason: an em/en/hyphen dash separator followed by text.
+    let reason = tail.trim_start().trim_start_matches(['—', '–', '-']).trim();
+    Some((
+        Waiver {
+            rules,
+            has_reason: !reason.is_empty(),
+        },
+        tail,
+    ))
+}
+
+/// A human-readable description of what is wrong with the waivers in
+/// this comment, if anything.
+fn waiver_syntax_error(comment: &str) -> Option<String> {
+    let mut rest = comment;
+    while let Some(pos) = rest.find(WAIVER_MARK) {
+        rest = &rest[pos + WAIVER_MARK.len()..];
+        match parse_one_waiver(rest) {
+            Some((waiver, tail)) => {
+                if !waiver.has_reason {
+                    return Some(
+                        "waiver is missing its mandatory reason: \
+                         `// ag-lint: allow(<rule>) — <reason>`"
+                            .to_owned(),
+                    );
+                }
+                rest = tail;
+            }
+            None => {
+                return Some(
+                    "malformed waiver (expected `allow(<known-rule>, …)` \
+                     after `ag-lint:`)"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------
+
+/// Byte offsets where `needle` occurs in `code` as a standalone token
+/// (not embedded in a longer identifier).
+fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + needle.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            out.push(at);
+        }
+        start = at + needle.len();
+    }
+    out
+}
+
+/// Does `code` contain `needle` as a standalone token?
+fn has_token(code: &str, needle: &str) -> bool {
+    !token_positions(code, needle).is_empty()
+}
+
+/// The identifier ending at byte offset `end` of `code` (exclusive).
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let mut start = end;
+    for (i, c) in code[..end].char_indices().rev() {
+        if !is_ident_char(c) {
+            break;
+        }
+        start = i;
+    }
+    let ident = &code[start..end];
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+/// Iterate non-test (unless `include_tests`) lines with their 1-based
+/// numbers.
+fn code_lines<'a>(
+    file: &'a ScannedFile,
+    rc: &'a RuleCfg,
+) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(move |(_, l)| rc.include_tests || !l.in_test)
+        .map(|(i, l)| (i + 1, l.code.as_str()))
+}
+
+fn push(out: &mut Vec<Finding>, path: &str, line: usize, rule: RuleId, message: String) {
+    out.push(Finding {
+        path: path.to_owned(),
+        line,
+        rule,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// hash-iteration
+// ---------------------------------------------------------------------------
+
+const ITERATION_METHODS: [&str; 10] = [
+    "iter()",
+    "iter_mut()",
+    "into_iter()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "drain(",
+    "retain(",
+    "into_keys()",
+    "into_values()",
+];
+
+fn check_hash_iteration(path: &str, file: &ScannedFile, rc: &RuleCfg, out: &mut Vec<Finding>) {
+    // Pass 1: which identifiers are hash-typed? Collected from the whole
+    // file (including tests — a field declared once is used everywhere).
+    let mut names: Vec<String> = Vec::new();
+    for line in &file.lines {
+        collect_hash_names(&line.code, &mut names);
+    }
+    names.sort();
+    names.dedup();
+
+    // Pass 2: flag iteration forms over those identifiers.
+    for (lineno, code) in code_lines(file, rc) {
+        for name in &names {
+            for at in token_positions(code, name) {
+                let after = &code[at + name.len()..];
+                if let Some(rest) = after.strip_prefix('.') {
+                    if let Some(m) = ITERATION_METHODS.iter().find(|m| rest.starts_with(**m)) {
+                        push(
+                            out,
+                            path,
+                            lineno,
+                            RuleId::HashIteration,
+                            format!(
+                                "iteration over hash-ordered collection `{name}` \
+                                 (`.{m}`): hash order is nondeterministic per \
+                                 process — use a BTree collection or a sorted Vec, \
+                                 or waive with an order-independence argument"
+                            ),
+                        );
+                    }
+                }
+                // `for x in map {` / `for x in &self.map {`: the loop
+                // target ends at `at + name`, so everything between the
+                // `in` keyword and the name must be only borrow sigils
+                // and a dotted owner path.
+                if has_token(code, "for") && for_target_ends_here(code, at) {
+                    let next = after.trim_start().chars().next();
+                    if matches!(next, None | Some('{')) {
+                        push(
+                            out,
+                            path,
+                            lineno,
+                            RuleId::HashIteration,
+                            format!(
+                                "`for` loop over hash-ordered collection `{name}`: \
+                                 hash order is nondeterministic per process"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Is the expression ending at byte `at` (exclusive of the identifier
+/// that starts there) the target of a `for … in` loop? True when the
+/// text between the nearest preceding ` in ` keyword and `at` consists
+/// only of borrow sigils (`&`, `&mut`) and a dotted owner path.
+fn for_target_ends_here(code: &str, at: usize) -> bool {
+    let Some(in_pos) = token_positions(&code[..at], "in").into_iter().next_back() else {
+        return false;
+    };
+    let between = code[in_pos + 2..at].trim();
+    let between = between.strip_prefix('&').unwrap_or(between).trim_start();
+    let between = between.strip_prefix("mut ").unwrap_or(between).trim_start();
+    between.chars().all(|c| is_ident_char(c) || c == '.')
+}
+
+/// Collect identifiers bound to `HashMap`/`HashSet` on this line: typed
+/// bindings and fields (`name: HashMap<…>`, `name: &HashSet<…>`) and
+/// constructor bindings (`let name = HashMap::new()`).
+fn collect_hash_names(code: &str, names: &mut Vec<String>) {
+    for ty in ["HashMap", "HashSet"] {
+        for at in token_positions(code, ty) {
+            let before = &code[..at];
+            // Strip a leading module path (`std::collections::HashSet`).
+            let mut prefix_end = at;
+            loop {
+                let upto = &code[..prefix_end];
+                let Some(stripped) = upto.strip_suffix("::") else {
+                    break;
+                };
+                let mut seg_start = stripped.len();
+                for (i, c) in stripped.char_indices().rev() {
+                    if !is_ident_char(c) {
+                        break;
+                    }
+                    seg_start = i;
+                }
+                prefix_end = seg_start;
+            }
+            let decl = code[..prefix_end].trim_end();
+            // `name: [&[mut ]]HashMap<…>` — field, param or let type.
+            let decl_stripped = decl
+                .strip_suffix("&mut")
+                .or_else(|| decl.strip_suffix('&'))
+                .map_or(decl, str::trim_end);
+            if let Some(colon) = decl_stripped.strip_suffix(':') {
+                let colon = colon.trim_end();
+                if let Some(name) = ident_ending_at(colon, colon.len()) {
+                    names.push(name.to_owned());
+                }
+            }
+            // `let [mut] name = HashMap::…`.
+            if before.contains("let ") && code[at..].starts_with(&format!("{ty}::")) {
+                if let Some(eq) = decl.strip_suffix('=') {
+                    let eq = eq.trim_end();
+                    if let Some(name) = ident_ending_at(eq, eq.len()) {
+                        names.push(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+fn check_wall_clock(path: &str, file: &ScannedFile, rc: &RuleCfg, out: &mut Vec<Finding>) {
+    for (lineno, code) in code_lines(file, rc) {
+        if has_token(code, "SystemTime") {
+            push(
+                out,
+                path,
+                lineno,
+                RuleId::WallClock,
+                "`SystemTime` in deterministic code: wall-clock reads make runs \
+                 irreproducible — time must come from the engine's round counter"
+                    .to_owned(),
+            );
+        }
+        if code.contains("Instant::now") {
+            push(
+                out,
+                path,
+                lineno,
+                RuleId::WallClock,
+                "`Instant::now()` in deterministic code: timing belongs in the \
+                 bench harness, not the simulation"
+                    .to_owned(),
+            );
+        }
+        for call in ["env::var(", "env::var_os(", "env::args(", "env::vars("] {
+            if let Some(at) = code.find(call) {
+                let before_ok =
+                    at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+                if before_ok || code[..at].ends_with("std::") {
+                    push(
+                        out,
+                        path,
+                        lineno,
+                        RuleId::WallClock,
+                        format!(
+                            "environment read (`{}…`) in deterministic code: ambient \
+                             configuration must flow through explicit parameters",
+                            call.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// truncating-cast
+// ---------------------------------------------------------------------------
+
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn check_truncating_cast(path: &str, file: &ScannedFile, rc: &RuleCfg, out: &mut Vec<Finding>) {
+    for (lineno, code) in code_lines(file, rc) {
+        for at in token_positions(code, "as") {
+            let after = code[at + 2..].trim_start();
+            if let Some(ty) = NARROW_TYPES
+                .iter()
+                .find(|t| after.starts_with(**t) && !is_ident_char(nth_char(after, t.len())))
+            {
+                push(
+                    out,
+                    path,
+                    lineno,
+                    RuleId::TruncatingCast,
+                    format!(
+                        "truncating `as {ty}` cast in seed/RNG-keying code: \
+                         dropping high bits collapses seed domains — use \
+                         `try_from` or keep the full width"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn nth_char(s: &str, n: usize) -> char {
+    s.chars().nth(n).unwrap_or(' ')
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// Kind of an unsafe site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Fn,
+    Impl,
+    Trait,
+    Block,
+}
+
+impl fmt::Display for UnsafeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Block => "block",
+        })
+    }
+}
+
+/// One `unsafe` occurrence, as shared between the audit rule and the
+/// inventory generator.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line number.
+    pub line: usize,
+    pub kind: UnsafeKind,
+    /// The `// SAFETY:` justification, joined across continuation
+    /// comment lines; `None` when undocumented.
+    pub justification: Option<String>,
+}
+
+/// Extract every unsafe site in a file, with its justification.
+#[must_use]
+pub fn unsafe_sites(file: &ScannedFile) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        for at in token_positions(&line.code, "unsafe") {
+            let after = line.code[at + "unsafe".len()..].trim_start();
+            let kind = if after.starts_with("fn") {
+                UnsafeKind::Fn
+            } else if after.starts_with("impl") {
+                UnsafeKind::Impl
+            } else if after.starts_with("trait") {
+                UnsafeKind::Trait
+            } else {
+                UnsafeKind::Block
+            };
+            out.push(UnsafeSite {
+                line: i + 1,
+                kind,
+                justification: safety_comment(file, i),
+            });
+        }
+    }
+    out
+}
+
+/// The `// SAFETY:` text covering line `idx`: searched on the line
+/// itself, then on directly preceding comment-only / attribute-only
+/// lines. Continuation comment lines after the `SAFETY:` marker are
+/// joined into the excerpt.
+fn safety_comment(file: &ScannedFile, idx: usize) -> Option<String> {
+    let mark_line = find_safety_mark(file, idx)?;
+    let first = &file.lines[mark_line].comment;
+    let pos = first.find("SAFETY:")?;
+    let mut text = first[pos + "SAFETY:".len()..].trim().to_owned();
+    // Join continuation comment lines between the marker and the site.
+    for line in &file.lines[mark_line + 1..=idx] {
+        if line.has_code() || line.comment.trim().is_empty() {
+            break;
+        }
+        text.push(' ');
+        text.push_str(line.comment.trim());
+    }
+    Some(text)
+}
+
+fn find_safety_mark(file: &ScannedFile, idx: usize) -> Option<usize> {
+    if file.lines[idx].comment.contains("SAFETY:") {
+        return Some(idx);
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        if line.has_code() && !line.is_attr_only() {
+            return None;
+        }
+        if line.comment.contains("SAFETY:") {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn check_unsafe(path: &str, file: &ScannedFile, rc: &RuleCfg, out: &mut Vec<Finding>) {
+    for site in unsafe_sites(file) {
+        if !rc.include_tests && file.lines[site.line - 1].in_test {
+            continue;
+        }
+        if site.justification.is_none() {
+            push(
+                out,
+                path,
+                site.line,
+                RuleId::UnsafeAudit,
+                format!(
+                    "undocumented `unsafe` {}: add a `// SAFETY:` comment stating \
+                     the precondition that makes this sound (feature guard, \
+                     pointer/length provenance, alignment, …)",
+                    site.kind
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic-policy
+// ---------------------------------------------------------------------------
+
+fn check_panic_policy(path: &str, file: &ScannedFile, rc: &RuleCfg, out: &mut Vec<Finding>) {
+    for (lineno, code) in code_lines(file, rc) {
+        if code.contains(".unwrap()") {
+            push(
+                out,
+                path,
+                lineno,
+                RuleId::PanicPolicy,
+                "`.unwrap()` in library code: return a typed error, or use \
+                 `.expect(\"<invariant>\")` to document why this cannot fail"
+                    .to_owned(),
+            );
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            if has_token(code, mac.trim_end_matches('!')) && code.contains(mac) {
+                push(
+                    out,
+                    path,
+                    lineno,
+                    RuleId::PanicPolicy,
+                    format!(
+                        "`{mac}` in library code: return a typed error, or waive \
+                         with the documented panic contract as the reason"
+                    ),
+                );
+            }
+        }
+        if !rc.allow_expect && code.contains(".expect(") {
+            push(
+                out,
+                path,
+                lineno,
+                RuleId::PanicPolicy,
+                "`.expect(…)` is forbidden in this scope (allow_expect = false)".to_owned(),
+            );
+        }
+        if rc.forbid_indexing {
+            check_indexing(path, code, lineno, out);
+        }
+    }
+}
+
+/// Flag `expr[…]` indexing: a `[` directly preceded by an identifier
+/// character, `)` or `]`. Skips attributes (`#[…]`), macro bangs
+/// (`vec![…]`) and type syntax (`[u8; 32]`), none of which match the
+/// preceded-by test.
+fn check_indexing(path: &str, code: &str, lineno: usize, out: &mut Vec<Finding>) {
+    for (i, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let Some(prev) = code[..i].chars().next_back() else {
+            continue;
+        };
+        if is_ident_char(prev) || prev == ')' || prev == ']' {
+            push(
+                out,
+                path,
+                lineno,
+                RuleId::PanicPolicy,
+                "indexing expression in a no-panic zone: use `get`/`get_mut` \
+                 or an iterator (indexing panics on out-of-bounds)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn cfg_with(rule: &str, extra: &str) -> Config {
+        Config::from_toml_str(&format!(
+            "source_roots = [\"crates\"]\n[rules.{rule}]\nscope = [\"**\"]\n{extra}"
+        ))
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn hash_names_collected_from_decl_forms() {
+        let mut names = Vec::new();
+        collect_hash_names(
+            "    edge_pos: HashMap<(NodeId, NodeId), usize>,",
+            &mut names,
+        );
+        collect_hash_names(
+            "let mut seen = std::collections::HashSet::new();",
+            &mut names,
+        );
+        collect_hash_names(
+            "pub fn volume(g: &Graph, set: &HashSet<NodeId>) {",
+            &mut names,
+        );
+        assert_eq!(names, ["edge_pos", "seen", "set"]);
+    }
+
+    #[test]
+    fn keyed_lookup_passes_iteration_fires() {
+        let src = concat!(
+            "struct T { edge_pos: HashMap<(u32, u32), usize> }\n",
+            "fn ok(t: &T) -> bool { t.edge_pos.contains_key(&(1, 2)) }\n",
+            "fn bad(t: &T) -> usize { t.edge_pos.keys().count() }\n",
+            "fn bad2(t: &T) { for _ in &t.edge_pos {} }\n",
+        );
+        let cfg = cfg_with("hash-iteration", "");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(src), &cfg);
+        let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [3, 4], "findings: {f:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses_and_requires_reason() {
+        let src = concat!(
+            "fn f(set: &HashSet<u32>) -> usize {\n",
+            "    // ag-lint: allow(hash-iteration) — order-independent sum\n",
+            "    set.iter().count()\n",
+            "}\n",
+            "fn g(set: &HashSet<u32>) -> usize {\n",
+            "    set.iter().count() // ag-lint: allow(hash-iteration)\n",
+            "}\n",
+        );
+        let cfg = cfg_with("hash-iteration", "");
+        let (f, honored) = lint_file("crates/x/src/a.rs", &scan(src), &cfg);
+        assert_eq!(honored, 1);
+        // The reasonless waiver does not suppress, and is itself flagged.
+        let rules: Vec<RuleId> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&RuleId::HashIteration));
+        assert!(rules.contains(&RuleId::InvalidWaiver));
+    }
+
+    #[test]
+    fn panic_policy_fires_and_respects_expect_knob() {
+        let src = concat!(
+            "fn f() { x().unwrap(); }\n",
+            "fn g() { panic!(\"boom\"); }\n",
+            "fn h() { y().expect(\"invariant\"); }\n",
+            "#[cfg(test)]\n",
+            "mod tests { fn t() { z().unwrap(); } }\n",
+        );
+        let lax = cfg_with("panic-policy", "allow_expect = true\n");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(src), &lax);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [1, 2]);
+
+        let strict = cfg_with("panic-policy", "allow_expect = false\n");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(src), &strict);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn indexing_knob_flags_subscripts_not_attrs_or_macros() {
+        let src = concat!(
+            "#[derive(Debug)]\n",
+            "fn f(xs: &[u8]) -> u8 { let v = vec![1u8]; xs[0] ^ v[0] }\n",
+        );
+        let on = cfg_with("panic-policy", "forbid_indexing = true\n");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(src), &on);
+        assert_eq!(f.len(), 2, "two subscripts: {f:?}");
+        let off = cfg_with("panic-policy", "");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(src), &off);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unsafe_sites_classified_and_safety_lookback_works() {
+        let src = concat!(
+            "// SAFETY: documented impl\n",
+            "unsafe impl Send for T {}\n",
+            "fn f() { unsafe { core(); } }\n",
+            "/// # Safety\n",
+            "/// caller contract only — not a site justification\n",
+            "unsafe fn g() {}\n",
+        );
+        let sites = unsafe_sites(&scan(src));
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].kind, UnsafeKind::Impl);
+        assert_eq!(sites[0].justification.as_deref(), Some("documented impl"));
+        assert_eq!(sites[1].kind, UnsafeKind::Block);
+        assert!(sites[1].justification.is_none());
+        assert_eq!(sites[2].kind, UnsafeKind::Fn);
+        assert!(
+            sites[2].justification.is_none(),
+            "a `# Safety` doc section states the caller contract, not why \
+             this body is sound — the audit wants `// SAFETY:`"
+        );
+    }
+
+    #[test]
+    fn multiline_safety_comment_joins_into_excerpt() {
+        let src = concat!(
+            "// SAFETY: the matched level was runtime-detected\n",
+            "// and never exceeds the CPU's features.\n",
+            "unsafe { kernel(); }\n",
+        );
+        let sites = unsafe_sites(&scan(src));
+        assert_eq!(
+            sites[0].justification.as_deref(),
+            Some("the matched level was runtime-detected and never exceeds the CPU's features.")
+        );
+    }
+
+    #[test]
+    fn wall_clock_and_truncating_cast_fire() {
+        let clock_src = concat!(
+            "fn f() { let t = std::time::Instant::now(); }\n",
+            "fn g() { let v = std::env::var(\"X\"); }\n",
+            "fn h() { let s = SystemTime::now(); }\n",
+        );
+        let cfg = cfg_with("wall-clock", "");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(clock_src), &cfg);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [1, 2, 3]);
+
+        let cast_src = concat!(
+            "fn k(seed: u64) -> u32 { seed as u32 }\n",
+            "fn w(x: u32) -> u64 { x as u64 }\n",
+        );
+        let cfg = cfg_with("truncating-cast", "");
+        let (f, _) = lint_file("crates/x/src/a.rs", &scan(cast_src), &cfg);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), [1]);
+    }
+}

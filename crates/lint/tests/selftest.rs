@@ -1,0 +1,192 @@
+//! Self-tests: every rule family must demonstrably fire on its known-bad
+//! fixture (with the right file:line), stay quiet on the known-good one,
+//! honor waivers, and skip out-of-scope files — and the tool must exit
+//! clean on the real workspace, pinning "the tree passes its own lint"
+//! as a test rather than a CI-only property.
+
+use std::path::Path;
+
+use ag_lint::config::Config;
+use ag_lint::rules::{lint_file, RuleId};
+use ag_lint::scan::scan;
+
+/// Config scoping every rule to `fixtures/**` with self-test defaults.
+fn fixture_config(extra: &str) -> Config {
+    let toml = format!(
+        r#"
+version = 1
+source_roots = ["fixtures"]
+
+[rules.hash-iteration]
+scope = ["fixtures/**"]
+
+[rules.wall-clock]
+scope = ["fixtures/**"]
+
+[rules.truncating-cast]
+scope = ["fixtures/**"]
+
+[rules.unsafe-audit]
+scope = ["fixtures/**"]
+
+[rules.panic-policy]
+scope = ["fixtures/**"]
+{extra}
+"#
+    );
+    Config::from_toml_str(&toml).expect("self-test config parses")
+}
+
+fn lint_fixture(name: &str, cfg: &Config) -> Vec<ag_lint::rules::Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    let rel = format!("fixtures/{name}");
+    lint_file(&rel, &scan(&text), cfg).0
+}
+
+fn lines_for(findings: &[ag_lint::rules::Finding], rule: RuleId) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn hash_iteration_fires_on_message_pick_pattern() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_hash_iteration.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::HashIteration);
+    assert_eq!(lines, vec![15, 21, 29], "iter(), for-loop, retain()");
+    assert!(findings
+        .iter()
+        .all(|f| f.path == "fixtures/bad_hash_iteration.rs"));
+}
+
+#[test]
+fn keyed_hash_lookup_is_clean() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("good_hash_keyed.rs", &cfg);
+    assert!(findings.is_empty(), "keyed access must pass: {findings:?}");
+}
+
+#[test]
+fn wall_clock_fires_on_instant_systemtime_env() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_wall_clock.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::WallClock);
+    assert_eq!(lines, vec![5, 8, 11], "Instant, SystemTime, env::var");
+}
+
+#[test]
+fn truncating_cast_fires_but_widening_does_not() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_truncating_cast.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::TruncatingCast);
+    assert_eq!(
+        lines,
+        vec![6, 8],
+        "as u32 and as u8 only — never as u64/usize"
+    );
+}
+
+#[test]
+fn undocumented_unsafe_fires_and_doc_safety_does_not_count() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_unsafe.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::UnsafeAudit);
+    assert_eq!(
+        lines,
+        vec![5, 12],
+        "the block, and the fn whose only justification is a doc contract"
+    );
+}
+
+#[test]
+fn safety_comments_satisfy_the_unsafe_audit() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("good_unsafe.rs", &cfg);
+    assert!(
+        findings.is_empty(),
+        "documented unsafe must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_policy_fires_honors_waiver_and_skips_tests() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_panic.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::PanicPolicy);
+    assert_eq!(
+        lines,
+        vec![6, 12],
+        "unwrap and panic! fire; waived unwrap (15), expect (8), \
+         indexing (17) and cfg(test) unwrap do not"
+    );
+}
+
+#[test]
+fn allow_expect_false_and_forbid_indexing_tighten_the_policy() {
+    let cfg =
+        fixture_config("allow_expect = false\nforbid_indexing = true\ninclude_tests = true\n");
+    let findings = lint_fixture("bad_panic.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::PanicPolicy);
+    assert!(lines.contains(&8), "expect fires when allow_expect = false");
+    assert!(
+        lines.contains(&17),
+        "indexing fires when forbid_indexing = true"
+    );
+    assert!(
+        lines.contains(&27),
+        "cfg(test) unwrap fires when include_tests = true"
+    );
+}
+
+#[test]
+fn invalid_waivers_are_findings_and_do_not_suppress() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_waiver.rs", &cfg);
+    let invalid = lines_for(&findings, RuleId::InvalidWaiver);
+    assert_eq!(invalid, vec![5, 7], "reasonless and unknown-rule waivers");
+    let panics = lines_for(&findings, RuleId::PanicPolicy);
+    assert_eq!(panics, vec![6, 8], "a malformed waiver suppresses nothing");
+}
+
+#[test]
+fn out_of_scope_files_are_ignored() {
+    let cfg = fixture_config("");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad_hash_iteration.rs");
+    let text = std::fs::read_to_string(path).expect("fixture exists");
+    // Same bad content, but under a path no rule scope matches.
+    let (findings, _) = lint_file("elsewhere/other.rs", &scan(&text), &cfg);
+    assert!(findings.is_empty(), "out of scope: {findings:?}");
+}
+
+/// The tree must pass its own lint: zero findings and a committed
+/// inventory that matches the unsafe sites actually present.
+#[test]
+fn real_workspace_is_clean_and_inventory_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf();
+    let cfg = ag_lint::load_config(&root).expect("lint.toml parses");
+    let report = ag_lint::run(&root, &cfg).expect("lint pass runs");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean: {:?}",
+        report.findings
+    );
+    let committed = std::fs::read_to_string(root.join(&cfg.inventory_path))
+        .expect("UNSAFE_INVENTORY.md is committed");
+    assert_eq!(
+        committed, report.inventory,
+        "UNSAFE_INVENTORY.md drifted — run `cargo run -p ag-lint -- --write-inventory`"
+    );
+}

@@ -49,6 +49,9 @@ impl LineSystem {
             .collect();
         let tree = SpanningTree::from_parents(0, parents).expect("a path is a tree");
         let inner = TreeSystem::new(&tree, placement.clone(), mu)
+            // ag-lint: allow(panic-policy) — constructor contract: the
+            // asserts above already validated lmax/placement, so a
+            // TreeSystem rejection here is a caller bug, not an input.
             .unwrap_or_else(|e| panic!("invalid line system: {e}"));
         LineSystem {
             inner,

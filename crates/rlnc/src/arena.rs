@@ -85,6 +85,8 @@ impl<F: SlabField> DecoderArena<F> {
     pub fn with_growth(nodes: usize, k: usize, payload_len: usize, growth: ArenaGrowth) -> Self {
         match Self::try_with_growth(nodes, k, payload_len, growth) {
             Ok(arena) => arena,
+            // ag-lint: allow(panic-policy) — documented panicking wrapper;
+            // try_with_growth is the typed-error twin.
             Err(e) => panic!("{e}"),
         }
     }

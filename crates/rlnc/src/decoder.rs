@@ -232,9 +232,13 @@ impl<F: SlabField> Decoder<F> {
         match self.try_receive(&packet) {
             Ok(outcome) => outcome,
             Err(CodingError::GenerationSizeMismatch { .. }) => {
+                // ag-lint: allow(panic-policy) — documented receive()
+                // panic contract; try_receive is the typed-error twin.
                 panic!("packet generation size mismatch")
             }
             Err(CodingError::PayloadLengthMismatch { .. }) => {
+                // ag-lint: allow(panic-policy) — documented receive()
+                // panic contract; try_receive is the typed-error twin.
                 panic!("packet payload length mismatch")
             }
         }

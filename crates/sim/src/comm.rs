@@ -107,6 +107,8 @@ impl PartnerSelector {
     }
 }
 
+// Test-only duplicate probes: insert/contains, order never observed.
+#[allow(clippy::disallowed_types)]
 #[cfg(test)]
 mod tests {
     use super::*;

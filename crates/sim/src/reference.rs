@@ -173,6 +173,8 @@ impl ReferenceEngine {
             }
         }
         // 3. Same-sender dedup (keep the first per (from, to) pair).
+        // Insert-only membership probe: order is never observed.
+        #[allow(clippy::disallowed_types)]
         let mut seen: std::collections::HashSet<(NodeId, NodeId)> =
             std::collections::HashSet::new();
         for (from, to, tag, msg) in outbox {
