@@ -193,6 +193,28 @@ impl SlabField for Gf256 {
         }
     }
 
+    fn mul_add_block(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], row_bytes: usize) {
+        let (r, c) = crate::slab::check_block::<Self>(coefs, srcs, dsts, row_bytes);
+        if r == 0 || c == 0 {
+            return;
+        }
+        // Only the SIMD rung has a genuinely blocked panel kernel (GFNI
+        // reuses each loaded source vector across a register panel of
+        // destination accumulators). Reference and SWAR fall back to the
+        // per-destination gather loop — for them the panel cannot beat the
+        // gather, since their per-coefficient tables are rebuilt per
+        // (i, j) product either way.
+        match crate::kernel::gf256_effective_kernel(Kernel::active(), row_bytes) {
+            Kernel::Simd => crate::simd::gf256_mul_add_block(coefs, srcs, dsts, row_bytes),
+            _ => {
+                for (panel_row, dst) in coefs.chunks_exact(c).zip(dsts.chunks_exact_mut(row_bytes))
+                {
+                    Self::mul_add_multi(panel_row, srcs, dst);
+                }
+            }
+        }
+    }
+
     fn mul_add_scatter(factors: &[u8], src: &[u8], dsts: &mut [u8]) {
         assert_eq!(
             dsts.len(),

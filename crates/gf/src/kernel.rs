@@ -55,17 +55,21 @@ pub enum Kernel {
 pub const SHORT_ROW_BYTES: usize = 64;
 
 /// GF(2⁸) rows at least this long route the [`Kernel::Swar`] rung to the
-/// reference product-table kernel. Measured on the bench machine, SWAR
-/// loses the raw streaming axpy to reference at every length from 4 KiB up
-/// (1 MiB: 1853 vs 2441 MiB/s, the BENCH_rlnc_throughput.json regression
-/// this cutoff fixes), while decode-sized rows (~1–2 KiB, L1-resident) keep
-/// SWAR, which is ahead end-to-end there (10.52 vs 11.34 ms/decode in the
-/// same report) and is the only wide rung non-x86 hosts have. All rungs
-/// are bit-identical, so the routing is invisible to results.
-///
-/// GF(2⁴) is unaffected: split-nibble SWAR beats the reference kernel on
-/// every measured GF(2⁴) shape (raw axpy 3658 vs 2060 MiB/s).
-pub const GF256_SWAR_LONG_ROW_BYTES: usize = 4096;
+/// reference product-table kernel — and the threshold is **zero**: the
+/// demotion is unconditional. The `bench_gf_block` single-row axpy sweep
+/// shows split-nibble SWAR losing to the prebuilt product table at *every*
+/// GF(2⁸) row length on the bench machine (swar/reference 0.52 at 64 B,
+/// 0.77 at the 1 KiB decode shape, 0.73 at 4 KiB, 0.86 at 1 MiB): the
+/// per-multiplier nibble-table build never amortizes against a kernel that
+/// just indexes a 256-byte product row. The earlier 4096-byte cutoff —
+/// tuned from an end-to-end decode number that bundled the old row-at-a-
+/// time replay — left the 1 KiB bench shape on SWAR, decoding at 79.96 vs
+/// 126.42 MiB/s reference. All rungs are bit-identical, so the routing is
+/// invisible to results; forcing `Kernel::Swar` remains meaningful for
+/// GF(2⁴), where SWAR beats reference on every measured shape (raw axpy
+/// 3658 vs 2060 MiB/s), and for the proptest lanes that pin the SWAR code
+/// paths directly.
+pub const GF256_SWAR_LONG_ROW_BYTES: usize = 0;
 
 /// The rung a GF(2⁸) bulk operation over `row_bytes` actually executes
 /// when `active` is the selected kernel. This is the single routing
@@ -76,7 +80,11 @@ pub const GF256_SWAR_LONG_ROW_BYTES: usize = 4096;
 #[must_use]
 pub fn gf256_effective_kernel(active: Kernel, row_bytes: usize) -> Kernel {
     let short = row_bytes < SHORT_ROW_BYTES;
-    let swar_demoted = active == Kernel::Swar && row_bytes >= GF256_SWAR_LONG_ROW_BYTES;
+    // With the threshold at zero every SWAR row demotes; written as a
+    // saturating comparison so a re-tuned nonzero cutoff needs no code
+    // change here.
+    let swar_demoted =
+        active == Kernel::Swar && row_bytes.saturating_add(1) > GF256_SWAR_LONG_ROW_BYTES;
     if short || swar_demoted {
         Kernel::Reference
     } else {
@@ -223,24 +231,39 @@ mod tests {
     }
 
     #[test]
-    fn long_gf256_rows_never_run_swar() {
-        // The measured shapes from BENCH_rlnc_throughput.json: SWAR loses
-        // the 1 MiB streaming axpy to reference, so routing must demote it
-        // there — under an explicit Swar selection and a fortiori under
-        // auto-detect, which never picks a rung slower than reference on
-        // these shapes.
-        for k in Kernel::LADDER {
-            let eff = gf256_effective_kernel(k, 1 << 20);
-            assert_ne!(eff, Kernel::Swar, "1 MiB gf256 rows must not run SWAR");
-        }
+    fn gf256_swar_is_demoted_at_every_row_length() {
+        // The bench_gf_block axpy sweep shows SWAR losing to the reference
+        // product table at every GF(2⁸) row length (64 B through 1 MiB),
+        // so the demotion is unconditional: no bulk GF(2⁸) op ever runs
+        // the SWAR rung, under an explicit Swar selection and a fortiori
+        // under auto-detect. This pins the boundary at zero — the decode
+        // bench shape (1 KiB rows) regressed under the old 4096-byte
+        // cutoff (79.96 vs 126.42 MiB/s).
         assert_eq!(
-            gf256_effective_kernel(Kernel::Swar, GF256_SWAR_LONG_ROW_BYTES),
+            GF256_SWAR_LONG_ROW_BYTES, 0,
+            "demotion must be unconditional"
+        );
+        for row_bytes in [
+            1usize,
+            SHORT_ROW_BYTES - 1,
+            SHORT_ROW_BYTES,
+            1024,
+            1152,
+            4096,
+            1 << 20,
+        ] {
+            assert_eq!(
+                gf256_effective_kernel(Kernel::Swar, row_bytes),
+                Kernel::Reference,
+                "gf256 rows of {row_bytes} bytes must not run SWAR"
+            );
+        }
+        // The other rungs are untouched by the SWAR demotion.
+        assert_eq!(gf256_effective_kernel(Kernel::Simd, 1 << 20), Kernel::Simd);
+        assert_eq!(
+            gf256_effective_kernel(Kernel::Reference, 1024),
             Kernel::Reference
         );
-        // Decode-sized rows (k=128, 1 KiB payloads → 1152 bytes) keep the
-        // selected rung: SWAR wins end-to-end there.
-        assert_eq!(gf256_effective_kernel(Kernel::Swar, 1152), Kernel::Swar);
-        assert_eq!(gf256_effective_kernel(Kernel::Simd, 1 << 20), Kernel::Simd);
         // Short rows keep the PR 2 reference path on every rung.
         assert_eq!(
             gf256_effective_kernel(Kernel::Simd, SHORT_ROW_BYTES - 1),

@@ -90,6 +90,47 @@ pub fn gf256_mul_add_multi(factors: &[u8], srcs: &[u8], dst: &mut [u8]) {
     detail::gf256_mul_add_multi(factors, srcs, dst);
 }
 
+/// Blocked panel update `dsts_row_i ^= Σⱼ coefs[i·c + j] · srcs_row_j`
+/// over GF(2⁸), SIMD rung — the BLAS-3 kernel behind
+/// `SlabField::mul_add_block`. `coefs` holds `r · c` symbols row-major;
+/// `srcs` holds `c` rows and `dsts` holds `r` rows of `row_bytes` each.
+///
+/// On GFNI hardware a register panel of four destination rows accumulates
+/// in vector registers while the source rows stream through once, so each
+/// loaded source vector is reused across all four accumulator rows; the
+/// column-tile loop keeps one narrow column of every source L1-resident
+/// across the whole destination panel. Below GFNI it degrades to one
+/// fused gather per destination row.
+///
+/// # Panics
+///
+/// Panics if `srcs`/`dsts` are not whole rows or `coefs` is not exactly
+/// `r · c` symbols (`row_bytes == 0` requires all slabs empty).
+pub fn gf256_mul_add_block(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], row_bytes: usize) {
+    if row_bytes == 0 {
+        assert!(
+            coefs.is_empty() && srcs.is_empty() && dsts.is_empty(),
+            "zero row_bytes requires empty panel slabs"
+        );
+        return;
+    }
+    assert!(
+        srcs.len().is_multiple_of(row_bytes) && dsts.len().is_multiple_of(row_bytes),
+        "panel slabs must be whole rows of {row_bytes} bytes"
+    );
+    let c = srcs.len() / row_bytes;
+    let r = dsts.len() / row_bytes;
+    assert_eq!(
+        coefs.len(),
+        r * c,
+        "coefficient panel must be exactly r x c packed symbols"
+    );
+    if r == 0 || c == 0 {
+        return;
+    }
+    detail::gf256_mul_add_block(coefs, srcs, dsts, row_bytes);
+}
+
 /// Fused scatter `dsts_row_i ^= factors[i] · src` over GF(2⁸), SIMD rung.
 /// `dsts` holds one contiguous row of `src.len()` bytes per factor; zero
 /// factors are skipped. Hoists the kernel dispatch and constant splat out
@@ -258,6 +299,26 @@ mod detail {
                     if f != 0 {
                         super::gf256_mul_add_slice(f, row, dst);
                     }
+                }
+            }
+        }
+    }
+
+    pub(super) fn gf256_mul_add_block(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], rb: usize) {
+        match level() {
+            // SAFETY: level was runtime-detected; Gfni512 means
+            // avx512f+avx512bw+gfni were all observed.
+            Level::Gfni512 => unsafe { gf256_mul_add_block_gfni512(coefs, srcs, dsts, rb) },
+            // SAFETY: this arm runs only when detect() observed gfni+avx2.
+            Level::Gfni => unsafe { gf256_mul_add_block_gfni(coefs, srcs, dsts, rb) },
+            // Below GFNI the panel cannot beat one fused gather per
+            // destination row: nibble tables are rebuilt per coefficient
+            // either way, so there is nothing for a register panel to
+            // amortize.
+            _ => {
+                let c = srcs.len() / rb;
+                for (panel, dst) in coefs.chunks_exact(c).zip(dsts.chunks_exact_mut(rb)) {
+                    super::gf256_mul_add_multi(panel, srcs, dst);
                 }
             }
         }
@@ -675,6 +736,365 @@ mod detail {
         gf256_multi_tail_gfni(factors, srcs, dst, base);
     }
 
+    /// Register-blocked BLAS-3 panel: four destination rows × 128 payload
+    /// bytes live in eight zmm accumulators while the `c` source rows
+    /// stream through, so every loaded source vector feeds four
+    /// multiply-accumulates before it leaves registers. The outer loop
+    /// walks 128-byte column tiles — one column of all `c` sources
+    /// (≤ 16 KiB at c = 128) stays L1-resident while every destination
+    /// panel consumes it. Ragged columns finish with a 64-byte pass and an
+    /// AVX-512BW byte-masked pass, so no scalar cleanup exists; the `r % 4`
+    /// leftover destination rows fall back to one fused gather each.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI, AVX-512F, AVX-512BW and AVX2
+    /// support, and that `coefs` is `r·c` bytes, `srcs` is `c` rows and
+    /// `dsts` is `r` rows of `rb` bytes each (the public wrapper asserts
+    /// this).
+    // SAFETY: unaligned and byte-masked loads/stores only. The tile loops
+    // guard `base + {128,64} <= rb` before touching column `base`, and the
+    // masked pass clamps every lane at or past `rb - base` via `k0`, so no
+    // access crosses a row end. Panel row indices stay `< panels * 4 <= r`
+    // and source indices `j < c`, keeping `dp`/`sp`/`cp` offsets inside
+    // their slabs per the caller contract above.
+    #[target_feature(enable = "gfni,avx512f,avx512bw,avx2")]
+    unsafe fn gf256_mul_add_block_gfni512(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], rb: usize) {
+        let c = srcs.len() / rb;
+        let r = dsts.len() / rb;
+        let panels = r / 4;
+        let mut base = 0usize;
+        while base + 128 <= rb {
+            for p in 0..panels {
+                let cp = coefs.as_ptr().add(p * 4 * c);
+                let dp = dsts.as_mut_ptr().add(p * 4 * rb + base);
+                let mut a0 = _mm512_loadu_si512(dp.cast());
+                let mut a1 = _mm512_loadu_si512(dp.add(64).cast());
+                let mut b0 = _mm512_loadu_si512(dp.add(rb).cast());
+                let mut b1 = _mm512_loadu_si512(dp.add(rb + 64).cast());
+                let mut c0 = _mm512_loadu_si512(dp.add(2 * rb).cast());
+                let mut c1 = _mm512_loadu_si512(dp.add(2 * rb + 64).cast());
+                let mut d0 = _mm512_loadu_si512(dp.add(3 * rb).cast());
+                let mut d1 = _mm512_loadu_si512(dp.add(3 * rb + 64).cast());
+                // Sources go two at a time so each accumulator update is a
+                // single VPTERNLOGD (acc ^ ma ^ mb, imm 0x96) instead of two
+                // VPXORDs: GF2P8MULB, VPXORD and VPBROADCASTB all compete
+                // for the same two vector ports, so halving the xor count
+                // lifts the port-bound ceiling of the whole panel.
+                let mut j = 0usize;
+                while j + 2 <= c {
+                    let f0a = *cp.add(j);
+                    let f1a = *cp.add(c + j);
+                    let f2a = *cp.add(2 * c + j);
+                    let f3a = *cp.add(3 * c + j);
+                    let f0b = *cp.add(j + 1);
+                    let f1b = *cp.add(c + j + 1);
+                    let f2b = *cp.add(2 * c + j + 1);
+                    let f3b = *cp.add(3 * c + j + 1);
+                    if f0a | f1a | f2a | f3a | f0b | f1b | f2b | f3b == 0 {
+                        j += 2;
+                        continue;
+                    }
+                    let spa = srcs.as_ptr().add(j * rb + base);
+                    let spb = srcs.as_ptr().add((j + 1) * rb + base);
+                    let sa0 = _mm512_loadu_si512(spa.cast());
+                    let sa1 = _mm512_loadu_si512(spa.add(64).cast());
+                    let sb0 = _mm512_loadu_si512(spb.cast());
+                    let sb1 = _mm512_loadu_si512(spb.add(64).cast());
+                    let ca = _mm512_set1_epi8(f0a as i8);
+                    let cb = _mm512_set1_epi8(f0b as i8);
+                    a0 = _mm512_ternarylogic_epi64(
+                        a0,
+                        _mm512_gf2p8mul_epi8(sa0, ca),
+                        _mm512_gf2p8mul_epi8(sb0, cb),
+                        0x96,
+                    );
+                    a1 = _mm512_ternarylogic_epi64(
+                        a1,
+                        _mm512_gf2p8mul_epi8(sa1, ca),
+                        _mm512_gf2p8mul_epi8(sb1, cb),
+                        0x96,
+                    );
+                    let ca = _mm512_set1_epi8(f1a as i8);
+                    let cb = _mm512_set1_epi8(f1b as i8);
+                    b0 = _mm512_ternarylogic_epi64(
+                        b0,
+                        _mm512_gf2p8mul_epi8(sa0, ca),
+                        _mm512_gf2p8mul_epi8(sb0, cb),
+                        0x96,
+                    );
+                    b1 = _mm512_ternarylogic_epi64(
+                        b1,
+                        _mm512_gf2p8mul_epi8(sa1, ca),
+                        _mm512_gf2p8mul_epi8(sb1, cb),
+                        0x96,
+                    );
+                    let ca = _mm512_set1_epi8(f2a as i8);
+                    let cb = _mm512_set1_epi8(f2b as i8);
+                    c0 = _mm512_ternarylogic_epi64(
+                        c0,
+                        _mm512_gf2p8mul_epi8(sa0, ca),
+                        _mm512_gf2p8mul_epi8(sb0, cb),
+                        0x96,
+                    );
+                    c1 = _mm512_ternarylogic_epi64(
+                        c1,
+                        _mm512_gf2p8mul_epi8(sa1, ca),
+                        _mm512_gf2p8mul_epi8(sb1, cb),
+                        0x96,
+                    );
+                    let ca = _mm512_set1_epi8(f3a as i8);
+                    let cb = _mm512_set1_epi8(f3b as i8);
+                    d0 = _mm512_ternarylogic_epi64(
+                        d0,
+                        _mm512_gf2p8mul_epi8(sa0, ca),
+                        _mm512_gf2p8mul_epi8(sb0, cb),
+                        0x96,
+                    );
+                    d1 = _mm512_ternarylogic_epi64(
+                        d1,
+                        _mm512_gf2p8mul_epi8(sa1, ca),
+                        _mm512_gf2p8mul_epi8(sb1, cb),
+                        0x96,
+                    );
+                    j += 2;
+                }
+                if j < c {
+                    let f0 = *cp.add(j);
+                    let f1 = *cp.add(c + j);
+                    let f2 = *cp.add(2 * c + j);
+                    let f3 = *cp.add(3 * c + j);
+                    if f0 | f1 | f2 | f3 != 0 {
+                        let sp = srcs.as_ptr().add(j * rb + base);
+                        let s0 = _mm512_loadu_si512(sp.cast());
+                        let s1 = _mm512_loadu_si512(sp.add(64).cast());
+                        let cv = _mm512_set1_epi8(f0 as i8);
+                        a0 = _mm512_xor_si512(a0, _mm512_gf2p8mul_epi8(s0, cv));
+                        a1 = _mm512_xor_si512(a1, _mm512_gf2p8mul_epi8(s1, cv));
+                        let cv = _mm512_set1_epi8(f1 as i8);
+                        b0 = _mm512_xor_si512(b0, _mm512_gf2p8mul_epi8(s0, cv));
+                        b1 = _mm512_xor_si512(b1, _mm512_gf2p8mul_epi8(s1, cv));
+                        let cv = _mm512_set1_epi8(f2 as i8);
+                        c0 = _mm512_xor_si512(c0, _mm512_gf2p8mul_epi8(s0, cv));
+                        c1 = _mm512_xor_si512(c1, _mm512_gf2p8mul_epi8(s1, cv));
+                        let cv = _mm512_set1_epi8(f3 as i8);
+                        d0 = _mm512_xor_si512(d0, _mm512_gf2p8mul_epi8(s0, cv));
+                        d1 = _mm512_xor_si512(d1, _mm512_gf2p8mul_epi8(s1, cv));
+                    }
+                }
+                _mm512_storeu_si512(dp.cast(), a0);
+                _mm512_storeu_si512(dp.add(64).cast(), a1);
+                _mm512_storeu_si512(dp.add(rb).cast(), b0);
+                _mm512_storeu_si512(dp.add(rb + 64).cast(), b1);
+                _mm512_storeu_si512(dp.add(2 * rb).cast(), c0);
+                _mm512_storeu_si512(dp.add(2 * rb + 64).cast(), c1);
+                _mm512_storeu_si512(dp.add(3 * rb).cast(), d0);
+                _mm512_storeu_si512(dp.add(3 * rb + 64).cast(), d1);
+            }
+            base += 128;
+        }
+        if base + 64 <= rb {
+            for p in 0..panels {
+                let cp = coefs.as_ptr().add(p * 4 * c);
+                let dp = dsts.as_mut_ptr().add(p * 4 * rb + base);
+                let mut a0 = _mm512_loadu_si512(dp.cast());
+                let mut b0 = _mm512_loadu_si512(dp.add(rb).cast());
+                let mut c0 = _mm512_loadu_si512(dp.add(2 * rb).cast());
+                let mut d0 = _mm512_loadu_si512(dp.add(3 * rb).cast());
+                for j in 0..c {
+                    let f0 = *cp.add(j);
+                    let f1 = *cp.add(c + j);
+                    let f2 = *cp.add(2 * c + j);
+                    let f3 = *cp.add(3 * c + j);
+                    if f0 | f1 | f2 | f3 == 0 {
+                        continue;
+                    }
+                    let s0 = _mm512_loadu_si512(srcs.as_ptr().add(j * rb + base).cast());
+                    let cv = _mm512_set1_epi8(f0 as i8);
+                    a0 = _mm512_xor_si512(a0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f1 as i8);
+                    b0 = _mm512_xor_si512(b0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f2 as i8);
+                    c0 = _mm512_xor_si512(c0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f3 as i8);
+                    d0 = _mm512_xor_si512(d0, _mm512_gf2p8mul_epi8(s0, cv));
+                }
+                _mm512_storeu_si512(dp.cast(), a0);
+                _mm512_storeu_si512(dp.add(rb).cast(), b0);
+                _mm512_storeu_si512(dp.add(2 * rb).cast(), c0);
+                _mm512_storeu_si512(dp.add(3 * rb).cast(), d0);
+            }
+            base += 64;
+        }
+        if base < rb {
+            let rem = rb - base; // 1..=63
+            let k0: __mmask64 = (1u64 << rem) - 1;
+            for p in 0..panels {
+                let cp = coefs.as_ptr().add(p * 4 * c);
+                let dp = dsts.as_mut_ptr().add(p * 4 * rb + base);
+                let mut a0 = _mm512_maskz_loadu_epi8(k0, dp.cast());
+                let mut b0 = _mm512_maskz_loadu_epi8(k0, dp.add(rb).cast());
+                let mut c0 = _mm512_maskz_loadu_epi8(k0, dp.add(2 * rb).cast());
+                let mut d0 = _mm512_maskz_loadu_epi8(k0, dp.add(3 * rb).cast());
+                for j in 0..c {
+                    let f0 = *cp.add(j);
+                    let f1 = *cp.add(c + j);
+                    let f2 = *cp.add(2 * c + j);
+                    let f3 = *cp.add(3 * c + j);
+                    if f0 | f1 | f2 | f3 == 0 {
+                        continue;
+                    }
+                    let s0 = _mm512_maskz_loadu_epi8(k0, srcs.as_ptr().add(j * rb + base).cast());
+                    let cv = _mm512_set1_epi8(f0 as i8);
+                    a0 = _mm512_xor_si512(a0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f1 as i8);
+                    b0 = _mm512_xor_si512(b0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f2 as i8);
+                    c0 = _mm512_xor_si512(c0, _mm512_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm512_set1_epi8(f3 as i8);
+                    d0 = _mm512_xor_si512(d0, _mm512_gf2p8mul_epi8(s0, cv));
+                }
+                _mm512_mask_storeu_epi8(dp.cast(), k0, a0);
+                _mm512_mask_storeu_epi8(dp.add(rb).cast(), k0, b0);
+                _mm512_mask_storeu_epi8(dp.add(2 * rb).cast(), k0, c0);
+                _mm512_mask_storeu_epi8(dp.add(3 * rb).cast(), k0, d0);
+            }
+        }
+        for i in panels * 4..r {
+            gf256_mul_add_multi_gfni512(
+                &coefs[i * c..(i + 1) * c],
+                srcs,
+                &mut dsts[i * rb..(i + 1) * rb],
+            );
+        }
+    }
+
+    /// As [`gf256_mul_add_block_gfni512`] with four-row × 64-byte ymm
+    /// panels (eight ymm accumulators), a 32-byte column pass, and a
+    /// reference product-table scalar tail for the last `rb % 32` bytes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified GFNI and AVX2 support, and that `coefs`
+    /// is `r·c` bytes, `srcs` is `c` rows and `dsts` is `r` rows of `rb`
+    /// bytes each (the public wrapper asserts this).
+    // SAFETY: unaligned loads/stores only. The tile loops guard
+    // `base + {64,32} <= rb` before touching column `base`; the scalar
+    // tail and the leftover-row gathers use checked slices. Panel row
+    // indices stay `< panels * 4 <= r` and source indices `j < c`, keeping
+    // `dp`/`sp`/`cp` offsets inside their slabs per the caller contract.
+    #[target_feature(enable = "gfni,avx2")]
+    unsafe fn gf256_mul_add_block_gfni(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], rb: usize) {
+        let c = srcs.len() / rb;
+        let r = dsts.len() / rb;
+        let panels = r / 4;
+        let mut base = 0usize;
+        while base + 64 <= rb {
+            for p in 0..panels {
+                let cp = coefs.as_ptr().add(p * 4 * c);
+                let dp = dsts.as_mut_ptr().add(p * 4 * rb + base);
+                let mut a0 = _mm256_loadu_si256(dp.cast());
+                let mut a1 = _mm256_loadu_si256(dp.add(32).cast());
+                let mut b0 = _mm256_loadu_si256(dp.add(rb).cast());
+                let mut b1 = _mm256_loadu_si256(dp.add(rb + 32).cast());
+                let mut c0 = _mm256_loadu_si256(dp.add(2 * rb).cast());
+                let mut c1 = _mm256_loadu_si256(dp.add(2 * rb + 32).cast());
+                let mut d0 = _mm256_loadu_si256(dp.add(3 * rb).cast());
+                let mut d1 = _mm256_loadu_si256(dp.add(3 * rb + 32).cast());
+                for j in 0..c {
+                    let f0 = *cp.add(j);
+                    let f1 = *cp.add(c + j);
+                    let f2 = *cp.add(2 * c + j);
+                    let f3 = *cp.add(3 * c + j);
+                    if f0 | f1 | f2 | f3 == 0 {
+                        continue;
+                    }
+                    let sp = srcs.as_ptr().add(j * rb + base);
+                    let s0 = _mm256_loadu_si256(sp.cast());
+                    let s1 = _mm256_loadu_si256(sp.add(32).cast());
+                    let cv = _mm256_set1_epi8(f0 as i8);
+                    a0 = _mm256_xor_si256(a0, _mm256_gf2p8mul_epi8(s0, cv));
+                    a1 = _mm256_xor_si256(a1, _mm256_gf2p8mul_epi8(s1, cv));
+                    let cv = _mm256_set1_epi8(f1 as i8);
+                    b0 = _mm256_xor_si256(b0, _mm256_gf2p8mul_epi8(s0, cv));
+                    b1 = _mm256_xor_si256(b1, _mm256_gf2p8mul_epi8(s1, cv));
+                    let cv = _mm256_set1_epi8(f2 as i8);
+                    c0 = _mm256_xor_si256(c0, _mm256_gf2p8mul_epi8(s0, cv));
+                    c1 = _mm256_xor_si256(c1, _mm256_gf2p8mul_epi8(s1, cv));
+                    let cv = _mm256_set1_epi8(f3 as i8);
+                    d0 = _mm256_xor_si256(d0, _mm256_gf2p8mul_epi8(s0, cv));
+                    d1 = _mm256_xor_si256(d1, _mm256_gf2p8mul_epi8(s1, cv));
+                }
+                _mm256_storeu_si256(dp.cast(), a0);
+                _mm256_storeu_si256(dp.add(32).cast(), a1);
+                _mm256_storeu_si256(dp.add(rb).cast(), b0);
+                _mm256_storeu_si256(dp.add(rb + 32).cast(), b1);
+                _mm256_storeu_si256(dp.add(2 * rb).cast(), c0);
+                _mm256_storeu_si256(dp.add(2 * rb + 32).cast(), c1);
+                _mm256_storeu_si256(dp.add(3 * rb).cast(), d0);
+                _mm256_storeu_si256(dp.add(3 * rb + 32).cast(), d1);
+            }
+            base += 64;
+        }
+        if base + 32 <= rb {
+            for p in 0..panels {
+                let cp = coefs.as_ptr().add(p * 4 * c);
+                let dp = dsts.as_mut_ptr().add(p * 4 * rb + base);
+                let mut a0 = _mm256_loadu_si256(dp.cast());
+                let mut b0 = _mm256_loadu_si256(dp.add(rb).cast());
+                let mut c0 = _mm256_loadu_si256(dp.add(2 * rb).cast());
+                let mut d0 = _mm256_loadu_si256(dp.add(3 * rb).cast());
+                for j in 0..c {
+                    let f0 = *cp.add(j);
+                    let f1 = *cp.add(c + j);
+                    let f2 = *cp.add(2 * c + j);
+                    let f3 = *cp.add(3 * c + j);
+                    if f0 | f1 | f2 | f3 == 0 {
+                        continue;
+                    }
+                    let s0 = _mm256_loadu_si256(srcs.as_ptr().add(j * rb + base).cast());
+                    let cv = _mm256_set1_epi8(f0 as i8);
+                    a0 = _mm256_xor_si256(a0, _mm256_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm256_set1_epi8(f1 as i8);
+                    b0 = _mm256_xor_si256(b0, _mm256_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm256_set1_epi8(f2 as i8);
+                    c0 = _mm256_xor_si256(c0, _mm256_gf2p8mul_epi8(s0, cv));
+                    let cv = _mm256_set1_epi8(f3 as i8);
+                    d0 = _mm256_xor_si256(d0, _mm256_gf2p8mul_epi8(s0, cv));
+                }
+                _mm256_storeu_si256(dp.cast(), a0);
+                _mm256_storeu_si256(dp.add(rb).cast(), b0);
+                _mm256_storeu_si256(dp.add(2 * rb).cast(), c0);
+                _mm256_storeu_si256(dp.add(3 * rb).cast(), d0);
+            }
+            base += 32;
+        }
+        if base < rb {
+            // Scalar tail through the prebuilt reference product table: no
+            // per-coefficient nibble-table builds for a < 32-byte remnant.
+            for i in 0..panels * 4 {
+                let dst = &mut dsts[i * rb + base..(i + 1) * rb];
+                for j in 0..c {
+                    let f = coefs[i * c + j];
+                    if f != 0 {
+                        crate::reference::gf256_mul_add_slice(
+                            f,
+                            &srcs[j * rb + base..(j + 1) * rb],
+                            dst,
+                        );
+                    }
+                }
+            }
+        }
+        for i in panels * 4..r {
+            gf256_mul_add_multi_gfni(
+                &coefs[i * c..(i + 1) * c],
+                srcs,
+                &mut dsts[i * rb..(i + 1) * rb],
+            );
+        }
+    }
+
     /// Fused scatter: each destination row gets `factors[i] · src` in one
     /// pass with the dispatch and constant splat hoisted out of the row
     /// loop; `src` stays cache-hot across rows.
@@ -797,6 +1217,13 @@ mod detail {
         }
     }
 
+    pub(super) fn gf256_mul_add_block(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], rb: usize) {
+        let c = srcs.len() / rb;
+        for (panel, dst) in coefs.chunks_exact(c).zip(dsts.chunks_exact_mut(rb)) {
+            gf256_mul_add_multi(panel, srcs, dst);
+        }
+    }
+
     pub(super) fn gf16_mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         wide::gf16_mul_add_slice(c, src, dst);
     }
@@ -868,6 +1295,34 @@ mod tests {
             let mut got = vec![0x5Au8; rb];
             gf256_mul_add_multi(&factors, &packed, &mut got);
             assert_eq!(got, want, "fused gather rb={rb}");
+        }
+    }
+
+    #[test]
+    fn blocked_panel_matches_reference_loop_across_tile_boundaries() {
+        // Panel shapes straddle the 4-row register panel and every column
+        // pass (128/64-byte zmm tiles, 64/32-byte ymm tiles, masked and
+        // scalar tails).
+        for (r, c) in [(1usize, 1usize), (2, 3), (4, 4), (5, 2), (7, 9), (8, 17)] {
+            let coefs: Vec<u8> = (0..r * c)
+                .map(|i| (i as u8).wrapping_mul(73).wrapping_add(5) % 7)
+                .map(|v| if v == 3 { 0 } else { v.wrapping_mul(41) })
+                .collect();
+            for rb in [1usize, 31, 32, 33, 63, 64, 65, 127, 128, 129, 200, 256, 300] {
+                let srcs: Vec<u8> = (0..c * rb)
+                    .map(|i| (i as u8).wrapping_mul(167).wrapping_add(13))
+                    .collect();
+                let init: Vec<u8> = (0..r * rb).map(|i| (i as u8).wrapping_mul(29)).collect();
+                let mut want = init.clone();
+                for (panel, dst) in coefs.chunks_exact(c).zip(want.chunks_exact_mut(rb)) {
+                    for (f, row) in panel.iter().zip(srcs.chunks_exact(rb)) {
+                        crate::reference::gf256_mul_add_slice(*f, row, dst);
+                    }
+                }
+                let mut got = init.clone();
+                gf256_mul_add_block(&coefs, &srcs, &mut got, rb);
+                assert_eq!(got, want, "blocked panel r={r} c={c} rb={rb}");
+            }
         }
     }
 

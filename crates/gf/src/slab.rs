@@ -220,6 +220,42 @@ pub trait SlabField: Field {
         }
     }
 
+    /// Blocked panel update: `dsts_row_i += Σⱼ coefs[i·c + j] · srcs_row_j`
+    /// for an `r × c` coefficient micro-panel — the BLAS-3 kernel.
+    ///
+    /// `coefs` holds `r · c` packed symbols in row-major order (symbol
+    /// `i · c + j` multiplies source row `j` into destination row `i`);
+    /// `srcs` holds `c` contiguous rows and `dsts` holds `r` contiguous
+    /// rows, each exactly `row_bytes` long. Zero coefficients are skipped.
+    ///
+    /// Where [`SlabField::mul_add_multi`] re-streams every source row once
+    /// per destination, this kernel lets an optimized rung reuse each loaded
+    /// source vector across all `r` accumulators before it leaves registers
+    /// and keep a source tile cache-resident across the whole destination
+    /// panel — O(r·c) arithmetic per O(r+c) rows of memory traffic. The
+    /// default implementation is the gather loop (one `mul_add_multi` per
+    /// destination row), which every rung must match bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is not a multiple of
+    /// [`SlabField::SYMBOL_BYTES`], if `srcs` or `dsts` is not a whole
+    /// number of `row_bytes` rows, or if `coefs` is not exactly `r · c`
+    /// packed symbols. `row_bytes == 0` requires all three slabs empty.
+    fn mul_add_block(coefs: &[u8], srcs: &[u8], dsts: &mut [u8], row_bytes: usize) {
+        let (r, c) = check_block::<Self>(coefs, srcs, dsts, row_bytes);
+        if r == 0 || c == 0 {
+            return;
+        }
+        let csb = c * Self::SYMBOL_BYTES;
+        for (panel_row, dst) in coefs
+            .chunks_exact(csb)
+            .zip(dsts.chunks_exact_mut(row_bytes))
+        {
+            Self::mul_add_multi(panel_row, srcs, dst);
+        }
+    }
+
     /// Fused scatter: `dsts_row_i += factors[i] · src` for every row.
     ///
     /// The transpose of [`SlabField::mul_add_multi`]: `factors` holds `n`
@@ -263,6 +299,42 @@ pub trait SlabField: Field {
 fn check_pair<F: SlabField>(src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "slab operands must have equal length");
     check_one::<F>(dst);
+}
+
+/// Validates the block-panel shapes and returns `(r, c)` — the destination
+/// and source row counts.
+#[inline]
+pub(crate) fn check_block<F: SlabField>(
+    coefs: &[u8],
+    srcs: &[u8],
+    dsts: &[u8],
+    row_bytes: usize,
+) -> (usize, usize) {
+    if row_bytes == 0 {
+        assert!(
+            coefs.is_empty() && srcs.is_empty() && dsts.is_empty(),
+            "zero row_bytes requires empty panel slabs"
+        );
+        return (0, 0);
+    }
+    assert!(
+        row_bytes.is_multiple_of(F::SYMBOL_BYTES),
+        "row_bytes {} is not a multiple of the {}-byte symbol size",
+        row_bytes,
+        F::SYMBOL_BYTES
+    );
+    assert!(
+        srcs.len().is_multiple_of(row_bytes) && dsts.len().is_multiple_of(row_bytes),
+        "panel slabs must be whole rows of {row_bytes} bytes"
+    );
+    let c = srcs.len() / row_bytes;
+    let r = dsts.len() / row_bytes;
+    assert_eq!(
+        coefs.len(),
+        r * c * F::SYMBOL_BYTES,
+        "coefficient panel must be exactly r x c packed symbols"
+    );
+    (r, c)
 }
 
 #[inline]
@@ -361,6 +433,43 @@ mod tests {
             Gf256::mul_add_slice(Gf256::new(*f), &src, row);
         }
         assert_eq!(fused, looped);
+    }
+
+    #[test]
+    fn mul_add_block_matches_axpy_loop() {
+        let row = 48;
+        let (r, c) = (3, 2);
+        let srcs: Vec<u8> = (0u8..(c * row) as u8).collect();
+        let coefs = [0x00, 0x57, 0x01, 0x03, 0xFF, 0x00];
+        let mut blocked: Vec<u8> = (100u8..100 + (r * row) as u8).collect();
+        let mut looped = blocked.clone();
+        Gf256::mul_add_block(&coefs, &srcs, &mut blocked, row);
+        for (panel, dst) in coefs.chunks_exact(c).zip(looped.chunks_exact_mut(row)) {
+            for (f, src) in panel.iter().zip(srcs.chunks_exact(row)) {
+                Gf256::mul_add_slice(Gf256::new(*f), src, dst);
+            }
+        }
+        assert_eq!(blocked, looped);
+    }
+
+    #[test]
+    fn mul_add_block_accepts_empty_panels() {
+        let mut dsts: Vec<u8> = Vec::new();
+        Gf256::mul_add_block(&[], &[], &mut dsts, 0);
+        // c = 0 sources into r = 2 rows: a no-op with an empty panel.
+        let mut two = vec![7u8; 8];
+        Gf256::mul_add_block(&[], &[], &mut two, 4);
+        assert_eq!(two, vec![7u8; 8]);
+        // r = 0 rows from c = 2 sources: nothing to write.
+        Gf256::mul_add_block(&[], &[1, 2, 3, 4, 5, 6, 7, 8], &mut dsts, 4);
+        assert!(dsts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "r x c packed symbols")]
+    fn mul_add_block_rejects_ragged_panels() {
+        let mut dsts = vec![0u8; 8];
+        Gf256::mul_add_block(&[1, 2, 3], &[0u8; 8], &mut dsts, 4);
     }
 
     #[test]

@@ -213,6 +213,96 @@ fn scatter_matches_loop<F: SlabField>(
     Ok(())
 }
 
+/// The blocked panel kernel `mul_add_block` against a scalar axpy loop,
+/// for any field: an `r × c` coefficient micro-panel applied to `c` source
+/// rows accumulated into `r` destination rows must equal `r · c`
+/// independent scalar axpys. `force_mask` pins coefficients to the 0/1
+/// edge cases (skip paths and the mul-free accumulate); ragged `r`, `c`
+/// and odd `len` straddle the register-panel tile sizes and masked tails.
+fn block_matches_axpy_loop<F: SlabField>(
+    seed: u64,
+    r: usize,
+    c: usize,
+    len: usize,
+    force_mask: u16,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coefs: Vec<F> = (0..r * c)
+        .map(|i| match (force_mask >> (i % 16)) & 1 {
+            1 if i % 2 == 0 => F::ZERO,
+            1 => F::ONE,
+            _ => F::random(&mut rng),
+        })
+        .collect();
+    let srcs: Vec<Vec<F>> = (0..c)
+        .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+        .collect();
+    let dsts: Vec<Vec<F>> = (0..r)
+        .map(|_| (0..len).map(|_| F::random(&mut rng)).collect())
+        .collect();
+
+    let pc = F::pack(&coefs);
+    let mut psrcs = Vec::new();
+    for row in &srcs {
+        F::pack_into(row, &mut psrcs);
+    }
+    let mut pdsts = Vec::new();
+    for row in &dsts {
+        F::pack_into(row, &mut pdsts);
+    }
+    F::mul_add_block(&pc, &psrcs, &mut pdsts, len * F::SYMBOL_BYTES);
+
+    for i in 0..r {
+        let want: Vec<F> = (0..len)
+            .map(|j| {
+                let mut acc = dsts[i][j];
+                for (k, src) in srcs.iter().enumerate() {
+                    acc += coefs[i * c + k] * src[j];
+                }
+                acc
+            })
+            .collect();
+        let rb = len * F::SYMBOL_BYTES;
+        prop_assert_eq!(F::unpack(&pdsts[i * rb..(i + 1) * rb]), want, "row {}", i);
+    }
+    Ok(())
+}
+
+/// The GF(2⁸) SIMD block entry point directly (not through dispatch)
+/// against the reference gather loop, with every slab misaligned inside a
+/// parent buffer — pins the GFNI-512/GFNI/AVX2/SSSE3 register panels,
+/// masked tails and leftover-row gathers no matter which rung is active.
+fn gf256_simd_block_matches_reference(
+    seed: u64,
+    r: usize,
+    c: usize,
+    len: usize,
+    off: usize,
+) -> Result<(), TestCaseError> {
+    let coefs_buf = bytes(seed, off + r * c);
+    let srcs_buf = bytes(seed ^ 0xB10C, off + c * len);
+    let dsts_buf = bytes(seed ^ 0x5EED, off + r * len);
+    let coefs = &coefs_buf[off..];
+    let srcs = &srcs_buf[off..];
+
+    let mut want = dsts_buf.clone();
+    for i in 0..r {
+        for (k, f) in coefs[i * c..(i + 1) * c].iter().enumerate() {
+            reference::gf256_mul_add_slice(
+                *f,
+                &srcs[k * len..(k + 1) * len],
+                &mut want[off + i * len..off + (i + 1) * len],
+            );
+        }
+    }
+
+    let mut got = dsts_buf.clone();
+    simd::gf256_mul_add_block(coefs, srcs, &mut got[off..], len);
+    prop_assert_eq!(&got[off..], &want[off..], "panel bytes");
+    prop_assert_eq!(&got[..off], &dsts_buf[..off], "prefix clobbered");
+    Ok(())
+}
+
 /// The dispatched `SlabField` surface (whatever kernel is active) against
 /// the scalar oracle, for every field — pins the dispatch layer itself.
 fn dispatch_matches_scalar<F: SlabField>(
@@ -305,6 +395,72 @@ proptest! {
         zero_mask in any::<u8>(),
     ) {
         fused_multi_matches_loop::<ag_gf::F257>(seed, n, len, zero_mask)?;
+    }
+
+    #[test]
+    fn block_matches_axpy_loop_gf256(
+        seed in any::<u64>(),
+        // Ragged panel shapes straddling the 4-row register panels and the
+        // leftover-row gathers.
+        ri in 0usize..5,
+        ci in 0usize..5,
+        // Odd lengths straddle the 128/64-byte vector passes and the
+        // masked/scalar tails. (`len = 0` is excluded: `check_block` can
+        // only infer the panel shape from whole rows, so zero-byte rows
+        // require empty slabs by contract.)
+        len in 1usize..300,
+        force_mask in any::<u16>(),
+    ) {
+        let shapes = [1usize, 2, 3, 8, 17];
+        block_matches_axpy_loop::<Gf256>(seed, shapes[ri], shapes[ci], len, force_mask)?;
+    }
+
+    #[test]
+    fn block_matches_axpy_loop_gf16(
+        seed in any::<u64>(),
+        ri in 0usize..5,
+        ci in 0usize..5,
+        len in 1usize..80,
+        force_mask in any::<u16>(),
+    ) {
+        let shapes = [1usize, 2, 3, 8, 17];
+        block_matches_axpy_loop::<Gf16>(seed, shapes[ri], shapes[ci], len, force_mask)?;
+    }
+
+    #[test]
+    fn block_matches_axpy_loop_gf2(
+        seed in any::<u64>(),
+        ri in 0usize..5,
+        ci in 0usize..5,
+        len in 1usize..80,
+        force_mask in any::<u16>(),
+    ) {
+        let shapes = [1usize, 2, 3, 8, 17];
+        block_matches_axpy_loop::<ag_gf::Gf2>(seed, shapes[ri], shapes[ci], len, force_mask)?;
+    }
+
+    #[test]
+    fn block_matches_axpy_loop_f257(
+        seed in any::<u64>(),
+        ri in 0usize..5,
+        ci in 0usize..5,
+        len in 1usize..40,
+        force_mask in any::<u16>(),
+    ) {
+        let shapes = [1usize, 2, 3, 8, 17];
+        block_matches_axpy_loop::<ag_gf::F257>(seed, shapes[ri], shapes[ci], len, force_mask)?;
+    }
+
+    #[test]
+    fn gf256_simd_block_matches_reference_misaligned(
+        seed in any::<u64>(),
+        ri in 0usize..5,
+        ci in 0usize..5,
+        len in 1usize..300,
+        off in 0usize..8,
+    ) {
+        let shapes = [1usize, 2, 3, 8, 17];
+        gf256_simd_block_matches_reference(seed, shapes[ri], shapes[ci], len, off)?;
     }
 
     #[test]

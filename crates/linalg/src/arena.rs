@@ -226,19 +226,26 @@ impl NodeBasis {
             })
     }
 
-    /// Replays pending elimination events onto the payload rows.
+    /// Replays pending elimination events onto the payload rows, through
+    /// the same row-wise/blocked schedule choice as
+    /// [`EchelonBasis`](crate::EchelonBasis) (see [`crate::ReplayMode`]).
     /// Idempotent; trivial for rank-only rows.
-    fn flush<F: SlabField>(&mut self, d: Dims) {
+    fn flush<F: SlabField>(&mut self, d: Dims, sc: &mut ArenaScratch) {
         let rank = self.rank();
         if d.pb == 0 {
             self.flushed = rank;
             return;
         }
         let pay = &mut self.pay[..rank * d.pb];
-        while self.flushed < rank {
-            core_ops::replay_event::<F>(pay, &self.log, self.flushed, d.pb);
-            self.flushed += 1;
-        }
+        core_ops::flush_pending::<F>(
+            pay,
+            &self.log,
+            &mut self.flushed,
+            rank,
+            d.pb,
+            &mut sc.transform,
+            &mut sc.panel,
+        );
     }
 
     /// The insert hot path shared by the serial arena and the shards; the
@@ -308,26 +315,38 @@ impl NodeBasis {
         core_ops::reduce_coeff::<F>(&self.pivot_cols, &self.coeff, probe, factors).is_some()
     }
 
-    fn copy_packed_row_into<F: SlabField>(&mut self, d: Dims, i: usize, out: &mut Vec<u8>) {
-        self.flush::<F>(d);
+    fn copy_packed_row_into<F: SlabField>(
+        &mut self,
+        d: Dims,
+        i: usize,
+        sc: &mut ArenaScratch,
+        out: &mut Vec<u8>,
+    ) {
+        self.flush::<F>(d, sc);
         out.clear();
         out.extend_from_slice(&self.coeff[i * d.kb..(i + 1) * d.kb]);
         out.extend_from_slice(&self.pay[i * d.pb..(i + 1) * d.pb]);
     }
 
-    fn accumulate_rows_into<F: SlabField>(&mut self, d: Dims, factors: &[u8], out: &mut [u8]) {
-        self.flush::<F>(d);
+    fn accumulate_rows_into<F: SlabField>(
+        &mut self,
+        d: Dims,
+        factors: &[u8],
+        sc: &mut ArenaScratch,
+        out: &mut [u8],
+    ) {
+        self.flush::<F>(d, sc);
         let (oc, op) = out.split_at_mut(d.kb);
         F::mul_add_multi(factors, &self.coeff, oc);
         F::mul_add_multi(factors, &self.pay, op);
     }
 
-    fn solution<F: SlabField>(&mut self, d: Dims) -> Option<Vec<Vec<F>>> {
+    fn solution<F: SlabField>(&mut self, d: Dims, sc: &mut ArenaScratch) -> Option<Vec<Vec<F>>> {
         let k = d.pivot_width;
         if self.rank() != k {
             return None;
         }
-        self.flush::<F>(d);
+        self.flush::<F>(d, sc);
         // Invert the row-indexed pivot map: a full basis has every column.
         let mut row_of_col = vec![usize::MAX; k];
         for (ri, &c) in self.pivot_cols.iter().enumerate() {
@@ -364,6 +383,13 @@ struct ArenaScratch {
     probe: Vec<u8>,
     /// Row copy for [`BasisArena::insert_packed_slice`].
     insert: Vec<u8>,
+    /// Dense transform panel for blocked payload replay
+    /// ([`core_ops::flush_pending`]); shared across nodes — flushes are
+    /// serial per arena (or per shard).
+    transform: Vec<u8>,
+    /// Stride-padded source/destination payload panel for the blocked
+    /// replay GEMM.
+    panel: Vec<u8>,
 }
 
 impl ArenaScratch {
@@ -373,6 +399,8 @@ impl ArenaScratch {
             back: Vec::new(),
             probe: Vec::new(),
             insert: Vec::new(),
+            transform: Vec::new(),
+            panel: Vec::new(),
         }
     }
 }
@@ -505,6 +533,29 @@ impl<F: SlabField> BasisArena<F> {
             for cell in &mut arena.nodes {
                 cell.get_mut().try_preallocate::<F>(dims)?;
             }
+            // Shared scratch at its full-rank footprint too. The insert
+            // path's row-indexed multiplier buffers (`factors`, `back`)
+            // grow with the highest rank seen so far across the whole
+            // arena, which crosses Vec capacity thresholds mid-run —
+            // reserving them up front is what keeps rounds past warm-up
+            // allocation-free, not just the per-node slabs.
+            let sc = arena.scratch.get_mut();
+            let reserve = |vec: &mut Vec<u8>, bytes: usize| {
+                vec.try_reserve_exact(bytes)
+                    .map_err(|_| ArenaError::AllocationFailure { bytes })
+            };
+            let k = pivot_width;
+            reserve(&mut sc.factors, k * sb)?;
+            reserve(&mut sc.back, k * sb)?;
+            reserve(&mut sc.probe, dims.kb)?;
+            reserve(&mut sc.insert, dims.kb + dims.pb)?;
+            if dims.pb > 0 {
+                // Blocked-replay scratch (transform: k×k symbols; panel:
+                // 2k stride-padded payload rows), so a blocked flush never
+                // allocates mid-run either.
+                reserve(&mut sc.transform, k * k * sb)?;
+                reserve(&mut sc.panel, 2 * k * core_ops::padded_stride::<F>(dims.pb))?;
+            }
         }
         Ok(arena)
     }
@@ -596,8 +647,9 @@ impl<F: SlabField> BasisArena<F> {
     /// Panics if `i >= rank(node)`.
     pub fn copy_packed_row_into(&self, node: usize, i: usize, out: &mut Vec<u8>) {
         let mut nb = self.nodes[node].borrow_mut();
+        let mut sc = self.scratch.borrow_mut();
         assert!(i < nb.rank(), "row index out of bounds");
-        nb.copy_packed_row_into::<F>(self.dims(), i, out);
+        nb.copy_packed_row_into::<F>(self.dims(), i, &mut sc, out);
     }
 
     /// Accumulates `Σᵢ factors[i] · row_i` of node `node`'s stored rows
@@ -612,13 +664,14 @@ impl<F: SlabField> BasisArena<F> {
     /// `out` is not exactly [`BasisArena::row_bytes`] long.
     pub fn accumulate_rows_into(&self, node: usize, factors: &[u8], out: &mut [u8]) {
         let mut nb = self.nodes[node].borrow_mut();
+        let mut sc = self.scratch.borrow_mut();
         assert_eq!(
             factors.len(),
             nb.rank() * F::SYMBOL_BYTES,
             "one packed factor per stored row"
         );
         assert_eq!(out.len(), self.row_bytes(), "out must be one full row");
-        nb.accumulate_rows_into::<F>(self.dims(), factors, out);
+        nb.accumulate_rows_into::<F>(self.dims(), factors, &mut sc, out);
     }
 
     /// Inserts a packed row into node `node`'s basis, reducing its
@@ -687,7 +740,10 @@ impl<F: SlabField> BasisArena<F> {
     /// deferred payload elimination in one blocked replay first.
     #[must_use]
     pub fn solution(&self, node: usize) -> Option<Vec<Vec<F>>> {
-        self.nodes[node].borrow_mut().solution::<F>(self.dims())
+        let mut sc = self.scratch.borrow_mut();
+        self.nodes[node]
+            .borrow_mut()
+            .solution::<F>(self.dims(), &mut sc)
     }
 
     /// Splits the arena into disjoint contiguous shards for parallel round
@@ -748,11 +804,6 @@ impl<F: SlabField> BasisShard<'_, F> {
         self.start..self.start + self.cells.len()
     }
 
-    #[inline]
-    fn cell_mut(&mut self, node: usize) -> &mut NodeBasis {
-        self.cells[node - self.start].get_mut()
-    }
-
     /// Node `node`'s current rank (`node` is a global id inside
     /// [`BasisShard::node_range`]).
     #[must_use]
@@ -793,9 +844,15 @@ impl<F: SlabField> BasisShard<'_, F> {
     /// Panics if `node` is outside the shard or `i >= rank(node)`.
     pub fn copy_packed_row_into(&mut self, node: usize, i: usize, out: &mut Vec<u8>) {
         let dims = self.dims;
-        let nb = self.cell_mut(node);
+        let BasisShard {
+            cells,
+            start,
+            scratch,
+            ..
+        } = self;
+        let nb = cells[node - *start].get_mut();
         assert!(i < nb.rank(), "row index out of bounds");
-        nb.copy_packed_row_into::<F>(dims, i, out);
+        nb.copy_packed_row_into::<F>(dims, i, scratch, out);
     }
 
     /// Shard-local [`BasisArena::accumulate_rows_into`].
@@ -807,14 +864,20 @@ impl<F: SlabField> BasisShard<'_, F> {
     pub fn accumulate_rows_into(&mut self, node: usize, factors: &[u8], out: &mut [u8]) {
         let dims = self.dims;
         let rb = dims.kb + dims.pb;
-        let nb = self.cell_mut(node);
+        let BasisShard {
+            cells,
+            start,
+            scratch,
+            ..
+        } = self;
+        let nb = cells[node - *start].get_mut();
         assert_eq!(
             factors.len(),
             nb.rank() * F::SYMBOL_BYTES,
             "one packed factor per stored row"
         );
         assert_eq!(out.len(), rb, "out must be one full row");
-        nb.accumulate_rows_into::<F>(dims, factors, out);
+        nb.accumulate_rows_into::<F>(dims, factors, scratch, out);
     }
 }
 

@@ -18,17 +18,38 @@
 //!   prefix is recorded instead of executed: per innovative insert the log
 //!   stores the row-indexed reduction multipliers, the pivot normalizer,
 //!   and the back-substitution multipliers. The log is *replayed* onto the
-//!   payload slab in fused multi-row passes ([`SlabField::mul_add_multi`] /
-//!   [`SlabField::mul_add_scatter`]) only when payload bytes are actually
-//!   observed: [`EchelonBasis::solution`], row materialization, or a
-//!   recoder combining stored rows.
+//!   payload slab only when payload bytes are actually observed:
+//!   [`EchelonBasis::solution`], row materialization, a recoder combining
+//!   stored rows, or an explicit [`EchelonBasis::settle`].
 //!
-//! Lazy replay executes the *same field operations* eager elimination
+//! # Replay schedules
+//!
+//! Replay runs on one of two schedules, selected by the process-global
+//! [`crate::ReplayMode`] knob (`AG_LINALG_REPLAY`, default `Auto`):
+//!
+//! * **row-wise** — one logged event at a time, as fused multi-row passes
+//!   ([`SlabField::mul_add_multi`] gather + normalize +
+//!   [`SlabField::mul_add_scatter`] fan-out). `O(pending)` passes over the
+//!   payload slab; right for shallow flushes (a recode emit settling a few
+//!   events).
+//! * **blocked (BLAS-3)** — the whole pending suffix at once: the events
+//!   are first replayed onto a `rank × rank` *identity coefficient panel*
+//!   (L1-resident, `rank` symbols per row) to factor the batch into one
+//!   dense transform, which a single [`SlabField::mul_add_block`] GEMM —
+//!   register-blocked and tiled — applies to the payload rows through a
+//!   stride-padded scratch panel (odd multiple of 64 bytes per row, so
+//!   power-of-two payload sizes stop aliasing in L1). One pass over the
+//!   payloads instead of `O(pending)`; right for deep flushes (`decode`
+//!   after a full receive stream). `Auto` picks it exactly for deep,
+//!   dense pending suffixes (see `core_ops::use_blocked`).
+//!
+//! Either schedule executes the *same field operations* eager elimination
 //! would, merely batched and reordered within single output symbols; field
-//! arithmetic is exact, so every materialized byte — and every verdict,
-//! which never depends on payloads at all — is bit-identical to the eager
-//! path. The `ag-rlnc` differential suite pins this against the preserved
-//! scalar [`crate::reference::ScalarBasis`] oracle.
+//! arithmetic is exact and GF addition is XOR, so every materialized byte —
+//! and every verdict, which never depends on payloads at all — is
+//! bit-identical to the eager path. The `ag-rlnc` differential suite pins
+//! this against the preserved scalar [`crate::reference::ScalarBasis`]
+//! oracle, on both schedules.
 //!
 //! Elimination itself runs through the [`SlabField`] bulk kernels —
 //! runtime-dispatched through the `ag_gf::Kernel` ladder (product tables /
@@ -242,6 +263,150 @@ pub(crate) mod core_ops {
         F::mul_slice(F::read_symbol(pinv), row_e);
         F::mul_add_scatter(back, row_e, done);
     }
+
+    /// Pending-event count below which [`crate::ReplayMode::Auto`] stays
+    /// row-wise: the transform build and panel copies only amortize over a
+    /// batch of events.
+    pub(crate) const BLOCKED_MIN_PENDING: usize = 16;
+
+    /// Payload rows narrower than this replay row-wise under
+    /// [`crate::ReplayMode::Auto`]: the panel machinery exists to feed the
+    /// wide register-blocked kernels.
+    pub(crate) const BLOCKED_MIN_PAY_BYTES: usize = 64;
+
+    /// Source/destination panel row stride for the blocked replay scratch:
+    /// `pay_bytes` rounded up to a whole number of cache lines and forced
+    /// to an *odd* multiple of 64, so power-of-two payload sizes (the
+    /// common case) stop aliasing every panel row onto a handful of L1
+    /// sets — measured worth ~9% GEMM throughput on the k=128 / 1 KiB
+    /// decode shape (`bench_gf_block`). Falls back to `pay_bytes` exactly
+    /// if the symbol size ever failed to divide the cache line (no such
+    /// field today).
+    pub(crate) fn padded_stride<F: SlabField>(pay_bytes: usize) -> usize {
+        if 64 % F::SYMBOL_BYTES != 0 {
+            return pay_bytes;
+        }
+        let lines = pay_bytes.div_ceil(64);
+        (if lines.is_multiple_of(2) {
+            lines + 1
+        } else {
+            lines
+        }) * 64
+    }
+
+    /// Should this flush take the blocked schedule? Deterministic in the
+    /// basis state alone (pending-suffix shape plus log density), and both
+    /// schedules produce identical bytes, so the choice is invisible to
+    /// results.
+    pub(crate) fn use_blocked<F: SlabField>(
+        mode: crate::ReplayMode,
+        rank: usize,
+        flushed: usize,
+        pay_bytes: usize,
+        log: &[u8],
+    ) -> bool {
+        match mode {
+            crate::ReplayMode::Rowwise => false,
+            crate::ReplayMode::Blocked => rank > flushed,
+            crate::ReplayMode::Auto => {
+                let pending = rank - flushed;
+                if pending < BLOCKED_MIN_PENDING
+                    || pay_bytes < BLOCKED_MIN_PAY_BYTES
+                    || pending * 2 < rank
+                {
+                    return false;
+                }
+                // The dense panel multiply pays rank² multiplies whatever
+                // the log holds; a sparse log — e.g. a source node, whose
+                // unit-row inserts carry all-zero multipliers — replays
+                // row-wise in O(rank) *skipped* gathers instead. Require a
+                // quarter of the pending log bytes nonzero.
+                let region = &log[log_offset::<F>(flushed)..log_offset::<F>(rank)];
+                let nz = region.iter().filter(|&&b| b != 0).count();
+                nz * 4 >= region.len().max(1)
+            }
+        }
+    }
+
+    /// Replays every pending event `flushed..rank` as one blocked panel
+    /// application — the BLAS-3 replay schedule.
+    ///
+    /// The pending suffix of the log is first replayed onto an identity
+    /// panel of `rank × rank` packed symbols (L1-resident: coefficient
+    /// width, not payload width), factoring the whole suffix into one
+    /// dense transform `T` with final payload row `i = Σ_j T[i,j] ·
+    /// (current payload row j)`. Rows `< flushed` are already materialized
+    /// and enter as unit rows. The payload slab is then updated by a
+    /// single [`SlabField::mul_add_block`] panel multiply through a
+    /// stride-padded scratch panel (see [`padded_stride`]).
+    ///
+    /// Bit-identity with the row-wise schedule: building `T` performs, in
+    /// coefficient space, exactly the multiplier products sequential
+    /// replay would fold into the payload bytes; field multiplication is
+    /// exact and addition is XOR, so re-associating the accumulation into
+    /// a panel multiply reproduces the row-wise bytes bit for bit (pinned
+    /// by the differential suite and the golden trajectories).
+    pub(crate) fn replay_blocked<F: SlabField>(
+        pay: &mut [u8],
+        log: &[u8],
+        flushed: usize,
+        rank: usize,
+        pay_bytes: usize,
+        transform: &mut Vec<u8>,
+        panel: &mut Vec<u8>,
+    ) {
+        let sb = F::SYMBOL_BYTES;
+        let tb = rank * sb;
+        transform.clear();
+        transform.resize(rank * tb, 0);
+        for i in 0..rank {
+            F::ONE.write_symbol(&mut transform[i * tb + i * sb..]);
+        }
+        for e in flushed..rank {
+            replay_event::<F>(transform, log, e, tb);
+        }
+        // One blocked panel multiply from a stride-padded copy of the
+        // payload slab into a zeroed destination panel; the padding
+        // columns multiply zeros and are never copied back.
+        let ps = padded_stride::<F>(pay_bytes);
+        panel.clear();
+        panel.resize(2 * rank * ps, 0);
+        let (srcs, dsts) = panel.split_at_mut(rank * ps);
+        for (src_row, pay_row) in srcs.chunks_exact_mut(ps).zip(pay.chunks_exact(pay_bytes)) {
+            src_row[..pay_bytes].copy_from_slice(pay_row);
+        }
+        F::mul_add_block(transform, srcs, dsts, ps);
+        for (dst_row, pay_row) in dsts.chunks_exact(ps).zip(pay.chunks_exact_mut(pay_bytes)) {
+            pay_row.copy_from_slice(&dst_row[..pay_bytes]);
+        }
+    }
+
+    /// Settles every pending elimination event onto `pay` under the active
+    /// [`crate::ReplayMode`], leaving `flushed == rank`. `pay` must be
+    /// exactly `rank` rows. The shared flush entry point of
+    /// [`crate::EchelonBasis`] and the arena nodes.
+    pub(crate) fn flush_pending<F: SlabField>(
+        pay: &mut [u8],
+        log: &[u8],
+        flushed: &mut usize,
+        rank: usize,
+        pay_bytes: usize,
+        transform: &mut Vec<u8>,
+        panel: &mut Vec<u8>,
+    ) {
+        if *flushed >= rank {
+            return;
+        }
+        if use_blocked::<F>(crate::replay_mode(), rank, *flushed, pay_bytes, log) {
+            replay_blocked::<F>(pay, log, *flushed, rank, pay_bytes, transform, panel);
+            *flushed = rank;
+        } else {
+            while *flushed < rank {
+                replay_event::<F>(pay, log, *flushed, pay_bytes);
+                *flushed += 1;
+            }
+        }
+    }
 }
 
 /// Lazily maintained payload state: raw tails plus the elimination log
@@ -270,6 +435,10 @@ struct Scratch {
     probe: Vec<u8>,
     /// Row copy for the borrowing insert path.
     insert: Vec<u8>,
+    /// Blocked-replay transform panel (`rank × rank` packed symbols).
+    transform: Vec<u8>,
+    /// Blocked-replay stride-padded source/destination payload panels.
+    panel: Vec<u8>,
 }
 
 /// A growing row-echelon basis of vectors of fixed width over `F`.
@@ -368,6 +537,8 @@ impl<F: SlabField> EchelonBasis<F> {
                 back: Vec::with_capacity(pivot_width * sb),
                 probe: Vec::with_capacity(pivot_width * sb),
                 insert: Vec::new(),
+                transform: Vec::new(),
+                panel: Vec::new(),
             }),
             _field: PhantomData,
         }
@@ -497,9 +668,22 @@ impl<F: SlabField> EchelonBasis<F> {
         F::mul_add_multi(factors, &led.pay, op);
     }
 
-    /// Replays every pending elimination event onto the payload slab.
-    /// After this, payload rows are exactly what eager elimination would
-    /// have produced. Idempotent; a no-op when nothing is pending or rows
+    /// Forces the deferred payload elimination to settle now instead of at
+    /// the next read. Useful for callers that want the (possibly blocked)
+    /// replay off their critical path — e.g. during idle time between a
+    /// completing receive stream and the eventual [`EchelonBasis::solution`]
+    /// call — and for benchmarks that time the flush stage in isolation.
+    /// Idempotent, and invisible to results: every read path flushes on
+    /// demand anyway.
+    pub fn settle(&self) {
+        self.flush_payloads();
+    }
+
+    /// Replays every pending elimination event onto the payload slab,
+    /// row-wise or as one blocked panel application per the active
+    /// [`crate::ReplayMode`]. After this, payload rows are exactly what
+    /// eager elimination would have produced — both schedules are
+    /// bit-identical. Idempotent; a no-op when nothing is pending or rows
     /// carry no payload.
     fn flush_payloads(&self) {
         let mut led = self.ledger.borrow_mut();
@@ -509,10 +693,22 @@ impl<F: SlabField> EchelonBasis<F> {
             return;
         }
         let led = &mut *led;
-        while led.flushed < self.rank {
-            core_ops::replay_event::<F>(&mut led.pay, &led.log, led.flushed, pb);
-            led.flushed += 1;
+        if led.flushed >= self.rank {
+            return;
         }
+        let mut sc = self.scratch.borrow_mut();
+        let Scratch {
+            transform, panel, ..
+        } = &mut *sc;
+        core_ops::flush_pending::<F>(
+            &mut led.pay,
+            &led.log,
+            &mut led.flushed,
+            self.rank,
+            pb,
+            transform,
+            panel,
+        );
     }
 
     /// Inserts an equation. Returns whether it was innovative.
@@ -1027,5 +1223,88 @@ mod tests {
         // Expected insertions to fill GF(2) rank k is about k + 1.6.
         assert!(inserted < 100, "took {inserted} inserts");
         let _ = rng.gen::<u8>();
+    }
+
+    /// The blocked (transform-panel GEMM) replay schedule against the
+    /// row-wise event replay, byte for byte, from every flush frontier —
+    /// including the mid-suffix entry where rows `< flushed` are already
+    /// materialized and enter the transform as unit rows.
+    #[test]
+    fn blocked_replay_matches_rowwise_from_every_frontier() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Shapes straddle the Auto thresholds and the kernel tile sizes:
+        // tiny panels, odd payload widths, and a >16-deep pending suffix.
+        for (k, r) in [(3usize, 5usize), (8, 64), (17, 37), (24, 200)] {
+            let mut b = EchelonBasis::<Gf256>::new(k);
+            for _ in 0..4 * k {
+                let row: Vec<Gf256> = (0..k + r).map(|_| Gf256::random(&mut rng)).collect();
+                b.insert(row);
+            }
+            let rank = b.rank();
+            let pb = r;
+            let led = b.ledger.borrow();
+            assert_eq!(led.flushed, 0, "inserts must not flush");
+            for frontier in 0..=rank {
+                // Materialize rows < frontier row-wise on both copies,
+                // then settle the rest through each schedule.
+                let mut rowwise = led.pay.clone();
+                for e in 0..frontier {
+                    core_ops::replay_event::<Gf256>(&mut rowwise[..rank * pb], &led.log, e, pb);
+                }
+                let mut blocked = rowwise.clone();
+                for e in frontier..rank {
+                    core_ops::replay_event::<Gf256>(&mut rowwise[..rank * pb], &led.log, e, pb);
+                }
+                let (mut transform, mut panel) = (Vec::new(), Vec::new());
+                core_ops::replay_blocked::<Gf256>(
+                    &mut blocked[..rank * pb],
+                    &led.log,
+                    frontier,
+                    rank,
+                    pb,
+                    &mut transform,
+                    &mut panel,
+                );
+                assert_eq!(
+                    rowwise, blocked,
+                    "schedules diverged at k={k} r={r} frontier={frontier}"
+                );
+            }
+        }
+    }
+
+    /// The Auto-mode schedule choice: deterministic in the basis state,
+    /// row-wise for shallow/narrow/sparse pending suffixes, blocked for
+    /// deep dense ones. (Both schedules are bit-identical — this pins the
+    /// heuristic itself so the hot path is predictable.)
+    #[test]
+    fn auto_mode_picks_blocked_only_for_deep_dense_suffixes() {
+        use crate::ReplayMode;
+        let deep = core_ops::BLOCKED_MIN_PENDING;
+        let wide = core_ops::BLOCKED_MIN_PAY_BYTES;
+        let dense_log = vec![0xABu8; core_ops::log_offset::<Gf256>(2 * deep)];
+        let sparse_log = vec![0u8; core_ops::log_offset::<Gf256>(2 * deep)];
+        let pick = |mode, rank, flushed, pb, log: &[u8]| {
+            core_ops::use_blocked::<Gf256>(mode, rank, flushed, pb, log)
+        };
+        // Forced modes ignore the heuristic entirely.
+        assert!(pick(ReplayMode::Blocked, 1, 0, 1, &dense_log));
+        assert!(!pick(ReplayMode::Rowwise, 2 * deep, 0, wide, &dense_log));
+        // Auto: deep + wide + dense → blocked.
+        assert!(pick(ReplayMode::Auto, 2 * deep, 0, wide, &dense_log));
+        // Too shallow a suffix, too narrow a row, or a mostly-flushed
+        // basis (pending < rank/2) stays row-wise…
+        assert!(!pick(
+            ReplayMode::Auto,
+            2 * deep,
+            2 * deep - deep + 1,
+            wide,
+            &dense_log
+        ));
+        assert!(!pick(ReplayMode::Auto, deep - 1, 0, wide, &dense_log));
+        assert!(!pick(ReplayMode::Auto, 2 * deep, 0, wide - 1, &dense_log));
+        // …and so does a sparse log (a source node's identity inserts):
+        // row-wise replay skips zero multipliers in O(rank).
+        assert!(!pick(ReplayMode::Auto, 2 * deep, 0, wide, &sparse_log));
     }
 }

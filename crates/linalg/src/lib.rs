@@ -49,7 +49,9 @@ mod arena;
 mod echelon;
 mod matrix;
 pub mod reference;
+mod replay;
 
 pub use arena::{ArenaError, ArenaGrowth, BasisArena, BasisShard};
 pub use echelon::{BasisError, EchelonBasis, Insertion};
 pub use matrix::{Matrix, ShapeError};
+pub use replay::{replay_mode, set_replay_mode, ReplayMode};

@@ -1,0 +1,142 @@
+//! Runtime selection of the payload-replay schedule.
+//!
+//! The elimination log of an [`EchelonBasis`](crate::EchelonBasis) (or an
+//! arena node) can be settled onto the payload slab two ways, both
+//! bit-identical by exactness of field arithmetic:
+//!
+//! * [`ReplayMode::Rowwise`] — the PR 6 schedule: one
+//!   [`ag_gf::SlabField::mul_add_multi`] gather + scale + scatter per
+//!   logged event, streaming every already-materialized payload row from
+//!   memory once per pending event.
+//! * [`ReplayMode::Blocked`] — the BLAS-3 schedule: the pending events are
+//!   first replayed onto an identity *coefficient* panel (`rank × rank`
+//!   symbols, L1-resident), factoring the whole pending suffix of the log
+//!   into one dense transform; the payload slab is then updated in a
+//!   single [`ag_gf::SlabField::mul_add_block`] panel multiply that keeps
+//!   a register-blocked destination panel live while the source rows
+//!   stream through column tiles.
+//! * [`ReplayMode::Auto`] (default) — picks per flush from the shape and
+//!   the log alone: blocked when the pending suffix is large, payload rows
+//!   are non-trivial, and the pending multipliers are dense enough that a
+//!   dense panel multiply does not waste its `rank²` work (sparse logs —
+//!   e.g. a source node's identity inserts — replay row-wise in `O(rank)`
+//!   skipped events). The decision is deterministic in the basis state, and
+//!   both schedules produce identical bytes, so it is invisible to
+//!   results.
+//!
+//! Selection is process-global, resolved once on first use: an explicit
+//! [`set_replay_mode`] call wins, else the `AG_LINALG_REPLAY` environment
+//! variable (`rowwise` / `blocked` / `auto`), else [`ReplayMode::Auto`].
+//! The benchmark ladder forces each mode to time the schedules in
+//! isolation, exactly like `AG_GF_KERNEL` for the kernel rungs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One payload-replay schedule. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayMode {
+    /// One fused gather/scale/scatter pass per logged event.
+    Rowwise,
+    /// Factor the pending log into a dense transform, apply it as one
+    /// blocked panel multiply.
+    Blocked,
+    /// Choose per flush from the pending-suffix shape and log density.
+    Auto,
+}
+
+impl ReplayMode {
+    /// All modes, in the order benchmark ladders report them.
+    pub const ALL: [ReplayMode; 3] = [ReplayMode::Rowwise, ReplayMode::Blocked, ReplayMode::Auto];
+
+    /// The mode's lower-case name, as accepted by `AG_LINALG_REPLAY`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayMode::Rowwise => "rowwise",
+            ReplayMode::Blocked => "blocked",
+            ReplayMode::Auto => "auto",
+        }
+    }
+
+    /// Parses a mode name; `None` for anything unknown.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<ReplayMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "rowwise" => Some(ReplayMode::Rowwise),
+            "blocked" => Some(ReplayMode::Blocked),
+            "auto" => Some(ReplayMode::Auto),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> ReplayMode {
+        match v {
+            0 => ReplayMode::Rowwise,
+            1 => ReplayMode::Blocked,
+            _ => ReplayMode::Auto,
+        }
+    }
+}
+
+/// `ACTIVE` sentinel: not yet resolved.
+const UNSET: u8 = u8::MAX;
+
+/// The resolved mode, or [`UNSET`].
+static ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The replay schedule every flush currently uses.
+#[must_use]
+pub fn replay_mode() -> ReplayMode {
+    match ACTIVE.load(Ordering::Relaxed) {
+        UNSET => {
+            let m = resolve();
+            ACTIVE.store(m as u8, Ordering::Relaxed);
+            m
+        }
+        v => ReplayMode::from_u8(v),
+    }
+}
+
+/// Forces the replay schedule for the whole process (benchmark bins use
+/// this to time each schedule in isolation). Returns the mode installed.
+pub fn set_replay_mode(mode: ReplayMode) -> ReplayMode {
+    ACTIVE.store(mode as u8, Ordering::Relaxed);
+    mode
+}
+
+/// First-use resolution: environment override, else [`ReplayMode::Auto`].
+/// An unknown `AG_LINALG_REPLAY` value falls back to `Auto` rather than
+/// erroring — a simulation should not abort over a typo'd tuning knob.
+fn resolve() -> ReplayMode {
+    // ag-lint: allow(wall-clock) — AG_LINALG_REPLAY picks which proven-
+    // bit-identical replay schedule runs; resolved once per process at
+    // first use, so the choice cannot vary mid-simulation.
+    if let Ok(v) = std::env::var("AG_LINALG_REPLAY") {
+        if let Some(m) = ReplayMode::from_name(&v) {
+            return m;
+        }
+    }
+    ReplayMode::Auto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in ReplayMode::ALL {
+            assert_eq!(ReplayMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(ReplayMode::from_name("BLOCKED"), Some(ReplayMode::Blocked));
+        assert_eq!(ReplayMode::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn set_replay_mode_installs() {
+        let prev = replay_mode();
+        assert_eq!(set_replay_mode(ReplayMode::Rowwise), ReplayMode::Rowwise);
+        assert_eq!(replay_mode(), ReplayMode::Rowwise);
+        set_replay_mode(prev);
+    }
+}

@@ -6,10 +6,14 @@
 //! [`Decoder::is_helpful_node`]) read and reduce only the `k`-symbol
 //! coefficient headers — allocation-free through reusable scratch — while
 //! payload elimination is logged and replayed in fused batches when
-//! [`Decoder::decode`] or a recoder emit actually observes payload bytes.
-//! Verdicts and decoded bytes are bit-identical to eager elimination (the
-//! differential suite pins this against the scalar oracle); only the
-//! *when* of the payload arithmetic changes.
+//! [`Decoder::decode`], a recoder emit, or an explicit [`Decoder::settle`]
+//! actually observes payload bytes. Deep pending batches settle as one
+//! blocked (BLAS-3) panel multiply, shallow ones row by row — the
+//! schedule is `ag_linalg::ReplayMode` (`AG_LINALG_REPLAY`, default
+//! `Auto`). Verdicts and decoded bytes are bit-identical to eager
+//! elimination on either schedule (the differential suites pin this
+//! against the scalar oracle); only the *when* and the *grouping* of the
+//! payload arithmetic change.
 
 use std::cell::RefCell;
 use std::error::Error;
@@ -350,6 +354,15 @@ impl<F: SlabField> Decoder<F> {
     /// The reusable recoding-factor buffer, exposed for recoding.
     pub(crate) fn emit_factors(&self) -> &RefCell<Vec<u8>> {
         &self.emit_factors
+    }
+
+    /// Forces the deferred payload elimination to settle now instead of at
+    /// the next read (recode emit, [`Decoder::decode`]). Lets a caller
+    /// schedule the batched replay — one blocked panel application under
+    /// [`ag_linalg::ReplayMode::Blocked`]/`Auto` — during idle time off the
+    /// receive path. Idempotent and invisible to results.
+    pub fn settle(&self) {
+        self.basis.settle();
     }
 
     /// Solves the system once complete; `None` before rank `k`.
