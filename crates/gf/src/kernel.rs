@@ -171,19 +171,47 @@ impl Kernel {
     /// First-use resolution: environment override, else detection. An
     /// unsupported or unknown `AG_GF_KERNEL` value falls back to detection
     /// rather than erroring — a simulation should not abort over a typo'd
-    /// tuning knob.
+    /// tuning knob — but an unknown value is reported once on stderr so it
+    /// does not silently benchmark the wrong rung.
     fn resolve() -> Kernel {
         // ag-lint: allow(wall-clock) — AG_GF_KERNEL picks which proven-
         // bit-identical rung runs; resolved once per process at first use,
         // so the choice cannot vary mid-simulation.
         if let Ok(v) = std::env::var("AG_GF_KERNEL") {
-            if let Some(k) = Kernel::from_name(&v) {
+            let (forced, warning) = classify_env_value(&v);
+            if let Some(w) = warning {
+                WARN_UNKNOWN_ENV.call_once(|| eprintln!("{w}"));
+            }
+            if let Some(k) = forced {
                 if k.is_supported() {
                     return k;
                 }
             }
         }
         Self::detect_best()
+    }
+}
+
+/// Emits the unknown-`AG_GF_KERNEL` warning at most once per process.
+static WARN_UNKNOWN_ENV: std::sync::Once = std::sync::Once::new();
+
+/// Classifies an `AG_GF_KERNEL` value for first-use resolution: the
+/// forced rung (`None` = fall through to detection) plus a warning line
+/// for stderr when the value is unknown. `auto` is a sanctioned spelling
+/// of "detect", never a typo. Split from the resolver so the warning
+/// path is testable without mutating the process environment.
+#[must_use]
+pub fn classify_env_value(v: &str) -> (Option<Kernel>, Option<String>) {
+    match Kernel::from_name(v) {
+        Some(k) => (Some(k), None),
+        None if v.eq_ignore_ascii_case("auto") => (None, None),
+        None => (
+            None,
+            Some(format!(
+                "ag-gf: unknown AG_GF_KERNEL value `{v}` \
+                 (expected reference/swar/simd/auto); falling back to detection"
+            )),
+        ),
     }
 }
 
@@ -212,6 +240,23 @@ mod tests {
         assert_eq!(Kernel::from_name("REFERENCE"), Some(Kernel::Reference));
         assert_eq!(Kernel::from_name("auto"), None);
         assert_eq!(Kernel::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn env_classification_warns_on_typos_but_not_auto() {
+        for k in Kernel::LADDER {
+            assert_eq!(classify_env_value(k.name()), (Some(k), None));
+        }
+        assert_eq!(
+            classify_env_value("AUTO"),
+            (None, None),
+            "auto means detect, never a typo"
+        );
+        let (forced, warning) = classify_env_value("svar");
+        assert_eq!(forced, None, "typos fall back to detection");
+        let warning = warning.expect("unknown values must warn");
+        assert!(warning.contains("AG_GF_KERNEL"), "{warning}");
+        assert!(warning.contains("`svar`"), "{warning}");
     }
 
     #[test]

@@ -230,6 +230,7 @@ impl NodeBasis {
     /// the same row-wise/blocked schedule choice as
     /// [`EchelonBasis`](crate::EchelonBasis) (see [`crate::ReplayMode`]).
     /// Idempotent; trivial for rank-only rows.
+    // ag-lint: hot-path
     fn flush<F: SlabField>(&mut self, d: Dims, sc: &mut ArenaScratch) {
         let rank = self.rank();
         if d.pb == 0 {
@@ -251,6 +252,7 @@ impl NodeBasis {
     /// The insert hot path shared by the serial arena and the shards; the
     /// same elimination calls, in the same order, as
     /// [`EchelonBasis`](crate::EchelonBasis).
+    // ag-lint: hot-path
     fn insert_packed<F: SlabField>(
         &mut self,
         d: Dims,
@@ -684,6 +686,7 @@ impl<F: SlabField> BasisArena<F> {
     /// # Panics
     ///
     /// Panics if `node` is out of range or `row.len() != row_bytes()`.
+    // ag-lint: hot-path
     pub fn insert_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Insertion {
         let rb = self.row_bytes();
         assert_eq!(
@@ -706,6 +709,7 @@ impl<F: SlabField> BasisArena<F> {
     /// # Panics
     ///
     /// Panics if `node` is out of range or `row.len() != row_bytes()`.
+    // ag-lint: hot-path
     pub fn insert_packed_slice(&mut self, node: usize, row: &[u8]) -> Insertion {
         let mut buf = std::mem::take(&mut self.scratch.get_mut().insert);
         buf.clear();
@@ -817,6 +821,7 @@ impl<F: SlabField> BasisShard<'_, F> {
     /// # Panics
     ///
     /// Panics if `node` is outside the shard or the row length mismatches.
+    // ag-lint: hot-path
     pub fn insert_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Insertion {
         let rb = (self.dims.kb) + (self.dims.pb);
         assert_eq!(

@@ -385,6 +385,7 @@ pub(crate) mod core_ops {
     /// [`crate::ReplayMode`], leaving `flushed == rank`. `pay` must be
     /// exactly `rank` rows. The shared flush entry point of
     /// [`crate::EchelonBasis`] and the arena nodes.
+    // ag-lint: hot-path
     pub(crate) fn flush_pending<F: SlabField>(
         pay: &mut [u8],
         log: &[u8],
@@ -685,6 +686,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// eager elimination would have produced — both schedules are
     /// bit-identical. Idempotent; a no-op when nothing is pending or rows
     /// carry no payload.
+    // ag-lint: hot-path
     fn flush_payloads(&self) {
         let mut led = self.ledger.borrow_mut();
         let pb = self.pay_bytes();
@@ -770,6 +772,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// Exactly the [`EchelonBasis::try_insert_packed`] errors; the basis
     /// (its logical state — scratch is transient) is unchanged on `Err`
     /// *and* on a redundant insert.
+    // ag-lint: hot-path
     pub fn try_insert_packed_slice(&mut self, row: &[u8]) -> Result<Insertion, BasisError> {
         if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
             return Err(BasisError::Misaligned {
@@ -797,6 +800,7 @@ impl<F: SlabField> EchelonBasis<F> {
     ///
     /// Exactly the [`EchelonBasis::try_insert_packed`] errors; the basis's
     /// logical state is unchanged on `Err` and on a redundant insert.
+    // ag-lint: hot-path
     pub fn try_insert_packed_mut(&mut self, row: &mut [u8]) -> Result<Insertion, BasisError> {
         if !row.len().is_multiple_of(F::SYMBOL_BYTES) {
             return Err(BasisError::Misaligned {
@@ -835,6 +839,7 @@ impl<F: SlabField> EchelonBasis<F> {
     /// Borrowed-buffer elimination core. Only the coefficient prefix of
     /// `row` is reduced in place; the payload tail is left exactly as
     /// passed (it is copied raw — its elimination is deferred to the log).
+    // ag-lint: hot-path
     fn insert_validated_slice(&mut self, row: &mut [u8]) -> Insertion {
         let sb = F::SYMBOL_BYTES;
         let kb = self.pivot_width * sb;

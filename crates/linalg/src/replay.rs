@@ -106,17 +106,42 @@ pub fn set_replay_mode(mode: ReplayMode) -> ReplayMode {
 
 /// First-use resolution: environment override, else [`ReplayMode::Auto`].
 /// An unknown `AG_LINALG_REPLAY` value falls back to `Auto` rather than
-/// erroring — a simulation should not abort over a typo'd tuning knob.
+/// erroring — a simulation should not abort over a typo'd tuning knob —
+/// but the typo is reported once on stderr so it does not silently time
+/// the wrong schedule.
 fn resolve() -> ReplayMode {
     // ag-lint: allow(wall-clock) — AG_LINALG_REPLAY picks which proven-
     // bit-identical replay schedule runs; resolved once per process at
     // first use, so the choice cannot vary mid-simulation.
     if let Ok(v) = std::env::var("AG_LINALG_REPLAY") {
-        if let Some(m) = ReplayMode::from_name(&v) {
-            return m;
+        let (mode, warning) = classify_env_value(&v);
+        if let Some(w) = warning {
+            WARN_UNKNOWN_ENV.call_once(|| eprintln!("{w}"));
         }
+        return mode;
     }
     ReplayMode::Auto
+}
+
+/// Emits the unknown-`AG_LINALG_REPLAY` warning at most once per process.
+static WARN_UNKNOWN_ENV: std::sync::Once = std::sync::Once::new();
+
+/// Classifies an `AG_LINALG_REPLAY` value for first-use resolution: the
+/// schedule to install plus a warning line for stderr when the value is
+/// unknown. Split from [`resolve`] so the warning path is testable
+/// without mutating the process environment.
+#[must_use]
+pub fn classify_env_value(v: &str) -> (ReplayMode, Option<String>) {
+    match ReplayMode::from_name(v) {
+        Some(m) => (m, None),
+        None => (
+            ReplayMode::Auto,
+            Some(format!(
+                "ag-linalg: unknown AG_LINALG_REPLAY value `{v}` \
+                 (expected rowwise/blocked/auto); using auto"
+            )),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +155,23 @@ mod tests {
         }
         assert_eq!(ReplayMode::from_name("BLOCKED"), Some(ReplayMode::Blocked));
         assert_eq!(ReplayMode::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn env_classification_warns_once_semantics() {
+        for m in ReplayMode::ALL {
+            assert_eq!(classify_env_value(m.name()), (m, None));
+        }
+        let (mode, warning) = classify_env_value("bloked");
+        assert_eq!(mode, ReplayMode::Auto, "typos fall back to auto");
+        let warning = warning.expect("unknown values must warn");
+        assert!(warning.contains("AG_LINALG_REPLAY"), "{warning}");
+        assert!(warning.contains("`bloked`"), "{warning}");
+        assert_eq!(
+            classify_env_value("BLOCKED"),
+            (ReplayMode::Blocked, None),
+            "case-insensitive values are not typos"
+        );
     }
 
     #[test]

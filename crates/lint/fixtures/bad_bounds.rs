@@ -1,0 +1,14 @@
+//! Known-bad bounds provenance: pointer arithmetic whose `// SAFETY:`
+//! comment names no len/bound identifier from the enclosing scope.
+
+fn first(xs: &[u8]) -> u8 {
+    let len = xs.len();
+    assert!(len > 0);
+    // SAFETY: trust me, the access is fine.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+fn shift(p: *const u8, count: usize) -> *const u8 {
+    // SAFETY: the caller promised this is sound.
+    unsafe { p.add(count) }
+}

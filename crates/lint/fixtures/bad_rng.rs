@@ -1,0 +1,30 @@
+//! Known-bad RNG constructions: ambient entropy, raw literal seeds,
+//! unkeyed seed expressions, and an engine RNG captured inside a
+//! sharded phase. Self-test input; never compiled.
+
+fn ambient() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn ambient_thread() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn literal() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+fn unkeyed(config_id: u64) -> StdRng {
+    StdRng::seed_from_u64(config_id)
+}
+
+fn compose(seed: u64) {
+    let mut engine_rng = StdRng::seed_from_u64(splitmix64(seed));
+    // ag-lint: sharded-phase(begin) — per-slot keys only below
+    let slot_key = splitmix64(seed ^ 1);
+    let mut slot_rng = StdRng::seed_from_u64(slot_key);
+    let draw = engine_rng.gen::<u64>() ^ slot_rng.gen::<u64>();
+    // ag-lint: sharded-phase(end)
+    let _ = draw;
+}

@@ -1,0 +1,13 @@
+//! Known-bad waiver hygiene: the first waiver's unwrap is long gone, so
+//! the waiver itself must fire; the second still suppresses a live
+//! unwrap and must stay silent.
+
+fn tidy(x: Option<u32>) -> u32 {
+    // ag-lint: allow(panic-policy) — historical unwrap, since removed
+    x.unwrap_or(0)
+}
+
+fn live(x: Option<u32>) -> u32 {
+    // ag-lint: allow(panic-policy) — invariant: caller checks is_some first
+    x.unwrap()
+}

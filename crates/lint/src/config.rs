@@ -37,7 +37,29 @@ pub struct RuleCfg {
     pub allow_expect: bool,
     /// Panic policy only: also forbid `x[i]` indexing expressions.
     pub forbid_indexing: bool,
+    /// Alloc discipline only: method calls permitted inside hot-path
+    /// zones even though they match the allocating-method table. Entries
+    /// are a bare method name (`"push"` — allowed on any receiver) or a
+    /// `receiver.method` pair (`"outbox.push"` — allowed only on that
+    /// receiver), for preallocated-scratch methods whose capacity is
+    /// reserved up front.
+    pub allow_calls: Vec<String>,
+    /// Bounds provenance only: substrings (or, for entries of ≤ 2 chars,
+    /// exact names) that make an identifier count as a length/bound when
+    /// cited in a SAFETY comment.
+    pub bound_hints: Vec<String>,
+    /// RNG discipline only: root seed-derivation function names; the
+    /// cross-file fixpoint grows the set transitively from these.
+    pub derivation_roots: Vec<String>,
 }
+
+/// Default [`RuleCfg::bound_hints`]: the length/bound vocabulary of this
+/// workspace (slice lens, capacities, tile/stride geometry, GF lane
+/// counts), kept here so fixtures and the real config agree.
+pub const DEFAULT_BOUND_HINTS: [&str; 18] = [
+    "len", "cap", "capacity", "count", "size", "stride", "bytes", "rank", "rows", "cols", "width",
+    "end", "lanes", "dim", "limbs", "chunks", "n", "k",
+];
 
 impl Default for RuleCfg {
     fn default() -> Self {
@@ -48,6 +70,12 @@ impl Default for RuleCfg {
             include_tests: false,
             allow_expect: true,
             forbid_indexing: false,
+            allow_calls: Vec::new(),
+            bound_hints: DEFAULT_BOUND_HINTS
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            derivation_roots: vec!["splitmix64".to_owned()],
         }
     }
 }
@@ -113,6 +141,9 @@ impl Config {
                         ("include_tests", Value::Bool(b)) => rc.include_tests = b,
                         ("allow_expect", Value::Bool(b)) => rc.allow_expect = b,
                         ("forbid_indexing", Value::Bool(b)) => rc.forbid_indexing = b,
+                        ("allow_calls", Value::StrArray(v)) => rc.allow_calls = v,
+                        ("bound_hints", Value::StrArray(v)) => rc.bound_hints = v,
+                        ("derivation_roots", Value::StrArray(v)) => rc.derivation_roots = v,
                         (k, _) => {
                             return Err(ConfigError::UnknownKey(format!("rules.{rule_name}.{k}")))
                         }

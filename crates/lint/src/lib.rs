@@ -18,6 +18,15 @@
 //! must not `unwrap`/`panic!` — `.expect("invariant")` with a real
 //! message, typed errors, or an explicit waiver are the only outs.
 //!
+//! v2 grew the pass into a two-phase analyzer. Phase 1 ([`index`]) builds
+//! a per-file symbol/region index (fn boundaries, call sites, annotated
+//! regions, unsafe spans) and a cross-file seed-derivation fixpoint;
+//! phase 2 adds three families over it: `rng-discipline` (every RNG
+//! keyed through the `seedmix` chain), `alloc-discipline` (no allocating
+//! constructs inside `// ag-lint: hot-path` zones) and
+//! `bounds-provenance` (pointer-arithmetic SAFETY comments must cite a
+//! real len/bound from the enclosing scope).
+//!
 //! Everything is pure `std` (the container is offline), driven by a
 //! lightweight lexer/line scanner — no `syn`, no type information. The
 //! rules, their per-crate scopes and the waiver syntax live in the root
@@ -26,6 +35,8 @@
 //! every rule family is self-tested against.
 
 pub mod config;
+pub mod dataflow;
+pub mod index;
 pub mod inventory;
 pub mod rules;
 pub mod scan;
@@ -35,6 +46,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use config::Config;
+use index::FileIndex;
 use rules::{Finding, RuleId};
 use scan::{scan, ScannedFile};
 
@@ -61,24 +73,37 @@ pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
     paths.dedup();
     paths.retain(|p| !cfg.exclude.iter().any(|pat| config::glob_match(pat, p)));
 
-    let mut findings = Vec::new();
-    let mut waivers_honored = 0usize;
-    let mut scanned: Vec<(String, ScannedFile)> = Vec::new();
+    // Phase 1: scan and index every file, then resolve the workspace-wide
+    // seed-derivation set by fixpoint (a helper in crates/graph that
+    // wraps `splitmix64` must count as a derivation in crates/sim too).
+    let mut scanned: Vec<(String, ScannedFile, FileIndex)> = Vec::new();
     for rel in &paths {
         let text = fs::read_to_string(root.join(rel))?;
         let file = scan(&text);
-        let (mut file_findings, honored) = rules::lint_file(rel, &file, cfg);
+        let idx = index::index_file(&file);
+        scanned.push((rel.clone(), file, idx));
+    }
+    let indexes: Vec<&FileIndex> = scanned.iter().map(|(_, _, i)| i).collect();
+    let roots = cfg.rule(RuleId::RngDiscipline).derivation_roots;
+    let derivation = index::derivation_fixpoint(&indexes, &roots);
+
+    // Phase 2: run the rule families per file against the shared context.
+    let mut findings = Vec::new();
+    let mut waivers_honored = 0usize;
+    for (rel, file, idx) in &scanned {
+        let (mut file_findings, honored) =
+            rules::lint_file_indexed(rel, file, idx, &derivation, cfg);
         findings.append(&mut file_findings);
         waivers_honored += honored;
-        scanned.push((rel.clone(), file));
     }
 
-    let audit_files: Vec<(String, &ScannedFile)> = scanned
+    let audit_files: Vec<(String, &ScannedFile, &FileIndex)> = scanned
         .iter()
-        .filter(|(p, _)| cfg.applies(RuleId::UnsafeAudit, p))
-        .map(|(p, f)| (p.clone(), f))
+        .filter(|(p, _, _)| cfg.applies(RuleId::UnsafeAudit, p))
+        .map(|(p, f, i)| (p.clone(), f, i))
         .collect();
-    let inventory = inventory::render(&audit_files);
+    let hints = cfg.rule(RuleId::BoundsProvenance).bound_hints;
+    let inventory = inventory::render(&audit_files, &hints);
 
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(Report {

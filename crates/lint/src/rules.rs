@@ -26,15 +26,45 @@
 //!   code; `.expect("invariant message")` is the configurable escape
 //!   hatch, and indexing can additionally be forbidden per scope.
 //!
+//! Three *cross-file* families (v2) run over the phase-1
+//! [`crate::index::FileIndex`] plus a workspace-wide derivation-function
+//! set resolved by fixpoint in [`crate::run`]:
+//!
+//! * **`rng-discipline`** — every RNG construction must be keyed through
+//!   the `seedmix` derivation chain: `from_entropy`/`thread_rng` are
+//!   banned outright, raw literal seeds are banned outside tests, a
+//!   `seed_from_u64(expr)` whose expression neither calls a derivation
+//!   function nor flows from a seed-named binding is flagged, and inside
+//!   `// ag-lint: sharded-phase(begin/end)` regions any mention of an RNG
+//!   not bound within the region (i.e. not built from the per-slot key)
+//!   is a finding — the double-draw bug class.
+//! * **`alloc-discipline`** — functions/regions annotated
+//!   `// ag-lint: hot-path` may not contain allocating constructs
+//!   (`Vec::new`, `push`, `with_capacity`, `to_vec`, `clone`, `format!`,
+//!   `Box::new`, `collect`, …) except calls allowlisted in `lint.toml`
+//!   (`allow_calls`) — turning the counting-allocator audits into a
+//!   lint-time gate.
+//! * **`bounds-provenance`** — an unsafe span that does pointer
+//!   arithmetic (`get_unchecked`, `from_raw_parts`, `.add(…)`, …) must
+//!   cite, in its `// SAFETY:` comment, at least one len/bound identifier
+//!   that actually exists in the enclosing scope — tightening the
+//!   presence-only `unsafe-audit` check.
+//!
 //! Findings are suppressed by inline waivers with a mandatory reason —
 //! for example `// ag-lint: allow(hash-iteration) — order-independent sum`
 //! — either on the offending line or on comment lines directly above it.
 //! A waiver without a reason, or naming an unknown rule, is itself a
-//! finding (`invalid-waiver`) that cannot be waived.
+//! finding (`invalid-waiver`) that cannot be waived; a well-formed waiver
+//! that suppresses nothing is an `unused-waiver` finding (waivers must
+//! not outlive the code they excused). Waivers and annotations live in
+//! plain `//` comments only — doc text never parses as either.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::config::{Config, RuleCfg};
+use crate::dataflow;
+use crate::index::{index_file, FileIndex, Span};
 use crate::scan::{is_ident_char, ScannedFile};
 
 /// Identifier of a rule family.
@@ -45,18 +75,26 @@ pub enum RuleId {
     TruncatingCast,
     UnsafeAudit,
     PanicPolicy,
+    RngDiscipline,
+    AllocDiscipline,
+    BoundsProvenance,
     /// Malformed waivers; internal, never configured, never waivable.
     InvalidWaiver,
+    /// Well-formed waivers that suppress nothing; internal, unwaivable.
+    UnusedWaiver,
 }
 
 impl RuleId {
     /// All configurable rules, in reporting order.
-    pub const CONFIGURABLE: [RuleId; 5] = [
+    pub const CONFIGURABLE: [RuleId; 8] = [
         RuleId::HashIteration,
         RuleId::WallClock,
         RuleId::TruncatingCast,
         RuleId::UnsafeAudit,
         RuleId::PanicPolicy,
+        RuleId::RngDiscipline,
+        RuleId::AllocDiscipline,
+        RuleId::BoundsProvenance,
     ];
 
     #[must_use]
@@ -67,7 +105,11 @@ impl RuleId {
             RuleId::TruncatingCast => "truncating-cast",
             RuleId::UnsafeAudit => "unsafe-audit",
             RuleId::PanicPolicy => "panic-policy",
+            RuleId::RngDiscipline => "rng-discipline",
+            RuleId::AllocDiscipline => "alloc-discipline",
+            RuleId::BoundsProvenance => "bounds-provenance",
             RuleId::InvalidWaiver => "invalid-waiver",
+            RuleId::UnusedWaiver => "unused-waiver",
         }
     }
 
@@ -107,16 +149,37 @@ impl fmt::Display for Finding {
 /// A parsed inline waiver.
 #[derive(Debug, Clone)]
 struct Waiver {
+    /// 0-based line the waiver text sits on.
+    line: usize,
     rules: Vec<RuleId>,
-    /// Line the waiver applies to (the waiver's own line, or the next
-    /// code-bearing line when the waiver sits on a comment-only line).
     has_reason: bool,
+    /// Did this waiver suppress at least one finding?
+    used: bool,
 }
 
-/// Lint one scanned file. Returns surviving findings and the number of
-/// waivers that actually suppressed something.
+/// Lint one scanned file in isolation: builds the phase-1 index and a
+/// file-local derivation fixpoint, then runs the indexed pass. The
+/// workspace driver ([`crate::run`]) computes the fixpoint across all
+/// files instead and calls [`lint_file_indexed`] directly.
 #[must_use]
 pub fn lint_file(path: &str, file: &ScannedFile, cfg: &Config) -> (Vec<Finding>, usize) {
+    let index = index_file(file);
+    let roots = cfg.rule(RuleId::RngDiscipline).derivation_roots;
+    let derivation = crate::index::derivation_fixpoint(&[&index], &roots);
+    lint_file_indexed(path, file, &index, &derivation, cfg)
+}
+
+/// Lint one scanned file against its phase-1 index and the cross-file
+/// derivation set. Returns surviving findings and the number of findings
+/// that waivers suppressed.
+#[must_use]
+pub fn lint_file_indexed(
+    path: &str,
+    file: &ScannedFile,
+    index: &FileIndex,
+    derivation_fns: &BTreeSet<String>,
+    cfg: &Config,
+) -> (Vec<Finding>, usize) {
     let mut raw: Vec<Finding> = Vec::new();
 
     for rule in RuleId::CONFIGURABLE {
@@ -130,23 +193,56 @@ pub fn lint_file(path: &str, file: &ScannedFile, cfg: &Config) -> (Vec<Finding>,
             RuleId::TruncatingCast => check_truncating_cast(path, file, &rc, &mut raw),
             RuleId::UnsafeAudit => check_unsafe(path, file, &rc, &mut raw),
             RuleId::PanicPolicy => check_panic_policy(path, file, &rc, &mut raw),
-            RuleId::InvalidWaiver => unreachable!("not in CONFIGURABLE"),
+            RuleId::RngDiscipline => {
+                check_rng_discipline(path, file, index, derivation_fns, &rc, &mut raw);
+            }
+            RuleId::AllocDiscipline => check_alloc_discipline(path, file, index, &rc, &mut raw),
+            RuleId::BoundsProvenance => check_bounds_provenance(path, file, index, &rc, &mut raw),
+            RuleId::InvalidWaiver | RuleId::UnusedWaiver => unreachable!("not in CONFIGURABLE"),
         }
     }
 
     // Waiver application: a finding on line L is suppressed when a
-    // well-formed waiver naming its rule covers L.
+    // well-formed waiver naming its rule covers L. Every waiver that
+    // suppresses something is marked used; the rest become findings.
+    let mut waivers = collect_waivers(file);
     let mut findings = Vec::new();
     let mut honored = 0usize;
     for finding in raw {
-        if finding.rule != RuleId::InvalidWaiver
-            && waivers_covering(file, finding.line - 1)
-                .iter()
-                .any(|w| w.has_reason && w.rules.contains(&finding.rule))
-        {
+        let covering = covering_lines(file, finding.line - 1);
+        let mut suppressed = false;
+        for w in &mut waivers {
+            if w.has_reason && covering.contains(&w.line) && w.rules.contains(&finding.rule) {
+                w.used = true;
+                suppressed = true;
+            }
+        }
+        if suppressed {
             honored += 1;
         } else {
             findings.push(finding);
+        }
+    }
+
+    // Unused waivers are findings: a suppression that excuses nothing has
+    // outlived the code it excused (or never matched it) and silently
+    // widens the exemption surface. Unwaivable, like invalid-waiver.
+    for w in &waivers {
+        if w.has_reason && !w.used {
+            findings.push(Finding {
+                path: path.to_owned(),
+                line: w.line + 1,
+                rule: RuleId::UnusedWaiver,
+                message: format!(
+                    "waiver for `{}` suppresses no finding here — delete it \
+                     (waivers must not outlive the code they excused)",
+                    w.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
         }
     }
 
@@ -154,7 +250,7 @@ pub fn lint_file(path: &str, file: &ScannedFile, cfg: &Config) -> (Vec<Finding>,
     // of rule scopes: a waiver that silently fails to parse is exactly
     // the silent exemption the tool exists to forbid.
     for (i, line) in file.lines.iter().enumerate() {
-        if let Some(err) = waiver_syntax_error(&line.comment) {
+        if let Some(err) = waiver_syntax_error(&line.plain_comment) {
             findings.push(Finding {
                 path: path.to_owned(),
                 line: i + 1,
@@ -174,10 +270,23 @@ pub fn lint_file(path: &str, file: &ScannedFile, cfg: &Config) -> (Vec<Finding>,
 
 const WAIVER_MARK: &str = "ag-lint:";
 
-/// Waivers covering line `idx` (0-based): waivers on the line itself plus
-/// waivers on directly preceding comment-only / attribute-only lines.
-fn waivers_covering(file: &ScannedFile, idx: usize) -> Vec<Waiver> {
-    let mut out = parse_waivers(&file.lines[idx].comment);
+/// All waivers in the file, from plain (non-doc) comment text only —
+/// waiver examples in doc comments never register as live suppressions.
+fn collect_waivers(file: &ScannedFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        for mut w in parse_waivers(&line.plain_comment) {
+            w.line = i;
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// The 0-based lines whose waivers cover line `idx`: the line itself plus
+/// directly preceding comment-only / attribute-only lines.
+fn covering_lines(file: &ScannedFile, idx: usize) -> Vec<usize> {
+    let mut out = vec![idx];
     let mut i = idx;
     while i > 0 {
         i -= 1;
@@ -185,12 +294,13 @@ fn waivers_covering(file: &ScannedFile, idx: usize) -> Vec<Waiver> {
         if line.has_code() && !line.is_attr_only() {
             break;
         }
-        out.extend(parse_waivers(&line.comment));
+        out.push(i);
     }
     out
 }
 
-/// Parse every well-formed waiver in one comment string.
+/// Parse every well-formed waiver in one comment string (`line` is left
+/// 0 for the caller to fill in).
 fn parse_waivers(comment: &str) -> Vec<Waiver> {
     let mut out = Vec::new();
     let mut rest = comment;
@@ -223,19 +333,26 @@ fn parse_one_waiver(text: &str) -> Option<(Waiver, &str)> {
     let reason = tail.trim_start().trim_start_matches(['—', '–', '-']).trim();
     Some((
         Waiver {
+            line: 0,
             rules,
             has_reason: !reason.is_empty(),
+            used: false,
         },
         tail,
     ))
 }
 
 /// A human-readable description of what is wrong with the waivers in
-/// this comment, if anything.
+/// this comment, if anything. `hot-path`/`sharded-phase` annotations are
+/// valid non-waivers; anything else after `ag-lint:` must parse as an
+/// `allow(…)` with a reason.
 fn waiver_syntax_error(comment: &str) -> Option<String> {
     let mut rest = comment;
     while let Some(pos) = rest.find(WAIVER_MARK) {
         rest = &rest[pos + WAIVER_MARK.len()..];
+        if crate::index::parse_annotation(rest).is_some() {
+            continue;
+        }
         match parse_one_waiver(rest) {
             Some((waiver, tail)) => {
                 if !waiver.has_reason {
@@ -731,6 +848,418 @@ fn check_indexing(path: &str, code: &str, lineno: usize, out: &mut Vec<Finding>)
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// rng-discipline
+// ---------------------------------------------------------------------------
+
+/// RNG constructors that consume ambient entropy — banned outright.
+const AMBIENT_RNG: [&str; 2] = ["from_entropy", "thread_rng"];
+
+/// RNG constructors taking a seed whose provenance is checked.
+const SEEDED_RNG: [&str; 2] = ["seed_from_u64", "from_seed"];
+
+fn check_rng_discipline(
+    path: &str,
+    file: &ScannedFile,
+    index: &FileIndex,
+    derivation_fns: &BTreeSet<String>,
+    rc: &RuleCfg,
+    out: &mut Vec<Finding>,
+) {
+    for (lineno, code) in code_lines(file, rc) {
+        for tok in AMBIENT_RNG {
+            if has_token(code, tok) {
+                push(
+                    out,
+                    path,
+                    lineno,
+                    RuleId::RngDiscipline,
+                    format!(
+                        "`{tok}` consumes ambient entropy: every RNG must be keyed \
+                         through the seedmix derivation chain (`splitmix64`) so runs \
+                         stay a pure function of the seed"
+                    ),
+                );
+            }
+        }
+        for ctor in SEEDED_RNG {
+            for at in token_positions(code, ctor) {
+                let after = &code[at + ctor.len()..];
+                let Some(rel) = after.find('(') else { continue };
+                if !after[..rel].trim().is_empty() {
+                    continue;
+                }
+                let open = at + ctor.len() + rel;
+                let arg = dataflow::call_arg_text(file, lineno - 1, open);
+                let span = index
+                    .enclosing_fn(lineno - 1)
+                    .map(|f| Span {
+                        start: f.sig_line,
+                        end: f.body.end,
+                    })
+                    .unwrap_or(Span {
+                        start: 0,
+                        end: file.lines.len().saturating_sub(1),
+                    });
+                let derived = dataflow::seed_derived_idents(file, span, derivation_fns);
+                if dataflow::is_integer_literal(&arg) {
+                    push(
+                        out,
+                        path,
+                        lineno,
+                        RuleId::RngDiscipline,
+                        format!(
+                            "`{ctor}({lit})` with a raw literal seed: derive the key \
+                             via the seedmix chain (`splitmix64(seed ^ …)`) or move \
+                             the construction under `#[cfg(test)]`",
+                            lit = arg.trim()
+                        ),
+                    );
+                } else if !dataflow::expr_is_seed_derived(&arg, derivation_fns, &derived) {
+                    push(
+                        out,
+                        path,
+                        lineno,
+                        RuleId::RngDiscipline,
+                        format!(
+                            "`{ctor}(…)` seed expression `{}` neither calls a seedmix \
+                             derivation function nor flows from a seed-named binding — \
+                             the RNG stream is not keyed to the run seed",
+                            arg.trim()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Sharded phases: an RNG-looking identifier not bound inside the
+    // region is a capture of the serial engine RNG — drawing from it in
+    // shard work changes the stream with the shard count (the
+    // double-draw bug class PR 7 eliminated).
+    for span in &index.sharded_regions {
+        let bound = dataflow::region_bindings(file, *span);
+        for i in span.start..=span.end.min(file.lines.len().saturating_sub(1)) {
+            let line = &file.lines[i];
+            if !rc.include_tests && line.in_test {
+                continue;
+            }
+            let mut flagged: BTreeSet<&str> = BTreeSet::new();
+            for id in dataflow::idents(&line.code) {
+                if id.starts_with(|c: char| c.is_ascii_lowercase())
+                    && id.to_ascii_lowercase().contains("rng")
+                    && !bound.contains(id)
+                    && flagged.insert(id)
+                {
+                    push(
+                        out,
+                        path,
+                        i + 1,
+                        RuleId::RngDiscipline,
+                        format!(
+                            "`{id}` inside a sharded phase is not bound within the \
+                             region: shard work must draw only from an RNG \
+                             constructed from the per-slot key, never from the \
+                             engine's serial RNG"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// alloc-discipline
+// ---------------------------------------------------------------------------
+
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+const ALLOC_PATHS: [&str; 7] = [
+    "Vec::new",
+    "Vec::with_capacity",
+    "Vec::from",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "String::with_capacity",
+];
+
+const ALLOC_METHODS: [&str; 17] = [
+    "push",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "append",
+    "collect",
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "with_capacity",
+    "into_boxed_slice",
+    "split_off",
+];
+
+fn check_alloc_discipline(
+    path: &str,
+    file: &ScannedFile,
+    index: &FileIndex,
+    rc: &RuleCfg,
+    out: &mut Vec<Finding>,
+) {
+    let spans = index.hot_spans();
+    if spans.is_empty() {
+        return;
+    }
+    // Overlapping spans (a hot fn containing a hot region) must not
+    // double-report one site.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for span in spans {
+        for i in span.start..=span.end.min(file.lines.len().saturating_sub(1)) {
+            let line = &file.lines[i];
+            if !rc.include_tests && line.in_test {
+                continue;
+            }
+            let code = &line.code;
+            for mac in ALLOC_MACROS {
+                for at in token_positions(code, mac) {
+                    if code[at + mac.len()..].starts_with('!') && seen.insert((i, at)) {
+                        push(
+                            out,
+                            path,
+                            i + 1,
+                            RuleId::AllocDiscipline,
+                            format!(
+                                "`{mac}!` allocates inside a hot-path zone — hot \
+                                 receive/emit/flush paths must reuse preallocated \
+                                 scratch"
+                            ),
+                        );
+                    }
+                }
+            }
+            for p in ALLOC_PATHS {
+                let mut start = 0usize;
+                while let Some(pos) = code[start..].find(p) {
+                    let at = start + pos;
+                    start = at + p.len();
+                    let prev = code[..at].chars().next_back().unwrap_or(' ');
+                    let next = code[at + p.len()..].chars().next().unwrap_or(' ');
+                    if !is_ident_char(prev)
+                        && prev != ':'
+                        && !is_ident_char(next)
+                        && seen.insert((i, at))
+                    {
+                        push(
+                            out,
+                            path,
+                            i + 1,
+                            RuleId::AllocDiscipline,
+                            format!(
+                                "`{p}` allocates inside a hot-path zone — \
+                                 preallocate in the constructor and reuse"
+                            ),
+                        );
+                    }
+                }
+            }
+            for m in ALLOC_METHODS {
+                for at in token_positions(code, m) {
+                    if !code[..at].ends_with('.') {
+                        continue;
+                    }
+                    let after = code[at + m.len()..].trim_start();
+                    if !after.starts_with('(') && !after.starts_with("::<") {
+                        continue;
+                    }
+                    let recv = ident_ending_at(code, at - 1);
+                    let allowed = rc.allow_calls.iter().any(|a| {
+                        a == m
+                            || recv.is_some_and(|r| {
+                                a.strip_suffix(m)
+                                    .and_then(|owner| owner.strip_suffix('.'))
+                                    .is_some_and(|owner| owner == r)
+                            })
+                    });
+                    if !allowed && seen.insert((i, at)) {
+                        let on = recv.map(|r| format!(" on `{r}`")).unwrap_or_default();
+                        push(
+                            out,
+                            path,
+                            i + 1,
+                            RuleId::AllocDiscipline,
+                            format!(
+                                "`.{m}(…)`{on} may allocate inside a hot-path zone — \
+                                 use preallocated scratch, or allowlist the call in \
+                                 lint.toml (`allow_calls`) with capacity reserved up \
+                                 front"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bounds-provenance
+// ---------------------------------------------------------------------------
+
+/// Unchecked-access constructs whose soundness depends on a length/bound
+/// argument computed in the enclosing scope.
+const PTR_FNS: [&str; 10] = [
+    "get_unchecked",
+    "get_unchecked_mut",
+    "from_raw_parts",
+    "from_raw_parts_mut",
+    "copy_nonoverlapping",
+    "copy_from_nonoverlapping",
+    "copy_to_nonoverlapping",
+    "read_unaligned",
+    "write_unaligned",
+    "offset_from",
+];
+
+/// Raw-pointer methods (matched only in `.m(` position).
+const PTR_METHODS: [&str; 7] = [
+    "add",
+    "sub",
+    "offset",
+    "read",
+    "write",
+    "byte_add",
+    "byte_offset",
+];
+
+fn check_bounds_provenance(
+    path: &str,
+    file: &ScannedFile,
+    index: &FileIndex,
+    rc: &RuleCfg,
+    out: &mut Vec<Finding>,
+) {
+    for us in &index.unsafe_spans {
+        if !rc.include_tests && file.lines[us.kw_line].in_test {
+            continue;
+        }
+        let ops = ptr_ops_in(file, us.body);
+        if ops.is_empty() {
+            continue;
+        }
+        // A missing SAFETY comment is unsafe-audit's finding, not ours.
+        let Some(just) = safety_comment(file, us.kw_line) else {
+            continue;
+        };
+        let cited = cited_bounds(file, index, us.kw_line, us.body, &just, &rc.bound_hints);
+        if cited.is_empty() {
+            push(
+                out,
+                path,
+                us.kw_line + 1,
+                RuleId::BoundsProvenance,
+                format!(
+                    "unsafe span does pointer arithmetic ({}) but its SAFETY \
+                     comment cites no len/bound identifier from the enclosing \
+                     scope — name the bound that keeps the access in range",
+                    ops.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// Pointer ops inside a span, deduplicated, in table order.
+fn ptr_ops_in(file: &ScannedFile, span: Span) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for i in span.start..=span.end.min(file.lines.len().saturating_sub(1)) {
+        let code = &file.lines[i].code;
+        for f in PTR_FNS {
+            if has_token(code, f) && !out.contains(&f) {
+                out.push(f);
+            }
+        }
+        for m in PTR_METHODS {
+            if out.contains(&m) {
+                continue;
+            }
+            for at in token_positions(code, m) {
+                if code[..at].ends_with('.') && code[at + m.len()..].starts_with('(') {
+                    out.push(m);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers in the SAFETY text that both exist in the enclosing scope
+/// and look like length/bound names per `bound_hints`.
+fn cited_bounds(
+    file: &ScannedFile,
+    index: &FileIndex,
+    kw_line: usize,
+    body: Span,
+    just: &str,
+    hints: &[String],
+) -> Vec<String> {
+    let scope = index
+        .enclosing_fn(kw_line)
+        .map(|f| Span {
+            start: f.sig_line,
+            end: f.body.end,
+        })
+        .unwrap_or(body);
+    let mut scope_idents: BTreeSet<&str> = BTreeSet::new();
+    for i in scope.start..=scope.end.min(file.lines.len().saturating_sub(1)) {
+        scope_idents.extend(dataflow::idents(&file.lines[i].code));
+    }
+    let mut out: Vec<String> = Vec::new();
+    for id in dataflow::idents(just) {
+        if !scope_idents.contains(id) {
+            continue;
+        }
+        let lower = id.to_ascii_lowercase();
+        let is_bound = hints.iter().any(|h| {
+            if h.len() <= 2 {
+                lower == *h
+            } else {
+                lower.contains(h.as_str())
+            }
+        });
+        if is_bound && !out.iter().any(|o| o == id) {
+            out.push(id.to_owned());
+        }
+    }
+    out
+}
+
+/// For the inventory: pointer ops and cited bounds of the unsafe span
+/// whose keyword sits on 1-based `line`. `None` when no span matches
+/// (e.g. `unsafe impl`, which has no body to do arithmetic in).
+#[must_use]
+pub fn bounds_summary(
+    file: &ScannedFile,
+    index: &FileIndex,
+    line: usize,
+    hints: &[String],
+) -> Option<(Vec<&'static str>, Vec<String>)> {
+    let us = index.unsafe_spans.iter().find(|u| u.kw_line + 1 == line)?;
+    let ops = ptr_ops_in(file, us.body);
+    if ops.is_empty() {
+        return Some((ops, Vec::new()));
+    }
+    let just = safety_comment(file, us.kw_line).unwrap_or_default();
+    let cited = cited_bounds(file, index, us.kw_line, us.body, &just, hints);
+    Some((ops, cited))
 }
 
 #[cfg(test)]

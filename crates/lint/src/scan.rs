@@ -26,6 +26,12 @@ pub struct ScannedLine {
     /// Concatenated comment text on this line, with the `//`/`///`/`//!`
     /// and block markers stripped.
     pub comment: String,
+    /// Comment text excluding doc comments (`///`, `//!`): the only place
+    /// `ag-lint:` waivers and annotations are honored. Doc text *talking
+    /// about* the waiver syntax (module docs, examples) must never parse
+    /// as a live waiver — a doc example would otherwise register as an
+    /// unused waiver, or worse, silently suppress a finding below it.
+    pub plain_comment: String,
     /// True when the line is inside (or is the attribute line of) a
     /// `#[cfg(test)]` item.
     pub in_test: bool,
@@ -75,6 +81,7 @@ pub fn scan(src: &str) -> ScannedFile {
         let chars: Vec<char> = raw.chars().collect();
         let mut code = String::new();
         let mut comment = String::new();
+        let mut plain_comment = String::new();
         let mut i = 0usize;
         while i < chars.len() {
             match state {
@@ -92,6 +99,7 @@ pub fn scan(src: &str) -> ScannedFile {
                         i += 2;
                     } else {
                         comment.push(chars[i]);
+                        plain_comment.push(chars[i]);
                         i += 1;
                     }
                 }
@@ -119,11 +127,16 @@ pub fn scan(src: &str) -> ScannedFile {
                     let c = chars[i];
                     if c == '/' && chars.get(i + 1) == Some(&'/') {
                         // Line comment (includes /// and //! doc forms).
+                        let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
                         let mut j = i + 2;
                         while chars.get(j) == Some(&'/') || chars.get(j) == Some(&'!') {
                             j += 1;
                         }
-                        comment.push_str(&chars[j..].iter().collect::<String>());
+                        let text: String = chars[j..].iter().collect();
+                        comment.push_str(&text);
+                        if !is_doc {
+                            plain_comment.push_str(&text);
+                        }
                         code.push(' ');
                         i = chars.len();
                     } else if c == '/' && chars.get(i + 1) == Some(&'*') {
@@ -159,6 +172,7 @@ pub fn scan(src: &str) -> ScannedFile {
         lines.push(ScannedLine {
             code,
             comment,
+            plain_comment,
             in_test: false,
         });
     }
@@ -349,6 +363,24 @@ mod tests {
         let src = concat!("#[cfg(test)]\nmod tests;\n", "fn lib() { z(); }\n");
         let f = scan(src);
         assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn doc_comments_are_excluded_from_plain_comment_text() {
+        let f = scan(concat!(
+            "//! for example `// ag-lint: allow(panic-policy) — doc text`\n",
+            "/// ag-lint: hot-path — also just documentation\n",
+            "// ag-lint: allow(panic-policy) — a live waiver\n",
+            "let x = 1; /* block ag-lint: text */\n",
+        ));
+        assert!(f.lines[0].comment.contains("ag-lint:"));
+        assert!(!f.lines[0].plain_comment.contains("ag-lint:"));
+        assert!(!f.lines[1].plain_comment.contains("ag-lint:"));
+        assert!(f.lines[2].plain_comment.contains("a live waiver"));
+        assert!(
+            f.lines[3].plain_comment.contains("ag-lint:"),
+            "block comments are plain"
+        );
     }
 
     #[test]

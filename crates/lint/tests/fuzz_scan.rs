@@ -1,0 +1,169 @@
+//! Token-soup fuzzing for the scanner → indexer → rules pipeline.
+//!
+//! The scanner is the soundness root of every rule (a missed string
+//! boundary turns doc prose into findings), so it must be *total*:
+//! arbitrary concatenations of Rust-ish lexical fragments — unterminated
+//! strings, nested comment markers, stray quotes, half-open annotations —
+//! must never panic any stage, and the blanking invariants must hold on
+//! every input, not just on well-formed Rust.
+
+use proptest::prelude::*;
+
+use ag_lint::config::Config;
+use ag_lint::index::index_file;
+use ag_lint::rules::lint_file;
+use ag_lint::scan::scan;
+
+/// Lexical fragments chosen to collide: comment openers/closers, string
+/// and raw-string delimiters, escapes, char-vs-lifetime quotes, braces
+/// for the depth tracker, and every marker the indexer reacts to.
+const TOKENS: &[&str] = &[
+    "fn",
+    "f",
+    "unsafe",
+    "impl",
+    "trait",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    "\"",
+    "\\\"",
+    "\\",
+    "r#\"",
+    "\"#",
+    "r\"",
+    "b\"",
+    "br#\"",
+    "//",
+    "///",
+    "//!",
+    "/*",
+    "*/",
+    "/**/",
+    "'a",
+    "'a'",
+    "'\\''",
+    "'{'",
+    "#[cfg(test)]",
+    "#[inline]",
+    "// ag-lint: hot-path",
+    "// ag-lint: hot-path(begin)",
+    "// ag-lint: hot-path(end)",
+    "// ag-lint: sharded-phase(begin)",
+    "// ag-lint: sharded-phase(end)",
+    "// ag-lint: allow(panic-policy) — soup",
+    "// SAFETY: len is checked",
+    ".unwrap()",
+    ".push(x)",
+    "vec![0]",
+    "Vec::new()",
+    "seed_from_u64",
+    "from_entropy",
+    "get_unchecked",
+    ".add(1)",
+    "let len = xs.len()",
+    "let mut rng",
+    "splitmix64(seed)",
+    // Separators masquerading as tokens keep the generator one-dimensional.
+    " ",
+    "  ",
+    "\n",
+    "\n\n",
+    "",
+];
+
+/// A maximal config: every rule scoped to everything, tests included, so
+/// the fuzz input reaches every rule family's code path.
+fn permissive_config() -> Config {
+    let toml = r#"
+version = 1
+source_roots = ["."]
+
+[rules.hash-iteration]
+scope = ["**"]
+include_tests = true
+
+[rules.wall-clock]
+scope = ["**"]
+include_tests = true
+
+[rules.truncating-cast]
+scope = ["**"]
+include_tests = true
+
+[rules.unsafe-audit]
+scope = ["**"]
+include_tests = true
+
+[rules.rng-discipline]
+scope = ["**"]
+include_tests = true
+
+[rules.alloc-discipline]
+scope = ["**"]
+include_tests = true
+
+[rules.bounds-provenance]
+scope = ["**"]
+include_tests = true
+
+[rules.panic-policy]
+scope = ["**"]
+include_tests = true
+"#;
+    Config::from_toml_str(toml).expect("fuzz config parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scan_index_lint_are_total_on_token_soup(
+        picks in proptest::collection::vec(0..TOKENS.len(), 0..120),
+    ) {
+        let src: String = picks.iter().map(|&i| TOKENS[i]).collect();
+        let file = scan(&src);
+
+        // Line-preserving: one scanned line per input line.
+        prop_assert_eq!(file.lines.len(), src.lines().count());
+
+        // Blanking: comment markers never survive into code text (a
+        // marker that did would let comment prose trigger rules).
+        for line in &file.lines {
+            prop_assert!(
+                !line.code.contains("//") && !line.code.contains("/*"),
+                "comment marker leaked into code: {:?} (src {:?})",
+                line.code,
+                src
+            );
+            // Doc text is a subset of comment text by construction.
+            prop_assert!(line.comment.len() >= line.plain_comment.len());
+        }
+
+        // Deterministic: scanning is a pure function of the source.
+        prop_assert_eq!(format!("{:?}", file.lines), format!("{:?}", scan(&src).lines));
+
+        // The indexer is total and its spans stay inside the file.
+        let idx = index_file(&file);
+        for f in &idx.fns {
+            prop_assert!(f.body.start <= f.body.end);
+            prop_assert!(f.body.end < file.lines.len().max(1));
+        }
+        for span in idx.hot_regions.iter().chain(&idx.sharded_regions) {
+            prop_assert!(span.start <= span.end);
+            prop_assert!(span.end < file.lines.len().max(1));
+        }
+        for us in &idx.unsafe_spans {
+            prop_assert!(us.kw_line < file.lines.len().max(1));
+            prop_assert!(us.body.start <= us.body.end);
+        }
+
+        // Every rule family survives the soup (findings are fine; panics
+        // and non-termination are not).
+        let cfg = permissive_config();
+        let (_findings, _waivers) = lint_file("soup.rs", &file, &cfg);
+    }
+}

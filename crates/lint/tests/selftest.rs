@@ -29,6 +29,18 @@ scope = ["fixtures/**"]
 [rules.unsafe-audit]
 scope = ["fixtures/**"]
 
+[rules.rng-discipline]
+scope = ["fixtures/**"]
+derivation_roots = ["splitmix64"]
+
+[rules.alloc-discipline]
+scope = ["fixtures/**"]
+allow_calls = ["scratch.extend_from_slice", "out.resize"]
+
+[rules.bounds-provenance]
+scope = ["fixtures/**"]
+bound_hints = ["len", "count"]
+
 [rules.panic-policy]
 scope = ["fixtures/**"]
 {extra}
@@ -156,6 +168,100 @@ fn invalid_waivers_are_findings_and_do_not_suppress() {
 }
 
 #[test]
+fn rng_discipline_fires_on_ambient_literal_unkeyed_and_captured() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_rng.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::RngDiscipline);
+    assert_eq!(
+        lines,
+        vec![6, 10, 15, 19, 27],
+        "from_entropy, thread_rng, literal seed, unkeyed expression, \
+         and the engine RNG captured inside the sharded phase"
+    );
+}
+
+#[test]
+fn seedmix_keyed_rngs_are_clean() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("good_rng.rs", &cfg);
+    assert!(
+        findings.is_empty(),
+        "derivation-keyed RNGs must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn alloc_discipline_fires_inside_hot_zones_only() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_hot_alloc.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::AllocDiscipline);
+    assert_eq!(
+        lines,
+        vec![7, 8, 9, 10, 22],
+        "to_vec, push, vec!, Box::new in the hot fn and Vec::with_capacity \
+         in the hot region; the cold fn (15) and the post-region collect \
+         (26) stay legal"
+    );
+}
+
+#[test]
+fn scratch_reuse_with_allowlisted_growth_is_clean() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("good_hot_alloc.rs", &cfg);
+    assert!(
+        findings.is_empty(),
+        "receiver-pinned allow_calls must suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn bounds_provenance_fires_when_safety_cites_no_bound() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_bounds.rs", &cfg);
+    let lines = lines_for(&findings, RuleId::BoundsProvenance);
+    assert_eq!(
+        lines,
+        vec![8, 13],
+        "both SAFETY comments exist (unsafe-audit passes) but cite no \
+         len/bound identifier from the enclosing scope"
+    );
+    assert!(
+        lines_for(&findings, RuleId::UnsafeAudit).is_empty(),
+        "the two rules must not double-report"
+    );
+}
+
+#[test]
+fn cited_bounds_satisfy_provenance() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("good_bounds.rs", &cfg);
+    assert!(
+        findings.is_empty(),
+        "cited bounds (and ptr-free spans) must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn unused_waivers_fire_and_live_ones_stay_silent() {
+    let cfg = fixture_config("");
+    let findings = lint_fixture("bad_unused_waiver.rs", &cfg);
+    let unused = lines_for(&findings, RuleId::UnusedWaiver);
+    assert_eq!(
+        unused,
+        vec![6],
+        "the stale waiver fires; the one over the live unwrap does not"
+    );
+    assert!(
+        lines_for(&findings, RuleId::PanicPolicy).is_empty(),
+        "the live waiver still suppresses its unwrap"
+    );
+    assert!(
+        lines_for(&findings, RuleId::InvalidWaiver).is_empty(),
+        "both waivers are syntactically valid"
+    );
+}
+
+#[test]
 fn out_of_scope_files_are_ignored() {
     let cfg = fixture_config("");
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -165,6 +271,36 @@ fn out_of_scope_files_are_ignored() {
     // Same bad content, but under a path no rule scope matches.
     let (findings, _) = lint_file("elsewhere/other.rs", &scan(&text), &cfg);
     assert!(findings.is_empty(), "out of scope: {findings:?}");
+}
+
+/// The alloc ban must be live on the real tree, not only on fixtures:
+/// injecting an allocation into a really-annotated hot path, under the
+/// real `lint.toml`, is caught.
+#[test]
+fn injected_allocation_in_real_hot_path_is_caught() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf();
+    let cfg = ag_lint::load_config(&root).expect("lint.toml parses");
+    let rel = "crates/rlnc/src/decoder.rs";
+    let text = std::fs::read_to_string(root.join(rel)).expect("decoder source");
+    let (clean, _) = lint_file(rel, &scan(&text), &cfg);
+    assert!(clean.is_empty(), "pristine decoder must pass: {clean:?}");
+
+    // First statement of the hot-path-annotated receive.
+    let needle =
+        "pub fn try_receive(&mut self, packet: &Packet<F>) -> Result<Reception, CodingError> {";
+    assert!(text.contains(needle), "try_receive signature moved");
+    let sabotaged = text.replace(needle, &format!("{needle}\n        self.audit.push(0u8);"));
+    let (findings, _) = lint_file(rel, &scan(&sabotaged), &cfg);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RuleId::AllocDiscipline && f.message.contains("push")),
+        "injected Vec::push in a hot path must be caught: {findings:?}"
+    );
 }
 
 /// The tree must pass its own lint: zero findings and a committed

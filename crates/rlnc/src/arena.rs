@@ -237,6 +237,7 @@ impl<F: SlabField> DecoderArena<F> {
     ///
     /// Panics if the row's byte length differs from
     /// [`DecoderArena::row_bytes`].
+    // ag-lint: hot-path
     pub fn receive_packed_slice(&mut self, node: usize, row: &[u8]) -> Reception {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
@@ -255,6 +256,7 @@ impl<F: SlabField> DecoderArena<F> {
     ///
     /// Panics if the row's byte length differs from
     /// [`DecoderArena::row_bytes`].
+    // ag-lint: hot-path
     pub fn receive_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Reception {
         assert_eq!(
             row.len(),
@@ -282,6 +284,7 @@ impl<F: SlabField> DecoderArena<F> {
     /// `false` — leaving `out` empty — when the node stores nothing yet.
     ///
     /// [`Recoder::emit_packed_row`]: crate::Recoder::emit_packed_row
+    // ag-lint: hot-path
     pub fn emit_packed_row_into<R: Rng + ?Sized>(
         &self,
         node: usize,
@@ -314,6 +317,7 @@ impl<F: SlabField> DecoderArena<F> {
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
+    // ag-lint: hot-path
     pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
         &self,
         node: usize,
@@ -455,6 +459,7 @@ impl<F: SlabField> DecoderShard<'_, F> {
     /// # Panics
     ///
     /// Panics if `node` is outside the shard or the row length mismatches.
+    // ag-lint: hot-path
     pub fn receive_packed_mut(&mut self, node: usize, row: &mut [u8]) -> Reception {
         assert_eq!(
             row.len(),
@@ -478,6 +483,7 @@ impl<F: SlabField> DecoderShard<'_, F> {
     /// Shard-local [`DecoderArena::emit_packed_row_into`] — one uniform
     /// draw per stored row, in insertion order, exactly the serial
     /// sequence.
+    // ag-lint: hot-path
     pub fn emit_packed_row_into<R: Rng + ?Sized>(
         &mut self,
         node: usize,
@@ -507,6 +513,7 @@ impl<F: SlabField> DecoderShard<'_, F> {
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
+    // ag-lint: hot-path
     pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
         &mut self,
         node: usize,

@@ -232,6 +232,7 @@ impl<F: SlabField> Decoder<F> {
     ///
     /// Panics if the packet shape does not match the decoder's `(k, r)`;
     /// use [`Decoder::try_receive`] for a typed error instead.
+    // ag-lint: hot-path
     pub fn receive(&mut self, packet: Packet<F>) -> Reception {
         match self.try_receive(&packet) {
             Ok(outcome) => outcome,
@@ -256,6 +257,7 @@ impl<F: SlabField> Decoder<F> {
     /// [`CodingError::GenerationSizeMismatch`] or
     /// [`CodingError::PayloadLengthMismatch`] when the packet was coded for
     /// a different `(k, r)` than this decoder's.
+    // ag-lint: hot-path
     pub fn try_receive(&mut self, packet: &Packet<F>) -> Result<Reception, CodingError> {
         if packet.generation_size() != self.k {
             return Err(CodingError::GenerationSizeMismatch {
@@ -294,6 +296,7 @@ impl<F: SlabField> Decoder<F> {
     ///
     /// Panics if the row's byte length does not match this decoder's
     /// `(k + r) · SYMBOL_BYTES` shape.
+    // ag-lint: hot-path
     pub fn receive_packed_row(&mut self, row: Vec<u8>) -> Reception {
         self.receive_packed_slice(&row)
     }
@@ -312,6 +315,7 @@ impl<F: SlabField> Decoder<F> {
     ///
     /// Panics if the row's byte length does not match this decoder's
     /// `(k + r) · SYMBOL_BYTES` shape.
+    // ag-lint: hot-path
     pub fn receive_packed_slice(&mut self, row: &[u8]) -> Reception {
         let expected = (self.k + self.payload_len) * F::SYMBOL_BYTES;
         assert_eq!(

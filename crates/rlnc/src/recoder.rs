@@ -81,6 +81,7 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// slab, then payload slab) via
     /// [`ag_linalg::EchelonBasis::accumulate_rows_into`] — which also
     /// settles any payload elimination the basis had deferred.
+    // ag-lint: hot-path
     pub fn emit_packed_row_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<u8>) -> bool {
         let basis = self.decoder.basis();
         out.clear();
@@ -144,6 +145,7 @@ impl<'a, F: SlabField> Recoder<'a, F> {
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
+    // ag-lint: hot-path
     pub fn emit_sparse_packed_row_into<R: Rng + ?Sized>(
         &self,
         density: f64,

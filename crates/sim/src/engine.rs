@@ -344,6 +344,7 @@ impl Engine {
     /// still invoked for them so the RNG stream (and hence every seeded
     /// trajectory) is identical to the reference loop, which composed
     /// everything and deduplicated during delivery.
+    // ag-lint: hot-path
     fn sync_round<P: Protocol>(
         &mut self,
         proto: &mut P,
@@ -448,6 +449,7 @@ impl Engine {
     /// One asynchronous timeslot: a uniformly random node wakes; both
     /// directions of its contact are composed from pre-contact state and
     /// then delivered.
+    // ag-lint: hot-path
     fn async_slot<P: Protocol>(
         &mut self,
         proto: &mut P,

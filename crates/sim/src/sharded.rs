@@ -364,6 +364,7 @@ impl ShardedEngine {
         // 4. Parallel compose: each shard walks its worklist; every slot
         //    draws from its own (seed, round, slot)-keyed RNG, so the
         //    message content is independent of scheduling.
+        // ag-lint: sharded-phase(begin) — only per-slot-keyed RNGs below
         let round_key = splitmix64(self.config.seed ^ round.wrapping_mul(GOLDEN_GAMMA));
         let plan: &[Option<(NodeId, NodeId, u32)>] = slots;
         let jobs: Vec<(P::Shard<'_>, &[usize])> = proto
@@ -385,6 +386,7 @@ impl ShardedEngine {
                 (out, shard.into_residue())
             })
             .collect();
+        // ag-lint: sharded-phase(end)
         composed.clear();
         composed.resize_with(2 * n, || None);
         for (outs, residue) in results {
